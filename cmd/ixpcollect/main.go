@@ -1,0 +1,98 @@
+// Command ixpcollect is a minimal sFlow collector: it listens on UDP
+// (the protocol's native transport, port 6343 by default), decodes
+// incoming datagrams, and appends them to a capture stream file that
+// cmd/ixpmine-style tooling can analyse. It stops after -count
+// datagrams, after -for duration, or on SIGINT/SIGTERM.
+//
+// Pair it with the generator:
+//
+//	ixpcollect -listen 127.0.0.1:6343 -out week.sflow -count 10000 &
+//	ixpgen -udp 127.0.0.1:6343 -scale 0.002 -samples 10000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ixplens/internal/sflow"
+)
+
+func main() {
+	var (
+		listen = flag.String("listen", fmt.Sprintf("127.0.0.1:%d", sflow.DefaultPort), "UDP address to listen on")
+		out    = flag.String("out", "collected.sflow", "capture stream file to write")
+		count  = flag.Int("count", 0, "stop after this many datagrams (0 = unlimited)")
+		dur    = flag.Duration("for", 0, "stop after this duration (0 = unlimited)")
+	)
+	flag.Parse()
+	if err := run(*listen, *out, *count, *dur); err != nil {
+		fmt.Fprintln(os.Stderr, "ixpcollect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, out string, count int, dur time.Duration) error {
+	recv, err := sflow.NewReceiver(listen)
+	if err != nil {
+		return err
+	}
+	defer recv.Close()
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sw, err := sflow.NewStreamWriter(f)
+	if err != nil {
+		return err
+	}
+
+	// Stop on signal or timer by closing the socket; Run then returns.
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	if dur > 0 {
+		go func() {
+			select {
+			case <-time.After(dur):
+				recv.Close()
+			case <-sigCh:
+				recv.Close()
+			}
+		}()
+	} else {
+		go func() {
+			<-sigCh
+			recv.Close()
+		}()
+	}
+
+	fmt.Printf("listening on %s, writing %s\n", recv.Addr(), out)
+	written := 0
+	err = recv.Run(func(d *sflow.Datagram) error {
+		if err := sw.WriteDatagram(d); err != nil {
+			return err
+		}
+		written++
+		if count > 0 && written >= count {
+			return errDone
+		}
+		return nil
+	})
+	if err != nil && err != errDone {
+		return err
+	}
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+	received, malformed := recv.Stats()
+	fmt.Printf("wrote %d datagrams (%d received, %d malformed)\n", written, received, malformed)
+	return f.Sync()
+}
+
+// errDone signals the requested datagram count was reached.
+var errDone = fmt.Errorf("done")

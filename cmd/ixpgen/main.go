@@ -1,0 +1,93 @@
+// Command ixpgen generates a synthetic IXP measurement campaign to
+// disk: one sFlow capture file per weekly snapshot plus a manifest that
+// records the world configuration, so cmd/ixpmine can deterministically
+// rebuild the measurement substrates (RIB, geo DB, DNS, certificates)
+// and analyse the captures.
+//
+// Usage:
+//
+//	ixpgen [-scale 0.01] [-samples 60000] [-seed 1] -out capture/
+//	ixpgen [-scale ...] -udp 127.0.0.1:6343    # export over sFlow's UDP transport
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ixplens/internal/capture"
+	"ixplens/internal/ixp"
+	"ixplens/internal/netmodel"
+	"ixplens/internal/pipeline"
+	"ixplens/internal/sflow"
+	"ixplens/internal/traffic"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0.01, "fraction of the paper's world size")
+		samples = flag.Int("samples", 60_000, "sFlow samples generated per week")
+		seed    = flag.Int64("seed", 1, "world generation seed")
+		out     = flag.String("out", "capture", "output directory")
+		udp     = flag.String("udp", "", "export over UDP to this collector address instead of writing files")
+		anonKey = flag.Uint64("anonkey", 0, "prefix-preserving anonymization key (0 = no anonymization)")
+	)
+	flag.Parse()
+
+	cfg := netmodel.PaperScale(*scale)
+	cfg.Seed = *seed
+	opts := traffic.Options{SamplesPerWeek: *samples, SamplingRate: 16384, SnapLen: 128}
+
+	env, err := pipeline.NewEnv(cfg, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("world: %s\n", env)
+
+	t0 := time.Now()
+	if *udp != "" {
+		if err := exportUDP(env, *udp); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("exported %d weeks over UDP in %v\n", cfg.Weeks, time.Since(t0))
+		return
+	}
+	var counts []int
+	if *anonKey != 0 {
+		counts, err = capture.WriteCampaignAnonymized(env, *out, *anonKey)
+	} else {
+		counts, err = capture.WriteCampaign(env, *out)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	for i, n := range counts {
+		fmt.Printf("  %s: %d datagrams\n", capture.WeekFile(cfg.FirstWeek+i), n)
+	}
+	fmt.Printf("wrote %d weeks to %s in %v\n", len(counts), *out, time.Since(t0))
+}
+
+// exportUDP ships every week's datagrams to a live collector over
+// sFlow's native transport.
+func exportUDP(env *pipeline.Env, addr string) error {
+	exp, err := sflow.NewExporter(addr)
+	if err != nil {
+		return err
+	}
+	defer exp.Close()
+	cfg := &env.World.Cfg
+	for wk := cfg.FirstWeek; wk <= cfg.LastWeek(); wk++ {
+		col := ixp.NewCollector(env.Fabric, env.Opts.SamplingRate, exp.Send)
+		if _, err := env.Gen.GenerateWeek(wk, col); err != nil {
+			return fmt.Errorf("week %d: %w", wk, err)
+		}
+		fmt.Printf("  week %d exported (%d datagrams total)\n", wk, exp.Count())
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ixpgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command ixpreport regenerates every table and figure of the paper:
+// it builds a synthetic world at the requested scale, runs the full
+// measurement pipeline over 17 weeks of generated sFlow traffic, and
+// prints paper-value vs measured-value rows for experiments E1-E21
+// (see DESIGN.md for the index).
+//
+// Usage:
+//
+//	ixpreport [-scale 0.01] [-samples 60000] [-seed 1] [-only E4,E16] [-series]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ixplens/internal/experiments"
+	"ixplens/internal/netmodel"
+	"ixplens/internal/textplot"
+	"ixplens/internal/traffic"
+)
+
+func main() {
+	var (
+		scale   = flag.Float64("scale", 0.01, "fraction of the paper's world size (1.0 = full scale)")
+		samples = flag.Int("samples", 60_000, "sFlow samples generated per week")
+		seed    = flag.Int64("seed", 1, "world generation seed")
+		only    = flag.String("only", "", "comma-separated experiment IDs to run (default: all)")
+		series  = flag.Bool("series", false, "also print raw figure series")
+		asJSON  = flag.Bool("json", false, "emit the reports as JSON instead of tables")
+		asMD    = flag.Bool("md", false, "emit the reports as Markdown sections")
+	)
+	flag.Parse()
+
+	cfg := netmodel.PaperScale(*scale)
+	cfg.Seed = *seed
+	opts := traffic.Options{SamplesPerWeek: *samples, SamplingRate: 16384, SnapLen: 128}
+
+	fmt.Fprintf(os.Stderr, "ixplens report — scale %.3f, %d samples/week, seed %d\n", *scale, *samples, *seed)
+	t0 := time.Now()
+	runner, err := experiments.New(cfg, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "world: %s (generated in %v)\n\n", runner.Env, time.Since(t0))
+
+	t0 = time.Now()
+	reports, err := runner.All()
+	if err != nil {
+		fatal(err)
+	}
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			selected[strings.ToUpper(id)] = true
+		}
+	}
+	if *asJSON {
+		var out []experiments.Report
+		for _, rep := range reports {
+			if len(selected) > 0 && !selected[rep.ID] {
+				continue
+			}
+			out = append(out, rep)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for _, rep := range reports {
+		if len(selected) > 0 && !selected[rep.ID] {
+			continue
+		}
+		if *asMD {
+			fmt.Println(rep.Markdown())
+			continue
+		}
+		fmt.Println(rep.String())
+		if *series {
+			printSeries(&rep)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "completed %d experiments in %v\n", len(reports), time.Since(t0))
+}
+
+// printSeries renders a report's figure series as text plots: paired
+// x/y series become log-log scatters (the Fig. 6/7 clouds), everything
+// else a sparkline.
+func printSeries(rep *experiments.Report) {
+	// Known scatter pairs by series names.
+	pairs := [][2]string{
+		{"servers", "ases"}, {"servers", "orgs"}, {"direct-share", "traffic-share"},
+	}
+	used := map[string]bool{}
+	for _, p := range pairs {
+		xs, ys := rep.Series[p[0]], rep.Series[p[1]]
+		if len(xs) > 0 && len(xs) == len(ys) {
+			fmt.Printf("  scatter %s vs %s:\n%s\n", p[1], p[0], textplot.ScatterLogLog(xs, ys, 48, 10))
+			used[p[0]], used[p[1]] = true, true
+		}
+	}
+	names := make([]string, 0, len(rep.Series))
+	for name := range rep.Series {
+		if !used[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Printf("  series %-22s %s\n", name, textplot.Curve(rep.Series[name], 40))
+	}
+	fmt.Println()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ixpreport:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,8 @@
+// Package ixplens is a from-scratch Go reproduction of "On the Benefits
+// of Using a Large IXP as an Internet Vantage Point" (Chatzis,
+// Smaragdakis, Böttger, Krenc, Feldmann — ACM IMC 2013).
+//
+// The repository root carries the per-table/per-figure benchmarks; the
+// library lives under internal/ (see DESIGN.md for the inventory), the
+// executables under cmd/, and runnable scenarios under examples/.
+package ixplens

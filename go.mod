@@ -1,0 +1,3 @@
+module ixplens
+
+go 1.22

@@ -1,0 +1,98 @@
+package alexa
+
+import (
+	"testing"
+
+	"ixplens/internal/dnssim"
+	"ixplens/internal/netmodel"
+)
+
+func buildList(t testing.TB, week int) (*dnssim.DB, *List) {
+	t.Helper()
+	w, err := netmodel.Generate(netmodel.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := dnssim.New(w)
+	return d, Build(d, week, 1)
+}
+
+func TestBuildCoversAllSites(t *testing.T) {
+	d, l := buildList(t, 45)
+	if len(l.Domains) != len(d.Sites()) {
+		t.Fatalf("list has %d domains, world has %d sites", len(l.Domains), len(d.Sites()))
+	}
+}
+
+func TestRanksConsistent(t *testing.T) {
+	_, l := buildList(t, 45)
+	for i, dmn := range l.Top(50) {
+		if l.Rank(dmn) != i+1 {
+			t.Fatalf("rank of %q = %d, want %d", dmn, l.Rank(dmn), i+1)
+		}
+	}
+	if l.Rank("not-listed.invalid") != 0 {
+		t.Fatal("unlisted domain must rank 0")
+	}
+}
+
+func TestTopTruncates(t *testing.T) {
+	_, l := buildList(t, 45)
+	if len(l.Top(10)) != 10 {
+		t.Fatal("Top(10) wrong length")
+	}
+	if len(l.Top(1<<30)) != len(l.Domains) {
+		t.Fatal("Top beyond size must return all")
+	}
+}
+
+func TestWeeklyJitterChangesRanksDeterministically(t *testing.T) {
+	_, l45a := buildList(t, 45)
+	_, l45b := buildList(t, 45)
+	_, l46 := buildList(t, 46)
+	for i := range l45a.Domains {
+		if l45a.Domains[i] != l45b.Domains[i] {
+			t.Fatal("same week must give identical lists")
+		}
+	}
+	same := 0
+	for i := 0; i < len(l45a.Domains) && i < 100; i++ {
+		if l45a.Domains[i] == l46.Domains[i] {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("weekly jitter has no effect")
+	}
+}
+
+func TestPopularSitesRankHigh(t *testing.T) {
+	d, l := buildList(t, 45)
+	// The most popular site globally should rank within the top few
+	// despite jitter.
+	best := d.Sites()[0].Domain
+	if r := l.Rank(best); r > 10 {
+		t.Fatalf("most popular site ranks %d", r)
+	}
+}
+
+func TestRecovery(t *testing.T) {
+	_, l := buildList(t, 45)
+	observed := map[string]bool{}
+	for _, d := range l.Top(10) {
+		observed[d] = true
+	}
+	if got := l.Recovery(observed, 10); got != 1.0 {
+		t.Fatalf("Recovery of fully observed top-10 = %v", got)
+	}
+	if got := l.Recovery(observed, 20); got != 0.5 {
+		t.Fatalf("Recovery with half coverage = %v", got)
+	}
+	if got := l.Recovery(map[string]bool{}, 10); got != 0 {
+		t.Fatalf("Recovery of nothing = %v", got)
+	}
+	empty := &List{}
+	if empty.Recovery(observed, 5) != 0 {
+		t.Fatal("empty list recovery must be 0")
+	}
+}

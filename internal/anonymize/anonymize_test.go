@@ -1,0 +1,182 @@
+package anonymize
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ixplens/internal/packet"
+)
+
+func commonPrefixLen(a, b packet.IPv4Addr) int {
+	x := uint32(a) ^ uint32(b)
+	if x == 0 {
+		return 32
+	}
+	return bits.LeadingZeros32(x)
+}
+
+// TestQuickPrefixPreservation: the defining property — anonymized
+// addresses share exactly the prefix length the originals share.
+func TestQuickPrefixPreservation(t *testing.T) {
+	p := New(0xfeedface)
+	prop := func(a, b uint32) bool {
+		pa := p.IPv4(packet.IPv4Addr(a))
+		pb := p.IPv4(packet.IPv4Addr(b))
+		return commonPrefixLen(packet.IPv4Addr(a), packet.IPv4Addr(b)) ==
+			commonPrefixLen(pa, pb)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicAndKeyed(t *testing.T) {
+	p1 := New(1)
+	p2 := New(2)
+	ip := packet.MakeIPv4(82, 12, 99, 7)
+	if p1.IPv4(ip) != p1.IPv4(ip) {
+		t.Fatal("mapping must be deterministic")
+	}
+	if p1.IPv4(ip) == p2.IPv4(ip) {
+		t.Fatal("different keys should give different mappings")
+	}
+	if p1.IPv4(ip) == ip {
+		t.Fatal("identity mapping is suspicious")
+	}
+}
+
+func TestInjectiveOnSample(t *testing.T) {
+	p := New(42)
+	rng := rand.New(rand.NewSource(1))
+	seen := make(map[packet.IPv4Addr]packet.IPv4Addr, 50_000)
+	for i := 0; i < 50_000; i++ {
+		in := packet.IPv4Addr(rng.Uint32())
+		out := p.IPv4(in)
+		if prev, dup := seen[out]; dup && prev != in {
+			t.Fatalf("collision: %v and %v both map to %v", prev, in, out)
+		}
+		seen[out] = in
+	}
+}
+
+func TestFrameRewriteKeepsChecksumsValid(t *testing.T) {
+	b := packet.NewBuilder(512)
+	eth := packet.Ethernet{Src: packet.MAC{2}, Dst: packet.MAC{4}, VLAN: 600}
+	ip := packet.IPv4Header{TTL: 60, Src: packet.MakeIPv4(82, 1, 2, 3), Dst: packet.MakeIPv4(91, 4, 5, 6)}
+	tcp := packet.TCPHeader{SrcPort: 80, DstPort: 55555, Flags: packet.TCPAck}
+	payload := []byte("HTTP/1.1 200 OK\r\nServer: nginx\r\n\r\n")
+	frame := append([]byte(nil), b.BuildTCPv4(eth, ip, tcp, payload)...)
+
+	p := New(7)
+	if !p.Frame(frame) {
+		t.Fatal("frame not rewritten")
+	}
+	var f packet.Frame
+	if err := packet.Decode(frame, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.IPv4.Src == ip.Src || f.IPv4.Dst == ip.Dst {
+		t.Fatal("addresses unchanged")
+	}
+	if f.IPv4.Src != p.IPv4(ip.Src) || f.IPv4.Dst != p.IPv4(ip.Dst) {
+		t.Fatal("rewrite disagrees with IPv4()")
+	}
+	// Header checksum must still verify after the incremental fixup.
+	if !packet.VerifyIPv4HeaderChecksum(frame[18 : 18+20]) {
+		t.Fatal("IPv4 header checksum broken by rewrite")
+	}
+	// TCP checksum must verify against the new pseudo-header.
+	seg := append([]byte(nil), frame[18+20:]...)
+	want := seg[16:18]
+	w0, w1 := want[0], want[1]
+	seg[16], seg[17] = 0, 0
+	cs := packet.TransportChecksumIPv4(f.IPv4.Src, f.IPv4.Dst, packet.ProtoTCP, seg)
+	if byte(cs>>8) != w0 || byte(cs) != w1 {
+		t.Fatalf("TCP checksum broken: computed %04x, frame has %02x%02x", cs, w0, w1)
+	}
+	// Ports and payload must be untouched.
+	if f.TCP.SrcPort != 80 || string(f.Payload) != string(payload) {
+		t.Fatal("rewrite damaged transport data")
+	}
+}
+
+func TestFrameRewriteUDP(t *testing.T) {
+	b := packet.NewBuilder(256)
+	eth := packet.Ethernet{Src: packet.MAC{2}, Dst: packet.MAC{4}}
+	ip := packet.IPv4Header{TTL: 60, Src: packet.MakeIPv4(10, 0, 0, 1), Dst: packet.MakeIPv4(10, 0, 0, 2)}
+	frame := append([]byte(nil), b.BuildUDPv4(eth, ip, packet.UDPHeader{SrcPort: 53, DstPort: 5353}, []byte{1, 2, 3})...)
+
+	p := New(9)
+	if !p.Frame(frame) {
+		t.Fatal("frame not rewritten")
+	}
+	var f packet.Frame
+	if err := packet.Decode(frame, &f); err != nil {
+		t.Fatal(err)
+	}
+	seg := append([]byte(nil), frame[14+20:]...)
+	w0, w1 := seg[6], seg[7]
+	seg[6], seg[7] = 0, 0
+	cs := packet.TransportChecksumIPv4(f.IPv4.Src, f.IPv4.Dst, packet.ProtoUDP, seg)
+	if cs == 0 {
+		cs = 0xffff
+	}
+	if byte(cs>>8) != w0 || byte(cs) != w1 {
+		t.Fatalf("UDP checksum broken: computed %04x, frame has %02x%02x", cs, w0, w1)
+	}
+}
+
+func TestFrameRewriteSnappedTransport(t *testing.T) {
+	// A snapshot that ends inside the IPv4 header options/payload: the
+	// transport checksum is outside the buffer and must be skipped, the
+	// IPv4 rewrite must still happen.
+	b := packet.NewBuilder(512)
+	eth := packet.Ethernet{Src: packet.MAC{2}, Dst: packet.MAC{4}}
+	ip := packet.IPv4Header{TTL: 60, Src: packet.MakeIPv4(82, 1, 2, 3), Dst: packet.MakeIPv4(91, 4, 5, 6)}
+	full := b.BuildTCPv4(eth, ip, packet.TCPHeader{SrcPort: 80, DstPort: 50000}, make([]byte, 200))
+	snap := append([]byte(nil), full[:40]...) // eth + ipv4 + 6 bytes of TCP
+
+	p := New(5)
+	if !p.Frame(snap) {
+		t.Fatal("snapped frame not rewritten")
+	}
+	if !packet.VerifyIPv4HeaderChecksum(snap[14 : 14+20]) {
+		t.Fatal("IPv4 checksum broken on snapped frame")
+	}
+}
+
+func TestFrameRewriteIgnoresNonIPv4(t *testing.T) {
+	b := packet.NewBuilder(128)
+	eth := packet.Ethernet{Src: packet.MAC{2}, Dst: packet.MAC{4}}
+	arp := append([]byte(nil), b.BuildARP(eth, packet.MakeIPv4(1, 2, 3, 4), packet.MakeIPv4(5, 6, 7, 8))...)
+	p := New(5)
+	if p.Frame(arp) {
+		t.Fatal("ARP frame must not be rewritten")
+	}
+	if p.Frame([]byte{1, 2, 3}) {
+		t.Fatal("short frame must not be rewritten")
+	}
+}
+
+func BenchmarkIPv4(b *testing.B) {
+	p := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.IPv4(packet.IPv4Addr(i))
+	}
+}
+
+func BenchmarkFrame(b *testing.B) {
+	bl := packet.NewBuilder(256)
+	eth := packet.Ethernet{Src: packet.MAC{2}, Dst: packet.MAC{4}}
+	ip := packet.IPv4Header{TTL: 60, Src: packet.MakeIPv4(82, 1, 2, 3), Dst: packet.MakeIPv4(91, 4, 5, 6)}
+	frame := append([]byte(nil), bl.BuildTCPv4(eth, ip, packet.TCPHeader{SrcPort: 80, DstPort: 50000}, []byte("xyz"))...)
+	p := New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Frame(frame)
+	}
+}

@@ -1,0 +1,30 @@
+package anonymize_test
+
+import (
+	"fmt"
+
+	"ixplens/internal/anonymize"
+	"ixplens/internal/packet"
+)
+
+// Example shows the defining property of prefix-preserving
+// anonymization: addresses sharing a /24 keep sharing exactly a /24
+// after anonymization, while the addresses themselves change.
+func Example() {
+	p := anonymize.New(0x5eed)
+	a := packet.MakeIPv4(82, 12, 99, 7)
+	b := packet.MakeIPv4(82, 12, 99, 200) // same /24
+	c := packet.MakeIPv4(82, 12, 98, 7)   // same /23 only
+
+	pa, pb, pc := p.IPv4(a), p.IPv4(b), p.IPv4(c)
+	same24 := pa&0xffffff00 == pb&0xffffff00
+	same23 := pa&0xfffffe00 == pc&0xfffffe00
+	diff24 := pa&0xffffff00 != pc&0xffffff00
+	fmt.Println("addresses changed:", pa != a && pb != b && pc != c)
+	fmt.Println("same /24 preserved:", same24)
+	fmt.Println("/23 preserved, /24 split:", same23 && diff24)
+	// Output:
+	// addresses changed: true
+	// same /24 preserved: true
+	// /23 preserved, /24 split: true
+}

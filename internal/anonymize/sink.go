@@ -1,0 +1,18 @@
+package anonymize
+
+import "ixplens/internal/sflow"
+
+// Datagrams wraps an sFlow datagram sink so every sampled frame header
+// is anonymized in place before the datagram is passed on — the shape
+// of the paper's data release: prefix-preserving anonymization applied
+// at export time.
+func (p *PrefixPreserving) Datagrams(sink func(*sflow.Datagram) error) func(*sflow.Datagram) error {
+	return func(d *sflow.Datagram) error {
+		for i := range d.Flows {
+			if d.Flows[i].HasRaw {
+				p.Frame(d.Flows[i].Raw.Header)
+			}
+		}
+		return sink(d)
+	}
+}

@@ -1,0 +1,319 @@
+// Package certsim models the X.509 certificate landscape of the
+// synthetic world and the active HTTPS crawler of Section 2.2.2: every
+// candidate port-443 IP is crawled several times for its certificate
+// chain, and a certificate is accepted only if it passes the paper's six
+// checks — (a) valid subject, (b) valid alternative names and ccSLDs,
+// (c) server key usage, (d) a chain that links correctly up to a
+// whitelisted root, (e) validity time covering the crawl, and (f)
+// stability across repeated crawls.
+package certsim
+
+import (
+	"fmt"
+	"strings"
+
+	"ixplens/internal/dnssim"
+	"ixplens/internal/netmodel"
+	"ixplens/internal/packet"
+	"ixplens/internal/randutil"
+)
+
+// KeyUsage is the certificate's extended key usage.
+type KeyUsage uint8
+
+// Key usages.
+const (
+	UsageServerAuth KeyUsage = iota
+	UsageClientAuth
+	UsageCodeSigning
+)
+
+// Certificate is a simplified X.509 certificate. Validity is expressed
+// in ISO week numbers, the world's time unit.
+type Certificate struct {
+	Subject   string
+	AltNames  []string
+	KeyUsage  KeyUsage
+	Issuer    string
+	NotBefore int
+	NotAfter  int
+}
+
+// Chain is a certificate chain as delivered by a server: leaf first.
+type Chain []Certificate
+
+// CrawlResult is the outcome of crawling one IP several times.
+type CrawlResult struct {
+	// Responded is false when nothing answered on TCP 443.
+	Responded bool
+	// Chains holds one chain per successful crawl attempt.
+	Chains []Chain
+}
+
+// Info is the meta-data extracted from a validated certificate
+// (Section 2.4): the names the IP may serve.
+type Info struct {
+	Subject  string
+	AltNames []string
+}
+
+// Names returns subject plus alternative names.
+func (i *Info) Names() []string {
+	out := make([]string, 0, 1+len(i.AltNames))
+	out = append(out, i.Subject)
+	out = append(out, i.AltNames...)
+	return out
+}
+
+// Crawler performs simulated certificate crawls against the world.
+type Crawler struct {
+	w   *netmodel.World
+	dns *dnssim.DB
+	// roots is the trusted root store ("the current Linux/Ubuntu
+	// white-list" in the paper).
+	roots map[string]bool
+	// attempts is how many times each IP is crawled (the paper crawls
+	// repeatedly to check stability).
+	attempts int
+	fakeByIP map[packet.IPv4Addr]int
+}
+
+// rootCAs is the synthetic trust store.
+var rootCAs = []string{"root-ca-alpha", "root-ca-beta", "root-ca-gamma"}
+
+// NewCrawler builds a crawler over the world.
+func NewCrawler(w *netmodel.World, dns *dnssim.DB) *Crawler {
+	roots := make(map[string]bool, len(rootCAs))
+	for _, r := range rootCAs {
+		roots[r] = true
+	}
+	fakeByIP := make(map[packet.IPv4Addr]int, len(w.Fake443))
+	for i := range w.Fake443 {
+		fakeByIP[w.Fake443[i].IP] = i
+	}
+	return &Crawler{w: w, dns: dns, roots: roots, attempts: 3, fakeByIP: fakeByIP}
+}
+
+// Crawl fetches the certificate chain of ip repeatedly during isoWeek.
+func (c *Crawler) Crawl(ip packet.IPv4Addr, isoWeek int) CrawlResult {
+	if idx, ok := c.w.ServerByIP(ip); ok {
+		s := &c.w.Servers[idx]
+		if !s.Is(netmodel.SrvHTTPS) {
+			// HTTP-only server: 443 is closed.
+			return CrawlResult{}
+		}
+		if !c.w.ServerActiveInWeek(idx, isoWeek) {
+			return CrawlResult{}
+		}
+		chain := c.serverChain(idx, isoWeek)
+		out := CrawlResult{Responded: true}
+		for a := 0; a < c.attempts; a++ {
+			out.Chains = append(out.Chains, chain)
+		}
+		return out
+	}
+	if i, ok := c.fakeByIP[ip]; ok {
+		return c.fakeResult(i, &c.w.Fake443[i], isoWeek)
+	}
+	return CrawlResult{}
+}
+
+// serverChain builds the (valid) chain of a genuine HTTPS server: the
+// leaf names the org's sites, the issuer chain ends in a trusted root.
+func (c *Crawler) serverChain(serverIdx int32, isoWeek int) Chain {
+	s := &c.w.Servers[serverIdx]
+	o := &c.w.Orgs[s.Org]
+	sites := c.dns.SitesOfOrg(s.Org)
+	subject := o.Domain
+	var alts []string
+	if len(sites) > 0 {
+		subject = c.dns.Site(sites[0]).Domain
+		// Hosting companies put many customer domains on one IP; CDNs
+		// serve multiple domains off shared certificates.
+		nAlt := 1
+		switch o.Kind {
+		case netmodel.OrgHoster:
+			nAlt = minInt(8, len(sites))
+		case netmodel.OrgCDNDeploy, netmodel.OrgCDNCentral:
+			nAlt = minInt(4, len(sites))
+		}
+		// Deterministic per-server rotation through the org's sites.
+		base := int(randutil.Hash64(uint64(c.w.Cfg.Seed), uint64(serverIdx), 0xce) % uint64(len(sites)))
+		for k := 0; k < nAlt; k++ {
+			alts = append(alts, c.dns.Site(sites[(base+k)%len(sites)]).Domain)
+		}
+	}
+	rootIdx := int(randutil.Hash64(uint64(s.Org), 0xca) % uint64(len(rootCAs)))
+	root := rootCAs[rootIdx]
+	intermediate := fmt.Sprintf("intermediate-%d", rootIdx)
+	return Chain{
+		{Subject: subject, AltNames: alts, KeyUsage: UsageServerAuth,
+			Issuer: intermediate, NotBefore: isoWeek - 30, NotAfter: isoWeek + 60},
+		{Subject: intermediate, KeyUsage: UsageServerAuth,
+			Issuer: root, NotBefore: isoWeek - 200, NotAfter: isoWeek + 300},
+		{Subject: root, KeyUsage: UsageServerAuth,
+			Issuer: root, NotBefore: isoWeek - 500, NotAfter: isoWeek + 500},
+	}
+}
+
+// fakeResult produces a failing crawl according to the endpoint's
+// behaviour.
+func (c *Crawler) fakeResult(i int, f *netmodel.Fake443Endpoint, isoWeek int) CrawlResult {
+	mk := func(mutate func(*Chain)) CrawlResult {
+		leafName := fmt.Sprintf("host%d.fake-endpoint.net", i)
+		rootIdx := i % len(rootCAs)
+		chain := Chain{
+			{Subject: leafName, KeyUsage: UsageServerAuth,
+				Issuer:    fmt.Sprintf("intermediate-%d", rootIdx),
+				NotBefore: isoWeek - 10, NotAfter: isoWeek + 10},
+			{Subject: fmt.Sprintf("intermediate-%d", rootIdx), KeyUsage: UsageServerAuth,
+				Issuer: rootCAs[rootIdx], NotBefore: isoWeek - 100, NotAfter: isoWeek + 100},
+			{Subject: rootCAs[rootIdx], KeyUsage: UsageServerAuth,
+				Issuer: rootCAs[rootIdx], NotBefore: isoWeek - 100, NotAfter: isoWeek + 100},
+		}
+		mutate(&chain)
+		out := CrawlResult{Responded: true}
+		for a := 0; a < c.attempts; a++ {
+			out.Chains = append(out.Chains, chain)
+		}
+		return out
+	}
+	switch f.Behaviour {
+	case netmodel.Fake443NoResponse:
+		return CrawlResult{}
+	case netmodel.Fake443NotTLS:
+		// An SSH banner is "responding" but yields no parseable chain.
+		return CrawlResult{Responded: true}
+	case netmodel.Fake443BadChain:
+		return mk(func(ch *Chain) {
+			(*ch)[0].Issuer = "self-signed"
+			*ch = (*ch)[:1]
+		})
+	case netmodel.Fake443Expired:
+		return mk(func(ch *Chain) { (*ch)[0].NotAfter = isoWeek - 1 })
+	case netmodel.Fake443Unstable:
+		// Each crawl sees a different certificate (cloud IP churn).
+		out := CrawlResult{Responded: true}
+		for a := 0; a < c.attempts; a++ {
+			r := mk(func(ch *Chain) {
+				(*ch)[0].Subject = fmt.Sprintf("tenant-%d-%d.cloudtenants.net", i, a)
+			})
+			out.Chains = append(out.Chains, r.Chains[0])
+		}
+		return out
+	case netmodel.Fake443BadName:
+		return mk(func(ch *Chain) { (*ch)[0].Subject = "*.internal invalid_name" })
+	case netmodel.Fake443WrongKeyUsage:
+		return mk(func(ch *Chain) { (*ch)[0].KeyUsage = UsageClientAuth })
+	}
+	return CrawlResult{}
+}
+
+// Validate applies the paper's six certificate checks to a crawl result
+// and extracts the certificate meta-data on success.
+func Validate(res CrawlResult, roots map[string]bool, isoWeek int) (Info, bool) {
+	if !res.Responded || len(res.Chains) == 0 {
+		return Info{}, false
+	}
+	// (f) stability: all crawls must agree (ignoring validity time).
+	first := res.Chains[0]
+	for _, ch := range res.Chains[1:] {
+		if !sameIdentity(first, ch) {
+			return Info{}, false
+		}
+	}
+	if len(first) == 0 {
+		return Info{}, false
+	}
+	leaf := first[0]
+	// (a) subject must be a valid domain name.
+	if !validDomain(leaf.Subject) {
+		return Info{}, false
+	}
+	// (b) alternative names must be valid, including their ccSLDs.
+	for _, an := range leaf.AltNames {
+		if !validDomain(an) {
+			return Info{}, false
+		}
+	}
+	// (c) key usage must indicate a server role.
+	if leaf.KeyUsage != UsageServerAuth {
+		return Info{}, false
+	}
+	// (d) chain must refer to each other in order up to a trusted root.
+	for i := 0; i < len(first)-1; i++ {
+		if first[i].Issuer != first[i+1].Subject {
+			return Info{}, false
+		}
+	}
+	rootCert := first[len(first)-1]
+	if rootCert.Issuer != rootCert.Subject || !roots[rootCert.Subject] {
+		return Info{}, false
+	}
+	// (e) validity time must cover the crawl for every chain element.
+	for _, cert := range first {
+		if isoWeek < cert.NotBefore || isoWeek > cert.NotAfter {
+			return Info{}, false
+		}
+	}
+	return Info{Subject: leaf.Subject, AltNames: leaf.AltNames}, true
+}
+
+// Roots exposes the crawler's trust store for Validate.
+func (c *Crawler) Roots() map[string]bool { return c.roots }
+
+// CrawlAndValidate is the common composition: crawl, then validate.
+func (c *Crawler) CrawlAndValidate(ip packet.IPv4Addr, isoWeek int) (Info, bool) {
+	return Validate(c.Crawl(ip, isoWeek), c.roots, isoWeek)
+}
+
+// sameIdentity compares two chains ignoring validity windows.
+func sameIdentity(a, b Chain) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Subject != b[i].Subject || a[i].Issuer != b[i].Issuer ||
+			a[i].KeyUsage != b[i].KeyUsage || len(a[i].AltNames) != len(b[i].AltNames) {
+			return false
+		}
+		for k := range a[i].AltNames {
+			if a[i].AltNames[k] != b[i].AltNames[k] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// validDomain applies the paper's domain/ccSLD sanity rules to a name.
+func validDomain(name string) bool {
+	if name == "" || len(name) > 253 {
+		return false
+	}
+	name = strings.TrimPrefix(name, "*.")
+	if strings.ContainsAny(name, " _/\\") {
+		return false
+	}
+	labels := strings.Split(name, ".")
+	if len(labels) < 2 {
+		return false
+	}
+	for _, l := range labels {
+		if l == "" || len(l) > 63 {
+			return false
+		}
+	}
+	tld := labels[len(labels)-1]
+	if len(tld) < 2 {
+		return false
+	}
+	return true
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

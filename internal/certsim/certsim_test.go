@@ -1,0 +1,251 @@
+package certsim
+
+import (
+	"testing"
+
+	"ixplens/internal/dnssim"
+	"ixplens/internal/netmodel"
+	"ixplens/internal/packet"
+)
+
+func testCrawler(t testing.TB) (*netmodel.World, *Crawler) {
+	t.Helper()
+	w, err := netmodel.Generate(netmodel.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, NewCrawler(w, dnssim.New(w))
+}
+
+func findServer(w *netmodel.World, pred func(*netmodel.Server) bool) int32 {
+	for i := range w.Servers {
+		if pred(&w.Servers[i]) {
+			return int32(i)
+		}
+	}
+	return -1
+}
+
+func TestCrawlValidHTTPSServer(t *testing.T) {
+	w, c := testCrawler(t)
+	idx := findServer(w, func(s *netmodel.Server) bool {
+		return s.Is(netmodel.SrvHTTPS) && s.Activity == netmodel.ActStable
+	})
+	if idx < 0 {
+		t.Fatal("no stable HTTPS server in world")
+	}
+	info, ok := c.CrawlAndValidate(w.Servers[idx].IP, 45)
+	if !ok {
+		t.Fatal("valid HTTPS server failed validation")
+	}
+	if info.Subject == "" {
+		t.Fatal("empty certificate subject")
+	}
+	if len(info.Names()) < 1 {
+		t.Fatal("no names extracted")
+	}
+}
+
+func TestCrawlHTTPOnlyServerClosed(t *testing.T) {
+	w, c := testCrawler(t)
+	idx := findServer(w, func(s *netmodel.Server) bool { return !s.Is(netmodel.SrvHTTPS) })
+	if idx < 0 {
+		t.Fatal("no HTTP-only server")
+	}
+	if res := c.Crawl(w.Servers[idx].IP, 45); res.Responded {
+		t.Fatal("HTTP-only server must not answer on 443")
+	}
+}
+
+func TestCrawlInactiveServerSilent(t *testing.T) {
+	w, c := testCrawler(t)
+	idx := findServer(w, func(s *netmodel.Server) bool {
+		return s.Is(netmodel.SrvHTTPS) && s.Activity == netmodel.ActFresh && s.FirstWeek > 40
+	})
+	if idx < 0 {
+		t.Skip("no late fresh HTTPS server")
+	}
+	if res := c.Crawl(w.Servers[idx].IP, 36); res.Responded {
+		t.Fatal("not-yet-active server must not respond")
+	}
+}
+
+func TestCrawlUnknownIP(t *testing.T) {
+	_, c := testCrawler(t)
+	if res := c.Crawl(packet.MakeIPv4(203, 0, 113, 200), 45); res.Responded {
+		t.Fatal("unknown IP must not respond")
+	}
+}
+
+func TestFakeEndpointsAllRejected(t *testing.T) {
+	w, c := testCrawler(t)
+	counts := map[netmodel.Fake443Behaviour]int{}
+	for _, f := range w.Fake443 {
+		if _, ok := c.CrawlAndValidate(f.IP, 45); ok {
+			t.Fatalf("fake endpoint %v (behaviour %d) validated", f.IP, f.Behaviour)
+		}
+		counts[f.Behaviour]++
+	}
+	if len(counts) < 4 {
+		t.Fatalf("behaviour coverage too thin: %v", counts)
+	}
+}
+
+func TestFakeRespondRatio(t *testing.T) {
+	w, c := testCrawler(t)
+	responded := 0
+	for _, f := range w.Fake443 {
+		if res := c.Crawl(f.IP, 45); res.Responded {
+			responded++
+		}
+	}
+	if responded == 0 || responded == len(w.Fake443) {
+		t.Fatalf("fake endpoints respond ratio degenerate: %d of %d", responded, len(w.Fake443))
+	}
+}
+
+func validTestChain(week int) Chain {
+	return Chain{
+		{Subject: "example.org", AltNames: []string{"www.example.org"}, KeyUsage: UsageServerAuth,
+			Issuer: "intermediate-0", NotBefore: week - 1, NotAfter: week + 1},
+		{Subject: "intermediate-0", KeyUsage: UsageServerAuth,
+			Issuer: "root-ca-alpha", NotBefore: week - 10, NotAfter: week + 10},
+		{Subject: "root-ca-alpha", KeyUsage: UsageServerAuth,
+			Issuer: "root-ca-alpha", NotBefore: week - 10, NotAfter: week + 10},
+	}
+}
+
+func roots() map[string]bool {
+	return map[string]bool{"root-ca-alpha": true}
+}
+
+func resultOf(chains ...Chain) CrawlResult {
+	return CrawlResult{Responded: true, Chains: chains}
+}
+
+func TestValidateChecks(t *testing.T) {
+	week := 45
+	good := validTestChain(week)
+	if _, ok := Validate(resultOf(good, good, good), roots(), week); !ok {
+		t.Fatal("good chain rejected")
+	}
+
+	mutations := map[string]func(Chain) Chain{
+		"bad subject": func(ch Chain) Chain {
+			ch[0].Subject = "not a domain"
+			return ch
+		},
+		"bad altname": func(ch Chain) Chain {
+			ch[0].AltNames = []string{"x"}
+			return ch
+		},
+		"wrong key usage": func(ch Chain) Chain {
+			ch[0].KeyUsage = UsageCodeSigning
+			return ch
+		},
+		"broken chain order": func(ch Chain) Chain {
+			ch[0].Issuer = "something-else"
+			return ch
+		},
+		"untrusted root": func(ch Chain) Chain {
+			ch[1].Issuer = "evil-root"
+			ch[2].Subject = "evil-root"
+			ch[2].Issuer = "evil-root"
+			return ch
+		},
+		"expired": func(ch Chain) Chain {
+			ch[0].NotAfter = week - 1
+			return ch
+		},
+		"not yet valid": func(ch Chain) Chain {
+			ch[0].NotBefore = week + 1
+			return ch
+		},
+	}
+	for name, mutate := range mutations {
+		ch := mutate(validTestChain(week))
+		if _, ok := Validate(resultOf(ch, ch, ch), roots(), week); ok {
+			t.Errorf("%s: chain should be rejected", name)
+		}
+	}
+}
+
+func TestValidateStability(t *testing.T) {
+	week := 45
+	a := validTestChain(week)
+	b := validTestChain(week)
+	b[0].Subject = "other.org"
+	if _, ok := Validate(resultOf(a, b, a), roots(), week); ok {
+		t.Fatal("unstable identity must be rejected")
+	}
+	// Differing validity times alone must NOT trip the stability check.
+	c := validTestChain(week)
+	c[0].NotAfter = week + 5
+	if _, ok := Validate(resultOf(a, c), roots(), week); !ok {
+		t.Fatal("validity-only differences should pass stability")
+	}
+}
+
+func TestValidateEmptyResults(t *testing.T) {
+	if _, ok := Validate(CrawlResult{}, roots(), 45); ok {
+		t.Fatal("no response must fail")
+	}
+	if _, ok := Validate(CrawlResult{Responded: true}, roots(), 45); ok {
+		t.Fatal("response without chains must fail")
+	}
+	if _, ok := Validate(resultOf(Chain{}), roots(), 45); ok {
+		t.Fatal("empty chain must fail")
+	}
+}
+
+func TestValidDomain(t *testing.T) {
+	valid := []string{"example.org", "a.b.example.co.uk", "*.example.net", "x1.de"}
+	invalid := []string{"", "nolabel", "has space.org", "under_score.org", "trailing..org", "x.y/z.org"}
+	for _, d := range valid {
+		if !validDomain(d) {
+			t.Errorf("validDomain(%q) = false, want true", d)
+		}
+	}
+	for _, d := range invalid {
+		if validDomain(d) {
+			t.Errorf("validDomain(%q) = true, want false", d)
+		}
+	}
+}
+
+func TestHosterCertsCarryManyAltNames(t *testing.T) {
+	w, c := testCrawler(t)
+	idx := findServer(w, func(s *netmodel.Server) bool {
+		return s.Is(netmodel.SrvHTTPS) && w.Orgs[s.Org].Kind == netmodel.OrgHoster &&
+			s.Activity == netmodel.ActStable
+	})
+	if idx < 0 {
+		t.Skip("no stable hoster HTTPS server")
+	}
+	info, ok := c.CrawlAndValidate(w.Servers[idx].IP, 45)
+	if !ok {
+		t.Fatal("hoster server failed validation")
+	}
+	if len(info.AltNames) < 2 {
+		t.Fatalf("hoster cert has only %d alt names", len(info.AltNames))
+	}
+}
+
+func BenchmarkCrawlAndValidate(b *testing.B) {
+	w, err := netmodel.Generate(netmodel.Tiny())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := NewCrawler(w, dnssim.New(w))
+	var ips []packet.IPv4Addr
+	for i := range w.Servers {
+		if w.Servers[i].Is(netmodel.SrvHTTPS) {
+			ips = append(ips, w.Servers[i].IP)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.CrawlAndValidate(ips[i%len(ips)], 45)
+	}
+}

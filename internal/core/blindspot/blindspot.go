@@ -1,0 +1,201 @@
+// Package blindspot implements the Section 3.3 analyses of what the IXP
+// vantage point cannot see and how IXP-external measurements bound it:
+// the Alexa-list recovery rates of URIs harvested at the IXP, the
+// resolver-based active discovery of additional server IPs, the
+// four-way classification of servers invisible at the IXP, and the
+// per-organization case study (Akamai's 28K-visible vs ~100K ground
+// truth).
+package blindspot
+
+import (
+	"sort"
+
+	"ixplens/internal/alexa"
+	"ixplens/internal/core/webserver"
+	"ixplens/internal/dnssim"
+	"ixplens/internal/netmodel"
+	"ixplens/internal/packet"
+	"ixplens/internal/randutil"
+)
+
+// ObservedDomains extracts the registrable domains recovered from the
+// Host headers seen at the IXP.
+func ObservedDomains(res *webserver.Result) map[string]bool {
+	out := make(map[string]bool)
+	for _, srv := range res.Servers {
+		for _, h := range srv.Hosts {
+			out[dnssim.RegistrableDomain(h)] = true
+		}
+	}
+	return out
+}
+
+// RecoveryRates computes the top-N recovery fractions (the paper: 20%
+// of the top-1M, 63% of the top-10K, 80% of the top-1K).
+func RecoveryRates(list *alexa.List, observed map[string]bool, tops []int) map[int]float64 {
+	out := make(map[int]float64, len(tops))
+	for _, n := range tops {
+		out[n] = list.Recovery(observed, n)
+	}
+	return out
+}
+
+// Discovery is the outcome of the resolver-based active measurement.
+type Discovery struct {
+	// QueriedDomains is how many uncovered domains were queried.
+	QueriedDomains int
+	// Discovered is the set of server IPs the queries returned.
+	Discovered map[packet.IPv4Addr]bool
+	// AlreadyAtIXP is the overlap with the IXP-identified server set.
+	AlreadyAtIXP int
+}
+
+// Discover runs active DNS queries for the domains not recovered at the
+// IXP: each domain is resolved through resolversPerDomain randomly
+// chosen open resolvers (the paper uses 100 per URI from its 25K pool).
+func Discover(dns *dnssim.DB, domains []string, resolversPerDomain int, ixpServers map[packet.IPv4Addr]bool, seed int64) Discovery {
+	resolvers := dns.Resolvers()
+	d := Discovery{Discovered: make(map[packet.IPv4Addr]bool)}
+	if len(resolvers) == 0 {
+		return d
+	}
+	for di, domain := range domains {
+		d.QueriedDomains++
+		for k := 0; k < resolversPerDomain; k++ {
+			h := randutil.Hash64(uint64(seed), uint64(di), uint64(k))
+			r := resolvers[int(h%uint64(len(resolvers)))]
+			ip, ok := dns.ResolveVaried(domain, r.AS, h)
+			if !ok {
+				continue
+			}
+			d.Discovered[ip] = true
+		}
+	}
+	for ip := range d.Discovered {
+		if ixpServers[ip] {
+			d.AlreadyAtIXP++
+		}
+	}
+	return d
+}
+
+// UnseenCategory is the Section 3.3 four-way classification of servers
+// discovered by active measurements but invisible at the IXP.
+type UnseenCategory uint8
+
+// Categories, in the paper's order.
+const (
+	// CatPrivateCluster are CDN servers serving only their hosting AS.
+	CatPrivateCluster UnseenCategory = iota
+	// CatFarRegion are servers of region-aware platforms far from the IXP.
+	CatFarRegion
+	// CatInvalidURIHandler are catch-all servers for invalid URIs.
+	CatInvalidURIHandler
+	// CatSmallRemote are servers of small, geographically distant orgs.
+	CatSmallRemote
+	// CatOther is anything else (e.g. sampling misses).
+	CatOther
+)
+
+// String names the category.
+func (c UnseenCategory) String() string {
+	switch c {
+	case CatPrivateCluster:
+		return "private-cluster"
+	case CatFarRegion:
+		return "far-region"
+	case CatInvalidURIHandler:
+		return "invalid-uri-handler"
+	case CatSmallRemote:
+		return "small-remote-org"
+	default:
+		return "other"
+	}
+}
+
+// ClassifyUnseen explains, against ground truth, why each discovered
+// server is invisible at the IXP. (The paper reaches its classification
+// by manual investigation; the reproduction can consult the generator.)
+func ClassifyUnseen(w *netmodel.World, discovered map[packet.IPv4Addr]bool, ixpServers map[packet.IPv4Addr]bool) map[UnseenCategory]int {
+	out := make(map[UnseenCategory]int)
+	for ip := range discovered {
+		if ixpServers[ip] {
+			continue
+		}
+		idx, ok := w.ServerByIP(ip)
+		if !ok {
+			out[CatOther]++
+			continue
+		}
+		s := &w.Servers[idx]
+		switch {
+		case s.Deploy == netmodel.DeployPrivateCluster:
+			out[CatPrivateCluster]++
+		case s.Is(netmodel.SrvInvalidURIHandler):
+			out[CatInvalidURIHandler]++
+		case s.Deploy == netmodel.DeployFarRegion && w.Orgs[s.Org].Kind != netmodel.OrgSmall:
+			out[CatFarRegion]++
+		case s.Deploy == netmodel.DeployFarRegion,
+			w.Orgs[s.Org].Kind == netmodel.OrgSmall,
+			w.Orgs[s.Org].ServerCount < 10:
+			// Small organizations whose servers carry too little
+			// traffic to surface in the IXP's samples.
+			out[CatSmallRemote]++
+		default:
+			out[CatOther]++
+		}
+	}
+	return out
+}
+
+// CaseStudy is the per-organization visibility case study (Akamai in
+// the paper: 28K server IPs in 278 ASes at the IXP, ~100K in 700 ASes
+// via active measurements, 100K+ in 1000+ ASes ground truth).
+type CaseStudy struct {
+	VisibleServers int
+	VisibleASes    int
+	ActiveServers  int
+	ActiveASes     int
+	TruthServers   int
+	TruthASes      int
+}
+
+// StudyOrg compares the IXP's view of one organization with active
+// discovery and ground truth. clusterIPs is the org's cluster from the
+// Section 5 methodology; orgIdx the ground-truth organization.
+func StudyOrg(w *netmodel.World, dns *dnssim.DB, clusterIPs []packet.IPv4Addr, orgIdx int32, resolversPerDomain int) CaseStudy {
+	var cs CaseStudy
+	visASes := make(map[int32]bool)
+	for _, ip := range clusterIPs {
+		cs.VisibleServers++
+		if idx, ok := w.ServerByIP(ip); ok {
+			visASes[w.Servers[idx].AS] = true
+		}
+	}
+	cs.VisibleASes = len(visASes)
+
+	// Active discovery: query all of the org's site domains through
+	// many resolvers.
+	var domains []string
+	for _, si := range dns.SitesOfOrg(orgIdx) {
+		domains = append(domains, dns.Site(si).Domain)
+	}
+	sort.Strings(domains)
+	found := Discover(dns, domains, resolversPerDomain, nil, w.Cfg.Seed)
+	activeASes := make(map[int32]bool)
+	for ip := range found.Discovered {
+		if idx, ok := w.ServerByIP(ip); ok && w.Servers[idx].Org == orgIdx {
+			cs.ActiveServers++
+			activeASes[w.Servers[idx].AS] = true
+		}
+	}
+	cs.ActiveASes = len(activeASes)
+
+	truthASes := make(map[int32]bool)
+	for _, s := range w.OrgServers(orgIdx) {
+		cs.TruthServers++
+		truthASes[s.AS] = true
+	}
+	cs.TruthASes = len(truthASes)
+	return cs
+}

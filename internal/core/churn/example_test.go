@@ -1,0 +1,35 @@
+package churn_test
+
+import (
+	"fmt"
+
+	"ixplens/internal/core/churn"
+	"ixplens/internal/packet"
+)
+
+// Example tracks three weeks of server observations and derives the
+// Fig. 4(a) partitions: a server seen every week is "stable", one seen
+// before but not always is "recurrent", one appearing for the first
+// time is "new".
+func Example() {
+	obs := func(week int, ips ...int) churn.WeekObservation {
+		o := churn.WeekObservation{Week: week, Servers: map[packet.IPv4Addr]churn.ServerObs{}}
+		for _, ip := range ips {
+			o.Servers[packet.IPv4Addr(ip)] = churn.ServerObs{Bytes: 100, Region: "DE"}
+		}
+		return o
+	}
+	tr := churn.NewTracker()
+	_ = tr.Add(obs(35, 1, 2))    // both first seen
+	_ = tr.Add(obs(36, 1, 3))    // 2 gone, 3 new
+	_ = tr.Add(obs(37, 1, 2, 3)) // 1 stable, 2 and 3 recurrent
+
+	for _, wc := range tr.Compute() {
+		fmt.Printf("week %d: stable=%d recurrent=%d new=%d\n",
+			wc.Week, wc.IPs[churn.PoolStable], wc.IPs[churn.PoolRecurrent], wc.IPs[churn.PoolNew])
+	}
+	// Output:
+	// week 35: stable=0 recurrent=0 new=2
+	// week 36: stable=1 recurrent=0 new=1
+	// week 37: stable=1 recurrent=2 new=0
+}

@@ -1,0 +1,43 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"ixplens/internal/core/cluster"
+	"ixplens/internal/core/metadata"
+	"ixplens/internal/packet"
+)
+
+// Example demonstrates the three clustering steps on hand-built
+// meta-data: unanimous evidence (step 1), hostname corroborated by a URI
+// despite a stray foreign domain (step 1), conflicting multi-source
+// evidence (step 2), and URI-only ambiguity (step 3).
+func Example() {
+	ev := func(domain string) metadata.Evidence {
+		return metadata.Evidence{Domain: domain, Authority: domain}
+	}
+	metas := []metadata.ServerMeta{
+		// Everything points at acme.net.
+		{IP: 1, Hostname: "edge-1.acme.net", HostnameEv: ev("acme.net"),
+			URIEv: []metadata.Evidence{ev("acme.net")}},
+		// Hostname acme.net, URIs acme.net + a customer domain: the
+		// corroborated hostname wins (a CDN serving customer content).
+		{IP: 2, Hostname: "edge-2.acme.net", HostnameEv: ev("acme.net"),
+			URIEv: []metadata.Evidence{ev("acme.net"), ev("customer.org")}},
+		// Hostname under the hoster, URIs under the customer: vote.
+		{IP: 3, Hostname: "static-1.hoster.de", HostnameEv: ev("hoster.de"),
+			URIEv: []metadata.Evidence{ev("shop.example"), ev("shop.example")}},
+		// No reverse DNS, conflicting URIs only: partial information.
+		{IP: 4, URIEv: []metadata.Evidence{ev("acme.net"), ev("other.net")}},
+	}
+	res := cluster.Run(metas, cluster.DefaultOptions())
+	for ip := packet.IPv4Addr(1); ip <= 4; ip++ {
+		a := res.ByServer[ip]
+		fmt.Printf("server %d: %s via %s\n", ip, a.Authority, a.Step)
+	}
+	// Output:
+	// server 1: acme.net via step1
+	// server 2: acme.net via step1
+	// server 3: shop.example via step2
+	// server 4: acme.net via step3
+}

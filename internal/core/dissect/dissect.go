@@ -1,0 +1,250 @@
+// Package dissect implements the paper's traffic dissection (Section
+// 2.2.1, Figure 1): starting from raw sFlow records it peels off, in
+// succession, all non-IPv4 traffic, everything that is not
+// member-to-member or stays local, and all member-to-member IPv4 that is
+// neither TCP nor UDP. What remains is the "peering traffic" that every
+// later analysis works on.
+package dissect
+
+import (
+	"fmt"
+	"io"
+
+	"ixplens/internal/packet"
+	"ixplens/internal/sflow"
+)
+
+// Class is the filter bucket a sampled frame falls into.
+type Class uint8
+
+// Filter buckets, in cascade order.
+const (
+	// ClassUndecodable frames failed even Ethernet decoding.
+	ClassUndecodable Class = iota
+	// ClassNonIPv4 is native IPv6, ARP and other non-IPv4 traffic.
+	ClassNonIPv4
+	// ClassLocal is traffic that is not member-to-member (IXP
+	// management plane, infrastructure ports).
+	ClassLocal
+	// ClassNonTCPUDP is member-to-member IPv4 that is neither TCP nor
+	// UDP (ICMP, GRE, ESP, ...).
+	ClassNonTCPUDP
+	// ClassPeeringTCP and ClassPeeringUDP form the peering traffic.
+	ClassPeeringTCP
+	ClassPeeringUDP
+)
+
+// String names the bucket like Figure 1 does.
+func (c Class) String() string {
+	switch c {
+	case ClassUndecodable:
+		return "undecodable"
+	case ClassNonIPv4:
+		return "non-IPv4"
+	case ClassLocal:
+		return "local/non-member"
+	case ClassNonTCPUDP:
+		return "non-TCP/UDP"
+	case ClassPeeringTCP:
+		return "peering-TCP"
+	case ClassPeeringUDP:
+		return "peering-UDP"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// IsPeering reports whether the class survives the whole cascade.
+func (c Class) IsPeering() bool { return c == ClassPeeringTCP || c == ClassPeeringUDP }
+
+// Record is one classified sample. Payload aliases the decode buffer and
+// is only valid during the callback that receives the record.
+type Record struct {
+	Class    Class
+	SrcIP    packet.IPv4Addr
+	DstIP    packet.IPv4Addr
+	SrcPort  uint16
+	DstPort  uint16
+	Proto    packet.IPProto
+	FrameLen uint32
+	// Bytes is the traffic volume this sample stands for:
+	// FrameLen × SamplingRate.
+	Bytes uint64
+	// InMember and OutMember are the member AS indices of the ports the
+	// frame crossed (-1 when not a member port).
+	InMember  int32
+	OutMember int32
+	// Payload is the captured transport payload prefix.
+	Payload []byte
+}
+
+// Counts tallies the cascade, in samples and represented bytes.
+type Counts struct {
+	Total       int
+	Undecodable int
+	NonIPv4     int
+	Local       int
+	NonTCPUDP   int
+	PeeringTCP  int
+	PeeringUDP  int
+
+	TotalBytes      uint64
+	PeeringTCPBytes uint64
+	PeeringUDPBytes uint64
+}
+
+// Peering returns the number of peering samples.
+func (c *Counts) Peering() int { return c.PeeringTCP + c.PeeringUDP }
+
+// PeeringShare is the fraction of samples surviving the cascade (the
+// paper reports >98.5%).
+func (c *Counts) PeeringShare() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Peering()) / float64(c.Total)
+}
+
+// TCPShare is the TCP fraction of peering bytes (82% in the paper).
+func (c *Counts) TCPShare() float64 {
+	tot := c.PeeringTCPBytes + c.PeeringUDPBytes
+	if tot == 0 {
+		return 0
+	}
+	return float64(c.PeeringTCPBytes) / float64(tot)
+}
+
+// MemberResolver maps a switch port to a member AS index.
+type MemberResolver interface {
+	MemberOfPort(port uint32) (int32, bool)
+}
+
+// Classifier applies the cascade to flow samples.
+type Classifier struct {
+	members MemberResolver
+	frame   packet.Frame
+}
+
+// NewClassifier builds a classifier using the fabric's port map.
+func NewClassifier(members MemberResolver) *Classifier {
+	return &Classifier{members: members}
+}
+
+// Classify fills rec from one flow sample and returns its class.
+func (c *Classifier) Classify(fs *sflow.FlowSample, rec *Record) Class {
+	*rec = Record{InMember: -1, OutMember: -1}
+	rec.FrameLen = fs.Raw.FrameLength
+	rec.Bytes = uint64(fs.Raw.FrameLength) * uint64(fs.SamplingRate)
+	if fs.SamplingRate == 0 {
+		rec.Bytes = uint64(fs.Raw.FrameLength)
+	}
+	if !fs.HasRaw || packet.Decode(fs.Raw.Header, &c.frame) != nil {
+		rec.Class = ClassUndecodable
+		return rec.Class
+	}
+	f := &c.frame
+
+	// Step 1: drop non-IPv4 (native IPv6, ARP, MPLS, ...).
+	if !f.IsIPv4 {
+		rec.Class = ClassNonIPv4
+		return rec.Class
+	}
+	rec.SrcIP = f.IPv4.Src
+	rec.DstIP = f.IPv4.Dst
+	rec.Proto = f.IPv4.Protocol
+
+	// Step 2: drop traffic that is not member-to-member or stays local.
+	in, inOK := c.members.MemberOfPort(fs.InputIf)
+	out, outOK := c.members.MemberOfPort(fs.OutputIf)
+	if !inOK || !outOK || in == out {
+		rec.Class = ClassLocal
+		return rec.Class
+	}
+	rec.InMember, rec.OutMember = in, out
+
+	// Step 3: drop member-to-member IPv4 that is not TCP or UDP.
+	switch f.Transport {
+	case packet.TransportTCP:
+		rec.Class = ClassPeeringTCP
+		rec.SrcPort, rec.DstPort = f.TCP.SrcPort, f.TCP.DstPort
+	case packet.TransportUDP:
+		rec.Class = ClassPeeringUDP
+		rec.SrcPort, rec.DstPort = f.UDP.SrcPort, f.UDP.DstPort
+	default:
+		rec.Class = ClassNonTCPUDP
+		return rec.Class
+	}
+	rec.Payload = f.Payload
+	return rec.Class
+}
+
+// Tally adds a classified record to the counts.
+func (c *Counts) Tally(rec *Record) {
+	c.Total++
+	c.TotalBytes += rec.Bytes
+	switch rec.Class {
+	case ClassUndecodable:
+		c.Undecodable++
+	case ClassNonIPv4:
+		c.NonIPv4++
+	case ClassLocal:
+		c.Local++
+	case ClassNonTCPUDP:
+		c.NonTCPUDP++
+	case ClassPeeringTCP:
+		c.PeeringTCP++
+		c.PeeringTCPBytes += rec.Bytes
+	case ClassPeeringUDP:
+		c.PeeringUDP++
+		c.PeeringUDPBytes += rec.Bytes
+	}
+}
+
+// DatagramSource yields sFlow datagrams, io.EOF at the end.
+type DatagramSource interface {
+	Next(*sflow.Datagram) error
+}
+
+// Process drains a datagram source through the classifier, invoking fn
+// for every sample (of every class; fn filters on rec.Class). It returns
+// the cascade tallies.
+func Process(src DatagramSource, cls *Classifier, fn func(*Record)) (Counts, error) {
+	var counts Counts
+	var d sflow.Datagram
+	var rec Record
+	for {
+		err := src.Next(&d)
+		if err == io.EOF {
+			return counts, nil
+		}
+		if err != nil {
+			return counts, err
+		}
+		for i := range d.Flows {
+			cls.Classify(&d.Flows[i], &rec)
+			counts.Tally(&rec)
+			if fn != nil {
+				fn(&rec)
+			}
+		}
+	}
+}
+
+// SliceSource adapts an in-memory datagram slice to a DatagramSource.
+type SliceSource struct {
+	Datagrams []sflow.Datagram
+	pos       int
+}
+
+// Next copies the next datagram into d.
+func (s *SliceSource) Next(d *sflow.Datagram) error {
+	if s.pos >= len(s.Datagrams) {
+		return io.EOF
+	}
+	*d = s.Datagrams[s.pos]
+	s.pos++
+	return nil
+}
+
+// Reset rewinds the source for a second pass.
+func (s *SliceSource) Reset() { s.pos = 0 }

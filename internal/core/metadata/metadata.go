@@ -1,0 +1,184 @@
+// Package metadata assembles the per-server-IP meta-data of Section 2.4:
+// DNS information (hostname and the SOA authority it leads to), URIs
+// observed in the traffic (Host headers), and names from validated X.509
+// certificates — followed by the cleaning step that strips non-valid
+// URIs and infrastructure SOA entries before clustering.
+package metadata
+
+import (
+	"strings"
+
+	"ixplens/internal/core/webserver"
+	"ixplens/internal/dnssim"
+	"ixplens/internal/packet"
+)
+
+// Evidence is one (registrable domain, authority) pair derived from a
+// hostname, URI or certificate name.
+type Evidence struct {
+	// Domain is the registrable domain the item named.
+	Domain string
+	// Authority is the SOA root the domain leads to; equal to Domain
+	// when the SOA chain resolves to itself or is unknown.
+	Authority string
+}
+
+// ServerMeta is the cleaned meta-data of one server IP.
+type ServerMeta struct {
+	IP    packet.IPv4Addr
+	Bytes uint64
+	// Hostname is the PTR name, if reverse DNS resolves.
+	Hostname string
+	// HostnameEv is the evidence derived from the hostname (zero value
+	// when there is no hostname).
+	HostnameEv Evidence
+	// URIEv holds evidence from observed Host headers, deduplicated.
+	URIEv []Evidence
+	// CertEv holds evidence from certificate subject/SANs.
+	CertEv []Evidence
+}
+
+// HasDNS reports whether DNS meta-data is available.
+func (m *ServerMeta) HasDNS() bool { return m.Hostname != "" }
+
+// HasURI reports whether at least one URI survived cleaning.
+func (m *ServerMeta) HasURI() bool { return len(m.URIEv) > 0 }
+
+// HasCert reports whether certificate meta-data is available.
+func (m *ServerMeta) HasCert() bool { return len(m.CertEv) > 0 }
+
+// HasAny reports whether any of the three kinds is available.
+func (m *ServerMeta) HasAny() bool { return m.HasDNS() || m.HasURI() || m.HasCert() }
+
+// Coverage reports the Section 2.4 coverage statistics.
+type Coverage struct {
+	Total    int
+	WithDNS  int
+	WithURI  int
+	WithCert int
+	WithAny  int
+	// CleanedItems counts evidence items dropped by cleaning.
+	CleanedItems int
+	// CleanedOut counts servers whose entire evidence was removed.
+	CleanedOut int
+}
+
+// Resolver is the subset of the DNS substrate the collector needs.
+type Resolver interface {
+	PTR(ip packet.IPv4Addr) (string, bool)
+	SOA(domain string) (string, bool)
+}
+
+// infrastructureSOAs are authority roots that identify network plumbing
+// rather than organizations (the paper removes RIR entries like
+// ripe.net); matching evidence is cleaned.
+var infrastructureSOAs = map[string]bool{
+	"ripe.example": true, "arin.example": true, "iana.example": true,
+	"in-addr.arpa": true,
+}
+
+// Collect derives cleaned meta-data for every identified server.
+func Collect(res *webserver.Result, dns Resolver) ([]ServerMeta, Coverage) {
+	metas := make([]ServerMeta, 0, len(res.Servers))
+	var cov Coverage
+	for ip, srv := range res.Servers {
+		m := ServerMeta{IP: ip, Bytes: srv.Bytes}
+		hadEvidence := false
+
+		if name, ok := dns.PTR(ip); ok {
+			hadEvidence = true
+			if ev, ok := deriveEvidence(name, dns); ok {
+				m.Hostname = name
+				m.HostnameEv = ev
+			} else {
+				cov.CleanedItems++
+			}
+		}
+		seen := map[string]bool{}
+		for _, h := range srv.Hosts {
+			hadEvidence = true
+			if !plausibleHostHeader(h) {
+				cov.CleanedItems++
+				continue
+			}
+			ev, ok := deriveEvidence(h, dns)
+			if !ok {
+				cov.CleanedItems++
+				continue
+			}
+			if seen[ev.Domain] {
+				continue
+			}
+			seen[ev.Domain] = true
+			m.URIEv = append(m.URIEv, ev)
+		}
+		if srv.HTTPS {
+			for _, name := range srv.Cert.Names() {
+				hadEvidence = true
+				ev, ok := deriveEvidence(name, dns)
+				if !ok {
+					cov.CleanedItems++
+					continue
+				}
+				if seen["cert:"+ev.Domain] {
+					continue
+				}
+				seen["cert:"+ev.Domain] = true
+				m.CertEv = append(m.CertEv, ev)
+			}
+		}
+
+		cov.Total++
+		if m.HasDNS() {
+			cov.WithDNS++
+		}
+		if m.HasURI() {
+			cov.WithURI++
+		}
+		if m.HasCert() {
+			cov.WithCert++
+		}
+		if m.HasAny() {
+			cov.WithAny++
+		} else if hadEvidence {
+			cov.CleanedOut++
+		}
+		metas = append(metas, m)
+	}
+	return metas, cov
+}
+
+// deriveEvidence maps a name to its (registrable domain, authority)
+// pair, applying the infrastructure-SOA cleaning.
+func deriveEvidence(name string, dns Resolver) (Evidence, bool) {
+	reg := dnssim.RegistrableDomain(strings.TrimSuffix(strings.ToLower(name), "."))
+	if reg == "" || !strings.Contains(reg, ".") {
+		return Evidence{}, false
+	}
+	auth, ok := dns.SOA(reg)
+	if !ok {
+		// A domain that does not resolve at all is cleaned; the paper
+		// removes non-valid URIs.
+		return Evidence{}, false
+	}
+	if infrastructureSOAs[auth] {
+		return Evidence{}, false
+	}
+	return Evidence{Domain: reg, Authority: auth}, true
+}
+
+// plausibleHostHeader rejects Host values that cannot be site names:
+// IP literals, single labels, embedded whitespace.
+func plausibleHostHeader(h string) bool {
+	if h == "" || len(h) > 253 || strings.ContainsAny(h, " \t/\\") {
+		return false
+	}
+	if !strings.Contains(h, ".") {
+		return false
+	}
+	// Reject dotted-quad IP literals.
+	if _, err := packet.ParseIPv4(strings.Split(h, ":")[0]); err == nil {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,321 @@
+// Package visibility computes the Section 3 analyses: the IXP's view of
+// the Internet as a whole (Table 1), the top contributors by country and
+// network (Table 2), the local-vs-global breakdown over the distance
+// classes A(L)/A(M)/A(G) (Table 3), the per-server-IP traffic
+// concentration curve (Fig. 2) and the per-country IP shares (Fig. 3).
+package visibility
+
+import (
+	"sort"
+
+	"ixplens/internal/core/dissect"
+	"ixplens/internal/core/webserver"
+	"ixplens/internal/geo"
+	"ixplens/internal/packet"
+	"ixplens/internal/routing"
+)
+
+// Aggregator accumulates per-IP activity over one week of peering
+// traffic and derives the visibility views.
+type Aggregator struct {
+	rib *routing.Table
+	geo *geo.DB
+	ips map[packet.IPv4Addr]*ipAgg
+}
+
+type ipAgg struct {
+	bytes uint64
+}
+
+// NewAggregator builds an aggregator against a RIB and geo database.
+func NewAggregator(rib *routing.Table, gdb *geo.DB) *Aggregator {
+	return &Aggregator{rib: rib, geo: gdb, ips: make(map[packet.IPv4Addr]*ipAgg, 1<<14)}
+}
+
+// Observe feeds one dissected record; only peering traffic counts.
+func (a *Aggregator) Observe(rec *dissect.Record) {
+	if !rec.Class.IsPeering() {
+		return
+	}
+	for _, ip := range [2]packet.IPv4Addr{rec.SrcIP, rec.DstIP} {
+		e := a.ips[ip]
+		if e == nil {
+			e = &ipAgg{}
+			a.ips[ip] = e
+		}
+		e.bytes += rec.Bytes
+	}
+}
+
+// Summary is one side of Table 1 (either all peering traffic or the
+// server-related subset).
+type Summary struct {
+	IPs       int
+	ASes      int
+	Prefixes  int
+	Countries int
+	Bytes     uint64
+}
+
+// entityView resolves an IP to its prefix/AS/country using the public
+// measurement substrates, exactly like the study does.
+func (a *Aggregator) resolve(ip packet.IPv4Addr) (routing.Route, string, bool) {
+	r, ok := a.rib.Lookup(ip)
+	if !ok {
+		return routing.Route{}, "", false
+	}
+	return r, a.geo.Lookup(ip), true
+}
+
+// Summarize computes Table 1's row set over a subset of the observed
+// IPs: pass nil to use all peering IPs, or a filter for the server set.
+func (a *Aggregator) Summarize(filter func(packet.IPv4Addr) bool) Summary {
+	var s Summary
+	ases := make(map[uint32]bool)
+	prefixes := make(map[routing.Prefix]bool)
+	countries := make(map[string]bool)
+	for ip, agg := range a.ips {
+		if filter != nil && !filter(ip) {
+			continue
+		}
+		s.IPs++
+		s.Bytes += agg.bytes
+		if r, country, ok := a.resolve(ip); ok {
+			ases[r.ASN] = true
+			prefixes[r.Prefix] = true
+			if country != "" {
+				countries[country] = true
+			}
+		}
+	}
+	s.ASes = len(ases)
+	s.Prefixes = len(prefixes)
+	s.Countries = len(countries)
+	return s
+}
+
+// Share pairs a key with its share of a total.
+type Share struct {
+	Key   string
+	Count int
+	Bytes uint64
+}
+
+// byCountry aggregates IP counts and traffic per country.
+func (a *Aggregator) byCountry(filter func(packet.IPv4Addr) bool) map[string]*Share {
+	out := make(map[string]*Share)
+	for ip, agg := range a.ips {
+		if filter != nil && !filter(ip) {
+			continue
+		}
+		_, country, ok := a.resolve(ip)
+		if !ok || country == "" {
+			continue
+		}
+		sh := out[country]
+		if sh == nil {
+			sh = &Share{Key: country}
+			out[country] = sh
+		}
+		sh.Count++
+		sh.Bytes += agg.bytes
+	}
+	return out
+}
+
+// byASN aggregates IP counts and traffic per origin AS.
+func (a *Aggregator) byASN(filter func(packet.IPv4Addr) bool) map[uint32]*Share {
+	out := make(map[uint32]*Share)
+	for ip, agg := range a.ips {
+		if filter != nil && !filter(ip) {
+			continue
+		}
+		r, _, ok := a.resolve(ip)
+		if !ok {
+			continue
+		}
+		sh := out[r.ASN]
+		if sh == nil {
+			sh = &Share{}
+			out[r.ASN] = sh
+		}
+		sh.Count++
+		sh.Bytes += agg.bytes
+	}
+	return out
+}
+
+// TopCountries returns Table 2's country columns: the top n countries by
+// IP count and by traffic.
+func (a *Aggregator) TopCountries(n int, filter func(packet.IPv4Addr) bool) (byIPs, byBytes []Share) {
+	m := a.byCountry(filter)
+	all := make([]Share, 0, len(m))
+	for _, sh := range m {
+		all = append(all, *sh)
+	}
+	byIPs = topBy(all, n, func(s *Share) uint64 { return uint64(s.Count) })
+	byBytes = topBy(all, n, func(s *Share) uint64 { return s.Bytes })
+	return
+}
+
+// TopASNs returns Table 2's network columns (keys are decimal ASNs
+// rendered by the caller through its AS naming).
+func (a *Aggregator) TopASNs(n int, filter func(packet.IPv4Addr) bool) (byIPs, byBytes []ASNShare) {
+	m := a.byASN(filter)
+	all := make([]ASNShare, 0, len(m))
+	for asn, sh := range m {
+		all = append(all, ASNShare{ASN: asn, Count: sh.Count, Bytes: sh.Bytes})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].ASN < all[j].ASN
+	})
+	byIPs = append(byIPs, all[:minInt(n, len(all))]...)
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Bytes != all[j].Bytes {
+			return all[i].Bytes > all[j].Bytes
+		}
+		return all[i].ASN < all[j].ASN
+	})
+	byBytes = append(byBytes, all[:minInt(n, len(all))]...)
+	return
+}
+
+// ASNShare is a per-AS contribution row.
+type ASNShare struct {
+	ASN   uint32
+	Count int
+	Bytes uint64
+}
+
+func topBy(all []Share, n int, key func(*Share) uint64) []Share {
+	sorted := make([]Share, len(all))
+	copy(sorted, all)
+	sort.Slice(sorted, func(i, j int) bool {
+		ki, kj := key(&sorted[i]), key(&sorted[j])
+		if ki != kj {
+			return ki > kj
+		}
+		return sorted[i].Key < sorted[j].Key
+	})
+	if n < len(sorted) {
+		sorted = sorted[:n]
+	}
+	return sorted
+}
+
+// CountryShares returns Fig. 3's series: every country's percentage of
+// the observed IPs, descending.
+func (a *Aggregator) CountryShares(filter func(packet.IPv4Addr) bool) []Share {
+	m := a.byCountry(filter)
+	out := make([]Share, 0, len(m))
+	for _, sh := range m {
+		out = append(out, *sh)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Key < out[j].Key
+	})
+	return out
+}
+
+// ClassBreakdown is one row group of Table 3.
+type ClassBreakdown struct {
+	IPs      [3]float64 // shares per A(L), A(M), A(G)
+	Prefixes [3]float64
+	ASes     [3]float64
+	Traffic  [3]float64
+}
+
+// LocalGlobal computes Table 3 for a subset of the observed IPs given
+// the AS distance classes.
+func (a *Aggregator) LocalGlobal(classes map[uint32]routing.DistanceClass, filter func(packet.IPv4Addr) bool) ClassBreakdown {
+	var out ClassBreakdown
+	var ipTot, trafTot float64
+	asSeen := make(map[uint32]routing.DistanceClass)
+	pfxSeen := make(map[routing.Prefix]routing.DistanceClass)
+	for ip, agg := range a.ips {
+		if filter != nil && !filter(ip) {
+			continue
+		}
+		r, _, ok := a.resolve(ip)
+		if !ok {
+			continue
+		}
+		cls, known := classes[r.ASN]
+		if !known {
+			cls = routing.ClassGlobal
+		}
+		out.IPs[cls]++
+		ipTot++
+		out.Traffic[cls] += float64(agg.bytes)
+		trafTot += float64(agg.bytes)
+		asSeen[r.ASN] = cls
+		pfxSeen[r.Prefix] = cls
+	}
+	for _, cls := range asSeen {
+		out.ASes[cls]++
+	}
+	for _, cls := range pfxSeen {
+		out.Prefixes[cls]++
+	}
+	normalize(&out.IPs, ipTot)
+	normalize(&out.Traffic, trafTot)
+	normalize(&out.ASes, float64(len(asSeen)))
+	normalize(&out.Prefixes, float64(len(pfxSeen)))
+	return out
+}
+
+func normalize(v *[3]float64, total float64) {
+	if total == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= total
+	}
+}
+
+// RankCurve returns Fig. 2's series for the identified servers: the
+// traffic share of each server IP, sorted descending.
+func RankCurve(res *webserver.Result) []float64 {
+	shares := make([]float64, 0, len(res.Servers))
+	var total float64
+	for _, s := range res.Servers {
+		shares = append(shares, float64(s.Bytes))
+		total += float64(s.Bytes)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(shares)))
+	if total > 0 {
+		for i := range shares {
+			shares[i] /= total
+		}
+	}
+	return shares
+}
+
+// TopShare sums the first n entries of a rank curve (the paper: the top
+// 34 server IPs carry more than 6% of the server traffic).
+func TopShare(curve []float64, n int) float64 {
+	if n > len(curve) {
+		n = len(curve)
+	}
+	sum := 0.0
+	for _, v := range curve[:n] {
+		sum += v
+	}
+	return sum
+}
+
+// NumObservedIPs returns how many distinct endpoint IPs were seen.
+func (a *Aggregator) NumObservedIPs() int { return len(a.ips) }
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,361 @@
+// Package webserver implements the Web-server identification of Section
+// 2.2.2: string matching over the 128-byte payload snippets finds HTTP
+// servers (method words and status lines, plus well-known header
+// fields), and a combination of port-443 candidacy with an active
+// certificate crawl finds HTTPS servers. The package also keeps the
+// per-IP aggregates (traffic, ports, observed Host headers, dual
+// client/server roles) that the rest of the study consumes.
+package webserver
+
+import (
+	"bytes"
+	"sort"
+
+	"ixplens/internal/certsim"
+	"ixplens/internal/core/dissect"
+	"ixplens/internal/packet"
+)
+
+// payloadKind is what string matching saw in one payload.
+type payloadKind uint8
+
+const (
+	payloadOpaque payloadKind = iota
+	payloadHTTPRequest
+	payloadHTTPResponse
+	payloadHTTPHeaderOnly // header field words without an initial line
+)
+
+// Pattern 1: initial lines. Requests start with a method word, responses
+// with HTTP/1.x.
+var methodWords = [][]byte{
+	[]byte("GET "), []byte("POST "), []byte("HEAD "), []byte("PUT "),
+	[]byte("DELETE "), []byte("OPTIONS "), []byte("CONNECT "),
+}
+
+var responsePrefixes = [][]byte{[]byte("HTTP/1.1 "), []byte("HTTP/1.0 ")}
+
+// Pattern 2: common header field words from the RFCs and W3C specs.
+var headerWords = [][]byte{
+	[]byte("Host: "), []byte("Server: "), []byte("Content-Type: "),
+	[]byte("Content-Length: "), []byte("User-Agent: "), []byte("Cache-Control: "),
+	[]byte("Access-Control-Allow-Methods: "), []byte("Set-Cookie: "),
+	[]byte("Accept: "), []byte("Location: "),
+}
+
+var httpVersionWord = []byte(" HTTP/1.")
+
+// classifyPayload applies the two string-matching patterns.
+func classifyPayload(p []byte) payloadKind {
+	if len(p) == 0 {
+		return payloadOpaque
+	}
+	for _, m := range methodWords {
+		if bytes.HasPrefix(p, m) && bytes.Contains(p, httpVersionWord) {
+			return payloadHTTPRequest
+		}
+	}
+	for _, r := range responsePrefixes {
+		if bytes.HasPrefix(p, r) {
+			return payloadHTTPResponse
+		}
+	}
+	for _, h := range headerWords {
+		if bytes.Contains(p, h) {
+			return payloadHTTPHeaderOnly
+		}
+	}
+	return payloadOpaque
+}
+
+// extractHost pulls the Host header value out of a request payload.
+func extractHost(p []byte) (string, bool) {
+	i := bytes.Index(p, []byte("Host: "))
+	if i < 0 {
+		return "", false
+	}
+	rest := p[i+6:]
+	end := bytes.IndexByte(rest, '\r')
+	if end < 0 {
+		// Snapped mid-header: a partial hostname is unusable.
+		return "", false
+	}
+	return string(rest[:end]), true
+}
+
+// IPStats aggregates everything observed about one IP endpoint.
+type IPStats struct {
+	// ServerHits counts samples where string matching placed the IP on
+	// the server side; ClientHits the client side.
+	ServerHits int
+	ClientHits int
+	// BytesTotal is the represented traffic of every peering sample the
+	// IP participated in (either side). Once an IP is identified as a
+	// server, this is the traffic it is "responsible for or sees",
+	// matching the paper's >70%-of-peering-traffic accounting.
+	BytesTotal uint64
+	// Ports the IP was contacted on (server side), capped small set.
+	Ports []uint16
+	// Hosts collects observed Host header values for requests to this
+	// IP (the URI meta-data of Section 2.4), capped.
+	Hosts []string
+	// Candidate443 marks port-443 contact (HTTPS candidate set).
+	Candidate443 bool
+	// SrcMember is the member AS index whose port last carried traffic
+	// sourced by this IP (-1 before any source-side sample). The IXP
+	// knows its port-to-customer mapping, so this is measurement-side
+	// information (used e.g. to watch reseller growth).
+	SrcMember int32
+	// Bytes443 is represented traffic on port 443.
+	Bytes443 uint64
+}
+
+const (
+	maxPortsPerIP = 8
+	maxHostsPerIP = 12
+)
+
+func (s *IPStats) addPort(p uint16) {
+	for _, q := range s.Ports {
+		if q == p {
+			return
+		}
+	}
+	if len(s.Ports) < maxPortsPerIP {
+		s.Ports = append(s.Ports, p)
+	}
+}
+
+func (s *IPStats) addHost(h string) {
+	for _, q := range s.Hosts {
+		if q == h {
+			return
+		}
+	}
+	if len(s.Hosts) < maxHostsPerIP {
+		s.Hosts = append(s.Hosts, h)
+	}
+}
+
+// Identifier consumes peering records and accumulates per-IP evidence.
+type Identifier struct {
+	stats map[packet.IPv4Addr]*IPStats
+}
+
+// NewIdentifier returns an empty identifier.
+func NewIdentifier() *Identifier {
+	return &Identifier{stats: make(map[packet.IPv4Addr]*IPStats, 1<<12)}
+}
+
+func (id *Identifier) get(ip packet.IPv4Addr) *IPStats {
+	s := id.stats[ip]
+	if s == nil {
+		s = &IPStats{SrcMember: -1}
+		id.stats[ip] = s
+	}
+	return s
+}
+
+// Observe processes one peering record. Non-peering records are ignored.
+func (id *Identifier) Observe(rec *dissect.Record) {
+	if !rec.Class.IsPeering() {
+		return
+	}
+	if rec.Class == dissect.ClassPeeringTCP {
+		// HTTPS candidates: any endpoint contacted on TCP 443.
+		if rec.DstPort == 443 {
+			d := id.get(rec.DstIP)
+			d.Candidate443 = true
+			d.Bytes443 += rec.Bytes
+			d.addPort(443)
+		}
+		if rec.SrcPort == 443 {
+			s := id.get(rec.SrcIP)
+			s.Candidate443 = true
+			s.Bytes443 += rec.Bytes
+			s.addPort(443)
+		}
+	}
+	// Every endpoint accumulates its total peering traffic; server
+	// identification later decides whose totals count as server-related.
+	src := id.get(rec.SrcIP)
+	src.BytesTotal += rec.Bytes
+	src.SrcMember = rec.InMember
+	id.get(rec.DstIP).BytesTotal += rec.Bytes
+
+	switch classifyPayload(rec.Payload) {
+	case payloadHTTPRequest:
+		// The destination acts as server, the source as client.
+		srv := id.get(rec.DstIP)
+		srv.ServerHits++
+		srv.addPort(rec.DstPort)
+		if h, ok := extractHost(rec.Payload); ok {
+			srv.addHost(h)
+		}
+		id.get(rec.SrcIP).ClientHits++
+	case payloadHTTPResponse:
+		srv := id.get(rec.SrcIP)
+		srv.ServerHits++
+		srv.addPort(rec.SrcPort)
+		id.get(rec.DstIP).ClientHits++
+	case payloadHTTPHeaderOnly:
+		// Mid-stream header material: attribute the server role to the
+		// well-known-port side when one exists.
+		switch {
+		case isWebPort(rec.SrcPort):
+			srv := id.get(rec.SrcIP)
+			srv.ServerHits++
+			srv.addPort(rec.SrcPort)
+		case isWebPort(rec.DstPort):
+			srv := id.get(rec.DstIP)
+			srv.ServerHits++
+			srv.addPort(rec.DstPort)
+		}
+	default:
+		// Opaque payload: still track RTMP-style multi-purpose port use
+		// for IPs that string matching identifies elsewhere.
+		if rec.Class == dissect.ClassPeeringTCP && rec.SrcPort == 1935 {
+			id.get(rec.SrcIP).addPort(1935)
+		}
+	}
+}
+
+func isWebPort(p uint16) bool {
+	return p == 80 || p == 8080 || p == 443 || p == 1935
+}
+
+// CertCrawler abstracts the active HTTPS measurement.
+type CertCrawler interface {
+	CrawlAndValidate(ip packet.IPv4Addr, isoWeek int) (certsim.Info, bool)
+	Crawl(ip packet.IPv4Addr, isoWeek int) certsim.CrawlResult
+}
+
+// Server is one identified Web server IP.
+type Server struct {
+	IP    packet.IPv4Addr
+	HTTP  bool
+	HTTPS bool
+	// Bytes is the represented server-related traffic of the IP.
+	Bytes uint64
+	// Ports seen on the server side.
+	Ports []uint16
+	// Hosts are the observed Host header values (URIs).
+	Hosts []string
+	// AlsoClient marks IPs that additionally act as clients.
+	AlsoClient bool
+	// Member is the member AS index whose IXP port carried the
+	// server's source-side traffic.
+	Member int32
+	// Cert carries the validated certificate meta-data, if HTTPS.
+	Cert certsim.Info
+}
+
+// Result is the outcome of a week's identification.
+type Result struct {
+	// Week is the ISO week analysed.
+	Week int
+	// Servers maps every identified server IP to its record.
+	Servers map[packet.IPv4Addr]*Server
+	// Candidates443 is the size of the HTTPS candidate set.
+	Candidates443 int
+	// Responded443 is how many candidates answered the crawl.
+	Responded443 int
+	// Valid443 is how many validated as HTTPS servers.
+	Valid443 int
+	// TotalIPs is the number of distinct endpoint IPs observed.
+	TotalIPs int
+	// ServerBytes is the total represented server-related traffic.
+	ServerBytes uint64
+}
+
+// Identify finalizes the week: applies the server criteria and runs the
+// HTTPS crawl over the candidate set.
+func (id *Identifier) Identify(isoWeek int, crawler CertCrawler) *Result {
+	res := &Result{
+		Week:    isoWeek,
+		Servers: make(map[packet.IPv4Addr]*Server, len(id.stats)/4),
+	}
+	res.TotalIPs = len(id.stats)
+	for ip, st := range id.stats {
+		isHTTP := st.ServerHits > 0
+		var srv *Server
+		if isHTTP {
+			srv = &Server{
+				IP: ip, HTTP: true, Bytes: st.BytesTotal,
+				Ports: st.Ports, Hosts: st.Hosts,
+				AlsoClient: st.ClientHits > 0, Member: st.SrcMember,
+			}
+		}
+		if st.Candidate443 {
+			res.Candidates443++
+			crawl := crawler.Crawl(ip, isoWeek)
+			if crawl.Responded {
+				res.Responded443++
+			}
+			if info, ok := certsim.Validate(crawl, crawlRoots(crawler), isoWeek); ok {
+				res.Valid443++
+				if srv == nil {
+					srv = &Server{IP: ip, Bytes: st.BytesTotal, Ports: st.Ports,
+						Hosts: st.Hosts, AlsoClient: st.ClientHits > 0, Member: st.SrcMember}
+				}
+				srv.HTTPS = true
+				srv.Cert = info
+			}
+		}
+		if srv != nil {
+			res.Servers[ip] = srv
+			res.ServerBytes += srv.Bytes
+		}
+	}
+	return res
+}
+
+// crawlRoots extracts the trust store when the crawler can provide one;
+// otherwise validation uses the default synthetic roots via the
+// crawler's own CrawlAndValidate. certsim.Crawler implements Roots().
+func crawlRoots(c CertCrawler) map[string]bool {
+	if r, ok := c.(interface{ Roots() map[string]bool }); ok {
+		return r.Roots()
+	}
+	return nil
+}
+
+// TopServers returns the n highest-traffic servers, descending.
+func (r *Result) TopServers(n int) []*Server {
+	out := make([]*Server, 0, len(r.Servers))
+	for _, s := range r.Servers {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].IP < out[j].IP
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// MultiPurpose counts servers seen active on more than one service port.
+func (r *Result) MultiPurpose() int {
+	n := 0
+	for _, s := range r.Servers {
+		if len(s.Ports) > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// DualRole counts servers that also act as clients.
+func (r *Result) DualRole() int {
+	n := 0
+	for _, s := range r.Servers {
+		if s.AlsoClient {
+			n++
+		}
+	}
+	return n
+}

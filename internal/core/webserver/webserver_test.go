@@ -1,0 +1,302 @@
+package webserver
+
+import (
+	"testing"
+
+	"ixplens/internal/certsim"
+	"ixplens/internal/core/dissect"
+	"ixplens/internal/dnssim"
+	"ixplens/internal/ixp"
+	"ixplens/internal/netmodel"
+	"ixplens/internal/packet"
+	"ixplens/internal/sflow"
+	"ixplens/internal/traffic"
+)
+
+type weekEnv struct {
+	w       *netmodel.World
+	fabric  *ixp.Fabric
+	dns     *dnssim.DB
+	crawler *certsim.Crawler
+	src     *dissect.SliceSource
+	stats   traffic.WeekStats
+}
+
+func buildEnv(t testing.TB, week int) *weekEnv {
+	t.Helper()
+	w, err := netmodel.Generate(netmodel.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dns := dnssim.New(w)
+	fabric := ixp.NewFabric(w)
+	gen := traffic.NewGenerator(w, dns, fabric, traffic.DefaultOptions())
+	src := &dissect.SliceSource{}
+	col := ixp.NewCollector(fabric, 16384, func(d *sflow.Datagram) error {
+		cp := *d
+		cp.Flows = make([]sflow.FlowSample, len(d.Flows))
+		for i := range d.Flows {
+			cp.Flows[i] = d.Flows[i]
+			hdr := make([]byte, len(d.Flows[i].Raw.Header))
+			copy(hdr, d.Flows[i].Raw.Header)
+			cp.Flows[i].Raw.Header = hdr
+		}
+		src.Datagrams = append(src.Datagrams, cp)
+		return nil
+	})
+	stats, err := gen.GenerateWeek(week, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &weekEnv{w: w, fabric: fabric, dns: dns,
+		crawler: certsim.NewCrawler(w, dns), src: src, stats: stats}
+}
+
+func identify(t testing.TB, env *weekEnv, week int) *Result {
+	t.Helper()
+	id := NewIdentifier()
+	cls := dissect.NewClassifier(env.fabric)
+	if _, err := dissect.Process(env.src, cls, id.Observe); err != nil {
+		t.Fatal(err)
+	}
+	env.src.Reset()
+	return id.Identify(week, env.crawler)
+}
+
+func TestIdentificationPrecision(t *testing.T) {
+	env := buildEnv(t, 45)
+	res := identify(t, env, 45)
+	if len(res.Servers) < 200 {
+		t.Fatalf("only %d servers identified", len(res.Servers))
+	}
+	falsePos := 0
+	for ip, srv := range res.Servers {
+		idx, ok := env.w.ServerByIP(ip)
+		if !ok {
+			falsePos++
+			continue
+		}
+		s := &env.w.Servers[idx]
+		if srv.HTTPS && !s.Is(netmodel.SrvHTTPS) {
+			t.Fatalf("HTTPS claimed for non-HTTPS server %v", ip)
+		}
+		_ = s
+	}
+	if falsePos > 0 {
+		t.Fatalf("%d non-server IPs identified as servers", falsePos)
+	}
+}
+
+func TestIdentificationRecallOfSampled(t *testing.T) {
+	env := buildEnv(t, 45)
+	res := identify(t, env, 45)
+	// Every ground-truth server that was actually sampled with an HTTP
+	// header packet should be found; a weaker, robust check: recall over
+	// sampled servers is high.
+	recall := float64(len(res.Servers)) / float64(env.stats.SampledServers)
+	if recall < 0.55 {
+		t.Fatalf("identified %d of %d sampled servers (recall %.2f)",
+			len(res.Servers), env.stats.SampledServers, recall)
+	}
+}
+
+func TestServerTrafficShare(t *testing.T) {
+	env := buildEnv(t, 45)
+	cls := dissect.NewClassifier(env.fabric)
+	id := NewIdentifier()
+	var peeringBytes uint64
+	_, err := dissect.Process(env.src, cls, func(rec *dissect.Record) {
+		if rec.Class.IsPeering() {
+			peeringBytes += rec.Bytes
+		}
+		id.Observe(rec)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := id.Identify(45, env.crawler)
+	share := float64(res.ServerBytes) / float64(peeringBytes)
+	// Paper: server IPs see/are responsible for >70% of peering traffic.
+	if share < 0.60 || share > 1.0 {
+		t.Fatalf("server traffic share %.3f out of band", share)
+	}
+}
+
+func TestHTTPSCrawlFunnel(t *testing.T) {
+	env := buildEnv(t, 45)
+	res := identify(t, env, 45)
+	if res.Candidates443 == 0 || res.Valid443 == 0 {
+		t.Fatalf("crawl funnel empty: %+v", res)
+	}
+	if res.Valid443 > res.Responded443 || res.Responded443 > res.Candidates443 {
+		t.Fatalf("funnel not monotone: %d -> %d -> %d",
+			res.Candidates443, res.Responded443, res.Valid443)
+	}
+	// HTTPS servers must carry certificate meta-data.
+	for _, srv := range res.Servers {
+		if srv.HTTPS && srv.Cert.Subject == "" {
+			t.Fatal("HTTPS server without certificate info")
+		}
+	}
+}
+
+func TestHostsCollected(t *testing.T) {
+	env := buildEnv(t, 45)
+	res := identify(t, env, 45)
+	withHosts, junk, known := 0, 0, 0
+	for _, srv := range res.Servers {
+		if len(srv.Hosts) > 0 {
+			withHosts++
+			for _, h := range srv.Hosts {
+				if _, ok := env.dns.SOA(dnssim.RegistrableDomain(h)); ok {
+					known++
+				} else {
+					junk++ // bots and IP-literal scans; cleaned later
+				}
+			}
+		}
+	}
+	if withHosts == 0 {
+		t.Fatal("no URIs collected")
+	}
+	if known == 0 {
+		t.Fatal("no resolvable URIs collected")
+	}
+	if junk > known/5 {
+		t.Fatalf("junk hosts dominate: %d junk vs %d known", junk, known)
+	}
+}
+
+func TestDualRoleAndMultiPurpose(t *testing.T) {
+	env := buildEnv(t, 45)
+	res := identify(t, env, 45)
+	if res.DualRole() == 0 {
+		t.Fatal("no dual-role servers found (machine-to-machine traffic exists)")
+	}
+	if res.MultiPurpose() == 0 {
+		t.Fatal("no multi-purpose servers found")
+	}
+}
+
+func TestTopServers(t *testing.T) {
+	env := buildEnv(t, 45)
+	res := identify(t, env, 45)
+	top := res.TopServers(10)
+	if len(top) != 10 {
+		t.Fatalf("TopServers returned %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Bytes > top[i-1].Bytes {
+			t.Fatal("TopServers not sorted")
+		}
+	}
+	if got := res.TopServers(1 << 30); len(got) != len(res.Servers) {
+		t.Fatal("TopServers cap wrong")
+	}
+}
+
+func TestClassifyPayloadPatterns(t *testing.T) {
+	cases := []struct {
+		payload string
+		want    payloadKind
+	}{
+		{"GET /x HTTP/1.1\r\nHost: a.b\r\n", payloadHTTPRequest},
+		{"POST /submit HTTP/1.0\r\n", payloadHTTPRequest},
+		{"HEAD / HTTP/1.1\r\n", payloadHTTPRequest},
+		{"HTTP/1.1 200 OK\r\nServer: x\r\n", payloadHTTPResponse},
+		{"HTTP/1.0 404 Not Found\r\n", payloadHTTPResponse},
+		{"...Content-Type: text/html\r\n...", payloadHTTPHeaderOnly},
+		{"...Set-Cookie: a=1\r\n", payloadHTTPHeaderOnly},
+		{"GET lacking version word", payloadOpaque},
+		{"\x17\x03\x03\x01\x00\x8a\x91", payloadOpaque},
+		{"", payloadOpaque},
+		{"random text without markers", payloadOpaque},
+	}
+	for _, c := range cases {
+		if got := classifyPayload([]byte(c.payload)); got != c.want {
+			t.Errorf("classifyPayload(%q) = %d, want %d", c.payload, got, c.want)
+		}
+	}
+}
+
+func TestExtractHost(t *testing.T) {
+	h, ok := extractHost([]byte("GET / HTTP/1.1\r\nHost: www.example.org\r\nAccept: */*\r\n"))
+	if !ok || h != "www.example.org" {
+		t.Fatalf("extractHost = %q, %v", h, ok)
+	}
+	if _, ok := extractHost([]byte("GET / HTTP/1.1\r\nAccept: */*\r\n")); ok {
+		t.Fatal("missing Host must not extract")
+	}
+	if _, ok := extractHost([]byte("GET / HTTP/1.1\r\nHost: truncat")); ok {
+		t.Fatal("snapped Host must not extract")
+	}
+}
+
+func TestIPStatsCaps(t *testing.T) {
+	var st IPStats
+	for i := 0; i < 50; i++ {
+		st.addPort(uint16(i))
+		st.addHost(string(rune('a' + i%26)))
+	}
+	if len(st.Ports) > maxPortsPerIP || len(st.Hosts) > maxHostsPerIP {
+		t.Fatalf("caps not enforced: %d ports, %d hosts", len(st.Ports), len(st.Hosts))
+	}
+	st.addPort(3)
+	if len(st.Ports) != maxPortsPerIP {
+		t.Fatal("duplicate port changed set")
+	}
+}
+
+func TestObserveIgnoresNonPeering(t *testing.T) {
+	id := NewIdentifier()
+	rec := &dissect.Record{Class: dissect.ClassLocal, SrcIP: packet.MakeIPv4(1, 2, 3, 4)}
+	id.Observe(rec)
+	if len(id.stats) != 0 {
+		t.Fatal("non-peering record created state")
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	id := NewIdentifier()
+	payload := []byte("GET /index.html HTTP/1.1\r\nHost: www.example.org\r\nAccept: */*\r\n\r\n")
+	rec := &dissect.Record{
+		Class: dissect.ClassPeeringTCP,
+		SrcIP: packet.MakeIPv4(1, 2, 3, 4), DstIP: packet.MakeIPv4(5, 6, 7, 8),
+		SrcPort: 44444, DstPort: 80, Bytes: 1400 * 16384, Payload: payload,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id.Observe(rec)
+	}
+}
+
+// rootlessCrawler exercises the fallback when a crawler cannot expose a
+// trust store: validation must reject everything rather than accept.
+type rootlessCrawler struct{ inner CertCrawler }
+
+func (r rootlessCrawler) Crawl(ip packet.IPv4Addr, w int) certsim.CrawlResult {
+	return r.inner.Crawl(ip, w)
+}
+
+func (r rootlessCrawler) CrawlAndValidate(ip packet.IPv4Addr, w int) (certsim.Info, bool) {
+	return r.inner.CrawlAndValidate(ip, w)
+}
+
+func TestIdentifyWithoutTrustStore(t *testing.T) {
+	env := buildEnv(t, 45)
+	id := NewIdentifier()
+	cls := dissect.NewClassifier(env.fabric)
+	if _, err := dissect.Process(env.src, cls, id.Observe); err != nil {
+		t.Fatal(err)
+	}
+	env.src.Reset()
+	res := id.Identify(45, rootlessCrawler{env.crawler})
+	if res.Valid443 != 0 {
+		t.Fatalf("validated %d HTTPS servers without a trust store", res.Valid443)
+	}
+	// HTTP identification must be unaffected.
+	if len(res.Servers) == 0 {
+		t.Fatal("HTTP identification broke")
+	}
+}

@@ -1,0 +1,372 @@
+package dnssim
+
+import (
+	"strings"
+	"testing"
+
+	"ixplens/internal/netmodel"
+	"ixplens/internal/packet"
+)
+
+func testDB(t testing.TB) (*netmodel.World, *DB) {
+	t.Helper()
+	w, err := netmodel.Generate(netmodel.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, New(w)
+}
+
+func TestSitesSortedByPopularity(t *testing.T) {
+	_, d := testDB(t)
+	sites := d.Sites()
+	if len(sites) == 0 {
+		t.Fatal("no sites generated")
+	}
+	for i := 1; i < len(sites); i++ {
+		if sites[i].Weight > sites[i-1].Weight {
+			t.Fatalf("sites not sorted at %d", i)
+		}
+	}
+}
+
+func TestEveryOrgHasSites(t *testing.T) {
+	w, d := testDB(t)
+	for i := range w.Orgs {
+		idxs := d.SitesOfOrg(int32(i))
+		if len(idxs) == 0 {
+			t.Fatalf("org %d has no sites", i)
+		}
+		for _, si := range idxs {
+			if d.Site(si).Org != int32(i) {
+				t.Fatalf("site index table corrupt for org %d", i)
+			}
+		}
+	}
+}
+
+func TestSOASelfVsOutsourced(t *testing.T) {
+	w, d := testDB(t)
+	selfhosted, outsourced := 0, 0
+	for i := range w.Orgs {
+		o := &w.Orgs[i]
+		root, ok := d.SOA(o.Domain)
+		if !ok {
+			t.Fatalf("org %d primary domain has no SOA", i)
+		}
+		if o.DNSProvider >= 0 {
+			// Admin-preference model: most zones still reveal the org,
+			// sloppy ones lead to the provider.
+			if root != o.Domain && root != w.Orgs[o.DNSProvider].Domain {
+				t.Fatalf("outsourced org %d SOA = %q, want own or provider domain", i, root)
+			}
+			if root == w.Orgs[o.DNSProvider].Domain {
+				outsourced++
+			} else {
+				selfhosted++
+			}
+		} else {
+			if root != o.Domain {
+				t.Fatalf("self-hosted org %d SOA = %q, want own domain", i, root)
+			}
+			selfhosted++
+		}
+	}
+	if outsourced == 0 || selfhosted == 0 {
+		t.Fatalf("degenerate outsourcing mix: %d self, %d outsourced", selfhosted, outsourced)
+	}
+}
+
+func TestSOAUnknownDomain(t *testing.T) {
+	_, d := testDB(t)
+	if _, ok := d.SOA("no-such-domain.invalid"); ok {
+		t.Fatal("unknown domain must not resolve")
+	}
+}
+
+func TestRegistrableDomain(t *testing.T) {
+	cases := map[string]string{
+		"edge-7.fra.acmecdn.net":     "acmecdn.net",
+		"acmecdn.net":                "acmecdn.net",
+		"static-1-2-3-4.hetzhost.de": "hetzhost.de",
+		"a.b.c.d.org00001.co.uk":     "org00001.co.uk",
+		"localhost":                  "localhost",
+		"site-00042-001.info":        "site-00042-001.info",
+		"www.site-00042-001.info":    "site-00042-001.info",
+	}
+	for in, want := range cases {
+		if got := RegistrableDomain(in); got != want {
+			t.Errorf("RegistrableDomain(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHostnameShapes(t *testing.T) {
+	w, d := testDB(t)
+	var orgNamed, hosterNamed, unnamed int
+	for i := range w.Servers {
+		s := &w.Servers[i]
+		name, ok := d.Hostname(int32(i))
+		if !ok {
+			unnamed++
+			continue
+		}
+		reg := RegistrableDomain(name)
+		if s.Is(netmodel.SrvNamedByHoster) {
+			owner, hasOwner := d.OwnerOrgOfAS(s.AS)
+			if !hasOwner {
+				t.Fatalf("hoster-named server %d in ownerless AS", i)
+			}
+			if reg != w.Orgs[owner].Domain {
+				t.Fatalf("server %d hoster-named under %q, hosting org domain %q", i, reg, w.Orgs[owner].Domain)
+			}
+			hosterNamed++
+		} else {
+			if reg != w.Orgs[s.Org].Domain {
+				t.Fatalf("server %d named under %q, org domain %q", i, reg, w.Orgs[s.Org].Domain)
+			}
+			orgNamed++
+		}
+	}
+	if orgNamed == 0 || unnamed == 0 {
+		t.Fatalf("hostname mix degenerate: %d org, %d hoster, %d none", orgNamed, hosterNamed, unnamed)
+	}
+	// DNS coverage should be in the ballpark of the paper's 71.7%.
+	cov := float64(orgNamed+hosterNamed) / float64(len(w.Servers))
+	if cov < 0.45 || cov > 0.95 {
+		t.Fatalf("PTR coverage %.2f wildly off", cov)
+	}
+}
+
+func TestPTRMatchesHostname(t *testing.T) {
+	w, d := testDB(t)
+	for i := range w.Servers {
+		want, ok := d.Hostname(int32(i))
+		got, ok2 := d.PTR(w.Servers[i].IP)
+		if ok != ok2 || got != want {
+			t.Fatalf("PTR disagrees with Hostname for server %d", i)
+		}
+		if ok {
+			return // one positive case checked in detail is enough here
+		}
+	}
+}
+
+func TestResolversSpread(t *testing.T) {
+	w, d := testDB(t)
+	rs := d.Resolvers()
+	if len(rs) < 20 {
+		t.Fatalf("only %d resolvers", len(rs))
+	}
+	ases := map[int32]bool{}
+	for _, r := range rs {
+		ases[r.AS] = true
+	}
+	if len(ases) < len(rs)/3 {
+		t.Fatalf("resolvers concentrated: %d ASes for %d resolvers", len(ases), len(rs))
+	}
+	_ = w
+}
+
+func TestResolvePrivateCluster(t *testing.T) {
+	w, d := testDB(t)
+	// Find a private-cluster server of the CDN-deploy org and resolve
+	// one of its org's domains from inside that AS.
+	acme := w.Special.AcmeCDN
+	var privAS int32 = -1
+	for _, s := range w.OrgServers(acme) {
+		if s.Deploy == netmodel.DeployPrivateCluster {
+			privAS = s.AS
+			break
+		}
+	}
+	if privAS == -1 {
+		t.Skip("no private clusters in tiny world")
+	}
+	domain := d.Site(d.SitesOfOrg(acme)[0]).Domain
+	ip, ok := d.Resolve(domain, privAS)
+	if !ok {
+		t.Fatal("resolve failed")
+	}
+	idx, ok := w.ServerByIP(ip)
+	if !ok {
+		t.Fatal("resolved IP is not a server")
+	}
+	s := &w.Servers[idx]
+	if s.Org != acme {
+		t.Fatalf("resolved to org %d, want acme %d", s.Org, acme)
+	}
+	if s.Deploy != netmodel.DeployPrivateCluster || s.AS != privAS {
+		t.Fatalf("in-AS resolver should get the private cluster, got %+v", s)
+	}
+}
+
+func TestResolveVisibleDefault(t *testing.T) {
+	w, d := testDB(t)
+	// A near-IXP resolver asking for a popular site should get a
+	// visible server of the responsible org.
+	var nearAS int32 = -1
+	for _, r := range d.Resolvers() {
+		if w.ASes[r.AS].Distance <= 1 {
+			nearAS = r.AS
+			break
+		}
+	}
+	if nearAS == -1 {
+		t.Skip("no near resolver")
+	}
+	site := d.Sites()[0]
+	ip, ok := d.Resolve(site.Domain, nearAS)
+	if !ok {
+		t.Fatal("resolve failed")
+	}
+	idx, ok := w.ServerByIP(ip)
+	if !ok {
+		t.Fatal("resolved IP is not a server")
+	}
+	if w.Servers[idx].Org != site.DeliveringOrg() {
+		// In-AS private clusters may shadow; allow only that exception.
+		if w.Servers[idx].Deploy != netmodel.DeployPrivateCluster {
+			t.Fatalf("resolved to wrong org %d, want %d", w.Servers[idx].Org, site.DeliveringOrg())
+		}
+	}
+}
+
+func TestResolveUnknownDomain(t *testing.T) {
+	_, d := testDB(t)
+	if _, ok := d.Resolve("bogus.invalid", 0); ok {
+		t.Fatal("unknown domain must not resolve")
+	}
+}
+
+func TestCDNServedSitesExist(t *testing.T) {
+	w, d := testDB(t)
+	served := 0
+	for _, s := range d.Sites() {
+		if s.ServedBy >= 0 {
+			served++
+			kind := w.Orgs[s.ServedBy].Kind
+			if kind != netmodel.OrgCDNDeploy && kind != netmodel.OrgCDNCentral {
+				t.Fatalf("site %q served by non-CDN org kind %v", s.Domain, kind)
+			}
+			if s.DeliveringOrg() != s.ServedBy {
+				t.Fatal("DeliveringOrg must prefer the CDN")
+			}
+		}
+	}
+	if served == 0 {
+		t.Fatal("no CDN-served sites")
+	}
+	if served > len(d.Sites())/2 {
+		t.Fatalf("too many CDN-served sites: %d of %d", served, len(d.Sites()))
+	}
+}
+
+func TestResolveVariedRotates(t *testing.T) {
+	w, d := testDB(t)
+	// Use a popular site of a large org so the fleet is big enough to
+	// rotate over.
+	site := d.Site(d.SitesOfOrg(w.Special.GlobalSearch)[0])
+	seen := map[packet.IPv4Addr]bool{}
+	var resolverAS int32 = -1
+	for _, r := range d.Resolvers() {
+		resolverAS = r.AS
+		break
+	}
+	for salt := uint64(0); salt < 200; salt++ {
+		ip, ok := d.ResolveVaried(site.Domain, resolverAS, salt)
+		if !ok {
+			t.Fatal("resolve failed")
+		}
+		idx, ok := w.ServerByIP(ip)
+		if !ok {
+			t.Fatalf("non-server answer %v", ip)
+		}
+		if got := w.Servers[idx].Org; got != site.DeliveringOrg() {
+			if w.Servers[idx].Deploy != netmodel.DeployPrivateCluster {
+				t.Fatalf("varied resolve wrong org %d", got)
+			}
+		}
+		seen[ip] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("rotation too narrow: %d distinct answers", len(seen))
+	}
+}
+
+func TestSiteSOAConsistentWithMap(t *testing.T) {
+	_, d := testDB(t)
+	for _, s := range d.Sites() {
+		root, ok := d.SOA(s.Domain)
+		if !ok || root != s.SOARoot {
+			t.Fatalf("site %q SOA map inconsistent: %q vs %q", s.Domain, root, s.SOARoot)
+		}
+		if strings.Contains(s.Domain, " ") {
+			t.Fatalf("malformed domain %q", s.Domain)
+		}
+	}
+}
+
+func BenchmarkResolve(b *testing.B) {
+	w, err := netmodel.Generate(netmodel.Tiny())
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := New(w)
+	site := d.Sites()[0]
+	rs := d.Resolvers()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Resolve(site.Domain, rs[i%len(rs)].AS)
+	}
+}
+
+func TestPublicDNSProviders(t *testing.T) {
+	w, d := testDB(t)
+	provs := d.PublicDNSProviders()
+	if len(provs) != len(w.Special.DNSProviders) {
+		t.Fatalf("%d providers listed, want %d", len(provs), len(w.Special.DNSProviders))
+	}
+	for i, dom := range provs {
+		if dom != w.Orgs[w.Special.DNSProviders[i]].Domain {
+			t.Fatalf("provider %d domain mismatch", i)
+		}
+	}
+}
+
+func TestResolveVariedFarResolver(t *testing.T) {
+	w, d := testDB(t)
+	// A far, non-European resolver asking a region-aware CDN must get
+	// far-region answers (when the CDN has them).
+	var farAS int32 = -1
+	for i := range w.ASes {
+		a := &w.ASes[i]
+		if a.Distance >= 2 && !isNearCountry(a.Country) {
+			farAS = int32(i)
+			break
+		}
+	}
+	if farAS == -1 {
+		t.Skip("no far AS")
+	}
+	acme := w.Special.AcmeCDN
+	domain := d.Site(d.SitesOfOrg(acme)[0]).Domain
+	farHits := 0
+	for salt := uint64(0); salt < 50; salt++ {
+		ip, ok := d.ResolveVaried(domain, farAS, salt)
+		if !ok {
+			t.Fatal("resolve failed")
+		}
+		idx, ok := w.ServerByIP(ip)
+		if !ok {
+			t.Fatal("non-server answer")
+		}
+		if w.Servers[idx].Deploy == netmodel.DeployFarRegion {
+			farHits++
+		}
+	}
+	if farHits == 0 {
+		t.Fatal("far resolver never reached the far fleet")
+	}
+}

@@ -1,0 +1,262 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation: each experiment runs the measurement pipeline over the
+// synthetic world and reports paper-value vs measured-value rows, plus
+// the raw series behind the figures. cmd/ixpreport prints these reports;
+// the repository-level benchmarks regenerate them under testing.B.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ixplens/internal/core/churn"
+	"ixplens/internal/core/dissect"
+	"ixplens/internal/core/visibility"
+	"ixplens/internal/core/webserver"
+	"ixplens/internal/netmodel"
+	"ixplens/internal/packet"
+	"ixplens/internal/pipeline"
+	"ixplens/internal/routing"
+	"ixplens/internal/traffic"
+)
+
+// Row is one metric of a report: what the paper states, what the
+// reproduction measured.
+type Row struct {
+	Metric   string
+	Paper    string
+	Measured string
+}
+
+// Report is one experiment's outcome.
+type Report struct {
+	ID    string
+	Title string
+	Rows  []Row
+	// Series carries figure data (rank curves, weekly series, scatter
+	// coordinates) keyed by a short name.
+	Series map[string][]float64
+}
+
+// add appends a row.
+func (r *Report) add(metric, paper string, measured string) {
+	r.Rows = append(r.Rows, Row{Metric: metric, Paper: paper, Measured: measured})
+}
+
+func (r *Report) addf(metric, paper, format string, args ...interface{}) {
+	r.add(metric, paper, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) series(name string, values []float64) {
+	if r.Series == nil {
+		r.Series = make(map[string][]float64)
+	}
+	r.Series[name] = values
+}
+
+// String renders the report as an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	wMetric, wPaper := len("metric"), len("paper")
+	for _, row := range r.Rows {
+		if len(row.Metric) > wMetric {
+			wMetric = len(row.Metric)
+		}
+		if len(row.Paper) > wPaper {
+			wPaper = len(row.Paper)
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s  %-*s  %s\n", wMetric, "metric", wPaper, "paper", "measured")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-*s  %-*s  %s\n", wMetric, row.Metric, wPaper, row.Paper, row.Measured)
+	}
+	return b.String()
+}
+
+// Runner owns the environment and caches the expensive artifacts
+// (week-45 capture and analysis, 17-week tracking) across experiments.
+type Runner struct {
+	Env *pipeline.Env
+
+	week45 *pipeline.Week
+	src45  *dissect.SliceSource
+	agg45  *visibility.Aggregator
+
+	tracker *churn.Tracker
+	weekly  []*webserver.Result
+}
+
+// New builds a runner over a fresh world.
+func New(cfg netmodel.Config, opts traffic.Options) (*Runner, error) {
+	env, err := pipeline.NewEnv(cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Runner{Env: env}, nil
+}
+
+// FocusWeek is the weekly snapshot every single-week experiment uses
+// (week 45, like the paper).
+const FocusWeek = 45
+
+// Week45 runs (once) the full week-45 analysis, including the
+// visibility aggregation that Tables 1-3 need.
+func (r *Runner) Week45() (*pipeline.Week, *visibility.Aggregator, *dissect.SliceSource, error) {
+	if r.week45 != nil {
+		r.src45.Reset()
+		return r.week45, r.agg45, r.src45, nil
+	}
+	src, truth, err := r.Env.CaptureWeek(r.focusWeek())
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	// One pass feeding both the identifier (via AnalyzeWeek) and the
+	// visibility aggregator.
+	agg := visibility.NewAggregator(r.Env.World.RIB(), r.Env.World.GeoDB())
+	cls := dissect.NewClassifier(r.Env.Fabric)
+	if _, err := dissect.Process(src, cls, agg.Observe); err != nil {
+		return nil, nil, nil, err
+	}
+	src.Reset()
+	wk, _, err := r.Env.AnalyzeWeek(r.focusWeek(), src)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	wk.Truth = truth
+	r.week45, r.agg45, r.src45 = wk, agg, src
+	r.src45.Reset()
+	return wk, agg, src, nil
+}
+
+// focusWeek clamps FocusWeek into the configured window.
+func (r *Runner) focusWeek() int {
+	cfg := &r.Env.World.Cfg
+	w := FocusWeek
+	if w < cfg.FirstWeek {
+		w = cfg.FirstWeek
+	}
+	if w > cfg.LastWeek() {
+		w = cfg.LastWeek()
+	}
+	return w
+}
+
+// Tracked runs (once) the 17-week light pipeline.
+func (r *Runner) Tracked() (*churn.Tracker, []*webserver.Result, error) {
+	if r.tracker != nil {
+		return r.tracker, r.weekly, nil
+	}
+	tracker, weekly, err := r.Env.TrackWeeks()
+	if err != nil {
+		return nil, nil, err
+	}
+	r.tracker, r.weekly = tracker, weekly
+	return tracker, weekly, nil
+}
+
+// serverFilter returns the predicate selecting identified server IPs.
+func serverFilter(res *webserver.Result) func(packet.IPv4Addr) bool {
+	return func(ip packet.IPv4Addr) bool {
+		_, ok := res.Servers[ip]
+		return ok
+	}
+}
+
+// serverSet materializes the identified server IPs.
+func serverSet(res *webserver.Result) map[packet.IPv4Addr]bool {
+	out := make(map[packet.IPv4Addr]bool, len(res.Servers))
+	for ip := range res.Servers {
+		out[ip] = true
+	}
+	return out
+}
+
+// memberASNs lists the ASNs of the week's IXP members.
+func (r *Runner) memberASNs(isoWeek int) []uint32 {
+	w := r.Env.World
+	var out []uint32
+	for i := range w.ASes {
+		if w.ASes[i].IsMemberInWeek(isoWeek) {
+			out = append(out, w.ASes[i].ASN)
+		}
+	}
+	return out
+}
+
+// distanceClasses computes A(L)/A(M)/A(G) for the focus week.
+func (r *Runner) distanceClasses() map[uint32]routing.DistanceClass {
+	return r.Env.World.ASGraph().Classify(r.memberASNs(r.focusWeek()))
+}
+
+// All runs every experiment in DESIGN.md order.
+func (r *Runner) All() ([]Report, error) {
+	type step struct {
+		name string
+		fn   func() (Report, error)
+	}
+	steps := []step{
+		{"E1", r.Fig1Filtering},
+		{"E2", r.ServerIdentification},
+		{"E3", r.Fig2RankCurve},
+		{"E4", r.Table1Summary},
+		{"E5", r.Fig3CountryShares},
+		{"E6", r.Table2Top10},
+		{"E7", r.Table3LocalGlobal},
+		{"E8", r.BlindSpotAlexa},
+		{"E9", r.BlindSpotISP},
+		{"E10", r.Fig4aServerChurn},
+		{"E11", r.Fig4bRegionChurn},
+		{"E12", r.Fig4cASChurn},
+		{"E13", r.Fig5TrafficChurn},
+		{"E14", r.WeeklyStability},
+		{"E15", r.EventDetection},
+		{"E16", r.ClusterOrganizations},
+		{"E17", r.Fig6bOrgSpread},
+		{"E18", r.Fig6cASHosting},
+		{"E19", r.Fig7bAcmeLinks},
+		{"E20", r.Fig7cCloudflareLinks},
+		{"E21", r.MetadataCoverage},
+		{"E22", r.ServerToServerTrend},
+		{"E23", r.SamplingCalibration},
+		{"E24", r.PeeringFabricVisibility},
+	}
+	out := make([]Report, 0, len(steps))
+	for _, s := range steps {
+		rep, err := s.fn()
+		if err != nil {
+			return out, fmt.Errorf("experiment %s: %w", s.name, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// pct formats a ratio as a percentage string.
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// ratio guards division by zero.
+func ratio(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// Markdown renders the report as a GitHub-flavored Markdown section
+// with a paper-vs-measured table — the format EXPERIMENTS.md uses.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", r.ID, r.Title)
+	b.WriteString("| metric | paper | measured |\n|---|---|---|\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "| %s | %s | %s |\n",
+			mdEscape(row.Metric), mdEscape(row.Paper), mdEscape(row.Measured))
+	}
+	return b.String()
+}
+
+// mdEscape keeps table cells from breaking the Markdown grid.
+func mdEscape(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}

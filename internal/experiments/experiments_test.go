@@ -1,0 +1,162 @@
+package experiments_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	. "ixplens/internal/experiments"
+	"ixplens/internal/netmodel"
+	"ixplens/internal/traffic"
+)
+
+var cachedReports []Report
+
+func allReports(t testing.TB) []Report {
+	t.Helper()
+	if cachedReports != nil {
+		return cachedReports
+	}
+	cfg := netmodel.Tiny()
+	cfg.NumServers = 2600
+	opts := traffic.Options{SamplesPerWeek: 25000, SamplingRate: 16384, SnapLen: 128}
+	r, err := New(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := r.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cachedReports = reports
+	return reports
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	reports := allReports(t)
+	if len(reports) != 24 {
+		t.Fatalf("ran %d experiments, want 24", len(reports))
+	}
+	seen := map[string]bool{}
+	for _, rep := range reports {
+		if rep.ID == "" || rep.Title == "" {
+			t.Fatalf("report without identity: %+v", rep)
+		}
+		if seen[rep.ID] {
+			t.Fatalf("duplicate report %s", rep.ID)
+		}
+		seen[rep.ID] = true
+		if len(rep.Rows) == 0 {
+			t.Fatalf("%s has no rows", rep.ID)
+		}
+		for _, row := range rep.Rows {
+			if row.Measured == "" {
+				t.Fatalf("%s row %q has no measurement", rep.ID, row.Metric)
+			}
+		}
+	}
+	for _, id := range []string{"E1", "E4", "E7", "E10", "E16", "E19", "E21", "E22"} {
+		if !seen[id] {
+			t.Fatalf("experiment %s missing", id)
+		}
+	}
+}
+
+func TestFigureSeriesPresent(t *testing.T) {
+	reports := allReports(t)
+	wantSeries := map[string]string{
+		"E3":  "rank-curve",
+		"E5":  "country-shares",
+		"E10": "stable",
+		"E13": "stable-traffic-share",
+		"E15": "https-share",
+		"E17": "servers",
+		"E19": "direct-share",
+	}
+	byID := map[string]Report{}
+	for _, rep := range reports {
+		byID[rep.ID] = rep
+	}
+	for id, key := range wantSeries {
+		rep := byID[id]
+		if rep.Series == nil || len(rep.Series[key]) == 0 {
+			t.Errorf("%s missing series %q", id, key)
+		}
+	}
+}
+
+func TestReportString(t *testing.T) {
+	reports := allReports(t)
+	s := reports[0].String()
+	if !strings.Contains(s, "E1") || !strings.Contains(s, "metric") {
+		t.Fatalf("render wrong:\n%s", s)
+	}
+	for _, line := range strings.Split(s, "\n") {
+		if len(line) > 200 {
+			t.Fatalf("over-long line: %q", line)
+		}
+	}
+}
+
+func TestHeadlineShapesHold(t *testing.T) {
+	reports := allReports(t)
+	byID := map[string]Report{}
+	for _, rep := range reports {
+		byID[rep.ID] = rep
+	}
+	// Spot-check a few headline rows for sane measured values (detailed
+	// bands live in the per-package tests; this guards the wiring).
+	findRow := func(id, metric string) Row {
+		for _, row := range byID[id].Rows {
+			if strings.Contains(row.Metric, metric) {
+				return row
+			}
+		}
+		t.Fatalf("%s: no row matching %q", id, metric)
+		return Row{}
+	}
+	if row := findRow("E1", "peering traffic share"); !strings.Contains(row.Measured, "9") {
+		t.Fatalf("E1 peering share suspicious: %q", row.Measured)
+	}
+	if row := findRow("E16", "false-positive rate"); row.Measured == "0.0%" {
+		t.Fatalf("E16 FP rate suspiciously zero")
+	}
+	findRow("E19", "traffic NOT via own peering links")
+	findRow("E8", "acme visible at IXP")
+}
+
+func TestReportMarkdown(t *testing.T) {
+	reports := allReports(t)
+	md := reports[0].Markdown()
+	if !strings.HasPrefix(md, "## E1") {
+		t.Fatalf("markdown header wrong: %q", md[:20])
+	}
+	if !strings.Contains(md, "| metric | paper | measured |") {
+		t.Fatal("markdown table header missing")
+	}
+	lines := strings.Split(strings.TrimSpace(md), "\n")
+	if len(lines) < 4 {
+		t.Fatal("markdown too short")
+	}
+	for _, l := range lines[2:] {
+		if !strings.HasPrefix(l, "|") || !strings.HasSuffix(l, "|") {
+			t.Fatalf("broken table row: %q", l)
+		}
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	reports := allReports(t)
+	raw, err := json.Marshal(reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(reports) || back[0].ID != reports[0].ID ||
+		len(back[0].Rows) != len(reports[0].Rows) {
+		t.Fatal("JSON round trip drifted")
+	}
+}

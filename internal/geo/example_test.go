@@ -1,0 +1,29 @@
+package geo_test
+
+import (
+	"fmt"
+
+	"ixplens/internal/geo"
+	"ixplens/internal/packet"
+)
+
+// Example builds a small country database and geo-locates addresses,
+// the way the study maps its 230M+ observed IPs to countries.
+func Example() {
+	db, err := geo.Build([]geo.Range{
+		{First: packet.MakeIPv4(80, 0, 0, 0), Last: packet.MakeIPv4(80, 255, 255, 255), Country: "DE"},
+		{First: packet.MakeIPv4(9, 0, 0, 0), Last: packet.MakeIPv4(9, 127, 255, 255), Country: "US"},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(db.Lookup(packet.MakeIPv4(80, 12, 3, 4)))
+	fmt.Println(db.Lookup(packet.MakeIPv4(9, 0, 1, 1)))
+	fmt.Println(db.Lookup(packet.MakeIPv4(203, 0, 113, 9)) == "")
+	fmt.Println(geo.Region("DE"), geo.Region("FR"))
+	// Output:
+	// DE
+	// US
+	// true
+	// DE RoW
+}

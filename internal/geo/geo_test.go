@@ -1,0 +1,169 @@
+package geo
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ixplens/internal/packet"
+)
+
+func ip(a, b, c, d byte) packet.IPv4Addr { return packet.MakeIPv4(a, b, c, d) }
+
+func TestBuildAndLookup(t *testing.T) {
+	db, err := Build([]Range{
+		{ip(80, 0, 0, 0), ip(80, 255, 255, 255), "DE"},
+		{ip(9, 0, 0, 0), ip(9, 0, 255, 255), "US"},
+		{ip(200, 1, 0, 0), ip(200, 1, 0, 255), "BR"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		ip   packet.IPv4Addr
+		want string
+	}{
+		{ip(80, 1, 2, 3), "DE"},
+		{ip(9, 0, 44, 1), "US"},
+		{ip(200, 1, 0, 200), "BR"},
+		{ip(10, 0, 0, 1), ""},
+		{ip(81, 0, 0, 0), ""},
+		{ip(8, 255, 255, 255), ""},
+	}
+	for _, c := range cases {
+		if got := db.Lookup(c.ip); got != c.want {
+			t.Errorf("Lookup(%v) = %q, want %q", c.ip, got, c.want)
+		}
+	}
+}
+
+func TestBuildRejectsOverlap(t *testing.T) {
+	_, err := Build([]Range{
+		{ip(10, 0, 0, 0), ip(10, 255, 255, 255), "DE"},
+		{ip(10, 128, 0, 0), ip(11, 0, 0, 0), "US"},
+	})
+	if !errors.Is(err, ErrOverlap) {
+		t.Fatalf("want ErrOverlap, got %v", err)
+	}
+}
+
+func TestBuildRejectsInvertedRange(t *testing.T) {
+	_, err := Build([]Range{{ip(10, 0, 0, 2), ip(10, 0, 0, 1), "DE"}})
+	if err == nil {
+		t.Fatal("inverted range must fail")
+	}
+}
+
+func TestBuildMergesAdjacentSameCountry(t *testing.T) {
+	db, err := Build([]Range{
+		{ip(10, 0, 0, 0), ip(10, 0, 0, 255), "DE"},
+		{ip(10, 0, 1, 0), ip(10, 0, 1, 255), "DE"},
+		{ip(10, 0, 2, 0), ip(10, 0, 2, 255), "FR"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.NumRanges() != 2 {
+		t.Fatalf("NumRanges = %d, want 2 (merged)", db.NumRanges())
+	}
+	if db.Lookup(ip(10, 0, 1, 128)) != "DE" {
+		t.Fatal("merged range lost coverage")
+	}
+}
+
+func TestCountries(t *testing.T) {
+	db, _ := Build([]Range{
+		{ip(1, 0, 0, 0), ip(1, 0, 0, 255), "JP"},
+		{ip(2, 0, 0, 0), ip(2, 0, 0, 255), "FR"},
+		{ip(3, 0, 0, 0), ip(3, 0, 0, 255), "JP"},
+	})
+	got := db.Countries()
+	if len(got) != 2 || got[0] != "FR" || got[1] != "JP" {
+		t.Fatalf("Countries = %v", got)
+	}
+}
+
+func TestRegion(t *testing.T) {
+	for c, want := range map[string]string{
+		"DE": "DE", "US": "US", "RU": "RU", "CN": "CN",
+		"FR": "RoW", "GB": "RoW", "": "RoW",
+	} {
+		if got := Region(c); got != want {
+			t.Errorf("Region(%q) = %q, want %q", c, got, want)
+		}
+	}
+	if len(Regions) != 5 {
+		t.Fatal("paper uses exactly five regions")
+	}
+}
+
+// TestQuickLookupMatchesScan: lookups agree with a linear scan over the
+// original ranges for arbitrary non-overlapping range sets.
+func TestQuickLookupMatchesScan(t *testing.T) {
+	countries := []string{"DE", "US", "RU", "CN", "FR", "GB", "NL"}
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Create non-overlapping ranges by walking upward.
+		var ranges []Range
+		cur := uint32(r.Intn(1 << 20))
+		for cur < 1<<31 && len(ranges) < 50 {
+			size := uint32(r.Intn(1<<16) + 1)
+			ranges = append(ranges, Range{
+				First:   packet.IPv4Addr(cur),
+				Last:    packet.IPv4Addr(cur + size - 1),
+				Country: countries[r.Intn(len(countries))],
+			})
+			cur += size + uint32(r.Intn(1<<18))
+		}
+		db, err := Build(ranges)
+		if err != nil {
+			return false
+		}
+		for probe := 0; probe < 300; probe++ {
+			p := packet.IPv4Addr(r.Uint32() & (1<<32 - 1))
+			want := ""
+			for _, rg := range ranges {
+				if p >= rg.First && p <= rg.Last {
+					want = rg.Country
+					break
+				}
+			}
+			if db.Lookup(p) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkLookup(b *testing.B) {
+	r := rand.New(rand.NewSource(5))
+	var ranges []Range
+	cur := uint32(1 << 24)
+	for len(ranges) < 100_000 {
+		size := uint32(r.Intn(1<<12) + 256)
+		ranges = append(ranges, Range{
+			First:   packet.IPv4Addr(cur),
+			Last:    packet.IPv4Addr(cur + size - 1),
+			Country: "DE",
+		})
+		cur += size + uint32(r.Intn(1<<10))
+	}
+	db, err := Build(ranges)
+	if err != nil {
+		b.Fatal(err)
+	}
+	probes := make([]packet.IPv4Addr, 1024)
+	for i := range probes {
+		probes[i] = packet.IPv4Addr(r.Uint32())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		db.Lookup(probes[i&1023])
+	}
+}

@@ -1,0 +1,122 @@
+// Package ispview simulates the IXP-external vantage point the paper
+// uses for cross-validation (Sections 2.3 and 3.1): the HTTP and DNS
+// logs of a large European Tier-1 ISP that does not exchange traffic
+// over the IXP's public switching fabric. From its logs one obtains the
+// set of Web server IPs its customers contact — including servers the
+// IXP can never see, such as CDN private clusters deployed inside the
+// ISP itself.
+package ispview
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ixplens/internal/dnssim"
+	"ixplens/internal/netmodel"
+	"ixplens/internal/packet"
+)
+
+// Log is the server-IP view extracted from the ISP's HTTP/DNS logs.
+type Log struct {
+	// ISPAS is the vantage ISP's AS index.
+	ISPAS int32
+	// ServerIPs are the server IPs the ISP's clients contacted.
+	ServerIPs map[packet.IPv4Addr]bool
+}
+
+// PickISP selects the vantage ISP: the largest eyeball network that is
+// not an IXP member (a Tier-1 whose traffic does not cross the public
+// fabric).
+func PickISP(w *netmodel.World) (int32, error) {
+	// Large eyeballs typically host CDN private clusters; prefer one
+	// that does so the vantage exhibits the paper's "servers the IXP
+	// can never see" property.
+	hostsCluster := make(map[int32]bool)
+	for i := range w.Servers {
+		if w.Servers[i].Deploy == netmodel.DeployPrivateCluster {
+			hostsCluster[w.Servers[i].AS] = true
+		}
+	}
+	best, bestClustered := int32(-1), int32(-1)
+	var bestWeight, bestClusteredWeight float64
+	for i := range w.ASes {
+		a := &w.ASes[i]
+		if a.MemberWeek != 0 || a.Role != netmodel.RoleEyeball {
+			continue
+		}
+		if a.ClientWeight > bestWeight {
+			bestWeight = a.ClientWeight
+			best = int32(i)
+		}
+		if hostsCluster[int32(i)] && a.ClientWeight > bestClusteredWeight {
+			bestClusteredWeight = a.ClientWeight
+			bestClustered = int32(i)
+		}
+	}
+	if bestClustered >= 0 {
+		return bestClustered, nil
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("ispview: no non-member eyeball AS in world")
+	}
+	return best, nil
+}
+
+// Observe produces one week of the ISP's server-IP log. Its clients
+// fetch nFlows sites drawn from global popularity (with a uniform tail
+// mix, since an ISP's clients also reach obscure sites); each fetch is
+// resolved through the ISP's own resolver, which hands out private
+// clusters inside the ISP where they exist.
+func Observe(w *netmodel.World, dns *dnssim.DB, ispAS int32, isoWeek int, nFlows int) *Log {
+	rng := rand.New(rand.NewSource(w.Cfg.Seed ^ int64(isoWeek)*0x1259 ^ int64(ispAS)))
+	sites := dns.Sites()
+	log := &Log{ISPAS: ispAS, ServerIPs: make(map[packet.IPv4Addr]bool, nFlows/4)}
+	for i := 0; i < nFlows; i++ {
+		var domain string
+		if rng.Float64() < 0.8 {
+			// Popularity-weighted pick (quadratic skew toward the head).
+			u := rng.Float64()
+			domain = sites[int(u*u*float64(len(sites)))].Domain
+		} else {
+			domain = sites[rng.Intn(len(sites))].Domain
+		}
+		// Repeated fetches see rotating authority answers.
+		ip, ok := dns.ResolveVaried(domain, ispAS, rng.Uint64())
+		if !ok {
+			continue
+		}
+		idx, ok := w.ServerByIP(ip)
+		if !ok || !w.ServerActiveInWeek(idx, isoWeek) {
+			continue
+		}
+		log.ServerIPs[ip] = true
+	}
+	return log
+}
+
+// Compare is the Section 3.1 cross-check: how the ISP's server view
+// relates to the IXP's.
+type Compare struct {
+	ISPServers int
+	SeenAtIXP  int
+	NotAtIXP   int
+	// ConfirmedAtIXP is the overlap in which the IXP's (sample-based)
+	// identification is corroborated by the ISP's (log-based) one.
+	ConfirmedAtIXP int
+}
+
+// CompareWithIXP evaluates the ISP log against the IXP's identified
+// server set.
+func CompareWithIXP(log *Log, ixpServers map[packet.IPv4Addr]bool) Compare {
+	var c Compare
+	c.ISPServers = len(log.ServerIPs)
+	for ip := range log.ServerIPs {
+		if ixpServers[ip] {
+			c.SeenAtIXP++
+			c.ConfirmedAtIXP++
+		} else {
+			c.NotAtIXP++
+		}
+	}
+	return c
+}

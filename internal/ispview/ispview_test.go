@@ -1,0 +1,117 @@
+package ispview
+
+import (
+	"testing"
+
+	"ixplens/internal/dnssim"
+	"ixplens/internal/netmodel"
+	"ixplens/internal/packet"
+)
+
+func testWorld(t testing.TB) (*netmodel.World, *dnssim.DB) {
+	t.Helper()
+	w, err := netmodel.Generate(netmodel.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, dnssim.New(w)
+}
+
+func TestPickISP(t *testing.T) {
+	w, _ := testWorld(t)
+	isp, err := PickISP(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := &w.ASes[isp]
+	if a.MemberWeek != 0 {
+		t.Fatal("ISP is an IXP member")
+	}
+	if a.Role != netmodel.RoleEyeball {
+		t.Fatalf("ISP role %v, want eyeball", a.Role)
+	}
+	// It must be the largest non-member eyeball among those hosting a
+	// private cluster (or the largest overall when none do).
+	hostsCluster := map[int32]bool{}
+	for i := range w.Servers {
+		if w.Servers[i].Deploy == netmodel.DeployPrivateCluster {
+			hostsCluster[w.Servers[i].AS] = true
+		}
+	}
+	for i := range w.ASes {
+		b := &w.ASes[i]
+		if b.MemberWeek == 0 && b.Role == netmodel.RoleEyeball &&
+			hostsCluster[int32(i)] == hostsCluster[isp] && b.ClientWeight > a.ClientWeight {
+			t.Fatalf("AS %d has larger client weight than picked ISP", i)
+		}
+	}
+}
+
+func TestObserveDeterministicAndValid(t *testing.T) {
+	w, dns := testWorld(t)
+	isp, err := PickISP(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log1 := Observe(w, dns, isp, 45, 5000)
+	log2 := Observe(w, dns, isp, 45, 5000)
+	if len(log1.ServerIPs) != len(log2.ServerIPs) {
+		t.Fatal("observation not deterministic")
+	}
+	if len(log1.ServerIPs) == 0 {
+		t.Fatal("ISP saw nothing")
+	}
+	for ip := range log1.ServerIPs {
+		idx, ok := w.ServerByIP(ip)
+		if !ok {
+			t.Fatalf("ISP logged non-server IP %v", ip)
+		}
+		if !w.ServerActiveInWeek(idx, 45) {
+			t.Fatalf("ISP logged inactive server %v", ip)
+		}
+	}
+}
+
+func TestObserveSeesOwnPrivateClusters(t *testing.T) {
+	w, dns := testWorld(t)
+	// Find an AS hosting a private cluster and use it as the vantage.
+	var vantage int32 = -1
+	for i := range w.Servers {
+		s := &w.Servers[i]
+		if s.Deploy == netmodel.DeployPrivateCluster && w.ASes[s.AS].MemberWeek == 0 {
+			vantage = s.AS
+			break
+		}
+	}
+	if vantage == -1 {
+		t.Skip("no non-member private clusters")
+	}
+	log := Observe(w, dns, vantage, 45, 40000)
+	foundPrivate := false
+	for ip := range log.ServerIPs {
+		idx, _ := w.ServerByIP(ip)
+		if w.Servers[idx].Deploy == netmodel.DeployPrivateCluster && w.Servers[idx].AS == vantage {
+			foundPrivate = true
+			break
+		}
+	}
+	if !foundPrivate {
+		t.Fatal("vantage ISP never saw its in-AS private clusters")
+	}
+}
+
+func TestCompareWithIXP(t *testing.T) {
+	log := &Log{ServerIPs: map[packet.IPv4Addr]bool{
+		packet.MakeIPv4(1, 0, 0, 1): true,
+		packet.MakeIPv4(1, 0, 0, 2): true,
+		packet.MakeIPv4(1, 0, 0, 3): true,
+	}}
+	ixp := map[packet.IPv4Addr]bool{
+		packet.MakeIPv4(1, 0, 0, 1): true,
+		packet.MakeIPv4(1, 0, 0, 2): true,
+	}
+	c := CompareWithIXP(log, ixp)
+	if c.ISPServers != 3 || c.SeenAtIXP != 2 || c.NotAtIXP != 1 || c.ConfirmedAtIXP != 2 {
+		t.Fatalf("compare wrong: %+v", c)
+	}
+}

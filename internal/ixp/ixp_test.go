@@ -1,0 +1,306 @@
+package ixp
+
+import (
+	"fmt"
+	"testing"
+
+	"ixplens/internal/netmodel"
+	"ixplens/internal/sflow"
+)
+
+func testFabric(t testing.TB) (*netmodel.World, *Fabric) {
+	t.Helper()
+	w, err := netmodel.Generate(netmodel.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w, NewFabric(w)
+}
+
+func TestPortMapping(t *testing.T) {
+	w, f := testFabric(t)
+	for i := range w.ASes {
+		if w.ASes[i].MemberWeek == 0 {
+			continue
+		}
+		port := f.PortOfMember(int32(i))
+		back, ok := f.MemberOfPort(port)
+		if !ok || back != int32(i) {
+			t.Fatalf("port round trip failed for member %d", i)
+		}
+	}
+	if _, ok := f.MemberOfPort(ManagementPort); ok {
+		t.Fatal("management port must not be a member port")
+	}
+	if _, ok := f.MemberOfPort(firstMemberPort + uint32(len(w.ASes))); ok {
+		t.Fatal("out-of-range port must not resolve")
+	}
+	// A non-member AS's port must not resolve either.
+	for i := range w.ASes {
+		if w.ASes[i].MemberWeek == 0 {
+			if _, ok := f.MemberOfPort(f.PortOfMember(int32(i))); ok {
+				t.Fatal("non-member port resolved")
+			}
+			break
+		}
+	}
+}
+
+func TestMACsDistinct(t *testing.T) {
+	_, f := testFabric(t)
+	seen := map[string]bool{}
+	for i := int32(0); i < 100; i++ {
+		m := f.MACOfMember(i).String()
+		if seen[m] {
+			t.Fatalf("duplicate MAC %s", m)
+		}
+		seen[m] = true
+	}
+}
+
+func TestPeersSymmetricDeterministic(t *testing.T) {
+	_, f := testFabric(t)
+	peered, unpeered := 0, 0
+	for a := int32(0); a < 40; a++ {
+		for b := a + 1; b < 40; b++ {
+			p1 := f.Peers(a, b)
+			p2 := f.Peers(b, a)
+			if p1 != p2 {
+				t.Fatal("Peers not symmetric")
+			}
+			if p1 {
+				peered++
+			} else {
+				unpeered++
+			}
+		}
+	}
+	if unpeered == 0 || peered == 0 {
+		t.Fatalf("peering matrix degenerate: %d/%d", peered, unpeered)
+	}
+	if !f.Peers(3, 3) {
+		t.Fatal("self peering must hold")
+	}
+}
+
+func TestIngressMember(t *testing.T) {
+	w, f := testFabric(t)
+	week := w.Cfg.FirstWeek
+	for i := range w.ASes {
+		a := &w.ASes[i]
+		in := f.IngressMember(int32(i), week)
+		if a.IsMemberInWeek(week) {
+			if in != int32(i) {
+				t.Fatalf("member %d ingress = %d", i, in)
+			}
+			continue
+		}
+		if in >= 0 && !w.ASes[in].IsMemberInWeek(week) {
+			t.Fatalf("AS %d ingress %d is not a member in week %d", i, in, week)
+		}
+	}
+}
+
+func TestLateJoinerReachableBeforeJoin(t *testing.T) {
+	w, f := testFabric(t)
+	for i := range w.ASes {
+		a := &w.ASes[i]
+		if a.MemberWeek <= w.Cfg.FirstWeek {
+			continue
+		}
+		in := f.IngressMember(int32(i), w.Cfg.FirstWeek)
+		if in == int32(i) {
+			t.Fatalf("late joiner %d ingress via itself before joining", i)
+		}
+		in = f.IngressMember(int32(i), a.MemberWeek)
+		if in != int32(i) {
+			t.Fatalf("joined member %d not its own ingress", i)
+		}
+		return
+	}
+	t.Skip("no late joiners")
+}
+
+func TestLinkFor(t *testing.T) {
+	w, f := testFabric(t)
+	week := w.Cfg.FirstWeek
+	// Same AS on both sides: never crosses the fabric.
+	if _, _, ok := f.LinkFor(3, 3, week); ok {
+		t.Fatal("intra-AS traffic must not cross the fabric")
+	}
+	found := false
+	for a := int32(0); a < int32(w.Cfg.MembersStart) && !found; a++ {
+		for b := a + 1; b < int32(w.Cfg.MembersStart); b++ {
+			in, out, ok := f.LinkFor(a, b, week)
+			if !ok {
+				continue
+			}
+			if out != b {
+				t.Fatalf("egress %d, want %d", out, b)
+			}
+			if !f.Peers(a, b) && in == a && f.RelayMember(a, b) != a && f.RelayMember(a, b) != b {
+				t.Fatal("non-peering pair must be relayed")
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no valid member pair link")
+	}
+}
+
+func TestCollectorBatching(t *testing.T) {
+	_, f := testFabric(t)
+	var got []sflow.Datagram
+	col := NewCollector(f, 16384, func(d *sflow.Datagram) error {
+		cp := *d
+		cp.Flows = append([]sflow.FlowSample(nil), d.Flows...)
+		got = append(got, cp)
+		return nil
+	})
+	header := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	const n = 50
+	for i := 0; i < n; i++ {
+		// All frames on one port so they share an agent.
+		if err := col.AddFrame(f.PortOfMember(8), f.PortOfMember(9), header, 1000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, d := range got {
+		total += len(d.Flows)
+		if len(d.Flows) > 6 {
+			t.Fatalf("datagram with %d flows exceeds batch size", len(d.Flows))
+		}
+	}
+	if total != n {
+		t.Fatalf("collected %d samples, want %d", total, n)
+	}
+	// Sequence numbers per flow sample must be monotone.
+	last := uint32(0)
+	for _, d := range got {
+		for _, fs := range d.Flows {
+			if fs.SequenceNum <= last {
+				t.Fatalf("sample sequence not monotone: %d after %d", fs.SequenceNum, last)
+			}
+			last = fs.SequenceNum
+			if fs.SamplingRate != 16384 {
+				t.Fatal("sampling rate not stamped")
+			}
+			if fs.InputIf != f.PortOfMember(8) || fs.OutputIf != f.PortOfMember(9) {
+				t.Fatal("ports not stamped")
+			}
+		}
+	}
+}
+
+func TestCollectorHeaderCopied(t *testing.T) {
+	_, f := testFabric(t)
+	var captured []byte
+	col := NewCollector(f, 16384, func(d *sflow.Datagram) error {
+		if len(d.Flows) > 0 {
+			captured = d.Flows[0].Raw.Header
+		}
+		return nil
+	})
+	header := []byte{9, 9, 9, 9}
+	if err := col.AddFrame(f.PortOfMember(1), f.PortOfMember(2), header, 64); err != nil {
+		t.Fatal(err)
+	}
+	header[0] = 0 // mutate the caller's buffer
+	if err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if captured == nil || captured[0] != 9 {
+		t.Fatal("collector must copy the header bytes")
+	}
+}
+
+func TestCollectorCounters(t *testing.T) {
+	_, f := testFabric(t)
+	count := 0
+	col := NewCollector(f, 16384, func(d *sflow.Datagram) error {
+		count += len(d.Counters)
+		return nil
+	})
+	for i := 0; i < 10; i++ {
+		if err := col.AddCounters(f.PortOfMember(int32(i)), sflow.GenericInterfaceCounters{IfIndex: uint32(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 10 {
+		t.Fatalf("collected %d counter samples, want 10", count)
+	}
+}
+
+func TestPortCountersAccumulate(t *testing.T) {
+	_, f := testFabric(t)
+	col := NewCollector(f, 1000, func(*sflow.Datagram) error { return nil })
+	hdr := []byte{1, 2, 3, 4}
+	if err := col.AddFrame(f.PortOfMember(3), f.PortOfMember(4), hdr, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.AddFrame(f.PortOfMember(3), f.PortOfMember(5), hdr, 200); err != nil {
+		t.Fatal(err)
+	}
+	in3 := col.PortCounters(f.PortOfMember(3))
+	if in3.InOctets != 300*1000 {
+		t.Fatalf("port 3 InOctets = %d, want %d", in3.InOctets, 300*1000)
+	}
+	if in3.InUcastPkts != 2000 {
+		t.Fatalf("port 3 InUcastPkts = %d", in3.InUcastPkts)
+	}
+	out4 := col.PortCounters(f.PortOfMember(4))
+	if out4.OutOctets != 100*1000 || out4.InOctets != 0 {
+		t.Fatalf("port 4 counters wrong: %+v", out4)
+	}
+}
+
+func TestEmitPortCounters(t *testing.T) {
+	_, f := testFabric(t)
+	var counterSamples int
+	col := NewCollector(f, 1000, func(d *sflow.Datagram) error {
+		counterSamples += len(d.Counters)
+		return nil
+	})
+	hdr := []byte{1, 2, 3, 4}
+	for i := int32(0); i < 5; i++ {
+		if err := col.AddFrame(f.PortOfMember(i), f.PortOfMember(i+1), hdr, 100); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := col.EmitPortCounters(); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// One counter sample per distinct ingress port.
+	if counterSamples != 5 {
+		t.Fatalf("emitted %d counter samples, want 5", counterSamples)
+	}
+}
+
+func TestCollectorSinkErrorPropagates(t *testing.T) {
+	_, f := testFabric(t)
+	boom := fmt.Errorf("sink failed")
+	col := NewCollector(f, 1000, func(*sflow.Datagram) error { return boom })
+	hdr := []byte{1}
+	var err error
+	for i := 0; i < 10 && err == nil; i++ {
+		err = col.AddFrame(f.PortOfMember(1), f.PortOfMember(2), hdr, 64)
+	}
+	if err == nil {
+		err = col.Flush()
+	}
+	if err == nil {
+		t.Fatal("sink error swallowed")
+	}
+}

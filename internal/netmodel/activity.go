@@ -1,0 +1,317 @@
+package netmodel
+
+import (
+	"math/rand"
+
+	"ixplens/internal/geo"
+	"ixplens/internal/randutil"
+)
+
+// assignActivity hands every server a longitudinal behaviour pattern and
+// assigns the flag set (protocols, DNS presence, client-side activity).
+// Region-dependent stability reproduces Fig. 4(b): the German stable
+// pool is about half the total stable pool, the Chinese one vanishingly
+// small.
+func (w *World) assignActivity(rng *rand.Rand) {
+	cfg := &w.Cfg
+	for i := range w.Servers {
+		s := &w.Servers[i]
+		o := &w.Orgs[s.Org]
+		country := w.Prefixes[s.PrefixIdx].Country
+
+		// --- Longitudinal pattern ---
+		if w.ASes[s.AS].ResellerCustomer {
+			// Reseller growth (Section 4.2): half the fleet is present
+			// from the start, the other half joins over the weeks so
+			// the reseller's server count roughly doubles.
+			if rng.Float64() < 0.5 {
+				s.Activity = ActStable
+			} else {
+				s.Activity = ActFresh
+				s.Flags |= SrvPersistentFresh
+				s.FirstWeek = int16(cfg.FirstWeek + 1 + rng.Intn(cfg.Weeks-1))
+			}
+		} else if s.Org == w.Special.ElastiCloud && s.DC == "eu-dublin" && rng.Float64() < 0.55 {
+			// EC2-Ireland expansion (Section 4.2): a pronounced ramp in
+			// the final three weeks.
+			s.Activity = ActFresh
+			s.Flags |= SrvPersistentFresh
+			s.FirstWeek = int16(cfg.LastWeek() - rng.Intn(3))
+		} else {
+			p := rng.Float64()
+			stableP := stableProbByRegion(geo.Region(country), cfg.StableFraction)
+			recurrentP := cfg.RecurrentFraction
+			switch {
+			case p < stableP:
+				s.Activity = ActStable
+			case p < stableP+recurrentP:
+				s.Activity = ActRecurrent
+			default:
+				s.Activity = ActFresh
+				s.FirstWeek = int16(cfg.FirstWeek + 1 + rng.Intn(maxInt(1, cfg.Weeks-1)))
+			}
+		}
+
+		// --- Protocol and DNS flags ---
+		s.Flags |= SrvHTTP
+		httpsP := httpsProbByKind(o.Kind, cfg.HTTPSFraction)
+		if rng.Float64() < httpsP {
+			s.Flags |= SrvHTTPS
+		}
+		if o.Kind == OrgStreamer || (o.Kind == OrgCDNDeploy && rng.Float64() < 0.5) {
+			s.Flags |= SrvRTMP
+		}
+		if actsAsClient(o.Kind, rng) {
+			s.Flags |= SrvActsAsClient
+		}
+		// A few small orgs' in-house machines double as the catch-all
+		// "invalid URI" servers their AS's resolvers advertise — one of
+		// the Section 3.3 blind-spot categories. They see next to no
+		// real traffic (their weight is zeroed below).
+		if o.Kind == OrgSmall && o.HomeAS >= 0 && s.AS == o.HomeAS && rng.Float64() < 0.05 {
+			s.Flags |= SrvInvalidURIHandler
+		}
+		w.assignDNSPresence(rng, s, o)
+	}
+}
+
+// stableProbByRegion tunes the stable fraction per region around the
+// configured mean: German hosting is long-lived, Chinese server IPs are
+// almost never seen week-in week-out at a European IXP.
+func stableProbByRegion(region string, mean float64) float64 {
+	switch region {
+	case "DE":
+		return mean * 3.4
+	case "US":
+		return mean * 1.15
+	case "RU":
+		return mean * 1.1
+	case "CN":
+		return mean * 0.12
+	default:
+		return mean * 0.5
+	}
+}
+
+// httpsProbByKind biases HTTPS deployment toward the org kinds that had
+// adopted TLS by 2012.
+func httpsProbByKind(k OrgKind, mean float64) float64 {
+	switch k {
+	case OrgSearch, OrgCloud:
+		return minFloat(1, mean*3.0)
+	case OrgCDNCentral:
+		return minFloat(1, mean*2.2)
+	case OrgHoster:
+		return mean * 1.1
+	case OrgStreamer:
+		return mean * 0.5
+	default:
+		return mean * 0.8
+	}
+}
+
+func actsAsClient(k OrgKind, rng *rand.Rand) bool {
+	switch k {
+	case OrgCDNDeploy, OrgCDNCentral:
+		return rng.Float64() < 0.45
+	case OrgSearch, OrgCloud:
+		return rng.Float64() < 0.25
+	case OrgContent:
+		return rng.Float64() < 0.08
+	default:
+		return rng.Float64() < 0.04
+	}
+}
+
+// assignDNSPresence decides whether the server has a PTR record and in
+// whose namespace, targeting the paper's 71.7% DNS meta-data coverage.
+func (w *World) assignDNSPresence(rng *rand.Rand, s *Server, o *Org) {
+	hostedElsewhere := o.HomeAS < 0 || s.AS != o.HomeAS
+	switch {
+	case o.AssignsNames && !hostedElsewhere:
+		if rng.Float64() < 0.90 {
+			s.Flags |= SrvHasPTR
+		}
+	case o.AssignsNames && hostedElsewhere:
+		// Akamai/Google style: own names even inside third parties,
+		// though coverage is thinner for deep-ISP deployments.
+		p := 0.78
+		if s.Deploy != DeployNormal {
+			p = 0.45
+		}
+		if rng.Float64() < p {
+			s.Flags |= SrvHasPTR
+		}
+	case hostedElsewhere:
+		// The hosting company names the machine (static-1-2-3-4.host).
+		if rng.Float64() < 0.72 {
+			s.Flags |= SrvHasPTR | SrvNamedByHoster
+		}
+	default:
+		if rng.Float64() < 0.55 {
+			s.Flags |= SrvHasPTR
+		}
+	}
+}
+
+// assignWeights distributes traffic weight within each org: Zipf across
+// the org's servers, boosted for stable servers (the stable pool must
+// carry >60% of server traffic, Section 4.1) and for the handful of
+// front-end gateways that dominate Fig. 2.
+func (w *World) assignWeights(rng *rand.Rand) {
+	for oi := range w.Orgs {
+		o := &w.Orgs[oi]
+		if o.ServerCount == 0 {
+			continue
+		}
+		servers := w.Servers[o.ServerStart : o.ServerStart+o.ServerCount]
+		zw := randutil.ZipfWeights(len(servers), 0.75)
+		rng.Shuffle(len(zw), func(i, j int) { zw[i], zw[j] = zw[j], zw[i] })
+		total := 0.0
+		for i := range servers {
+			boost := 1.0
+			if servers[i].Activity == ActStable {
+				boost *= 3.2
+				switch geo.Region(w.Prefixes[servers[i].PrefixIdx].Country) {
+				case "US", "RU":
+					// In Fig. 5 the US/RU stable pools carry nearly all
+					// their regions' server traffic.
+					boost *= 2.0
+				case "DE":
+					// German hosting is both persistent and heavy: the
+					// DE stable pool is about half the total stable pool
+					// and must stay reliably sampled week over week.
+					boost *= 2.8
+				}
+			}
+			if servers[i].Deploy != DeployNormal {
+				boost *= 0.05 // invisible deployments also matter less globally
+			}
+			if servers[i].Is(SrvInvalidURIHandler) {
+				boost *= 0.001 // catch-alls see essentially no real traffic
+			}
+			zw[i] *= boost
+			total += zw[i]
+		}
+		for i := range servers {
+			servers[i].Weight = float32(zw[i] / total)
+		}
+	}
+	w.markFrontends()
+}
+
+// markFrontends flags the heaviest servers of the big CDN/streaming/
+// hosting orgs as data-center front-ends and concentrates extra weight
+// on them: in the paper the top 34 server IPs carry >6% of all
+// server-related traffic.
+func (w *World) markFrontends() {
+	candidates := []int32{
+		w.Special.AcmeCDN, w.Special.GlobalSearch, w.Special.LimeCDN,
+		w.Special.EdgeCDN, w.Special.CloudShield, w.Special.VKont,
+		w.Special.ElastiCloud, w.Special.LeaseHost,
+	}
+	for _, oi := range candidates {
+		o := &w.Orgs[oi]
+		if o.ServerCount == 0 {
+			continue
+		}
+		servers := w.Servers[o.ServerStart : o.ServerStart+o.ServerCount]
+		// Promote up to 5 visible servers per org.
+		promoted := 0
+		var lifted float64
+		for i := range servers {
+			if promoted >= 5 {
+				break
+			}
+			if servers[i].Deploy != DeployNormal {
+				continue
+			}
+			servers[i].Flags |= SrvFrontend
+			lifted += float64(servers[i].Weight)*25 - float64(servers[i].Weight)
+			servers[i].Weight *= 25
+			promoted++
+		}
+		// Renormalize the org's weights.
+		total := 0.0
+		for i := range servers {
+			total += float64(servers[i].Weight)
+		}
+		for i := range servers {
+			servers[i].Weight = float32(float64(servers[i].Weight) / total)
+		}
+	}
+}
+
+// ServerActiveInWeek is the ground-truth activity oracle used by both
+// the traffic generator and the experiment validation. It folds in the
+// base pattern and the injected events (the hurricane of week 44).
+func (w *World) ServerActiveInWeek(serverIdx int32, isoWeek int) bool {
+	s := &w.Servers[serverIdx]
+	// Event: hurricane week. The nimbus-cloud us-east data center goes
+	// dark in week 44 (only for worlds whose window covers it).
+	if isoWeek == 44 && s.Org == w.Special.NimbusCloud && s.DC == "us-east" {
+		return false
+	}
+	switch s.Activity {
+	case ActStable:
+		return true
+	case ActRecurrent:
+		return randutil.HashUnit(uint64(w.Cfg.Seed), uint64(serverIdx), uint64(isoWeek)) < w.Cfg.RecurrentOnProb
+	case ActFresh:
+		if isoWeek < int(s.FirstWeek) {
+			return false
+		}
+		if isoWeek == int(s.FirstWeek) || s.Is(SrvPersistentFresh) {
+			return true
+		}
+		// After their first appearance most fresh server IPs fade out
+		// again (dynamic assignments, short-lived deployments); this is
+		// what sustains the ~10% first-time share in every weekly bar
+		// of Fig. 4(a).
+		return randutil.HashUnit(uint64(w.Cfg.Seed), uint64(serverIdx), uint64(isoWeek), 0xf) < 0.30
+	}
+	return false
+}
+
+// genFake443 creates the endpoints that receive TCP/443 traffic without
+// being valid HTTPS web servers; Section 2.2.2 reports that of ~1.5M
+// port-443 candidates only ~500K answered a crawl and ~250K validated.
+func (w *World) genFake443(rng *rand.Rand) {
+	// The paper's 443 funnel (1.5M candidates, 500K responding, 250K
+	// validating) implies roughly four non-HTTPS endpoints per genuine
+	// HTTPS server, most of them silent to a crawl (NATed clients,
+	// ephemeral cloud IPs); the responders split across the reject
+	// reasons.
+	nHTTPS := 0
+	for i := range w.Servers {
+		if w.Servers[i].Is(SrvHTTPS) {
+			nHTTPS++
+		}
+	}
+	n := nHTTPS * 4
+	behaviours := []Fake443Behaviour{
+		Fake443NoResponse, Fake443NoResponse, Fake443NoResponse,
+		Fake443NoResponse, Fake443NoResponse, Fake443NoResponse,
+		Fake443NoResponse, Fake443NoResponse, Fake443NoResponse,
+		Fake443NotTLS, Fake443BadChain, Fake443Expired,
+		Fake443Unstable, Fake443BadName, Fake443WrongKeyUsage,
+	}
+	for i := 0; i < n; i++ {
+		as := int32(rng.Intn(len(w.ASes)))
+		ip, _, ok := w.allocServerIP(as, "")
+		if !ok {
+			continue
+		}
+		w.Fake443 = append(w.Fake443, Fake443Endpoint{
+			IP: ip, AS: as,
+			Behaviour: behaviours[rng.Intn(len(behaviours))],
+		})
+	}
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,319 @@
+package netmodel
+
+import (
+	"math/rand"
+
+	"ixplens/internal/packet"
+	"ixplens/internal/randutil"
+	"ixplens/internal/routing"
+)
+
+// Class budget constants encode the paper's Table 3 structure: members
+// (A(L)) are ~1% of ASes but hold ~10% of prefixes and see ~42% of
+// client IP activity; distance-1 ASes (A(M)) hold ~34%/45%; the distant
+// rest (A(G)) the remainder.
+const (
+	clientWeightLocal  = 0.42
+	clientWeightMiddle = 0.45
+	clientWeightGlobal = 0.13
+
+	prefixShareLocal  = 0.101
+	prefixShareMiddle = 0.341
+	// global share is the remainder.
+)
+
+// genASes creates the AS population: the first cfg.MembersEnd indices
+// are the IXP members (largest ASes), the rest split between distance-1
+// and distance-2 attachment.
+func (w *World) genASes(rng *rand.Rand) {
+	cfg := &w.Cfg
+	w.ASes = make([]AS, cfg.NumASes)
+
+	clientCodes, clientWts := clientCountryTable()
+	clientAlias := randutil.NewAlias(clientWts)
+
+	// Member roles skew toward the big-infrastructure businesses that
+	// actually populate large European IXPs.
+	memberRoles := rolePicker([]ASRole{RoleEyeball, RoleTransit, RoleHoster, RoleCDN, RoleContent, RoleCloud, RoleEnterprise},
+		[]float64{0.38, 0.16, 0.20, 0.04, 0.09, 0.05, 0.08})
+	otherRoles := rolePicker([]ASRole{RoleEyeball, RoleTransit, RoleHoster, RoleCDN, RoleContent, RoleCloud, RoleEnterprise},
+		[]float64{0.34, 0.05, 0.11, 0.01, 0.11, 0.02, 0.36})
+
+	for i := range w.ASes {
+		a := &w.ASes[i]
+		a.ASN = asnBase + uint32(i)
+		a.Upstream = -1
+		a.ViaMember = int32(i)
+	}
+
+	// --- Members ---
+	nMembers := cfg.MembersEnd
+	joinable := nMembers - cfg.MembersStart
+	for i := 0; i < nMembers; i++ {
+		a := &w.ASes[i]
+		a.Role = memberRoles(rng)
+		a.Country = memberCountry(rng)
+		if i < cfg.MembersStart {
+			a.MemberWeek = cfg.FirstWeek
+		} else {
+			// Late joiners spread over weeks 36..last; the paper notes
+			// 1-2 new members per week.
+			slot := i - cfg.MembersStart
+			week := cfg.FirstWeek + 1
+			if joinable > 0 && cfg.Weeks > 1 {
+				week = cfg.FirstWeek + 1 + slot*(cfg.Weeks-1)/joinable
+			}
+			if week > cfg.LastWeek() {
+				week = cfg.LastWeek()
+			}
+			a.MemberWeek = week
+			// Late joiners are regional/small organizations outside
+			// central Europe (Section 4.1).
+			a.Country = clientCodes[clientAlias.Sample(rng)]
+			a.Role = RoleEnterprise
+		}
+	}
+	// One established member is a reseller (Section 4.2).
+	w.Special.ResellerAS = int32(cfg.MembersStart / 2)
+	w.ASes[w.Special.ResellerAS].Role = RoleReseller
+
+	// --- Non-members: attach at distance 1 or 2 ---
+	nOther := cfg.NumASes - nMembers
+	nDist1 := nOther * 49 / 100
+	resellerCustomers := nDist1 / 25 // ~4% of distance-1 ASes sit behind the reseller
+	for i := nMembers; i < cfg.NumASes; i++ {
+		a := &w.ASes[i]
+		a.Role = otherRoles(rng)
+		a.Country = clientCodes[clientAlias.Sample(rng)]
+		if i-nMembers < nDist1 {
+			a.Distance = 1
+			if i-nMembers < resellerCustomers {
+				a.Upstream = w.Special.ResellerAS
+				a.ResellerCustomer = true
+			} else {
+				a.Upstream = int32(rng.Intn(cfg.MembersStart))
+			}
+			a.ViaMember = a.Upstream
+		} else {
+			a.Distance = 2
+			// Attach to a random distance-1 AS.
+			up := int32(nMembers + rng.Intn(nDist1))
+			a.Upstream = up
+			a.ViaMember = w.ASes[up].ViaMember
+		}
+	}
+
+	w.assignClientWeights(rng)
+}
+
+// assignClientWeights distributes the observable client-IP activity mass
+// across ASes: fixed budgets per distance class, Zipf within a class.
+func (w *World) assignClientWeights(rng *rand.Rand) {
+	var classIdx [3][]int32
+	for i := range w.ASes {
+		classIdx[w.ASes[i].Distance] = append(classIdx[w.ASes[i].Distance], int32(i))
+	}
+	budgets := [3]float64{clientWeightLocal, clientWeightMiddle, clientWeightGlobal}
+	for cls, idxs := range classIdx {
+		if len(idxs) == 0 {
+			continue
+		}
+		weights := randutil.ZipfWeights(len(idxs), 0.85)
+		// Shuffle so rank does not correlate with generation order.
+		rng.Shuffle(len(idxs), func(i, j int) { idxs[i], idxs[j] = idxs[j], idxs[i] })
+		total := 0.0
+		for _, wt := range weights {
+			total += wt
+		}
+		for k, idx := range idxs {
+			// Only eyeball-ish roles produce meaningful client activity.
+			mult := 1.0
+			switch w.ASes[idx].Role {
+			case RoleEyeball:
+				mult = 3.0
+			case RoleEnterprise:
+				mult = 0.8
+			case RoleHoster, RoleCDN, RoleCloud:
+				mult = 0.15
+			case RoleTransit, RoleReseller:
+				mult = 0.3
+			}
+			w.ASes[idx].ClientWeight = budgets[cls] * weights[k] / total * mult
+		}
+	}
+}
+
+// memberCountry draws the country of an established member: mostly the
+// IXP's own country and its European neighbourhood, plus the global
+// players that join large European IXPs.
+func memberCountry(rng *rand.Rand) string {
+	r := rng.Float64()
+	switch {
+	case r < 0.34:
+		return "DE"
+	case r < 0.44:
+		return "US"
+	case r < 0.50:
+		return "RU"
+	case r < 0.55:
+		return "NL"
+	case r < 0.60:
+		return "GB"
+	case r < 0.65:
+		return "FR"
+	case r < 0.69:
+		return "CZ"
+	case r < 0.73:
+		return "IT"
+	case r < 0.76:
+		return "UA"
+	case r < 0.78:
+		return "CN"
+	default:
+		codes := []string{"AT", "CH", "PL", "SE", "DK", "ES", "RO", "TR", "BE", "FI", "NO", "HU", "EU", "IE"}
+		return codes[rng.Intn(len(codes))]
+	}
+}
+
+// rolePicker returns a closure drawing roles from a weighted table.
+func rolePicker(roles []ASRole, weights []float64) func(*rand.Rand) ASRole {
+	alias := randutil.NewAlias(weights)
+	return func(rng *rand.Rand) ASRole { return roles[alias.Sample(rng)] }
+}
+
+// prefixLengths is the CIDR length distribution of routed prefixes,
+// roughly matching public RIB statistics (half the table is /24s).
+var prefixLengths = []struct {
+	length uint8
+	weight float64
+}{
+	{24, 0.50}, {23, 0.09}, {22, 0.12}, {21, 0.08},
+	{20, 0.08}, {19, 0.05}, {18, 0.04}, {17, 0.02}, {16, 0.02},
+}
+
+// genPrefixes allocates address space to ASes: per-class prefix budgets,
+// Zipf-skewed counts within a class, and a linear cursor walk over
+// globally routable space so ranges never overlap.
+func (w *World) genPrefixes(rng *rand.Rand) {
+	cfg := &w.Cfg
+	var classIdx [3][]int32
+	for i := range w.ASes {
+		classIdx[w.ASes[i].Distance] = append(classIdx[w.ASes[i].Distance], int32(i))
+	}
+
+	// Decide how many prefixes each AS gets: one guaranteed each, a
+	// minimum of memberMinPrefixes for members (members are large
+	// networks, and the cloud providers among them need enough prefixes
+	// to spread over data-center regions), the rest by class budget
+	// with cumulative rounding so truncation does not eat the budget.
+	const memberMinPrefixes = 8
+	counts := make([]int, cfg.NumASes)
+	reserved := 0
+	for i := range counts {
+		if w.ASes[i].Distance == 0 {
+			counts[i] = memberMinPrefixes
+		} else {
+			counts[i] = 1
+		}
+		reserved += counts[i]
+	}
+	remaining := cfg.NumPrefixes - reserved
+	if remaining < 0 {
+		remaining = 0
+	}
+	budgets := [3]float64{prefixShareLocal, prefixShareMiddle, 1 - prefixShareLocal - prefixShareMiddle}
+	for cls, idxs := range classIdx {
+		if len(idxs) == 0 {
+			continue
+		}
+		classBudget := float64(remaining) * budgets[cls]
+		weights := randutil.ZipfWeights(len(idxs), 0.8)
+		total := 0.0
+		for _, wt := range weights {
+			total += wt
+		}
+		acc, given := 0.0, 0
+		for k, idx := range idxs {
+			acc += classBudget * weights[k] / total
+			add := int(acc) - given
+			counts[idx] += add
+			given += add
+		}
+	}
+
+	lenWeights := make([]float64, len(prefixLengths))
+	for i, pl := range prefixLengths {
+		lenWeights[i] = pl.weight
+	}
+	lenAlias := randutil.NewAlias(lenWeights)
+
+	w.Prefixes = make([]Prefix, 0, cfg.NumPrefixes)
+	cursor := uint32(packet.MakeIPv4(1, 0, 0, 0))
+	for asIdx, n := range counts {
+		a := &w.ASes[asIdx]
+		for k := 0; k < n; k++ {
+			length := prefixLengths[lenAlias.Sample(rng)].length
+			p, next, ok := allocPrefix(cursor, length)
+			if !ok {
+				// Address space exhausted: stop allocating. With the
+				// configured length mix this cannot happen below ~1M
+				// prefixes, but degrade gracefully anyway.
+				break
+			}
+			cursor = next
+			geoCountry := a.Country
+			if cfg.GeoErrorRate > 0 && rng.Float64() < cfg.GeoErrorRate {
+				geoCountry = longTailCountries[rng.Intn(len(longTailCountries))]
+			}
+			w.Prefixes = append(w.Prefixes, Prefix{
+				Prefix:     p,
+				AS:         int32(asIdx),
+				Country:    a.Country,
+				GeoCountry: geoCountry,
+			})
+			a.Prefixes = append(a.Prefixes, int32(len(w.Prefixes)-1))
+		}
+	}
+}
+
+// allocPrefix returns the first routable, aligned prefix of the given
+// length at or after cursor, plus the next cursor position.
+func allocPrefix(cursor uint32, length uint8) (routing.Prefix, uint32, bool) {
+	size := uint32(1) << (32 - length)
+	for {
+		// Align up.
+		aligned := (cursor + size - 1) &^ (size - 1)
+		if aligned < cursor { // wrapped
+			return routing.Prefix{}, 0, false
+		}
+		first := packet.IPv4Addr(aligned)
+		if aligned >= uint32(packet.MakeIPv4(223, 255, 255, 255)) {
+			return routing.Prefix{}, 0, false
+		}
+		if first.IsGloballyRoutable() {
+			p := routing.MakePrefix(first, length)
+			return p, aligned + size, true
+		}
+		// Skip to the end of the reserved block containing first.
+		cursor = skipReserved(aligned) // returns the next candidate
+	}
+}
+
+// skipReserved returns the first address after the reserved block that
+// contains addr.
+func skipReserved(addr uint32) uint32 {
+	a := packet.IPv4Addr(addr)
+	switch {
+	case a>>24 == 0, a>>24 == 10, a>>24 == 127:
+		return (addr>>24 + 1) << 24
+	case a >= packet.MakeIPv4(172, 16, 0, 0) && a <= packet.MakeIPv4(172, 31, 255, 255):
+		return uint32(packet.MakeIPv4(172, 32, 0, 0))
+	case uint32(a)>>16 == 192<<8|168:
+		return uint32(packet.MakeIPv4(192, 169, 0, 0))
+	case uint32(a)>>16 == 169<<8|254:
+		return uint32(packet.MakeIPv4(169, 255, 0, 0))
+	default:
+		// Multicast and above: no room left.
+		return ^uint32(0)
+	}
+}

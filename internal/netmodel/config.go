@@ -1,0 +1,139 @@
+// Package netmodel generates the synthetic Internet the reproduction
+// measures: autonomous systems with roles and countries, prefix
+// allocations, IXP membership (with the paper's observed growth), the
+// organizations that operate server infrastructure, and the servers
+// themselves — including the heterogeneous third-party deployments that
+// Section 5 of the paper is about.
+//
+// Everything the measurement pipeline later "discovers" exists here as
+// explicit ground truth, so every experiment can be validated
+// quantitatively. The generator is fully deterministic in Config.Seed.
+package netmodel
+
+import "fmt"
+
+// Config sizes the synthetic world. Counts are absolute; use PaperScale
+// to derive a consistently scaled-down configuration from the paper's
+// reported magnitudes.
+type Config struct {
+	// Seed drives all generator randomness.
+	Seed int64
+
+	// FirstWeek is the ISO week number of the first snapshot (35 in the
+	// paper); Weeks is the number of consecutive weekly snapshots (17).
+	FirstWeek int
+	Weeks     int
+
+	// NumASes is the number of actively routed ASes (42.8K in the
+	// paper's week 45).
+	NumASes int
+	// NumPrefixes is the number of actively routed prefixes (445K).
+	NumPrefixes int
+	// NumOrgs is the number of organizations operating servers (~21K
+	// clusters found in week 45).
+	NumOrgs int
+	// NumServers is the total pool of Web server IPs that exist in the
+	// world across all weeks. The paper sees ~1.5M per week at the IXP;
+	// the world pool is larger since not all servers are visible.
+	NumServers int
+
+	// MembersStart is the IXP member count in the first week (443);
+	// MembersEnd is the count in the final week (457).
+	MembersStart int
+	MembersEnd   int
+
+	// HTTPSFraction is the fraction of servers that also serve HTTPS
+	// with a valid certificate (~250K of 1.5M).
+	HTTPSFraction float64
+
+	// StableFraction, RecurrentFraction split the server pool into the
+	// paper's activity patterns: stable servers are active every week,
+	// recurrent ones intermittently, the rest appear fresh in a later
+	// week. (Fig. 4a: ~30% stable, ~60% recurrent, ~10% new in week 51.)
+	StableFraction    float64
+	RecurrentFraction float64
+
+	// RecurrentOnProb is the per-week activity probability of a
+	// recurrent server.
+	RecurrentOnProb float64
+
+	// GeoErrorRate is the fraction of prefixes whose geolocation DB
+	// entry deliberately carries the wrong country, modelling geo-DB
+	// unreliability. Zero by default for clean comparisons.
+	GeoErrorRate float64
+
+	// AvgDailyTrafficPBStart/End anchor the traffic volume trend
+	// (11.9 PB/day in week 35 → 14.5 PB/day in week 51).
+	AvgDailyTrafficPBStart float64
+	AvgDailyTrafficPBEnd   float64
+}
+
+// PaperScale returns a configuration whose entity counts are the paper's
+// week-45 magnitudes multiplied by f (floored to workable minimums).
+// PaperScale(1) is the full published scale; tests typically run at
+// f ≈ 0.002 and the report harness at f ≈ 0.02–0.1.
+func PaperScale(f float64) Config {
+	scale := func(n int, min int) int {
+		v := int(float64(n) * f)
+		if v < min {
+			v = min
+		}
+		return v
+	}
+	return Config{
+		Seed:                   1,
+		FirstWeek:              35,
+		Weeks:                  17,
+		NumASes:                scale(42_800, 400),
+		NumPrefixes:            scale(445_000, 1200),
+		NumOrgs:                scale(21_000, 220),
+		NumServers:             scale(2_400_000, 2600),
+		MembersStart:           scale(443, 60),
+		MembersEnd:             scale(457, 62),
+		HTTPSFraction:          0.167,
+		StableFraction:         0.095,
+		RecurrentFraction:      0.145,
+		RecurrentOnProb:        0.48,
+		GeoErrorRate:           0,
+		AvgDailyTrafficPBStart: 11.9,
+		AvgDailyTrafficPBEnd:   14.5,
+	}
+}
+
+// Tiny returns the small deterministic configuration used by unit tests.
+func Tiny() Config {
+	c := PaperScale(0.002)
+	c.Seed = 7
+	return c
+}
+
+// Validate reports the first configuration inconsistency, if any.
+func (c *Config) Validate() error {
+	switch {
+	case c.Weeks < 1:
+		return fmt.Errorf("netmodel: Weeks = %d, need >= 1", c.Weeks)
+	case c.NumASes < 20:
+		return fmt.Errorf("netmodel: NumASes = %d, need >= 20", c.NumASes)
+	case c.NumPrefixes < c.NumASes:
+		return fmt.Errorf("netmodel: NumPrefixes = %d < NumASes = %d", c.NumPrefixes, c.NumASes)
+	case c.NumOrgs < 10:
+		return fmt.Errorf("netmodel: NumOrgs = %d, need >= 10", c.NumOrgs)
+	case c.NumServers < c.NumOrgs:
+		return fmt.Errorf("netmodel: NumServers = %d < NumOrgs = %d", c.NumServers, c.NumOrgs)
+	case c.MembersStart < 10 || c.MembersEnd < c.MembersStart:
+		return fmt.Errorf("netmodel: member counts %d..%d invalid", c.MembersStart, c.MembersEnd)
+	case c.MembersEnd >= c.NumASes:
+		return fmt.Errorf("netmodel: MembersEnd = %d must be < NumASes = %d", c.MembersEnd, c.NumASes)
+	case c.StableFraction < 0 || c.RecurrentFraction < 0 || c.StableFraction+c.RecurrentFraction > 1:
+		return fmt.Errorf("netmodel: activity fractions %v/%v invalid", c.StableFraction, c.RecurrentFraction)
+	case c.HTTPSFraction < 0 || c.HTTPSFraction > 1:
+		return fmt.Errorf("netmodel: HTTPSFraction = %v out of range", c.HTTPSFraction)
+	}
+	return nil
+}
+
+// LastWeek returns the ISO week number of the final snapshot.
+func (c *Config) LastWeek() int { return c.FirstWeek + c.Weeks - 1 }
+
+// WeekIndex converts an ISO week number to a 0-based snapshot index.
+func (c *Config) WeekIndex(isoWeek int) int { return isoWeek - c.FirstWeek }

@@ -1,0 +1,118 @@
+package netmodel
+
+// Country weight tables. The paper geo-locates ~232M client IPs and
+// ~1.5M server IPs to 242 and 200 countries respectively (Table 1), with
+// the top-10 rankings of Table 2. The tables below encode plausible
+// weights that reproduce those rankings: client IPs are dominated by the
+// large eyeball countries (US, DE, CN, RU, ...), server IPs by hosting
+// countries (DE, US, RU, FR, ...), and the traffic rankings shift toward
+// Europe because the vantage point is a European IXP.
+
+type countryWeight struct {
+	code   string
+	weight float64
+}
+
+// clientCountryWeights drives eyeball (client-side) AS placement.
+// Ordered to reproduce Table 2's "All IPs" ranking.
+var clientCountryWeights = []countryWeight{
+	{"US", 15.0}, {"DE", 13.0}, {"CN", 10.0}, {"RU", 8.5}, {"IT", 6.0},
+	{"FR", 5.6}, {"GB", 5.2}, {"TR", 4.2}, {"UA", 3.6}, {"JP", 3.2},
+	{"NL", 2.4}, {"PL", 2.2}, {"ES", 2.0}, {"BR", 1.9}, {"CZ", 1.7},
+	{"SE", 1.4}, {"AT", 1.3}, {"CH", 1.2}, {"RO", 1.1}, {"IN", 1.0},
+	{"CA", 0.9}, {"AU", 0.8}, {"KR", 0.8}, {"MX", 0.7}, {"AR", 0.6},
+	{"BE", 0.6}, {"DK", 0.5}, {"NO", 0.5}, {"FI", 0.5}, {"PT", 0.5},
+	{"GR", 0.4}, {"HU", 0.4}, {"IL", 0.4}, {"ZA", 0.4}, {"EG", 0.3},
+	{"ID", 0.3}, {"TH", 0.3}, {"VN", 0.3}, {"MY", 0.2}, {"SG", 0.2},
+}
+
+// serverCountryWeights drives hosting-side AS placement. Ordered to
+// reproduce Table 2's "Server IPs" ranking (DE first, then US, RU, FR,
+// GB, CN, NL, CZ, IT, UA).
+var serverCountryWeights = []countryWeight{
+	{"DE", 22.0}, {"US", 16.0}, {"RU", 8.0}, {"FR", 7.0}, {"GB", 6.0},
+	{"CN", 5.2}, {"NL", 5.0}, {"CZ", 4.2}, {"IT", 3.6}, {"UA", 3.2},
+	{"EU", 2.6}, {"RO", 2.2}, {"PL", 1.8}, {"SE", 1.4}, {"AT", 1.2},
+	{"CH", 1.1}, {"ES", 1.0}, {"CA", 0.9}, {"JP", 0.8}, {"SG", 0.7},
+	{"IE", 0.7}, {"DK", 0.6}, {"FI", 0.5}, {"NO", 0.5}, {"TR", 0.5},
+	{"BR", 0.4}, {"IN", 0.4}, {"AU", 0.4}, {"KR", 0.3}, {"HU", 0.3},
+}
+
+// longTailCountries pads the country universe so the world contains the
+// paper's ~242 observed countries. Each long-tail country receives a
+// tiny weight.
+var longTailCountries = buildLongTail()
+
+func buildLongTail() []string {
+	// Two-letter codes not already present in the weighted tables. The
+	// exact codes are immaterial; only their number matters (the world
+	// must span ~240+ "countries").
+	var out []string
+	present := map[string]bool{}
+	for _, cw := range clientCountryWeights {
+		present[cw.code] = true
+	}
+	for _, cw := range serverCountryWeights {
+		present[cw.code] = true
+	}
+	letters := "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+	for i := 0; i < len(letters) && len(out) < 210; i++ {
+		for j := 0; j < len(letters) && len(out) < 210; j++ {
+			code := string(letters[i]) + string(letters[j])
+			if !present[code] {
+				present[code] = true
+				out = append(out, code)
+			}
+		}
+	}
+	return out
+}
+
+// clientCountryTable returns codes and weights covering head + tail.
+func clientCountryTable() ([]string, []float64) {
+	return countryTable(clientCountryWeights, 0.02)
+}
+
+// serverCountryTable returns codes and weights covering head + tail.
+func serverCountryTable() ([]string, []float64) {
+	return countryTable(serverCountryWeights, 0.012)
+}
+
+func countryTable(head []countryWeight, tailWeight float64) ([]string, []float64) {
+	codes := make([]string, 0, len(head)+len(longTailCountries))
+	weights := make([]float64, 0, cap(codes))
+	for _, cw := range head {
+		codes = append(codes, cw.code)
+		weights = append(weights, cw.weight)
+	}
+	for _, c := range longTailCountries {
+		codes = append(codes, c)
+		weights = append(weights, tailWeight)
+	}
+	return codes, weights
+}
+
+// euCountries is the set treated as "near the IXP" for locality boosts
+// (the IXP is in DE; European traffic is over-represented).
+var euCountries = map[string]bool{
+	"DE": true, "FR": true, "GB": true, "NL": true, "IT": true, "ES": true,
+	"PL": true, "CZ": true, "AT": true, "CH": true, "SE": true, "DK": true,
+	"NO": true, "FI": true, "BE": true, "PT": true, "GR": true, "HU": true,
+	"RO": true, "IE": true, "EU": true, "UA": true, "TR": true, "RU": true,
+}
+
+// localityBoost scales a client's traffic weight by proximity to the
+// IXP: local (DE) clients route much of their traffic across the IXP,
+// European clients a lot, the rest of the world less. This is what makes
+// the traffic rankings in Table 2 euro-centric while the IP counts stay
+// global.
+func localityBoost(country string) float64 {
+	switch {
+	case country == "DE":
+		return 5.0
+	case euCountries[country]:
+		return 2.2
+	default:
+		return 0.6
+	}
+}

@@ -1,0 +1,631 @@
+package netmodel
+
+import (
+	"fmt"
+	"testing"
+
+	"ixplens/internal/geo"
+	"ixplens/internal/packet"
+)
+
+func tinyWorld(t testing.TB) *World {
+	t.Helper()
+	w, err := Generate(Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Tiny()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Tiny() invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Weeks = 0 },
+		func(c *Config) { c.NumASes = 5 },
+		func(c *Config) { c.NumPrefixes = c.NumASes - 1 },
+		func(c *Config) { c.NumOrgs = 3 },
+		func(c *Config) { c.NumServers = c.NumOrgs - 1 },
+		func(c *Config) { c.MembersStart = 2 },
+		func(c *Config) { c.MembersEnd = c.MembersStart - 1 },
+		func(c *Config) { c.MembersEnd = c.NumASes },
+		func(c *Config) { c.StableFraction = 0.7; c.RecurrentFraction = 0.5 },
+		func(c *Config) { c.HTTPSFraction = 1.5 },
+	}
+	for i, mutate := range bad {
+		c := Tiny()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate config", i)
+		}
+	}
+}
+
+func TestPaperScaleMonotone(t *testing.T) {
+	small := PaperScale(0.002)
+	big := PaperScale(0.05)
+	if big.NumServers <= small.NumServers || big.NumASes <= small.NumASes {
+		t.Fatal("scaling up must grow counts")
+	}
+	full := PaperScale(1)
+	if full.NumASes != 42_800 || full.NumPrefixes != 445_000 {
+		t.Fatalf("full scale wrong: %+v", full)
+	}
+}
+
+func TestWeekHelpers(t *testing.T) {
+	c := Tiny()
+	if c.LastWeek() != 51 {
+		t.Fatalf("LastWeek = %d", c.LastWeek())
+	}
+	if c.WeekIndex(35) != 0 || c.WeekIndex(51) != 16 {
+		t.Fatal("WeekIndex wrong")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	w1 := tinyWorld(t)
+	w2 := tinyWorld(t)
+	if len(w1.Servers) != len(w2.Servers) || len(w1.Prefixes) != len(w2.Prefixes) {
+		t.Fatal("generation is not deterministic in sizes")
+	}
+	for i := range w1.Servers {
+		if w1.Servers[i] != w2.Servers[i] {
+			t.Fatalf("server %d differs between runs", i)
+		}
+	}
+}
+
+func TestMembershipGrowth(t *testing.T) {
+	w := tinyWorld(t)
+	cfg := &w.Cfg
+	first := w.NumMembersInWeek(cfg.FirstWeek)
+	last := w.NumMembersInWeek(cfg.LastWeek())
+	if first != cfg.MembersStart {
+		t.Fatalf("week %d members = %d, want %d", cfg.FirstWeek, first, cfg.MembersStart)
+	}
+	if last != cfg.MembersEnd {
+		t.Fatalf("week %d members = %d, want %d", cfg.LastWeek(), last, cfg.MembersEnd)
+	}
+	prev := first
+	for wk := cfg.FirstWeek; wk <= cfg.LastWeek(); wk++ {
+		n := w.NumMembersInWeek(wk)
+		if n < prev {
+			t.Fatalf("membership shrank in week %d", wk)
+		}
+		prev = n
+	}
+}
+
+func TestPrefixesDisjointAndRoutable(t *testing.T) {
+	w := tinyWorld(t)
+	if len(w.Prefixes) < w.Cfg.NumPrefixes*9/10 {
+		t.Fatalf("allocated %d prefixes, want >= %d", len(w.Prefixes), w.Cfg.NumPrefixes*9/10)
+	}
+	// GeoDB build fails on overlap, so this doubles as the disjointness check.
+	db := w.GeoDB()
+	if db.NumRanges() == 0 {
+		t.Fatal("geo db empty")
+	}
+	for i := range w.Prefixes {
+		if !w.Prefixes[i].Prefix.First().IsGloballyRoutable() {
+			t.Fatalf("prefix %v not routable", w.Prefixes[i].Prefix)
+		}
+	}
+}
+
+func TestEveryASHasPrefix(t *testing.T) {
+	w := tinyWorld(t)
+	for i := range w.ASes {
+		if len(w.ASes[i].Prefixes) == 0 {
+			t.Fatalf("AS index %d has no prefixes", i)
+		}
+	}
+}
+
+func TestRIBResolvesServerIPs(t *testing.T) {
+	w := tinyWorld(t)
+	rib := w.RIB()
+	for i := range w.Servers {
+		s := &w.Servers[i]
+		asn, ok := rib.LookupASN(s.IP)
+		if !ok {
+			t.Fatalf("server IP %v not in RIB", s.IP)
+		}
+		if asn != w.ASes[s.AS].ASN {
+			t.Fatalf("server IP %v resolves to AS%d, hosted in AS%d", s.IP, asn, w.ASes[s.AS].ASN)
+		}
+	}
+}
+
+func TestServerIPsUnique(t *testing.T) {
+	w := tinyWorld(t)
+	seen := make(map[packet.IPv4Addr]int, len(w.Servers))
+	for i := range w.Servers {
+		if j, dup := seen[w.Servers[i].IP]; dup {
+			t.Fatalf("servers %d and %d share IP %v", i, j, w.Servers[i].IP)
+		}
+		seen[w.Servers[i].IP] = i
+	}
+	// Fake 443 endpoints must not collide with servers either.
+	for _, f := range w.Fake443 {
+		if _, dup := seen[f.IP]; dup {
+			t.Fatalf("fake-443 endpoint reuses server IP %v", f.IP)
+		}
+	}
+}
+
+func TestOrgServerRanges(t *testing.T) {
+	w := tinyWorld(t)
+	covered := 0
+	for i := range w.Orgs {
+		o := &w.Orgs[i]
+		covered += int(o.ServerCount)
+		for _, s := range w.OrgServers(int32(i)) {
+			if s.Org != int32(i) {
+				t.Fatalf("org %d slice contains server of org %d", i, s.Org)
+			}
+		}
+	}
+	if covered != len(w.Servers) {
+		t.Fatalf("org ranges cover %d servers of %d", covered, len(w.Servers))
+	}
+}
+
+func TestSpecialOrgShapes(t *testing.T) {
+	w := tinyWorld(t)
+	acme := &w.Orgs[w.Special.AcmeCDN]
+	if acme.Kind != OrgCDNDeploy || acme.HomeAS < 0 {
+		t.Fatalf("acme-cdn misconfigured: %+v", acme)
+	}
+	// Acme must span many ASes with a mix of visibilities.
+	ases := map[int32]bool{}
+	var visible, private, far int
+	for _, s := range w.OrgServers(w.Special.AcmeCDN) {
+		ases[s.AS] = true
+		switch s.Deploy {
+		case DeployNormal:
+			visible++
+		case DeployPrivateCluster:
+			private++
+		case DeployFarRegion:
+			far++
+		}
+	}
+	if len(ases) < 5 {
+		t.Fatalf("acme spans only %d ASes", len(ases))
+	}
+	if visible == 0 || private == 0 || far == 0 {
+		t.Fatalf("acme deploy mix degenerate: %d/%d/%d", visible, private, far)
+	}
+	if float64(visible)/float64(visible+private+far) > 0.5 {
+		t.Fatalf("acme visible share too high: %d of %d", visible, visible+private+far)
+	}
+
+	cdn77 := &w.Orgs[w.Special.CDN77]
+	if cdn77.HomeAS != -1 || !cdn77.PublishesServerIPs {
+		t.Fatalf("cdn77 analog misconfigured: %+v", cdn77)
+	}
+	if cdn77.ServerCount == 0 {
+		t.Fatal("cdn77 has no servers")
+	}
+
+	shield := &w.Orgs[w.Special.CloudShield]
+	for _, s := range w.OrgServers(w.Special.CloudShield) {
+		if s.AS != shield.HomeAS {
+			t.Fatal("cloudshield must host only in its own AS")
+		}
+	}
+}
+
+func TestCloudDCTags(t *testing.T) {
+	w := tinyWorld(t)
+	dcs := map[string]int{}
+	for _, s := range w.OrgServers(w.Special.ElastiCloud) {
+		if s.DC == "" {
+			t.Fatal("cloud server without DC tag")
+		}
+		dcs[s.DC]++
+	}
+	if dcs["eu-dublin"] == 0 || dcs["us-east"] == 0 {
+		t.Fatalf("elasticloud DC spread degenerate: %v", dcs)
+	}
+}
+
+func TestActivityOracle(t *testing.T) {
+	w := tinyWorld(t)
+	cfg := &w.Cfg
+	var stable, recurrent, fresh int
+	for i := range w.Servers {
+		s := &w.Servers[i]
+		switch s.Activity {
+		case ActStable:
+			stable++
+			for wk := cfg.FirstWeek; wk <= cfg.LastWeek(); wk++ {
+				if wk == 44 {
+					continue // hurricane exception
+				}
+				if !w.ServerActiveInWeek(int32(i), wk) {
+					t.Fatalf("stable server %d inactive in week %d", i, wk)
+				}
+			}
+		case ActRecurrent:
+			recurrent++
+		case ActFresh:
+			fresh++
+			if int(s.FirstWeek) <= cfg.FirstWeek {
+				t.Fatalf("fresh server %d first week %d too early", i, s.FirstWeek)
+			}
+			for wk := cfg.FirstWeek; wk < int(s.FirstWeek); wk++ {
+				if w.ServerActiveInWeek(int32(i), wk) {
+					t.Fatalf("fresh server %d active before first week", i)
+				}
+			}
+			if s.FirstWeek != 44 { // hurricane week overrides activity
+				if !w.ServerActiveInWeek(int32(i), int(s.FirstWeek)) {
+					t.Fatalf("fresh server %d inactive in its first week", i)
+				}
+			}
+		}
+	}
+	n := len(w.Servers)
+	if stable < n/20 || stable > n/3 {
+		t.Fatalf("stable pool %d of %d out of expected band", stable, n)
+	}
+	if fresh == 0 || recurrent == 0 {
+		t.Fatal("activity mix degenerate")
+	}
+}
+
+func TestHurricaneEvent(t *testing.T) {
+	w := tinyWorld(t)
+	darkened := 0
+	for i := range w.Servers {
+		s := &w.Servers[i]
+		if s.Org == w.Special.NimbusCloud && s.DC == "us-east" {
+			if w.ServerActiveInWeek(int32(i), 44) {
+				t.Fatalf("nimbus us-east server %d active during hurricane week", i)
+			}
+			darkened++
+		}
+	}
+	if darkened == 0 {
+		t.Fatal("no nimbus us-east servers exist")
+	}
+}
+
+func TestRecurrentActivityDeterministic(t *testing.T) {
+	w := tinyWorld(t)
+	for i := range w.Servers {
+		if w.Servers[i].Activity != ActRecurrent {
+			continue
+		}
+		a := w.ServerActiveInWeek(int32(i), 40)
+		b := w.ServerActiveInWeek(int32(i), 40)
+		if a != b {
+			t.Fatal("activity oracle must be deterministic")
+		}
+		break
+	}
+}
+
+func TestServerWeightsNormalizedPerOrg(t *testing.T) {
+	w := tinyWorld(t)
+	for i := range w.Orgs {
+		if w.Orgs[i].ServerCount == 0 {
+			continue
+		}
+		sum := 0.0
+		for _, s := range w.OrgServers(int32(i)) {
+			if s.Weight < 0 {
+				t.Fatalf("negative weight in org %d", i)
+			}
+			sum += float64(s.Weight)
+		}
+		if sum < 0.99 || sum > 1.01 {
+			t.Fatalf("org %d weights sum to %v", i, sum)
+		}
+	}
+}
+
+func TestFrontendsExist(t *testing.T) {
+	w := tinyWorld(t)
+	n := 0
+	for i := range w.Servers {
+		if w.Servers[i].Is(SrvFrontend) {
+			n++
+		}
+	}
+	if n < 10 {
+		t.Fatalf("only %d frontend servers", n)
+	}
+}
+
+func TestOrgWeightsSumToOne(t *testing.T) {
+	w := tinyWorld(t)
+	sum := 0.0
+	for i := range w.Orgs {
+		sum += w.Orgs[i].Weight
+	}
+	if sum < 0.95 || sum > 1.05 {
+		t.Fatalf("org weights sum to %v", sum)
+	}
+}
+
+func TestDistanceClassesPopulated(t *testing.T) {
+	w := tinyWorld(t)
+	var byClass [3]int
+	for i := range w.ASes {
+		byClass[w.ASes[i].Distance]++
+	}
+	if byClass[0] != w.Cfg.MembersEnd {
+		t.Fatalf("distance-0 count %d != members %d", byClass[0], w.Cfg.MembersEnd)
+	}
+	if byClass[1] == 0 || byClass[2] == 0 {
+		t.Fatalf("distance classes empty: %v", byClass)
+	}
+	// ViaMember of every AS must be a member (or itself for members).
+	for i := range w.ASes {
+		a := &w.ASes[i]
+		via := &w.ASes[a.ViaMember]
+		if a.MemberWeek == 0 && via.MemberWeek == 0 {
+			t.Fatalf("AS %d routes via non-member %d", i, a.ViaMember)
+		}
+	}
+}
+
+func TestASGraphMatchesDistances(t *testing.T) {
+	w := tinyWorld(t)
+	g := w.ASGraph()
+	var members []uint32
+	for i := range w.ASes {
+		if w.ASes[i].IsMemberInWeek(w.Cfg.LastWeek()) {
+			members = append(members, w.ASes[i].ASN)
+		}
+	}
+	dist := g.Distances(members)
+	for i := range w.ASes {
+		a := &w.ASes[i]
+		d := dist[a.ASN]
+		if a.MemberWeek != 0 && d != 0 {
+			t.Fatalf("member AS%d at graph distance %d", a.ASN, d)
+		}
+		if a.MemberWeek == 0 && int(a.Distance) != d {
+			// Distance-2 ASes can actually be closer if their upstream
+			// chain leads through a member quickly; only check bounds.
+			if d < 1 || d > int(a.Distance) {
+				t.Fatalf("AS%d declared distance %d, graph says %d", a.ASN, a.Distance, d)
+			}
+		}
+	}
+}
+
+func TestGeoCountryOfServers(t *testing.T) {
+	w := tinyWorld(t)
+	db := w.GeoDB()
+	mismatches := 0
+	for i := range w.Servers {
+		s := &w.Servers[i]
+		got := db.Lookup(s.IP)
+		if got == "" {
+			t.Fatalf("server IP %v not geo-locatable", s.IP)
+		}
+		if got != w.Prefixes[s.PrefixIdx].GeoCountry {
+			mismatches++
+		}
+	}
+	if mismatches != 0 {
+		t.Fatalf("%d servers geo-locate off their prefix country", mismatches)
+	}
+}
+
+func TestRegionsCovered(t *testing.T) {
+	w := tinyWorld(t)
+	regions := map[string]int{}
+	for i := range w.Servers {
+		regions[geo.Region(w.Prefixes[w.Servers[i].PrefixIdx].Country)]++
+	}
+	for _, r := range geo.Regions {
+		if regions[r] == 0 {
+			t.Fatalf("no servers in region %s: %v", r, regions)
+		}
+	}
+}
+
+func TestHTTPSFractionRoughlyConfigured(t *testing.T) {
+	w := tinyWorld(t)
+	https := 0
+	for i := range w.Servers {
+		if w.Servers[i].Is(SrvHTTPS) {
+			https++
+		}
+	}
+	frac := float64(https) / float64(len(w.Servers))
+	if frac < 0.08 || frac > 0.35 {
+		t.Fatalf("HTTPS fraction %v far from configured %v", frac, w.Cfg.HTTPSFraction)
+	}
+}
+
+func TestFake443Population(t *testing.T) {
+	w := tinyWorld(t)
+	if len(w.Fake443) == 0 {
+		t.Fatal("no fake 443 endpoints")
+	}
+	behaviours := map[Fake443Behaviour]int{}
+	for _, f := range w.Fake443 {
+		behaviours[f.Behaviour]++
+	}
+	if len(behaviours) < 4 {
+		t.Fatalf("fake 443 behaviour diversity too low: %v", behaviours)
+	}
+}
+
+func TestServerByIP(t *testing.T) {
+	w := tinyWorld(t)
+	idx, ok := w.ServerByIP(w.Servers[10].IP)
+	if !ok || idx != 10 {
+		t.Fatalf("ServerByIP = %d,%v", idx, ok)
+	}
+	if _, ok := w.ServerByIP(packet.MakeIPv4(203, 0, 113, 254)); ok {
+		t.Fatal("unknown IP should not resolve")
+	}
+}
+
+func TestResellerCustomersGrow(t *testing.T) {
+	w := tinyWorld(t)
+	countActive := func(wk int) int {
+		n := 0
+		for i := range w.Servers {
+			if w.ASes[w.Servers[i].AS].ResellerCustomer && w.ServerActiveInWeek(int32(i), wk) {
+				n++
+			}
+		}
+		return n
+	}
+	first := countActive(w.Cfg.FirstWeek)
+	last := countActive(w.Cfg.LastWeek())
+	if first == 0 {
+		t.Skip("tiny world produced no reseller-hosted servers")
+	}
+	if float64(last) < float64(first)*1.3 {
+		t.Fatalf("reseller fleet grew %d -> %d, want >= 1.3x", first, last)
+	}
+}
+
+func TestASIndexByASN(t *testing.T) {
+	w := tinyWorld(t)
+	idx, ok := w.ASIndexByASN(w.ASes[5].ASN)
+	if !ok || idx != 5 {
+		t.Fatalf("ASIndexByASN = %d,%v", idx, ok)
+	}
+	if _, ok := w.ASIndexByASN(1); ok {
+		t.Fatal("bogus ASN should not resolve")
+	}
+}
+
+func TestRoleAndKindStrings(t *testing.T) {
+	if RoleEyeball.String() != "eyeball" || RoleReseller.String() != "reseller" {
+		t.Fatal("role names wrong")
+	}
+	if ASRole(99).String() == "" || OrgKind(99).String() == "" {
+		t.Fatal("fallback names empty")
+	}
+	if OrgCDNDeploy.String() != "cdn-deploy" || OrgSmall.String() != "small" {
+		t.Fatal("kind names wrong")
+	}
+}
+
+func BenchmarkGenerateTiny(b *testing.B) {
+	cfg := Tiny()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestGenerateInvariantsAcrossSeeds re-checks the core structural
+// invariants on several seeds, guarding against seed-specific tuning.
+func TestGenerateInvariantsAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{1, 2, 99} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			cfg := Tiny()
+			cfg.Seed = seed
+			w, err := Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Unique server IPs.
+			seen := make(map[packet.IPv4Addr]bool, len(w.Servers))
+			for i := range w.Servers {
+				if seen[w.Servers[i].IP] {
+					t.Fatalf("duplicate server IP at seed %d", seed)
+				}
+				seen[w.Servers[i].IP] = true
+			}
+			// Org weights normalized, server slices consistent.
+			var orgSum float64
+			covered := 0
+			for i := range w.Orgs {
+				orgSum += w.Orgs[i].Weight
+				covered += int(w.Orgs[i].ServerCount)
+			}
+			if orgSum < 0.95 || orgSum > 1.05 {
+				t.Fatalf("org weights sum %v at seed %d", orgSum, seed)
+			}
+			if covered != len(w.Servers) {
+				t.Fatalf("org ranges cover %d of %d at seed %d", covered, len(w.Servers), seed)
+			}
+			// Geo database builds (disjoint prefixes) and covers servers.
+			db := w.GeoDB()
+			for i := 0; i < len(w.Servers); i += 97 {
+				if db.Lookup(w.Servers[i].IP) == "" {
+					t.Fatalf("server IP not geo-locatable at seed %d", seed)
+				}
+			}
+			// Membership growth monotone.
+			prev := 0
+			for wk := cfg.FirstWeek; wk <= cfg.LastWeek(); wk++ {
+				n := w.NumMembersInWeek(wk)
+				if n < prev {
+					t.Fatalf("membership shrank at seed %d", seed)
+				}
+				prev = n
+			}
+		})
+	}
+}
+
+// TestFullPaperScale generates the complete paper-scale world (42.8K
+// ASes, 445K prefixes, ~2.3M server IPs) and spot-checks invariants.
+// Takes a few seconds; skipped with -short.
+func TestFullPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation skipped with -short")
+	}
+	cfg := PaperScale(1)
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.ASes) != 42_800 {
+		t.Fatalf("ASes = %d", len(w.ASes))
+	}
+	if len(w.Prefixes) < 440_000 {
+		t.Fatalf("prefixes = %d", len(w.Prefixes))
+	}
+	if len(w.Servers) < 2_000_000 {
+		t.Fatalf("servers = %d", len(w.Servers))
+	}
+	if got := w.NumMembersInWeek(cfg.FirstWeek); got != 443 {
+		t.Fatalf("initial members = %d, want 443", got)
+	}
+	if got := w.NumMembersInWeek(cfg.LastWeek()); got != 457 {
+		t.Fatalf("final members = %d, want 457", got)
+	}
+	// The RIB must resolve a sample of server IPs to their hosting AS.
+	rib := w.RIB()
+	for i := 0; i < len(w.Servers); i += 50_000 {
+		s := &w.Servers[i]
+		asn, ok := rib.LookupASN(s.IP)
+		if !ok || asn != w.ASes[s.AS].ASN {
+			t.Fatalf("RIB broken for server %d", i)
+		}
+	}
+	// Acme's fleet matches Akamai's published magnitudes.
+	acme := &w.Orgs[w.Special.AcmeCDN]
+	if acme.ServerCount < 90_000 || acme.ServerCount > 110_000 {
+		t.Fatalf("acme fleet = %d, want ~100K", acme.ServerCount)
+	}
+	ases := map[int32]bool{}
+	for _, s := range w.OrgServers(w.Special.AcmeCDN) {
+		ases[s.AS] = true
+	}
+	if len(ases) < 500 {
+		t.Fatalf("acme spans only %d ASes at full scale", len(ases))
+	}
+}

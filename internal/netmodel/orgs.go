@@ -1,0 +1,339 @@
+package netmodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ixplens/internal/randutil"
+)
+
+// OrgKind classifies an organization by business model, which in turn
+// drives how its servers are deployed and named.
+type OrgKind uint8
+
+// Organization kinds.
+const (
+	OrgCDNDeploy   OrgKind = iota // CDN deploying servers inside ISPs (Akamai model)
+	OrgCDNCentral                 // CDN operating its own data centers (CloudFlare model)
+	OrgSearch                     // search/content giant with eyeball caches (Google model)
+	OrgHoster                     // web hosting company
+	OrgContent                    // content provider / web site operator
+	OrgCloud                      // cloud infrastructure provider
+	OrgStreamer                   // streaming service (RTMP + HTTP)
+	OrgOneClick                   // one-click hoster
+	OrgDNSProvider                // third-party DNS operator (SOA outsourcing target)
+	OrgSmall                      // small organizations, universities, ...
+)
+
+// String returns a short kind name.
+func (k OrgKind) String() string {
+	switch k {
+	case OrgCDNDeploy:
+		return "cdn-deploy"
+	case OrgCDNCentral:
+		return "cdn-central"
+	case OrgSearch:
+		return "search"
+	case OrgHoster:
+		return "hoster"
+	case OrgContent:
+		return "content"
+	case OrgCloud:
+		return "cloud"
+	case OrgStreamer:
+		return "streamer"
+	case OrgOneClick:
+		return "one-click"
+	case OrgDNSProvider:
+		return "dns-provider"
+	case OrgSmall:
+		return "small"
+	default:
+		return fmt.Sprintf("OrgKind(%d)", uint8(k))
+	}
+}
+
+// Org is an organization that has administrative control over servers —
+// the clustering target of Section 5. Orgs may own an AS, live entirely
+// inside third-party networks, or both.
+type Org struct {
+	ID   int32
+	Name string
+	// Domain is the org's primary DNS domain, the root that SOA-based
+	// clustering should recover.
+	Domain string
+	Kind   OrgKind
+	// HomeAS is the index of the AS the org owns, or -1 (players like
+	// CDN77 have no ASN at all and are invisible to AS-level views).
+	HomeAS int32
+	// Weight is the org's share of server-related traffic demand.
+	Weight float64
+	// DNSProvider is the org index of the third-party DNS operator
+	// holding this org's SOA records, or -1 when DNS is self-hosted.
+	// Outsourced SOA is what pushes servers from clustering step 1
+	// into step 2.
+	DNSProvider int32
+	// AssignsNames says the org names its servers under its own domain
+	// even inside third-party ASes (the Akamai/Google pattern that
+	// keeps step-1 clustering possible there).
+	AssignsNames bool
+	// PublishesServerIPs marks orgs that publicly list their servers
+	// (CDN77 pattern).
+	PublishesServerIPs bool
+	// NumSites is the number of distinct web sites whose content the
+	// org is responsible for delivering.
+	NumSites int
+	// ServerStart/ServerCount delimit the org's contiguous slice in
+	// World.Servers.
+	ServerStart, ServerCount int32
+}
+
+// Servers returns the org's servers as a slice of World.Servers.
+func (w *World) OrgServers(orgIdx int32) []Server {
+	o := &w.Orgs[orgIdx]
+	return w.Servers[o.ServerStart : o.ServerStart+o.ServerCount]
+}
+
+// SpecialIndex points at the cast of named players that the experiments
+// track individually (each is an analog of a company in the paper).
+type SpecialIndex struct {
+	// ResellerAS is the member AS acting as an IXP reseller.
+	ResellerAS int32
+
+	AcmeCDN      int32 // Akamai analog: massive deploy-in-ISP CDN
+	GlobalSearch int32 // Google analog
+	CloudShield  int32 // CloudFlare analog: own data centers only
+	HetzHost     int32 // large hoster analog (AS92572, 90K+ servers)
+	MidHostA     int32 // large hoster analog (AS56740, 50K+)
+	MidHostB     int32 // large hoster analog (AS50099, 50K+)
+	OVHHost      int32 // hoster analog
+	LeaseHost    int32 // hoster/CDN hybrid analog (Leaseweb)
+	MegaHost     int32 // AS36351 analog: hosts 350+ third-party orgs
+	VKont        int32 // VKontakte analog (RU content)
+	LimeCDN      int32 // Limelight analog (machine-to-machine traffic)
+	EdgeCDN      int32 // EdgeCast analog
+	NimbusCloud  int32 // cloud provider hit by the week-44 hurricane
+	ElastiCloud  int32 // Amazon analog: EC2-style cloud + CDN part
+	CDN77        int32 // no-ASN CDN that publishes its server IPs
+	OneClick     int32 // Rapidshare analog
+	EwekaOp      int32 // operator whose servers also act as clients
+
+	DNSProviders []int32 // third-party DNS operators
+}
+
+// specialSpec describes one special org to generate.
+type specialSpec struct {
+	field      *int32
+	name       string
+	domain     string
+	kind       OrgKind
+	weight     float64 // traffic weight relative to total server traffic
+	paperCount int     // server count at paper scale (NumServers = 2.4M)
+	hasAS      bool
+	memberAS   bool
+	country    string
+	sites      int
+	assigns    bool
+	publishes  bool
+}
+
+// specialSpecs returns the cast. Called on a World so the field pointers
+// target w.Special.
+func (w *World) specialSpecs() []specialSpec {
+	s := &w.Special
+	return []specialSpec{
+		{&s.AcmeCDN, "acme-cdn", "acmecdn.net", OrgCDNDeploy, 0.175, 100_000, true, true, "US", 40, true, false},
+		{&s.GlobalSearch, "globalsearch", "globalsearch.com", OrgSearch, 0.115, 19_000, true, true, "US", 12, true, false},
+		{&s.HetzHost, "hetzner-like", "hetzhost.de", OrgHoster, 0.055, 95_000, true, true, "DE", 900, true, false},
+		{&s.VKont, "vkontakt-like", "vkont.ru", OrgContent, 0.045, 10_000, true, true, "RU", 4, true, false},
+		{&s.LeaseHost, "leaseweb-like", "leasehost.nl", OrgHoster, 0.035, 30_000, true, true, "NL", 500, true, false},
+		{&s.LimeCDN, "limelight-like", "limecdn.com", OrgCDNCentral, 0.030, 12_000, true, true, "US", 25, true, false},
+		{&s.OVHHost, "ovh-like", "ovhhost.fr", OrgHoster, 0.025, 45_000, true, true, "FR", 700, true, false},
+		{&s.EdgeCDN, "edgecast-like", "edgecdn.com", OrgCDNCentral, 0.022, 10_000, true, true, "US", 20, true, false},
+		{&s.CloudShield, "cloudshield", "cloudshield.com", OrgCDNCentral, 0.020, 9_000, true, true, "US", 60, true, false},
+		{&s.MidHostA, "bighost-a", "bighost-a.com", OrgHoster, 0.012, 55_000, true, false, "US", 600, true, false},
+		{&s.MidHostB, "bighost-b", "bighost-b.net", OrgHoster, 0.011, 52_000, true, false, "RU", 550, true, false},
+		{&s.MegaHost, "megahost", "megahost.com", OrgHoster, 0.015, 15_000, true, true, "US", 800, true, false},
+		{&s.NimbusCloud, "nimbus-cloud", "nimbuscloud.com", OrgCloud, 0.015, 14_000, true, true, "US", 80, true, false},
+		{&s.ElastiCloud, "elasticloud", "elasticloud.com", OrgCloud, 0.018, 14_000, true, true, "US", 100, true, false},
+		{&s.CDN77, "lowcost-cdn", "lowcostcdn.com", OrgCDNCentral, 0.004, 600, false, false, "CZ", 10, true, true},
+		{&s.OneClick, "oneclick-host", "oneclick.cc", OrgOneClick, 0.012, 800, true, false, "NL", 2, true, false},
+		{&s.EwekaOp, "eweka-like", "ewekaop.nl", OrgContent, 0.008, 500, true, false, "NL", 3, true, false},
+	}
+}
+
+// tlds used for generic org domains.
+var orgTLDs = []string{"com", "net", "org", "de", "co.uk", "fr", "ru", "nl", "cz", "it", "pl", "io"}
+
+// genOrgs creates the organization population: the special cast first,
+// then generic orgs with Zipf-distributed popularity and Pareto-ish
+// server counts.
+func (w *World) genOrgs(rng *rand.Rand) {
+	cfg := &w.Cfg
+	specs := w.specialSpecs()
+	nSpecial := len(specs)
+	nDNSProv := 3
+	total := cfg.NumOrgs
+	if total < nSpecial+nDNSProv+10 {
+		total = nSpecial + nDNSProv + 10
+	}
+	w.Orgs = make([]Org, 0, total)
+
+	// Member AS indices are handed to special member orgs in order,
+	// skipping the reseller.
+	nextMemberAS := int32(0)
+	takeMemberAS := func() int32 {
+		for nextMemberAS == w.Special.ResellerAS {
+			nextMemberAS++
+		}
+		as := nextMemberAS
+		nextMemberAS++
+		return as
+	}
+	// Non-member AS pool for specials without membership: early
+	// distance-1 hoster-ish ASes (deterministic walk).
+	nextD1AS := int32(cfg.MembersEnd)
+
+	for _, sp := range specs {
+		id := int32(len(w.Orgs))
+		*sp.field = id
+		home := int32(-1)
+		if sp.hasAS {
+			if sp.memberAS {
+				home = takeMemberAS()
+			} else {
+				home = nextD1AS
+				nextD1AS++
+			}
+			w.setASCountry(home, sp.country)
+			w.ASes[home].Role = roleForOrgKind(sp.kind)
+		}
+		w.Orgs = append(w.Orgs, Org{
+			ID: id, Name: sp.name, Domain: sp.domain, Kind: sp.kind,
+			HomeAS: home, Weight: sp.weight, DNSProvider: -1,
+			AssignsNames: sp.assigns, PublishesServerIPs: sp.publishes,
+			NumSites: sp.sites,
+		})
+	}
+
+	// DNS provider orgs (SOA outsourcing targets).
+	for i := 0; i < nDNSProv; i++ {
+		id := int32(len(w.Orgs))
+		w.Special.DNSProviders = append(w.Special.DNSProviders, id)
+		home := nextD1AS
+		nextD1AS++
+		w.ASes[home].Role = RoleEnterprise
+		w.Orgs = append(w.Orgs, Org{
+			ID: id, Name: fmt.Sprintf("dns-provider-%d", i),
+			Domain: fmt.Sprintf("dnsprov%d.net", i), Kind: OrgDNSProvider,
+			HomeAS: home, Weight: 0.0003, DNSProvider: -1,
+			AssignsNames: true, NumSites: 1,
+		})
+	}
+
+	// Generic orgs. Popularity is Zipf; the remaining traffic weight
+	// budget (1 - specials) is shared among them.
+	nGeneric := total - len(w.Orgs)
+	specialWeight := 0.0
+	for i := range w.Orgs {
+		specialWeight += w.Orgs[i].Weight
+	}
+	zw := randutil.ZipfWeights(nGeneric, 1.02)
+	zTotal := 0.0
+	for _, v := range zw {
+		zTotal += v
+	}
+	// Candidate home ASes for generic orgs that own one: any non-member
+	// AS not already taken. About 30% of generic orgs own an AS.
+	for i := 0; i < nGeneric; i++ {
+		id := int32(len(w.Orgs))
+		kind := genericOrgKind(rng, i)
+		home := int32(-1)
+		if rng.Float64() < 0.30 && int(nextD1AS) < cfg.NumASes-1 {
+			// Owned ASes are drawn sequentially; interleave with a
+			// random skip so org order does not equal AS order.
+			home = nextD1AS + int32(rng.Intn(3))
+			if int(home) >= cfg.NumASes {
+				home = int32(cfg.NumASes - 1)
+			}
+			nextD1AS = home + 1
+		}
+		dnsProv := int32(-1)
+		// A third of generic orgs outsource DNS; hosters less often.
+		outsourceProb := 0.34
+		if kind == OrgHoster {
+			outsourceProb = 0.10
+		}
+		if rng.Float64() < outsourceProb {
+			dnsProv = w.Special.DNSProviders[rng.Intn(len(w.Special.DNSProviders))]
+		}
+		sites := 1 + rng.Intn(3)
+		if kind == OrgHoster {
+			sites = 20 + rng.Intn(300)
+		}
+		w.Orgs = append(w.Orgs, Org{
+			ID:   id,
+			Name: fmt.Sprintf("org-%05d", id),
+			Domain: fmt.Sprintf("org%05d.%s", id,
+				orgTLDs[rng.Intn(len(orgTLDs))]),
+			Kind: kind, HomeAS: home,
+			Weight:       (1 - specialWeight) * zw[i] / zTotal,
+			DNSProvider:  dnsProv,
+			AssignsNames: kind != OrgSmall || rng.Float64() < 0.5,
+			NumSites:     sites,
+		})
+		if home >= 0 {
+			w.ASes[home].Role = roleForOrgKind(kind)
+		}
+	}
+}
+
+// genericOrgKind draws the kind of the i-th generic org (rank order:
+// popular generic orgs are more likely content/hosting businesses).
+func genericOrgKind(rng *rand.Rand, rank int) OrgKind {
+	r := rng.Float64()
+	switch {
+	case rank < 40 && r < 0.25:
+		return OrgHoster
+	case r < 0.06:
+		return OrgHoster
+	case r < 0.10:
+		return OrgStreamer
+	case r < 0.42:
+		return OrgContent
+	case r < 0.47:
+		return OrgCloud
+	default:
+		return OrgSmall
+	}
+}
+
+// setASCountry reassigns an AS's country, keeping its already-allocated
+// prefixes (and hence the geo database) consistent.
+func (w *World) setASCountry(asIdx int32, country string) {
+	a := &w.ASes[asIdx]
+	a.Country = country
+	for _, pi := range a.Prefixes {
+		p := &w.Prefixes[pi]
+		if p.GeoCountry == p.Country {
+			p.GeoCountry = country
+		}
+		p.Country = country
+	}
+}
+
+// roleForOrgKind maps an org kind to the AS role of its home network.
+func roleForOrgKind(k OrgKind) ASRole {
+	switch k {
+	case OrgCDNDeploy, OrgCDNCentral:
+		return RoleCDN
+	case OrgSearch, OrgContent, OrgStreamer, OrgOneClick:
+		return RoleContent
+	case OrgHoster:
+		return RoleHoster
+	case OrgCloud:
+		return RoleCloud
+	default:
+		return RoleEnterprise
+	}
+}

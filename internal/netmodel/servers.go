@@ -1,0 +1,436 @@
+package netmodel
+
+import (
+	"math/rand"
+
+	"ixplens/internal/packet"
+	"ixplens/internal/randutil"
+)
+
+// ServerFlags carries per-server boolean attributes.
+type ServerFlags uint16
+
+// Server flags.
+const (
+	// SrvHTTP serves plain HTTP (TCP 80/8080).
+	SrvHTTP ServerFlags = 1 << iota
+	// SrvHTTPS serves HTTPS with a valid certificate chain.
+	SrvHTTPS
+	// SrvRTMP also speaks RTMP on TCP 1935 (multi-purpose server).
+	SrvRTMP
+	// SrvActsAsClient marks servers that also originate client-side
+	// connections (CDN back-fetch, proxies): ~200K of 1.5M in the paper.
+	SrvActsAsClient
+	// SrvHasPTR means reverse DNS resolves to a hostname.
+	SrvHasPTR
+	// SrvNamedByHoster means that hostname lives under the hosting
+	// company's domain, not the owning org's.
+	SrvNamedByHoster
+	// SrvInvalidURIHandler marks catch-all servers some ASes run for
+	// invalid URIs (one of the Section 3.3 blind-spot categories).
+	SrvInvalidURIHandler
+	// SrvFrontend marks front-end servers that gateway entire data
+	// centers or anycast services — the extreme head of Fig. 2.
+	SrvFrontend
+	// SrvPersistentFresh marks fresh servers that stay online once they
+	// first appear (planned deployments: cloud region launches,
+	// reseller customer fleets), as opposed to transient fresh IPs.
+	SrvPersistentFresh
+)
+
+// ActivityKind is the longitudinal behaviour of a server (Section 4.1).
+type ActivityKind uint8
+
+// Activity kinds.
+const (
+	// ActStable servers are active in every week of the study.
+	ActStable ActivityKind = iota
+	// ActRecurrent servers are active in a random subset of weeks.
+	ActRecurrent
+	// ActFresh servers first appear in FirstWeek and are recurrent
+	// afterwards.
+	ActFresh
+)
+
+// DeployKind is the visibility situation of a deployment (Section 3.3).
+type DeployKind uint8
+
+// Deployment kinds.
+const (
+	// DeployNormal servers exchange traffic across the IXP.
+	DeployNormal DeployKind = iota
+	// DeployPrivateCluster servers serve only clients inside their
+	// hosting AS; their traffic never crosses the IXP.
+	DeployPrivateCluster
+	// DeployFarRegion servers serve only geographically distant
+	// clients whose paths avoid the IXP.
+	DeployFarRegion
+)
+
+// Server is one Web server IP with its ground-truth attributes.
+type Server struct {
+	IP packet.IPv4Addr
+	// Org is the organization with administrative control.
+	Org int32
+	// AS is the hosting AS (== Org's home AS or a third party).
+	AS int32
+	// PrefixIdx is the prefix the IP was allocated from.
+	PrefixIdx int32
+	// DC tags the data center for cloud providers ("us-east", ...).
+	DC       string
+	Flags    ServerFlags
+	Deploy   DeployKind
+	Activity ActivityKind
+	// FirstWeek is the ISO week of first activity for ActFresh servers.
+	FirstWeek int16
+	// Weight is the server's share of its org's traffic.
+	Weight float32
+}
+
+// Is reports whether all given flags are set.
+func (s *Server) Is(f ServerFlags) bool { return s.Flags&f == f }
+
+// VisibleAtIXP reports whether the server's traffic can cross the IXP's
+// public fabric at all.
+func (s *Server) VisibleAtIXP() bool { return s.Deploy == DeployNormal }
+
+// dcSpec describes a cloud data center region.
+type dcSpec struct {
+	tag     string
+	country string
+	weight  float64
+}
+
+var nimbusDCs = []dcSpec{
+	{"us-east", "US", 0.38}, {"us-west", "US", 0.17},
+	{"eu-central", "DE", 0.30}, {"ap-south", "SG", 0.15},
+}
+
+var elastiDCs = []dcSpec{
+	{"us-east", "US", 0.40}, {"us-west", "US", 0.18},
+	{"eu-dublin", "IE", 0.26}, {"ap-tokyo", "JP", 0.16},
+}
+
+// genServers builds the full server population org by org.
+func (w *World) genServers(rng *rand.Rand) {
+	counts := w.serverCounts(rng)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	w.Servers = make([]Server, 0, total)
+
+	pools := w.buildASPools(rng)
+	for orgIdx := range w.Orgs {
+		w.deployOrg(rng, int32(orgIdx), counts[orgIdx], pools)
+	}
+	w.assignActivity(rng)
+	w.assignWeights(rng)
+}
+
+// serverCounts decides how many servers each org operates. Specials are
+// anchored to their paper-scale counts; generic orgs share the rest via
+// a Zipf tail with a minimum of 2.
+func (w *World) serverCounts(rng *rand.Rand) []int {
+	cfg := &w.Cfg
+	counts := make([]int, len(w.Orgs))
+	scale := float64(cfg.NumServers) / 2_400_000.0
+
+	specs := w.specialSpecs()
+	used := 0
+	for i, sp := range specs {
+		n := int(float64(sp.paperCount) * scale)
+		if n < 4 {
+			n = 4
+		}
+		counts[i] = n // special orgs occupy the first len(specs) slots
+		used += n
+	}
+	for _, dp := range w.Special.DNSProviders {
+		counts[dp] = 2
+		used += 2
+	}
+	remaining := cfg.NumServers - used
+	if remaining < 0 {
+		remaining = 0
+	}
+	firstGeneric := len(specs) + len(w.Special.DNSProviders)
+	nGeneric := len(w.Orgs) - firstGeneric
+	if nGeneric <= 0 {
+		return counts
+	}
+	zw := randutil.ZipfWeights(nGeneric, 0.92)
+	zTotal := 0.0
+	for _, v := range zw {
+		zTotal += v
+	}
+	for i := 0; i < nGeneric; i++ {
+		n := int(float64(remaining) * zw[i] / zTotal)
+		if n < 2 {
+			n = 2
+		}
+		counts[firstGeneric+i] = n
+	}
+	return counts
+}
+
+// asPools are the AS candidate sets deployments draw from.
+type asPools struct {
+	hosters      []int32 // hoster-role ASes (weighted by capacity)
+	hosterWts    []float64
+	eyeballsNear []int32 // member + distance-1 eyeball ASes
+	eyeballsFar  []int32 // distance-2 eyeball ASes (mostly non-EU)
+	resellerASes []int32 // ASes behind the reseller member
+}
+
+func (w *World) buildASPools(rng *rand.Rand) *asPools {
+	p := &asPools{}
+	megaAS := w.Orgs[w.Special.MegaHost].HomeAS
+	for i := range w.ASes {
+		a := &w.ASes[i]
+		idx := int32(i)
+		switch {
+		case a.Role == RoleHoster:
+			p.hosters = append(p.hosters, idx)
+			wt := 0.5 + rng.Float64()
+			if idx == megaAS {
+				// megahost must end up hosting hundreds of orgs.
+				wt = float64(len(w.ASes))/100 + 20
+			}
+			p.hosterWts = append(p.hosterWts, wt)
+		case a.Role == RoleEyeball && a.Distance <= 1:
+			p.eyeballsNear = append(p.eyeballsNear, idx)
+		case a.Role == RoleEyeball:
+			p.eyeballsFar = append(p.eyeballsFar, idx)
+		}
+		if a.ResellerCustomer {
+			p.resellerASes = append(p.resellerASes, idx)
+		}
+	}
+	return p
+}
+
+// deployOrg places an org's n servers into ASes according to its kind.
+func (w *World) deployOrg(rng *rand.Rand, orgIdx int32, n int, pools *asPools) {
+	o := &w.Orgs[orgIdx]
+	o.ServerStart = int32(len(w.Servers))
+	if n <= 0 {
+		return
+	}
+	hosterAlias := randutil.NewAlias(pools.hosterWts)
+
+	switch o.Kind {
+	case OrgCDNDeploy:
+		// Akamai model: 28% of servers near the IXP (visible), 45% in
+		// private clusters, 27% in far regions; spread over very many
+		// ASes.
+		nearASes := pickASes(rng, pools.eyeballsNear, maxInt(4, len(pools.eyeballsNear)*6/10))
+		farASes := pickASes(rng, pools.eyeballsFar, maxInt(4, len(pools.eyeballsFar)*4/10))
+		if len(nearASes) == 0 {
+			nearASes = []int32{o.HomeAS}
+		}
+		if len(farASes) == 0 {
+			farASes = nearASes
+		}
+		for i := 0; i < n; i++ {
+			r := rng.Float64()
+			switch {
+			case o.HomeAS >= 0 && (i == 0 || r < 0.13):
+				// Roughly half the visible fleet serves out of the
+				// org's own AS; those servers carry most of the
+				// org's traffic (Fig. 7b).
+				w.placeServer(rng, orgIdx, o.HomeAS, DeployNormal, "")
+			case r < 0.28:
+				// Visible deployments favour a subset of near ASes.
+				as := nearASes[rng.Intn(maxInt(1, len(nearASes)*45/100))]
+				w.placeServer(rng, orgIdx, as, DeployNormal, "")
+			case r < 0.73:
+				as := nearASes[rng.Intn(len(nearASes))]
+				w.placeServer(rng, orgIdx, as, DeployPrivateCluster, "")
+			default:
+				as := farASes[rng.Intn(len(farASes))]
+				w.placeServer(rng, orgIdx, as, DeployFarRegion, "")
+			}
+		}
+	case OrgSearch:
+		// Own AS plus eyeball caches, half of them private.
+		cacheASes := pickASes(rng, pools.eyeballsNear, maxInt(3, len(pools.eyeballsNear)/3))
+		if len(cacheASes) == 0 {
+			cacheASes = []int32{o.HomeAS}
+		}
+		for i := 0; i < n; i++ {
+			r := rng.Float64()
+			switch {
+			case r < 0.60:
+				w.placeServer(rng, orgIdx, o.HomeAS, DeployNormal, "")
+			case r < 0.80:
+				w.placeServer(rng, orgIdx, cacheASes[rng.Intn(len(cacheASes))], DeployNormal, "")
+			default:
+				w.placeServer(rng, orgIdx, cacheASes[rng.Intn(len(cacheASes))], DeployPrivateCluster, "")
+			}
+		}
+	case OrgCloud:
+		if o.HomeAS < 0 {
+			w.deployGenericOrg(rng, orgIdx, n, pools, hosterAlias)
+			break
+		}
+		dcs := nimbusDCs
+		if orgIdx == w.Special.ElastiCloud {
+			dcs = elastiDCs
+		}
+		w.retagCloudPrefixes(o.HomeAS, dcs)
+		dcw := make([]float64, len(dcs))
+		for i := range dcs {
+			dcw[i] = dcs[i].weight
+		}
+		dcAlias := randutil.NewAlias(dcw)
+		for i := 0; i < n; i++ {
+			dc := dcs[dcAlias.Sample(rng)]
+			w.placeServerDC(rng, orgIdx, o.HomeAS, DeployNormal, dc.tag, dc.country)
+		}
+	case OrgHoster, OrgCDNCentral, OrgStreamer, OrgOneClick, OrgDNSProvider:
+		if o.PublishesServerIPs || o.HomeAS < 0 {
+			// No-ASN orgs rent capacity in several hoster ASes.
+			k := 4 + rng.Intn(6)
+			ases := make([]int32, k)
+			for i := range ases {
+				ases[i] = pools.hosters[hosterAlias.Sample(rng)]
+			}
+			for i := 0; i < n; i++ {
+				w.placeServer(rng, orgIdx, ases[rng.Intn(k)], DeployNormal, "")
+			}
+			break
+		}
+		for i := 0; i < n; i++ {
+			w.placeServer(rng, orgIdx, o.HomeAS, DeployNormal, "")
+		}
+	default: // OrgContent, OrgSmall
+		w.deployGenericOrg(rng, orgIdx, n, pools, hosterAlias)
+	}
+	o.ServerCount = int32(len(w.Servers)) - o.ServerStart
+}
+
+// deployGenericOrg spreads a content/small org: mostly its own AS if it
+// has one, otherwise a few hoster ASes; large orgs fan out wider
+// (producing the Fig. 6b heavy tail).
+func (w *World) deployGenericOrg(rng *rand.Rand, orgIdx int32, n int, pools *asPools, hosterAlias *randutil.Alias) {
+	o := &w.Orgs[orgIdx]
+	nASes := 1
+	switch {
+	case n > 1000:
+		nASes = 3 + rng.Intn(28)
+	case n > 100:
+		nASes = 2 + rng.Intn(6)
+	case n > 10:
+		nASes = 1 + rng.Intn(3)
+	}
+	targets := make([]int32, 0, nASes+1)
+	if o.HomeAS >= 0 {
+		targets = append(targets, o.HomeAS)
+	}
+	for len(targets) < nASes {
+		targets = append(targets, pools.hosters[hosterAlias.Sample(rng)])
+	}
+	// A couple of very large content orgs also push into eyeballs,
+	// mirroring the single-purpose-CDN trend (Netflix/OpenConnect).
+	if n > 2000 && rng.Float64() < 0.5 && len(pools.eyeballsNear) > 0 {
+		for k := 0; k < 4+rng.Intn(10); k++ {
+			targets = append(targets, pools.eyeballsNear[rng.Intn(len(pools.eyeballsNear))])
+		}
+	}
+	for i := 0; i < n; i++ {
+		as := targets[rng.Intn(len(targets))]
+		deploy := DeployNormal
+		// Small far-away orgs are another blind-spot category.
+		if w.ASes[as].Distance >= 2 && !euCountries[w.ASes[as].Country] && rng.Float64() < 0.65 {
+			deploy = DeployFarRegion
+		}
+		w.placeServer(rng, orgIdx, as, deploy, "")
+	}
+}
+
+// placeServer allocates one server IP for org inside as.
+func (w *World) placeServer(rng *rand.Rand, orgIdx, asIdx int32, deploy DeployKind, dc string) {
+	w.placeServerDC(rng, orgIdx, asIdx, deploy, dc, "")
+}
+
+func (w *World) placeServerDC(rng *rand.Rand, orgIdx, asIdx int32, deploy DeployKind, dc, dcCountry string) {
+	ip, prefixIdx, ok := w.allocServerIP(asIdx, dcCountry)
+	if !ok {
+		return // hosting AS is out of address space; skip this server
+	}
+	w.Servers = append(w.Servers, Server{
+		IP: ip, Org: orgIdx, AS: asIdx, PrefixIdx: prefixIdx,
+		DC: dc, Deploy: deploy,
+	})
+}
+
+// allocServerIP hands out the next free address in one of the AS's
+// prefixes (bottom-up). When dcCountry is non-empty, only prefixes
+// retagged to that country qualify.
+func (w *World) allocServerIP(asIdx int32, dcCountry string) (packet.IPv4Addr, int32, bool) {
+	a := &w.ASes[asIdx]
+	for _, pi := range a.Prefixes {
+		p := &w.Prefixes[pi]
+		if dcCountry != "" && p.Country != dcCountry {
+			continue
+		}
+		// Keep the top half of each prefix for client addresses.
+		capacity := uint32(p.Prefix.NumAddrs() / 2)
+		if capacity < 2 {
+			continue
+		}
+		if p.serversAllocated < capacity {
+			ip := p.Prefix.First() + packet.IPv4Addr(p.serversAllocated) + 1
+			p.serversAllocated++
+			return ip, pi, true
+		}
+	}
+	return 0, 0, false
+}
+
+// retagCloudPrefixes reassigns a cloud AS's prefixes across its data
+// center countries so geolocation reflects DC placement.
+func (w *World) retagCloudPrefixes(asIdx int32, dcs []dcSpec) {
+	if asIdx < 0 {
+		return
+	}
+	a := &w.ASes[asIdx]
+	for k, pi := range a.Prefixes {
+		dc := dcs[k%len(dcs)]
+		w.Prefixes[pi].Country = dc.country
+		w.Prefixes[pi].GeoCountry = dc.country
+	}
+}
+
+// pickASes draws up to k distinct ASes from pool.
+func pickASes(rng *rand.Rand, pool []int32, k int) []int32 {
+	if len(pool) == 0 {
+		return nil
+	}
+	if k >= len(pool) {
+		out := make([]int32, len(pool))
+		copy(out, pool)
+		return out
+	}
+	perm := rng.Perm(len(pool))
+	out := make([]int32, k)
+	for i := 0; i < k; i++ {
+		out[i] = pool[perm[i]]
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,284 @@
+package netmodel
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ixplens/internal/geo"
+	"ixplens/internal/packet"
+	"ixplens/internal/routing"
+)
+
+// ASRole classifies an autonomous system by its dominant business.
+type ASRole uint8
+
+// AS roles.
+const (
+	RoleEyeball    ASRole = iota // access networks with many client IPs
+	RoleTransit                  // carriers
+	RoleHoster                   // web hosting / data centers
+	RoleCDN                      // content delivery networks
+	RoleContent                  // content providers
+	RoleCloud                    // cloud infrastructure providers
+	RoleEnterprise               // everything else with a network
+	RoleReseller                 // IXP resellers (member ASes fronting remote customers)
+)
+
+// String returns a short role name.
+func (r ASRole) String() string {
+	switch r {
+	case RoleEyeball:
+		return "eyeball"
+	case RoleTransit:
+		return "transit"
+	case RoleHoster:
+		return "hoster"
+	case RoleCDN:
+		return "cdn"
+	case RoleContent:
+		return "content"
+	case RoleCloud:
+		return "cloud"
+	case RoleEnterprise:
+		return "enterprise"
+	case RoleReseller:
+		return "reseller"
+	default:
+		return fmt.Sprintf("ASRole(%d)", uint8(r))
+	}
+}
+
+// AS is one autonomous system of the synthetic Internet.
+type AS struct {
+	// ASN is the AS number (unique, dense from asnBase upward).
+	ASN     uint32
+	Role    ASRole
+	Country string
+	// MemberWeek is the ISO week in which the AS became an IXP member,
+	// or 0 if it never joins. Initial members carry FirstWeek.
+	MemberWeek int
+	// Distance is the AS-hop distance from the member set (0 for
+	// members, 1 or 2 otherwise) — the paper's A(L)/A(M)/A(G) classes.
+	Distance uint8
+	// Upstream is the AS index this AS attaches to for IXP-bound
+	// traffic (-1 for members).
+	Upstream int32
+	// ViaMember is the member AS index whose IXP port carries this
+	// AS's traffic (self for members).
+	ViaMember int32
+	// ClientWeight is the AS's share of observable client IP activity.
+	ClientWeight float64
+	// Prefixes are indices into World.Prefixes.
+	Prefixes []int32
+	// ResellerCustomer marks ASes attached behind the reseller member.
+	ResellerCustomer bool
+}
+
+// IsMemberInWeek reports whether the AS is an IXP member in isoWeek.
+func (a *AS) IsMemberInWeek(isoWeek int) bool {
+	return a.MemberWeek != 0 && a.MemberWeek <= isoWeek
+}
+
+// Prefix is one routed prefix.
+type Prefix struct {
+	Prefix routing.Prefix
+	// AS is the index of the origin AS.
+	AS int32
+	// Country is the true country of the address range.
+	Country string
+	// GeoCountry is the country the geolocation database reports
+	// (equal to Country except for deliberate GeoErrorRate errors).
+	GeoCountry string
+	// serversAllocated counts server IPs handed out from the bottom of
+	// the prefix; client IPs are drawn above this watermark.
+	serversAllocated uint32
+}
+
+// asnBase is the first ASN handed out. Matching nothing real on purpose.
+const asnBase = 100_000
+
+// World is the fully generated synthetic Internet plus IXP.
+type World struct {
+	Cfg      Config
+	ASes     []AS
+	Prefixes []Prefix
+	Orgs     []Org
+	Servers  []Server
+
+	// Special entity indices (see orgs.go).
+	Special SpecialIndex
+
+	// Fake443 lists endpoints that receive TCP/443 traffic but are not
+	// HTTPS web servers (VPNs, SSH-over-443, dead cloud IPs). Index i
+	// also encodes behaviour: see certsim.
+	Fake443 []Fake443Endpoint
+
+	geoDB *geo.DB
+	rib   *routing.Table
+
+	serverByIP map[packet.IPv4Addr]int32
+}
+
+// Fake443Behaviour says how a non-HTTPS port-443 endpoint reacts to a
+// certificate crawl.
+type Fake443Behaviour uint8
+
+// Fake 443 behaviours, mirroring Section 2.2.2's reject reasons.
+const (
+	Fake443NoResponse    Fake443Behaviour = iota // never answers the crawl
+	Fake443NotTLS                                // answers garbage (SSH banner)
+	Fake443BadChain                              // self-signed / broken chain
+	Fake443Expired                               // expired certificate
+	Fake443Unstable                              // cloud IP changing role between crawls
+	Fake443BadName                               // invalid subject / ccSLD
+	Fake443WrongKeyUsage                         // cert not issued for server auth
+)
+
+// Fake443Endpoint is one such endpoint.
+type Fake443Endpoint struct {
+	IP        packet.IPv4Addr
+	AS        int32
+	Behaviour Fake443Behaviour
+}
+
+// Generate builds a world from cfg. It is deterministic in cfg.Seed.
+func Generate(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &World{Cfg: cfg}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	w.genASes(rng)
+	w.genPrefixes(rng)
+	w.genOrgs(rng)
+	w.genServers(rng)
+	w.genFake443(rng)
+	return w, nil
+}
+
+// NumMembersInWeek returns the IXP member count in isoWeek.
+func (w *World) NumMembersInWeek(isoWeek int) int {
+	n := 0
+	for i := range w.ASes {
+		if w.ASes[i].IsMemberInWeek(isoWeek) {
+			n++
+		}
+	}
+	return n
+}
+
+// MemberASes returns the indices of all ASes that are members in isoWeek.
+func (w *World) MemberASes(isoWeek int) []int32 {
+	var out []int32
+	for i := range w.ASes {
+		if w.ASes[i].IsMemberInWeek(isoWeek) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+// GeoDB returns (building lazily) the geolocation database derived from
+// the prefix allocation, including any configured error rate.
+func (w *World) GeoDB() *geo.DB {
+	if w.geoDB != nil {
+		return w.geoDB
+	}
+	ranges := make([]geo.Range, 0, len(w.Prefixes))
+	for i := range w.Prefixes {
+		p := &w.Prefixes[i]
+		ranges = append(ranges, geo.Range{
+			First:   p.Prefix.First(),
+			Last:    p.Prefix.Last(),
+			Country: p.GeoCountry,
+		})
+	}
+	db, err := geo.Build(ranges)
+	if err != nil {
+		// Prefix allocation guarantees disjoint ranges; an overlap is a
+		// generator bug worth failing loudly on.
+		panic(fmt.Sprintf("netmodel: geo build: %v", err))
+	}
+	w.geoDB = db
+	return db
+}
+
+// RIB returns (building lazily) the routing table mapping every routed
+// prefix to its origin AS.
+func (w *World) RIB() *routing.Table {
+	if w.rib != nil {
+		return w.rib
+	}
+	t := routing.NewTable()
+	for i := range w.Prefixes {
+		p := &w.Prefixes[i]
+		t.Insert(p.Prefix, w.ASes[p.AS].ASN)
+	}
+	w.rib = t
+	return t
+}
+
+// ASGraph builds the AS-level connectivity graph: members are meshed
+// through the IXP's route servers (modelled as a chain, which is enough
+// for hop distances of 0/1/2), every other AS hangs off its upstream.
+func (w *World) ASGraph() *routing.ASGraph {
+	g := routing.NewASGraph()
+	var prevMember int32 = -1
+	for i := range w.ASes {
+		a := &w.ASes[i]
+		g.AddAS(a.ASN)
+		if a.MemberWeek != 0 {
+			if prevMember >= 0 {
+				g.AddEdge(w.ASes[prevMember].ASN, a.ASN)
+			}
+			prevMember = int32(i)
+			continue
+		}
+		if a.Upstream >= 0 {
+			g.AddEdge(a.ASN, w.ASes[a.Upstream].ASN)
+		}
+	}
+	return g
+}
+
+// ASIndexByASN returns the index of the AS with the given ASN.
+func (w *World) ASIndexByASN(asn uint32) (int32, bool) {
+	i := int32(asn) - asnBase
+	if i < 0 || int(i) >= len(w.ASes) || w.ASes[i].ASN != asn {
+		return 0, false
+	}
+	return i, true
+}
+
+// ServerByIP returns the server index owning ip, if any. The lookup map
+// is built on first use.
+func (w *World) ServerByIP(ip packet.IPv4Addr) (int32, bool) {
+	if w.serverByIP == nil {
+		w.serverByIP = make(map[packet.IPv4Addr]int32, len(w.Servers))
+		for i := range w.Servers {
+			w.serverByIP[w.Servers[i].IP] = int32(i)
+		}
+	}
+	i, ok := w.serverByIP[ip]
+	return i, ok
+}
+
+// CountryOfIP returns the true country of an address (ground truth, not
+// the geo DB's possibly-wrong answer).
+func (w *World) CountryOfIP(ip packet.IPv4Addr) string {
+	r, ok := w.RIB().Lookup(ip)
+	if !ok {
+		return ""
+	}
+	asIdx, ok := w.ASIndexByASN(r.ASN)
+	if !ok {
+		return ""
+	}
+	// The prefix carries the country; find it via the route's prefix.
+	for _, pi := range w.ASes[asIdx].Prefixes {
+		if w.Prefixes[pi].Prefix == r.Prefix {
+			return w.Prefixes[pi].Country
+		}
+	}
+	return w.ASes[asIdx].Country
+}

@@ -1,0 +1,77 @@
+package packet
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// IPv4Addr is an IPv4 address in host integer form. Using a plain uint32
+// keeps the per-flow aggregation maps compact and makes prefix arithmetic
+// (masking, range checks) branch-free.
+type IPv4Addr uint32
+
+// MakeIPv4 builds an address from its four dotted-quad octets.
+func MakeIPv4(a, b, c, d byte) IPv4Addr {
+	return IPv4Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// ParseIPv4 parses a dotted-quad string.
+func ParseIPv4(s string) (IPv4Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("packet: invalid IPv4 address %q", s)
+	}
+	var v uint32
+	for _, p := range parts {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 || n > 255 {
+			return 0, fmt.Errorf("packet: invalid IPv4 address %q", s)
+		}
+		v = v<<8 | uint32(n)
+	}
+	return IPv4Addr(v), nil
+}
+
+// String formats the address as a dotted quad.
+func (a IPv4Addr) String() string {
+	var buf [15]byte
+	b := strconv.AppendUint(buf[:0], uint64(a>>24), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(a>>16&0xff), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(a>>8&0xff), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, uint64(a&0xff), 10)
+	return string(b)
+}
+
+// Octets returns the four dotted-quad octets, most significant first.
+func (a IPv4Addr) Octets() (byte, byte, byte, byte) {
+	return byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)
+}
+
+// IsGloballyRoutable reports whether the address falls outside the
+// non-routable special-use blocks (RFC 1918, loopback, link-local,
+// multicast, class E, 0/8). The synthetic address allocator uses it to
+// stay inside publicly-routed space, mirroring the paper's restriction to
+// publicly routed IPv4 addresses.
+func (a IPv4Addr) IsGloballyRoutable() bool {
+	switch {
+	case a>>24 == 0: // 0.0.0.0/8
+		return false
+	case a>>24 == 10: // 10.0.0.0/8
+		return false
+	case a>>24 == 127: // 127.0.0.0/8
+		return false
+	case a >= MakeIPv4(172, 16, 0, 0) && a <= MakeIPv4(172, 31, 255, 255): // 172.16.0.0/12
+		return false
+	case uint32(a)>>16 == 192<<8|168: // 192.168.0.0/16
+		return false
+	case uint32(a)>>16 == 169<<8|254: // 169.254.0.0/16
+		return false
+	case a>>28 >= 0xe: // 224.0.0.0/4 multicast and 240.0.0.0/4 class E
+		return false
+	}
+	return true
+}

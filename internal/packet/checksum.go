@@ -1,0 +1,56 @@
+package packet
+
+import "encoding/binary"
+
+// onesSum accumulates the 16-bit ones'-complement sum used by the Internet
+// checksum, without folding.
+func onesSum(data []byte, sum uint32) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[i : i+2]))
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	return sum
+}
+
+// foldChecksum folds a 32-bit accumulator into the final 16-bit Internet
+// checksum value.
+func foldChecksum(sum uint32) uint16 {
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}
+
+// Checksum computes the Internet checksum (RFC 1071) over data.
+func Checksum(data []byte) uint16 {
+	return foldChecksum(onesSum(data, 0))
+}
+
+// ipv4PseudoSum returns the partial checksum of the IPv4 pseudo-header
+// used by TCP and UDP.
+func ipv4PseudoSum(src, dst IPv4Addr, proto IPProto, length int) uint32 {
+	var sum uint32
+	sum += uint32(src >> 16)
+	sum += uint32(src & 0xffff)
+	sum += uint32(dst >> 16)
+	sum += uint32(dst & 0xffff)
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// TransportChecksumIPv4 computes the TCP/UDP checksum for a segment
+// carried over IPv4. segment must contain the transport header with its
+// checksum field zeroed, followed by the payload.
+func TransportChecksumIPv4(src, dst IPv4Addr, proto IPProto, segment []byte) uint16 {
+	return foldChecksum(onesSum(segment, ipv4PseudoSum(src, dst, proto, len(segment))))
+}
+
+// VerifyIPv4HeaderChecksum reports whether the IPv4 header bytes carry a
+// valid header checksum. hdr must be exactly the header (20+options bytes).
+func VerifyIPv4HeaderChecksum(hdr []byte) bool {
+	return Checksum(hdr) == 0
+}

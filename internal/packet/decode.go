@@ -1,0 +1,184 @@
+package packet
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Decode errors. ErrTruncated is only returned when not even the Ethernet
+// header is complete; deeper truncation is reported via Frame.Truncated so
+// that partially-captured frames (the normal case under sFlow's 128-byte
+// snapshot) still yield their decodable prefix.
+var (
+	ErrTruncated = errors.New("packet: frame shorter than Ethernet header")
+	ErrBadHeader = errors.New("packet: malformed header")
+)
+
+const (
+	ethHeaderLen  = 14
+	vlanTagLen    = 4
+	ipv4MinHdrLen = 20
+	ipv6HdrLen    = 40
+	tcpMinHdrLen  = 20
+	udpHdrLen     = 8
+)
+
+// Decode parses data into f. It decodes as far as the bytes allow and sets
+// f.Truncated when the capture ends before the frame does. The returned
+// error is non-nil only when nothing useful could be decoded.
+//
+// f.Payload aliases data; the caller must not reuse data while the Frame
+// is live unless it copies the payload first.
+func Decode(data []byte, f *Frame) error {
+	f.Reset()
+	if len(data) < ethHeaderLen {
+		return ErrTruncated
+	}
+	copy(f.Eth.Dst[:], data[0:6])
+	copy(f.Eth.Src[:], data[6:12])
+	etherType := EtherType(binary.BigEndian.Uint16(data[12:14]))
+	off := ethHeaderLen
+
+	if etherType == EtherTypeVLAN {
+		if len(data) < off+vlanTagLen {
+			f.Truncated = true
+			return nil
+		}
+		f.Eth.VLAN = binary.BigEndian.Uint16(data[off:off+2]) & 0x0fff
+		etherType = EtherType(binary.BigEndian.Uint16(data[off+2 : off+4]))
+		off += vlanTagLen
+	}
+	f.Eth.Type = etherType
+
+	switch etherType {
+	case EtherTypeIPv4:
+		return decodeIPv4(data[off:], f)
+	case EtherTypeIPv6:
+		return decodeIPv6(data[off:], f)
+	default:
+		// Non-IP frame (ARP, MPLS, ...): nothing more to decode. The
+		// dissection pipeline drops these at the first filter step.
+		f.Payload = data[off:]
+		return nil
+	}
+}
+
+func decodeIPv4(data []byte, f *Frame) error {
+	if len(data) < ipv4MinHdrLen {
+		f.Truncated = true
+		return nil
+	}
+	vihl := data[0]
+	if vihl>>4 != 4 {
+		return ErrBadHeader
+	}
+	hdrLen := int(vihl&0x0f) * 4
+	if hdrLen < ipv4MinHdrLen {
+		return ErrBadHeader
+	}
+	h := &f.IPv4
+	h.TOS = data[1]
+	h.TotalLen = binary.BigEndian.Uint16(data[2:4])
+	h.ID = binary.BigEndian.Uint16(data[4:6])
+	fragWord := binary.BigEndian.Uint16(data[6:8])
+	h.Flags = uint8(fragWord >> 13)
+	h.FragOff = fragWord & 0x1fff
+	h.TTL = data[8]
+	h.Protocol = IPProto(data[9])
+	h.Checksum = binary.BigEndian.Uint16(data[10:12])
+	h.Src = IPv4Addr(binary.BigEndian.Uint32(data[12:16]))
+	h.Dst = IPv4Addr(binary.BigEndian.Uint32(data[16:20]))
+	h.HeaderLen = hdrLen
+	f.IsIPv4 = true
+	if len(data) < hdrLen {
+		f.Truncated = true
+		return nil
+	}
+	if h.IsFragment() {
+		// Non-first fragment: payload is opaque continuation bytes.
+		f.Transport = TransportOther
+		f.Payload = data[hdrLen:]
+		return nil
+	}
+	decodeTransport(data[hdrLen:], h.Protocol, f)
+	return nil
+}
+
+func decodeIPv6(data []byte, f *Frame) error {
+	if len(data) < ipv6HdrLen {
+		f.Truncated = true
+		return nil
+	}
+	if data[0]>>4 != 6 {
+		return ErrBadHeader
+	}
+	h := &f.IPv6
+	h.TrafficClass = data[0]<<4 | data[1]>>4
+	h.FlowLabel = binary.BigEndian.Uint32(data[0:4]) & 0x000fffff
+	h.PayloadLen = binary.BigEndian.Uint16(data[4:6])
+	h.NextHeader = IPProto(data[6])
+	h.HopLimit = data[7]
+	copy(h.Src[:], data[8:24])
+	copy(h.Dst[:], data[24:40])
+	f.IsIPv6 = true
+	decodeTransport(data[ipv6HdrLen:], h.NextHeader, f)
+	return nil
+}
+
+func decodeTransport(data []byte, proto IPProto, f *Frame) {
+	switch proto {
+	case ProtoTCP:
+		if len(data) < tcpMinHdrLen {
+			f.Transport = TransportTCP
+			f.Truncated = true
+			return
+		}
+		t := &f.TCP
+		t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+		t.DstPort = binary.BigEndian.Uint16(data[2:4])
+		t.Seq = binary.BigEndian.Uint32(data[4:8])
+		t.Ack = binary.BigEndian.Uint32(data[8:12])
+		hdrLen := int(data[12]>>4) * 4
+		t.Flags = data[13] & 0x3f
+		t.Window = binary.BigEndian.Uint16(data[14:16])
+		t.Checksum = binary.BigEndian.Uint16(data[16:18])
+		t.Urgent = binary.BigEndian.Uint16(data[18:20])
+		if hdrLen < tcpMinHdrLen {
+			hdrLen = tcpMinHdrLen // tolerate bogus data offsets in samples
+		}
+		t.HeaderLen = hdrLen
+		f.Transport = TransportTCP
+		if len(data) < hdrLen {
+			f.Truncated = true
+			return
+		}
+		f.Payload = data[hdrLen:]
+	case ProtoUDP:
+		if len(data) < udpHdrLen {
+			f.Transport = TransportUDP
+			f.Truncated = true
+			return
+		}
+		u := &f.UDP
+		u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+		u.DstPort = binary.BigEndian.Uint16(data[2:4])
+		u.Length = binary.BigEndian.Uint16(data[4:6])
+		u.Checksum = binary.BigEndian.Uint16(data[6:8])
+		f.Transport = TransportUDP
+		f.Payload = data[udpHdrLen:]
+	case ProtoICMP, ProtoICMPv6:
+		if len(data) < 4 {
+			f.Transport = TransportICMP
+			f.Truncated = true
+			return
+		}
+		f.ICMP.Type = data[0]
+		f.ICMP.Code = data[1]
+		f.ICMP.Checksum = binary.BigEndian.Uint16(data[2:4])
+		f.Transport = TransportICMP
+		f.Payload = data[4:]
+	default:
+		f.Transport = TransportOther
+		f.Payload = data
+	}
+}

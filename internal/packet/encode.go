@@ -1,0 +1,167 @@
+package packet
+
+import "encoding/binary"
+
+// Builder assembles Ethernet frames into a reusable buffer. The traffic
+// generator renders millions of frames, so the builder appends into a
+// caller-provided slice and computes real checksums, allowing the decode
+// side (and any external tool) to verify them.
+type Builder struct {
+	buf []byte
+}
+
+// NewBuilder returns a Builder with an initial capacity hint.
+func NewBuilder(capacity int) *Builder {
+	return &Builder{buf: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the frame built by the last Build* call. The slice is
+// invalidated by the next call.
+func (b *Builder) Bytes() []byte { return b.buf }
+
+// ethHeader appends the Ethernet (and optional 802.1Q) header.
+func (b *Builder) ethHeader(eth Ethernet) {
+	b.buf = append(b.buf[:0], eth.Dst[:]...)
+	b.buf = append(b.buf, eth.Src[:]...)
+	if eth.VLAN != 0 {
+		b.buf = binary.BigEndian.AppendUint16(b.buf, uint16(EtherTypeVLAN))
+		b.buf = binary.BigEndian.AppendUint16(b.buf, eth.VLAN&0x0fff)
+	}
+	b.buf = binary.BigEndian.AppendUint16(b.buf, uint16(eth.Type))
+}
+
+// ipv4Header appends a 20-byte IPv4 header with a correct header checksum.
+// payloadLen is the transport header + payload length.
+func (b *Builder) ipv4Header(h IPv4Header, payloadLen int) {
+	start := len(b.buf)
+	totalLen := ipv4MinHdrLen + payloadLen
+	b.buf = append(b.buf, 0x45, h.TOS)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, uint16(totalLen))
+	b.buf = binary.BigEndian.AppendUint16(b.buf, h.ID)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, uint16(h.Flags)<<13|h.FragOff&0x1fff)
+	b.buf = append(b.buf, h.TTL, byte(h.Protocol))
+	b.buf = append(b.buf, 0, 0) // checksum placeholder
+	b.buf = binary.BigEndian.AppendUint32(b.buf, uint32(h.Src))
+	b.buf = binary.BigEndian.AppendUint32(b.buf, uint32(h.Dst))
+	cs := Checksum(b.buf[start:])
+	binary.BigEndian.PutUint16(b.buf[start+10:], cs)
+}
+
+// BuildTCPv4 renders an Ethernet/IPv4/TCP frame carrying payload. TCP
+// options are not emitted (DataOffset is always 5). Both the IPv4 header
+// checksum and the TCP checksum are valid.
+func (b *Builder) BuildTCPv4(eth Ethernet, ip IPv4Header, tcp TCPHeader, payload []byte) []byte {
+	eth.Type = EtherTypeIPv4
+	ip.Protocol = ProtoTCP
+	b.ethHeader(eth)
+	b.ipv4Header(ip, tcpMinHdrLen+len(payload))
+
+	tcpStart := len(b.buf)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, tcp.SrcPort)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, tcp.DstPort)
+	b.buf = binary.BigEndian.AppendUint32(b.buf, tcp.Seq)
+	b.buf = binary.BigEndian.AppendUint32(b.buf, tcp.Ack)
+	b.buf = append(b.buf, 5<<4, tcp.Flags&0x3f)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, tcp.Window)
+	b.buf = append(b.buf, 0, 0) // checksum placeholder
+	b.buf = binary.BigEndian.AppendUint16(b.buf, tcp.Urgent)
+	b.buf = append(b.buf, payload...)
+	cs := TransportChecksumIPv4(ip.Src, ip.Dst, ProtoTCP, b.buf[tcpStart:])
+	binary.BigEndian.PutUint16(b.buf[tcpStart+16:], cs)
+	return b.buf
+}
+
+// BuildUDPv4 renders an Ethernet/IPv4/UDP frame carrying payload with
+// valid checksums.
+func (b *Builder) BuildUDPv4(eth Ethernet, ip IPv4Header, udp UDPHeader, payload []byte) []byte {
+	eth.Type = EtherTypeIPv4
+	ip.Protocol = ProtoUDP
+	b.ethHeader(eth)
+	b.ipv4Header(ip, udpHdrLen+len(payload))
+
+	udpStart := len(b.buf)
+	udpLen := udpHdrLen + len(payload)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, udp.SrcPort)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, udp.DstPort)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, uint16(udpLen))
+	b.buf = append(b.buf, 0, 0) // checksum placeholder
+	b.buf = append(b.buf, payload...)
+	cs := TransportChecksumIPv4(ip.Src, ip.Dst, ProtoUDP, b.buf[udpStart:])
+	if cs == 0 {
+		cs = 0xffff // RFC 768: transmitted as all ones when computed zero
+	}
+	binary.BigEndian.PutUint16(b.buf[udpStart+6:], cs)
+	return b.buf
+}
+
+// BuildICMPv4 renders an Ethernet/IPv4/ICMP frame with valid checksums.
+func (b *Builder) BuildICMPv4(eth Ethernet, ip IPv4Header, icmp ICMPHeader, payload []byte) []byte {
+	eth.Type = EtherTypeIPv4
+	ip.Protocol = ProtoICMP
+	b.ethHeader(eth)
+	b.ipv4Header(ip, 4+len(payload))
+
+	icmpStart := len(b.buf)
+	b.buf = append(b.buf, icmp.Type, icmp.Code, 0, 0)
+	b.buf = append(b.buf, payload...)
+	cs := Checksum(b.buf[icmpStart:])
+	binary.BigEndian.PutUint16(b.buf[icmpStart+2:], cs)
+	return b.buf
+}
+
+// BuildIPv4Proto renders an Ethernet/IPv4 frame for an arbitrary IP
+// protocol (GRE, ESP, ...) whose body is carried opaquely.
+func (b *Builder) BuildIPv4Proto(eth Ethernet, ip IPv4Header, proto IPProto, body []byte) []byte {
+	eth.Type = EtherTypeIPv4
+	ip.Protocol = proto
+	b.ethHeader(eth)
+	b.ipv4Header(ip, len(body))
+	b.buf = append(b.buf, body...)
+	return b.buf
+}
+
+// BuildTCPv6 renders an Ethernet/IPv6/TCP frame. The study only needs
+// IPv6 frames to exist (they are filtered out), so the TCP checksum over
+// the v6 pseudo-header is not computed; the field is left zero.
+func (b *Builder) BuildTCPv6(eth Ethernet, ip IPv6Header, tcp TCPHeader, payload []byte) []byte {
+	eth.Type = EtherTypeIPv6
+	ip.NextHeader = ProtoTCP
+	b.ethHeader(eth)
+
+	b.buf = append(b.buf, 6<<4|ip.TrafficClass>>4, ip.TrafficClass<<4|byte(ip.FlowLabel>>16))
+	b.buf = binary.BigEndian.AppendUint16(b.buf, uint16(ip.FlowLabel))
+	b.buf = binary.BigEndian.AppendUint16(b.buf, uint16(tcpMinHdrLen+len(payload)))
+	b.buf = append(b.buf, byte(ip.NextHeader), ip.HopLimit)
+	b.buf = append(b.buf, ip.Src[:]...)
+	b.buf = append(b.buf, ip.Dst[:]...)
+
+	b.buf = binary.BigEndian.AppendUint16(b.buf, tcp.SrcPort)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, tcp.DstPort)
+	b.buf = binary.BigEndian.AppendUint32(b.buf, tcp.Seq)
+	b.buf = binary.BigEndian.AppendUint32(b.buf, tcp.Ack)
+	b.buf = append(b.buf, 5<<4, tcp.Flags&0x3f)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, tcp.Window)
+	b.buf = append(b.buf, 0, 0)
+	b.buf = binary.BigEndian.AppendUint16(b.buf, tcp.Urgent)
+	b.buf = append(b.buf, payload...)
+	return b.buf
+}
+
+// BuildARP renders a minimal ARP request frame; the dissection cascade
+// must classify it as "other" traffic.
+func (b *Builder) BuildARP(eth Ethernet, senderIP, targetIP IPv4Addr) []byte {
+	eth.Type = EtherTypeARP
+	b.ethHeader(eth)
+	b.buf = append(b.buf,
+		0, 1, // hardware type: Ethernet
+		8, 0, // protocol type: IPv4
+		6, 4, // sizes
+		0, 1, // opcode: request
+	)
+	b.buf = append(b.buf, eth.Src[:]...)
+	b.buf = binary.BigEndian.AppendUint32(b.buf, uint32(senderIP))
+	var zero MAC
+	b.buf = append(b.buf, zero[:]...)
+	b.buf = binary.BigEndian.AppendUint32(b.buf, uint32(targetIP))
+	return b.buf
+}

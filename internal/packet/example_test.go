@@ -1,0 +1,39 @@
+package packet_test
+
+import (
+	"fmt"
+
+	"ixplens/internal/packet"
+)
+
+// Example builds an HTTP request frame and decodes its 128-byte sFlow
+// snapshot, recovering the headers and the payload prefix — the exact
+// situation the paper's string matching works in.
+func Example() {
+	b := packet.NewBuilder(512)
+	eth := packet.Ethernet{
+		Src: packet.MAC{0x02, 0x49, 0x58, 0, 0, 1},
+		Dst: packet.MAC{0x02, 0x49, 0x58, 0, 0, 2},
+	}
+	ip := packet.IPv4Header{
+		TTL: 60,
+		Src: packet.MakeIPv4(203, 0, 113, 10),
+		Dst: packet.MakeIPv4(198, 51, 100, 80),
+	}
+	tcp := packet.TCPHeader{SrcPort: 40000, DstPort: 80, Flags: packet.TCPPsh | packet.TCPAck}
+	payload := []byte("GET /index.html HTTP/1.1\r\nHost: www.example.org\r\nUser-Agent: ixplens-example-client/1.0 (doc)\r\nAccept: */*\r\n\r\n")
+	frame := b.BuildTCPv4(eth, ip, tcp, payload)
+
+	snap := frame[:128] // sFlow captures the first 128 bytes
+	var f packet.Frame
+	if err := packet.Decode(snap, &f); err != nil {
+		panic(err)
+	}
+	fmt.Println(f.IPv4.Src, "->", f.IPv4.Dst, f.Transport, f.DstPort())
+	fmt.Printf("%.24s\n", f.Payload)
+	fmt.Println("payload prefix:", len(f.Payload) == 74 && !f.Truncated)
+	// Output:
+	// 203.0.113.10 -> 198.51.100.80 TCP 80
+	// GET /index.html HTTP/1.1
+	// payload prefix: true
+}

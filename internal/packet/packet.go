@@ -1,0 +1,272 @@
+// Package packet implements encoding and decoding of the wire formats that
+// appear inside sFlow raw-packet-header records: Ethernet (with optional
+// 802.1Q tags), IPv4, IPv6, TCP, UDP and ICMP.
+//
+// The package is deliberately tolerant of truncation: sFlow captures only
+// the first 128 bytes of each sampled frame, so a decoded Frame frequently
+// ends mid-payload (or even mid-header for deep option stacks). Decode
+// never panics on short input; it reports how far it got.
+//
+// The design follows the gopacket "decoding layer" idea — Decode writes
+// into a caller-owned Frame so the hot path allocates nothing — but is
+// self-contained and uses only the standard library.
+package packet
+
+import "fmt"
+
+// EtherType identifies the payload protocol of an Ethernet frame.
+type EtherType uint16
+
+// Well-known EtherType values.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeARP  EtherType = 0x0806
+	EtherTypeVLAN EtherType = 0x8100
+	EtherTypeIPv6 EtherType = 0x86DD
+	EtherTypeMPLS EtherType = 0x8847
+)
+
+// String returns a short human-readable name for the EtherType.
+func (t EtherType) String() string {
+	switch t {
+	case EtherTypeIPv4:
+		return "IPv4"
+	case EtherTypeARP:
+		return "ARP"
+	case EtherTypeVLAN:
+		return "VLAN"
+	case EtherTypeIPv6:
+		return "IPv6"
+	case EtherTypeMPLS:
+		return "MPLS"
+	default:
+		return fmt.Sprintf("EtherType(0x%04x)", uint16(t))
+	}
+}
+
+// IPProto identifies the transport protocol of an IP packet.
+type IPProto uint8
+
+// Well-known IP protocol numbers.
+const (
+	ProtoICMP   IPProto = 1
+	ProtoIGMP   IPProto = 2
+	ProtoTCP    IPProto = 6
+	ProtoUDP    IPProto = 17
+	ProtoGRE    IPProto = 47
+	ProtoESP    IPProto = 50
+	ProtoICMPv6 IPProto = 58
+	ProtoSCTP   IPProto = 132
+)
+
+// String returns a short human-readable name for the protocol.
+func (p IPProto) String() string {
+	switch p {
+	case ProtoICMP:
+		return "ICMP"
+	case ProtoIGMP:
+		return "IGMP"
+	case ProtoTCP:
+		return "TCP"
+	case ProtoUDP:
+		return "UDP"
+	case ProtoGRE:
+		return "GRE"
+	case ProtoESP:
+		return "ESP"
+	case ProtoICMPv6:
+		return "ICMPv6"
+	case ProtoSCTP:
+		return "SCTP"
+	default:
+		return fmt.Sprintf("IPProto(%d)", uint8(p))
+	}
+}
+
+// MAC is a 48-bit Ethernet hardware address.
+type MAC [6]byte
+
+// String formats the address in the canonical colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// Ethernet holds a decoded Ethernet II header, including at most one
+// 802.1Q VLAN tag (the IXP fabric in the paper tags member ports).
+type Ethernet struct {
+	Dst, Src MAC
+	// VLAN is the 802.1Q VLAN identifier, or 0 when the frame is untagged.
+	VLAN uint16
+	// Type is the EtherType of the payload (after any VLAN tag).
+	Type EtherType
+}
+
+// IPv4Header holds a decoded IPv4 header. Options are not retained; only
+// their length is accounted for so the payload offset is correct.
+type IPv4Header struct {
+	TOS      uint8
+	TotalLen uint16
+	ID       uint16
+	Flags    uint8 // upper 3 bits of the fragment word
+	FragOff  uint16
+	TTL      uint8
+	Protocol IPProto
+	Checksum uint16
+	Src, Dst IPv4Addr
+	// HeaderLen is the header length in bytes (20 + options).
+	HeaderLen int
+}
+
+// MoreFragments reports whether the MF flag is set.
+func (h *IPv4Header) MoreFragments() bool { return h.Flags&0x1 != 0 }
+
+// DontFragment reports whether the DF flag is set.
+func (h *IPv4Header) DontFragment() bool { return h.Flags&0x2 != 0 }
+
+// IsFragment reports whether the packet is any fragment other than the
+// first; transport headers are only present on first fragments.
+func (h *IPv4Header) IsFragment() bool { return h.FragOff != 0 }
+
+// IPv6Addr is a 128-bit IPv6 address.
+type IPv6Addr [16]byte
+
+// String formats the address in uncompressed colon-hex form; the
+// simulator never needs RFC 5952 compression.
+func (a IPv6Addr) String() string {
+	return fmt.Sprintf("%x:%x:%x:%x:%x:%x:%x:%x",
+		uint16(a[0])<<8|uint16(a[1]), uint16(a[2])<<8|uint16(a[3]),
+		uint16(a[4])<<8|uint16(a[5]), uint16(a[6])<<8|uint16(a[7]),
+		uint16(a[8])<<8|uint16(a[9]), uint16(a[10])<<8|uint16(a[11]),
+		uint16(a[12])<<8|uint16(a[13]), uint16(a[14])<<8|uint16(a[15]))
+}
+
+// IPv6Header holds a decoded IPv6 fixed header. Extension headers are not
+// walked: the study discards native IPv6 traffic at the first filtering
+// step, so only the fixed header fields are needed.
+type IPv6Header struct {
+	TrafficClass uint8
+	FlowLabel    uint32
+	PayloadLen   uint16
+	NextHeader   IPProto
+	HopLimit     uint8
+	Src, Dst     IPv6Addr
+}
+
+// TCP header flag bits.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPPsh = 1 << 3
+	TCPAck = 1 << 4
+	TCPUrg = 1 << 5
+)
+
+// TCPHeader holds a decoded TCP header. Options are skipped but counted.
+type TCPHeader struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Checksum         uint16
+	Urgent           uint16
+	// HeaderLen is the header length in bytes (20 + options).
+	HeaderLen int
+}
+
+// UDPHeader holds a decoded UDP header.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+	Length           uint16
+	Checksum         uint16
+}
+
+// ICMPHeader holds a decoded ICMP or ICMPv6 header (first 4 bytes).
+type ICMPHeader struct {
+	Type     uint8
+	Code     uint8
+	Checksum uint16
+}
+
+// TransportKind says which transport header, if any, a Frame carries.
+type TransportKind uint8
+
+// Transport kinds, in decode order of preference.
+const (
+	TransportNone TransportKind = iota
+	TransportTCP
+	TransportUDP
+	TransportICMP
+	TransportOther // an IP protocol we do not parse further
+)
+
+// String returns a short name for the transport kind.
+func (k TransportKind) String() string {
+	switch k {
+	case TransportNone:
+		return "none"
+	case TransportTCP:
+		return "TCP"
+	case TransportUDP:
+		return "UDP"
+	case TransportICMP:
+		return "ICMP"
+	case TransportOther:
+		return "other"
+	default:
+		return fmt.Sprintf("TransportKind(%d)", uint8(k))
+	}
+}
+
+// Frame is the decoded view of one sampled Ethernet frame. A single Frame
+// value is reused across Decode calls on the hot path.
+type Frame struct {
+	Eth Ethernet
+
+	// Exactly one of IsIPv4/IsIPv6 is set for IP frames; neither is set
+	// for ARP and other non-IP traffic.
+	IsIPv4 bool
+	IsIPv6 bool
+	IPv4   IPv4Header
+	IPv6   IPv6Header
+
+	Transport TransportKind
+	TCP       TCPHeader
+	UDP       UDPHeader
+	ICMP      ICMPHeader
+
+	// Payload is the transport payload bytes available in the (possibly
+	// truncated) capture. It aliases the input buffer.
+	Payload []byte
+
+	// Truncated is set when the capture ended before the full frame
+	// (headers or payload) according to the length fields.
+	Truncated bool
+}
+
+// Reset clears the frame so a stale Payload cannot leak between decodes.
+func (f *Frame) Reset() {
+	*f = Frame{}
+}
+
+// SrcPort returns the transport source port, or 0 when there is none.
+func (f *Frame) SrcPort() uint16 {
+	switch f.Transport {
+	case TransportTCP:
+		return f.TCP.SrcPort
+	case TransportUDP:
+		return f.UDP.SrcPort
+	}
+	return 0
+}
+
+// DstPort returns the transport destination port, or 0 when there is none.
+func (f *Frame) DstPort() uint16 {
+	switch f.Transport {
+	case TransportTCP:
+		return f.TCP.DstPort
+	case TransportUDP:
+		return f.UDP.DstPort
+	}
+	return 0
+}

@@ -1,0 +1,125 @@
+package packet
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEtherTypeString(t *testing.T) {
+	cases := map[EtherType]string{
+		EtherTypeIPv4:     "IPv4",
+		EtherTypeIPv6:     "IPv6",
+		EtherTypeARP:      "ARP",
+		EtherTypeVLAN:     "VLAN",
+		EtherTypeMPLS:     "MPLS",
+		EtherType(0x1234): "EtherType(0x1234)",
+	}
+	for in, want := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("EtherType(%#x).String() = %q, want %q", uint16(in), got, want)
+		}
+	}
+}
+
+func TestIPProtoString(t *testing.T) {
+	if ProtoTCP.String() != "TCP" || ProtoUDP.String() != "UDP" {
+		t.Fatalf("unexpected proto names: %s %s", ProtoTCP, ProtoUDP)
+	}
+	if got := IPProto(99).String(); got != "IPProto(99)" {
+		t.Errorf("IPProto(99).String() = %q", got)
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if got := m.String(); got != "de:ad:be:ef:00:01" {
+		t.Errorf("MAC.String() = %q", got)
+	}
+}
+
+func TestMakeAndParseIPv4(t *testing.T) {
+	a := MakeIPv4(192, 0, 2, 45)
+	if a.String() != "192.0.2.45" {
+		t.Fatalf("String() = %q", a.String())
+	}
+	p, err := ParseIPv4("192.0.2.45")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != a {
+		t.Fatalf("ParseIPv4 round-trip mismatch: %v != %v", p, a)
+	}
+	o1, o2, o3, o4 := a.Octets()
+	if o1 != 192 || o2 != 0 || o3 != 2 || o4 != 45 {
+		t.Fatalf("Octets() = %d.%d.%d.%d", o1, o2, o3, o4)
+	}
+}
+
+func TestParseIPv4Errors(t *testing.T) {
+	for _, bad := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "-1.2.3.4"} {
+		if _, err := ParseIPv4(bad); err == nil {
+			t.Errorf("ParseIPv4(%q) should fail", bad)
+		}
+	}
+}
+
+func TestIsGloballyRoutable(t *testing.T) {
+	routable := []IPv4Addr{
+		MakeIPv4(8, 8, 8, 8),
+		MakeIPv4(62, 1, 1, 1),
+		MakeIPv4(193, 99, 144, 85),
+		MakeIPv4(172, 15, 0, 1),
+		MakeIPv4(172, 32, 0, 1),
+		MakeIPv4(192, 167, 1, 1),
+	}
+	unroutable := []IPv4Addr{
+		MakeIPv4(0, 1, 2, 3),
+		MakeIPv4(10, 0, 0, 1),
+		MakeIPv4(127, 0, 0, 1),
+		MakeIPv4(172, 16, 0, 1),
+		MakeIPv4(172, 31, 255, 255),
+		MakeIPv4(192, 168, 1, 1),
+		MakeIPv4(169, 254, 0, 1),
+		MakeIPv4(224, 0, 0, 1),
+		MakeIPv4(255, 255, 255, 255),
+	}
+	for _, a := range routable {
+		if !a.IsGloballyRoutable() {
+			t.Errorf("%v should be routable", a)
+		}
+	}
+	for _, a := range unroutable {
+		if a.IsGloballyRoutable() {
+			t.Errorf("%v should not be routable", a)
+		}
+	}
+}
+
+func TestFramePortsNoTransport(t *testing.T) {
+	var f Frame
+	if f.SrcPort() != 0 || f.DstPort() != 0 {
+		t.Fatal("ports of empty frame must be zero")
+	}
+}
+
+func TestFrameResetClearsPayload(t *testing.T) {
+	f := Frame{Payload: []byte("x"), IsIPv4: true, Transport: TransportTCP}
+	f.Reset()
+	if f.Payload != nil || f.IsIPv4 || f.Transport != TransportNone {
+		t.Fatalf("Reset left state behind: %+v", f)
+	}
+}
+
+func TestTransportKindString(t *testing.T) {
+	for k, want := range map[TransportKind]string{
+		TransportNone: "none", TransportTCP: "TCP", TransportUDP: "UDP",
+		TransportICMP: "ICMP", TransportOther: "other",
+	} {
+		if k.String() != want {
+			t.Errorf("kind %d = %q, want %q", k, k.String(), want)
+		}
+	}
+	if !strings.HasPrefix(TransportKind(42).String(), "TransportKind(") {
+		t.Error("unknown kind should fall back to numeric form")
+	}
+}

@@ -1,0 +1,338 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var testEth = Ethernet{
+	Dst: MAC{0x02, 0, 0, 0, 0, 1},
+	Src: MAC{0x02, 0, 0, 0, 0, 2},
+}
+
+func TestTCPv4RoundTrip(t *testing.T) {
+	b := NewBuilder(256)
+	ip := IPv4Header{
+		TOS: 0x10, ID: 4242, TTL: 61,
+		Src: MakeIPv4(198, 51, 100, 7), Dst: MakeIPv4(203, 0, 113, 9),
+	}
+	tcp := TCPHeader{SrcPort: 33000, DstPort: 80, Seq: 1000, Ack: 2000, Flags: TCPAck | TCPPsh, Window: 65535}
+	payload := []byte("GET / HTTP/1.1\r\nHost: example.org\r\n\r\n")
+	frame := b.BuildTCPv4(testEth, ip, tcp, payload)
+
+	var f Frame
+	if err := Decode(frame, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Truncated {
+		t.Fatal("full frame must not be truncated")
+	}
+	if !f.IsIPv4 || f.Transport != TransportTCP {
+		t.Fatalf("decode classification wrong: %+v", f)
+	}
+	if f.IPv4.Src != ip.Src || f.IPv4.Dst != ip.Dst || f.IPv4.TTL != 61 || f.IPv4.TOS != 0x10 || f.IPv4.ID != 4242 {
+		t.Fatalf("IPv4 header mismatch: %+v", f.IPv4)
+	}
+	if f.TCP.SrcPort != 33000 || f.TCP.DstPort != 80 || f.TCP.Seq != 1000 || f.TCP.Ack != 2000 ||
+		f.TCP.Flags != TCPAck|TCPPsh || f.TCP.Window != 65535 {
+		t.Fatalf("TCP header mismatch: %+v", f.TCP)
+	}
+	if !bytes.Equal(f.Payload, payload) {
+		t.Fatalf("payload mismatch: %q", f.Payload)
+	}
+	if f.SrcPort() != 33000 || f.DstPort() != 80 {
+		t.Fatal("port accessors disagree with TCP header")
+	}
+
+	ihl := 14
+	if !VerifyIPv4HeaderChecksum(frame[ihl : ihl+20]) {
+		t.Error("IPv4 header checksum invalid")
+	}
+	seg := make([]byte, len(frame)-ihl-20)
+	copy(seg, frame[ihl+20:])
+	want := seg[16:18]
+	got := []byte{want[0], want[1]}
+	seg[16], seg[17] = 0, 0
+	cs := TransportChecksumIPv4(ip.Src, ip.Dst, ProtoTCP, seg)
+	if byte(cs>>8) != got[0] || byte(cs) != got[1] {
+		t.Errorf("TCP checksum mismatch: computed %04x, emitted %02x%02x", cs, got[0], got[1])
+	}
+}
+
+func TestUDPv4RoundTrip(t *testing.T) {
+	b := NewBuilder(256)
+	ip := IPv4Header{TTL: 64, Src: MakeIPv4(198, 51, 100, 1), Dst: MakeIPv4(198, 51, 100, 2)}
+	udp := UDPHeader{SrcPort: 53, DstPort: 5353}
+	payload := []byte{1, 2, 3, 4, 5}
+	frame := b.BuildUDPv4(testEth, ip, udp, payload)
+
+	var f Frame
+	if err := Decode(frame, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Transport != TransportUDP || f.UDP.SrcPort != 53 || f.UDP.DstPort != 5353 {
+		t.Fatalf("UDP decode mismatch: %+v", f.UDP)
+	}
+	if int(f.UDP.Length) != 8+len(payload) {
+		t.Fatalf("UDP length = %d, want %d", f.UDP.Length, 8+len(payload))
+	}
+	if !bytes.Equal(f.Payload, payload) {
+		t.Fatalf("payload mismatch: %v", f.Payload)
+	}
+}
+
+func TestICMPv4RoundTrip(t *testing.T) {
+	b := NewBuilder(128)
+	ip := IPv4Header{TTL: 64, Src: MakeIPv4(203, 0, 113, 1), Dst: MakeIPv4(203, 0, 113, 2)}
+	frame := b.BuildICMPv4(testEth, ip, ICMPHeader{Type: 8, Code: 0}, []byte("ping"))
+
+	var f Frame
+	if err := Decode(frame, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Transport != TransportICMP || f.ICMP.Type != 8 || f.ICMP.Code != 0 {
+		t.Fatalf("ICMP decode mismatch: %+v", f.ICMP)
+	}
+}
+
+func TestVLANTaggedFrame(t *testing.T) {
+	b := NewBuilder(256)
+	eth := testEth
+	eth.VLAN = 123
+	ip := IPv4Header{TTL: 64, Src: MakeIPv4(198, 51, 100, 1), Dst: MakeIPv4(198, 51, 100, 2)}
+	frame := b.BuildTCPv4(eth, ip, TCPHeader{SrcPort: 1, DstPort: 2}, nil)
+
+	var f Frame
+	if err := Decode(frame, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Eth.VLAN != 123 {
+		t.Fatalf("VLAN = %d, want 123", f.Eth.VLAN)
+	}
+	if f.Eth.Type != EtherTypeIPv4 || !f.IsIPv4 {
+		t.Fatal("VLAN frame inner type must be IPv4")
+	}
+}
+
+func TestIPv6RoundTrip(t *testing.T) {
+	b := NewBuilder(256)
+	var src, dst IPv6Addr
+	src[0], src[15] = 0x20, 1
+	dst[0], dst[15] = 0x20, 2
+	ip := IPv6Header{HopLimit: 60, Src: src, Dst: dst, FlowLabel: 0xabcde}
+	frame := b.BuildTCPv6(testEth, ip, TCPHeader{SrcPort: 443, DstPort: 55555}, []byte("x"))
+
+	var f Frame
+	if err := Decode(frame, &f); err != nil {
+		t.Fatal(err)
+	}
+	if !f.IsIPv6 || f.IsIPv4 {
+		t.Fatal("frame must decode as IPv6")
+	}
+	if f.IPv6.Src != src || f.IPv6.Dst != dst || f.IPv6.HopLimit != 60 || f.IPv6.FlowLabel != 0xabcde {
+		t.Fatalf("IPv6 header mismatch: %+v", f.IPv6)
+	}
+	if f.Transport != TransportTCP || f.TCP.SrcPort != 443 {
+		t.Fatalf("IPv6 TCP mismatch: %+v", f.TCP)
+	}
+}
+
+func TestARPDecode(t *testing.T) {
+	b := NewBuilder(64)
+	frame := b.BuildARP(testEth, MakeIPv4(10, 0, 0, 1), MakeIPv4(10, 0, 0, 2))
+	var f Frame
+	if err := Decode(frame, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.IsIPv4 || f.IsIPv6 || f.Eth.Type != EtherTypeARP {
+		t.Fatalf("ARP classification wrong: %+v", f.Eth)
+	}
+}
+
+func TestOtherIPProtoDecode(t *testing.T) {
+	b := NewBuilder(128)
+	ip := IPv4Header{TTL: 64, Src: MakeIPv4(198, 51, 100, 1), Dst: MakeIPv4(198, 51, 100, 2)}
+	frame := b.BuildIPv4Proto(testEth, ip, ProtoGRE, []byte{0, 0, 0, 0})
+	var f Frame
+	if err := Decode(frame, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Transport != TransportOther || f.IPv4.Protocol != ProtoGRE {
+		t.Fatalf("GRE classification wrong: %v %v", f.Transport, f.IPv4.Protocol)
+	}
+}
+
+// TestDecodeTruncationNeverPanics chops a valid frame at every possible
+// length; Decode must either succeed (possibly flagging truncation) or
+// return ErrTruncated, never panic, and never read past the slice.
+func TestDecodeTruncationNeverPanics(t *testing.T) {
+	b := NewBuilder(512)
+	ip := IPv4Header{TTL: 64, Src: MakeIPv4(198, 51, 100, 1), Dst: MakeIPv4(203, 0, 113, 2)}
+	payload := bytes.Repeat([]byte("HTTP/1.1 200 OK\r\n"), 10)
+	full := b.BuildTCPv4(testEth, ip, TCPHeader{SrcPort: 80, DstPort: 12345}, payload)
+
+	var f Frame
+	for n := 0; n <= len(full); n++ {
+		err := Decode(full[:n], &f)
+		if n < 14 {
+			if err != ErrTruncated {
+				t.Fatalf("len %d: want ErrTruncated, got %v", n, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("len %d: unexpected error %v", n, err)
+		}
+		if n < len(full) && !f.Truncated && f.Transport == TransportTCP && len(f.Payload) == len(payload) {
+			t.Fatalf("len %d: full payload claimed from truncated frame", n)
+		}
+	}
+}
+
+// TestSnapLenDecode mirrors the sFlow situation: a 128-byte snapshot of a
+// large frame must still yield full L2-L4 headers plus a payload prefix.
+func TestSnapLenDecode(t *testing.T) {
+	b := NewBuilder(2048)
+	ip := IPv4Header{TTL: 57, Src: MakeIPv4(82, 1, 2, 3), Dst: MakeIPv4(91, 4, 5, 6)}
+	payload := append([]byte("HTTP/1.1 200 OK\r\nServer: nginx\r\n\r\n"), bytes.Repeat([]byte{0xaa}, 1400)...)
+	full := b.BuildTCPv4(testEth, ip, TCPHeader{SrcPort: 80, DstPort: 40000, Flags: TCPAck}, payload)
+	snap := full[:128]
+
+	var f Frame
+	if err := Decode(snap, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Transport != TransportTCP || f.TCP.SrcPort != 80 {
+		t.Fatal("headers must survive snapping")
+	}
+	if !bytes.HasPrefix(f.Payload, []byte("HTTP/1.1 200 OK")) {
+		t.Fatalf("payload prefix lost: %q", f.Payload)
+	}
+	// 128 - 14 (eth) - 20 (ip) - 20 (tcp) = 74 bytes of TCP payload,
+	// exactly the number quoted in Section 2.1 of the paper.
+	if len(f.Payload) != 74 {
+		t.Fatalf("snap payload = %d bytes, want 74", len(f.Payload))
+	}
+}
+
+// TestQuickTCPRoundTrip is a property test: arbitrary header values and
+// payloads survive an encode/decode round trip bit-exactly.
+func TestQuickTCPRoundTrip(t *testing.T) {
+	b := NewBuilder(4096)
+	var f Frame
+	prop := func(srcIP, dstIP uint32, srcPort, dstPort uint16, seq, ack uint32, flags uint8, window uint16, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		ip := IPv4Header{TTL: 64, Src: IPv4Addr(srcIP), Dst: IPv4Addr(dstIP)}
+		tcp := TCPHeader{SrcPort: srcPort, DstPort: dstPort, Seq: seq, Ack: ack, Flags: flags & 0x3f, Window: window}
+		frame := b.BuildTCPv4(testEth, ip, tcp, payload)
+		if err := Decode(frame, &f); err != nil {
+			return false
+		}
+		return f.IPv4.Src == ip.Src && f.IPv4.Dst == ip.Dst &&
+			f.TCP.SrcPort == srcPort && f.TCP.DstPort == dstPort &&
+			f.TCP.Seq == seq && f.TCP.Ack == ack && f.TCP.Flags == flags&0x3f &&
+			f.TCP.Window == window && bytes.Equal(f.Payload, payload) && !f.Truncated
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickUDPRoundTrip is the UDP analogue of the TCP property test.
+func TestQuickUDPRoundTrip(t *testing.T) {
+	b := NewBuilder(4096)
+	var f Frame
+	prop := func(srcIP, dstIP uint32, srcPort, dstPort uint16, payload []byte) bool {
+		if len(payload) > 1400 {
+			payload = payload[:1400]
+		}
+		ip := IPv4Header{TTL: 64, Src: IPv4Addr(srcIP), Dst: IPv4Addr(dstIP)}
+		frame := b.BuildUDPv4(testEth, ip, UDPHeader{SrcPort: srcPort, DstPort: dstPort}, payload)
+		if err := Decode(frame, &f); err != nil {
+			return false
+		}
+		return f.UDP.SrcPort == srcPort && f.UDP.DstPort == dstPort && bytes.Equal(f.Payload, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDecodeRandomBytes feeds random garbage to Decode: it must
+// never panic regardless of content.
+func TestQuickDecodeRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var f Frame
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		_ = Decode(buf, &f) // must not panic
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example data.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != ^uint16(0xddf2) {
+		t.Fatalf("Checksum = %04x, want %04x", got, ^uint16(0xddf2))
+	}
+	// Odd-length input exercises the trailing-byte path.
+	if Checksum([]byte{0xff}) != ^uint16(0xff00) {
+		t.Fatal("odd-length checksum wrong")
+	}
+}
+
+func TestIPv4FragmentSkipsTransport(t *testing.T) {
+	b := NewBuilder(256)
+	ip := IPv4Header{TTL: 64, Src: MakeIPv4(1, 2, 3, 4), Dst: MakeIPv4(5, 6, 7, 8), FragOff: 100}
+	frame := b.BuildIPv4Proto(testEth, ip, ProtoTCP, []byte{1, 2, 3, 4})
+	// Rewrite the fragment word since BuildIPv4Proto encodes FragOff.
+	var f Frame
+	if err := Decode(frame, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Transport != TransportOther {
+		t.Fatalf("non-first fragment must not decode transport, got %v", f.Transport)
+	}
+	if !f.IPv4.IsFragment() {
+		t.Fatal("IsFragment must be true")
+	}
+}
+
+func TestIPv6AddrString(t *testing.T) {
+	var a IPv6Addr
+	a[0], a[1], a[15] = 0x20, 0x01, 0x42
+	if got := a.String(); got != "2001:0:0:0:0:0:0:42" {
+		t.Fatalf("IPv6Addr.String() = %q", got)
+	}
+}
+
+func BenchmarkDecodeTCPv4(b *testing.B) {
+	bl := NewBuilder(512)
+	ip := IPv4Header{TTL: 64, Src: MakeIPv4(198, 51, 100, 1), Dst: MakeIPv4(203, 0, 113, 2)}
+	frame := bl.BuildTCPv4(testEth, ip, TCPHeader{SrcPort: 80, DstPort: 40000}, []byte("HTTP/1.1 200 OK\r\n\r\n"))
+	var f Frame
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Decode(frame, &f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildTCPv4(b *testing.B) {
+	bl := NewBuilder(512)
+	ip := IPv4Header{TTL: 64, Src: MakeIPv4(198, 51, 100, 1), Dst: MakeIPv4(203, 0, 113, 2)}
+	payload := []byte("GET /index.html HTTP/1.1\r\nHost: www.example.org\r\n\r\n")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl.BuildTCPv4(testEth, ip, TCPHeader{SrcPort: 54321, DstPort: 80}, payload)
+	}
+}

@@ -1,0 +1,256 @@
+// Package pipeline wires the full measurement stack together: world →
+// traffic → sFlow capture → dissection → server identification →
+// meta-data → clustering. It is the composition layer the command-line
+// tools, the examples and the experiment harness all build on.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"ixplens/internal/alexa"
+	"ixplens/internal/certsim"
+	"ixplens/internal/core/churn"
+	"ixplens/internal/core/cluster"
+	"ixplens/internal/core/dissect"
+	"ixplens/internal/core/metadata"
+	"ixplens/internal/core/webserver"
+	"ixplens/internal/dnssim"
+	"ixplens/internal/geo"
+	"ixplens/internal/ixp"
+	"ixplens/internal/netmodel"
+	"ixplens/internal/packet"
+	"ixplens/internal/sflow"
+	"ixplens/internal/traffic"
+)
+
+// Env bundles a generated world with its measurement substrates.
+type Env struct {
+	World   *netmodel.World
+	DNS     *dnssim.DB
+	Fabric  *ixp.Fabric
+	Crawler *certsim.Crawler
+	Gen     *traffic.Generator
+	Opts    traffic.Options
+}
+
+// NewEnv generates a world and wires all substrates.
+func NewEnv(cfg netmodel.Config, opts traffic.Options) (*Env, error) {
+	w, err := netmodel.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dns := dnssim.New(w)
+	fabric := ixp.NewFabric(w)
+	return &Env{
+		World:   w,
+		DNS:     dns,
+		Fabric:  fabric,
+		Crawler: certsim.NewCrawler(w, dns),
+		Gen:     traffic.NewGenerator(w, dns, fabric, opts),
+		Opts:    opts,
+	}, nil
+}
+
+// CaptureWeek generates one week of traffic and returns it as an
+// in-memory, rewindable datagram source plus the generator ground truth.
+func (e *Env) CaptureWeek(isoWeek int) (*dissect.SliceSource, traffic.WeekStats, error) {
+	return e.captureWeekWith(e.Gen, isoWeek)
+}
+
+// captureWeekWith captures using an explicit generator, so parallel
+// callers can each own one (a Generator is not safe for concurrent use).
+func (e *Env) captureWeekWith(gen *traffic.Generator, isoWeek int) (*dissect.SliceSource, traffic.WeekStats, error) {
+	src := &dissect.SliceSource{}
+	col := ixp.NewCollector(e.Fabric, e.Opts.SamplingRate, func(d *sflow.Datagram) error {
+		cp := *d
+		cp.Flows = make([]sflow.FlowSample, len(d.Flows))
+		for i := range d.Flows {
+			cp.Flows[i] = d.Flows[i]
+			hdr := make([]byte, len(d.Flows[i].Raw.Header))
+			copy(hdr, d.Flows[i].Raw.Header)
+			cp.Flows[i].Raw.Header = hdr
+		}
+		cp.Counters = append([]sflow.CounterSample(nil), d.Counters...)
+		src.Datagrams = append(src.Datagrams, cp)
+		return nil
+	})
+	stats, err := gen.GenerateWeek(isoWeek, col)
+	if err != nil {
+		return nil, stats, err
+	}
+	return src, stats, nil
+}
+
+// Week is the fully analysed weekly snapshot.
+type Week struct {
+	ISOWeek  int
+	Truth    traffic.WeekStats
+	Counts   dissect.Counts
+	Servers  *webserver.Result
+	Metas    []metadata.ServerMeta
+	Coverage metadata.Coverage
+	Clusters *cluster.Result
+}
+
+// AnalyzeWeek runs the complete per-week pipeline. When src is nil the
+// week is captured first. keepSource optionally receives the capture
+// for further passes (link attribution needs one).
+func (e *Env) AnalyzeWeek(isoWeek int, src *dissect.SliceSource) (*Week, *dissect.SliceSource, error) {
+	var truth traffic.WeekStats
+	if src == nil {
+		var err error
+		src, truth, err = e.CaptureWeek(isoWeek)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	cls := dissect.NewClassifier(e.Fabric)
+	ident := webserver.NewIdentifier()
+	counts, err := dissect.Process(src, cls, ident.Observe)
+	if err != nil {
+		return nil, nil, err
+	}
+	src.Reset()
+	res := ident.Identify(isoWeek, e.Crawler)
+	metas, cov := metadata.Collect(res, e.DNS)
+
+	opts := cluster.DefaultOptions()
+	opts.KnownShared = e.DNS.PublicDNSProviders()
+	rib := e.World.RIB()
+	opts.ASNOf = rib.LookupASN
+	clusters := cluster.Run(metas, opts)
+
+	return &Week{
+		ISOWeek:  isoWeek,
+		Truth:    truth,
+		Counts:   counts,
+		Servers:  res,
+		Metas:    metas,
+		Coverage: cov,
+		Clusters: clusters,
+	}, src, nil
+}
+
+// IdentifyWeek runs the light per-week pipeline (dissection and server
+// identification only) — what the longitudinal analysis needs for each
+// of the 17 weeks.
+func (e *Env) IdentifyWeek(isoWeek int) (*webserver.Result, dissect.Counts, traffic.WeekStats, error) {
+	src, truth, err := e.CaptureWeek(isoWeek)
+	if err != nil {
+		return nil, dissect.Counts{}, truth, err
+	}
+	cls := dissect.NewClassifier(e.Fabric)
+	ident := webserver.NewIdentifier()
+	counts, err := dissect.Process(src, cls, ident.Observe)
+	if err != nil {
+		return nil, counts, truth, err
+	}
+	return ident.Identify(isoWeek, e.Crawler), counts, truth, nil
+}
+
+// Observation converts an identification result into the churn
+// tracker's input, resolving every server IP against the RIB and geo
+// database.
+func (e *Env) Observation(res *webserver.Result) churn.WeekObservation {
+	rib := e.World.RIB()
+	gdb := e.World.GeoDB()
+	obs := churn.WeekObservation{
+		Week:    res.Week,
+		Servers: make(map[packet.IPv4Addr]churn.ServerObs, len(res.Servers)),
+	}
+	for ip, srv := range res.Servers {
+		so := churn.ServerObs{
+			Bytes:  srv.Bytes,
+			HTTPS:  srv.HTTPS,
+			Member: srv.Member,
+			Region: geo.Region(gdb.Lookup(ip)),
+		}
+		if r, ok := rib.Lookup(ip); ok {
+			so.ASN = r.ASN
+			so.Prefix = r.Prefix
+		}
+		obs.Servers[ip] = so
+	}
+	return obs
+}
+
+// TrackWeeks runs the light pipeline over every study week and returns
+// the filled churn tracker plus per-week identification results. Weeks
+// are processed concurrently (they are independent: a generator per
+// worker, shared read-only substrates) and folded into the tracker in
+// chronological order.
+func (e *Env) TrackWeeks() (*churn.Tracker, []*webserver.Result, error) {
+	cfg := &e.World.Cfg
+
+	// Pre-build the lazily cached substrates so workers only read.
+	e.World.RIB()
+	e.World.GeoDB()
+	if len(e.World.Servers) > 0 {
+		e.World.ServerByIP(e.World.Servers[0].IP)
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > cfg.Weeks {
+		workers = cfg.Weeks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	results := make([]*webserver.Result, cfg.Weeks)
+	errs := make([]error, cfg.Weeks)
+	weekCh := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gen := traffic.NewGenerator(e.World, e.DNS, e.Fabric, e.Opts)
+			for idx := range weekCh {
+				isoWeek := cfg.FirstWeek + idx
+				src, _, err := e.captureWeekWith(gen, isoWeek)
+				if err != nil {
+					errs[idx] = err
+					continue
+				}
+				cls := dissect.NewClassifier(e.Fabric)
+				ident := webserver.NewIdentifier()
+				if _, err := dissect.Process(src, cls, ident.Observe); err != nil {
+					errs[idx] = err
+					continue
+				}
+				results[idx] = ident.Identify(isoWeek, e.Crawler)
+			}
+		}()
+	}
+	for idx := 0; idx < cfg.Weeks; idx++ {
+		weekCh <- idx
+	}
+	close(weekCh)
+	wg.Wait()
+
+	tracker := churn.NewTracker()
+	for idx := 0; idx < cfg.Weeks; idx++ {
+		if errs[idx] != nil {
+			return nil, nil, errs[idx]
+		}
+		if err := tracker.Add(e.Observation(results[idx])); err != nil {
+			return nil, nil, err
+		}
+	}
+	return tracker, results, nil
+}
+
+// AlexaList builds the week's top-site list.
+func (e *Env) AlexaList(isoWeek int) *alexa.List {
+	return alexa.Build(e.DNS, isoWeek, e.World.Cfg.Seed)
+}
+
+// String summarizes the environment.
+func (e *Env) String() string {
+	return fmt.Sprintf("env{ASes=%d prefixes=%d orgs=%d servers=%d members=%d..%d}",
+		len(e.World.ASes), len(e.World.Prefixes), len(e.World.Orgs), len(e.World.Servers),
+		e.World.Cfg.MembersStart, e.World.Cfg.MembersEnd)
+}

@@ -1,0 +1,123 @@
+package routing
+
+import "fmt"
+
+// DistanceClass partitions the routed AS set relative to the IXP member
+// set, following Section 3.2 of the paper: A(L) is the members
+// themselves, A(M) the ASes one AS-hop from a member, and A(G) everything
+// further away.
+type DistanceClass uint8
+
+// Distance classes.
+const (
+	ClassLocal  DistanceClass = iota // A(L): IXP member ASes
+	ClassMiddle                      // A(M): distance 1 from a member
+	ClassGlobal                      // A(G): distance >= 2
+)
+
+// String returns the paper's notation for the class.
+func (c DistanceClass) String() string {
+	switch c {
+	case ClassLocal:
+		return "A(L)"
+	case ClassMiddle:
+		return "A(M)"
+	case ClassGlobal:
+		return "A(G)"
+	default:
+		return fmt.Sprintf("DistanceClass(%d)", uint8(c))
+	}
+}
+
+// ASGraph is an undirected AS-level connectivity graph. Edges abstract
+// BGP adjacencies (customer-provider and peering alike); the study only
+// needs hop distances from the member set.
+type ASGraph struct {
+	adj   map[uint32][]uint32
+	edges int
+}
+
+// NewASGraph returns an empty graph.
+func NewASGraph() *ASGraph {
+	return &ASGraph{adj: make(map[uint32][]uint32)}
+}
+
+// AddAS ensures an AS exists in the graph even if it has no edges yet.
+func (g *ASGraph) AddAS(asn uint32) {
+	if _, ok := g.adj[asn]; !ok {
+		g.adj[asn] = nil
+	}
+}
+
+// AddEdge adds an undirected adjacency between two ASes. Self-loops and
+// duplicate edges are ignored.
+func (g *ASGraph) AddEdge(a, b uint32) {
+	if a == b {
+		return
+	}
+	for _, n := range g.adj[a] {
+		if n == b {
+			return
+		}
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	g.edges++
+}
+
+// NumASes returns the number of ASes known to the graph.
+func (g *ASGraph) NumASes() int { return len(g.adj) }
+
+// NumEdges returns the number of undirected edges.
+func (g *ASGraph) NumEdges() int { return g.edges }
+
+// Neighbors returns the adjacency list of asn (shared slice; do not
+// modify).
+func (g *ASGraph) Neighbors(asn uint32) []uint32 { return g.adj[asn] }
+
+// Distances runs a multi-source BFS from the member set and returns the
+// hop distance of every AS in the graph. ASes unreachable from any
+// member get distance -1.
+func (g *ASGraph) Distances(members []uint32) map[uint32]int {
+	dist := make(map[uint32]int, len(g.adj))
+	for asn := range g.adj {
+		dist[asn] = -1
+	}
+	queue := make([]uint32, 0, len(members))
+	for _, m := range members {
+		if d, ok := dist[m]; ok && d == -1 {
+			dist[m] = 0
+			queue = append(queue, m)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range g.adj[cur] {
+			if dist[n] == -1 {
+				dist[n] = dist[cur] + 1
+				queue = append(queue, n)
+			}
+		}
+	}
+	return dist
+}
+
+// Classify maps every AS to its distance class relative to members.
+// Unreachable ASes are placed in A(G): from the IXP's perspective they
+// are "far away" in exactly the sense of the paper's cartoon picture.
+func (g *ASGraph) Classify(members []uint32) map[uint32]DistanceClass {
+	dist := g.Distances(members)
+	out := make(map[uint32]DistanceClass, len(dist))
+	for asn, d := range dist {
+		switch {
+		case d == 0:
+			out[asn] = ClassLocal
+		case d == 1:
+			out[asn] = ClassMiddle
+		default:
+			out[asn] = ClassGlobal
+		}
+	}
+	return out
+}

@@ -1,0 +1,34 @@
+package routing_test
+
+import (
+	"fmt"
+
+	"ixplens/internal/packet"
+	"ixplens/internal/routing"
+)
+
+// ExampleTable shows a longest-prefix-match lookup against a small RIB.
+func ExampleTable() {
+	rib := routing.NewTable()
+	p1, _ := packet.ParseIPv4("10.0.0.0")
+	p2, _ := packet.ParseIPv4("10.1.0.0")
+	rib.Insert(routing.MakePrefix(p1, 8), 64500)
+	rib.Insert(routing.MakePrefix(p2, 16), 64501)
+
+	ip, _ := packet.ParseIPv4("10.1.2.3")
+	route, ok := rib.Lookup(ip)
+	fmt.Println(ok, route.Prefix, route.ASN)
+	// Output: true 10.1.0.0/16 64501
+}
+
+// ExampleASGraph_Classify derives the paper's A(L)/A(M)/A(G) classes.
+func ExampleASGraph_Classify() {
+	g := routing.NewASGraph()
+	g.AddEdge(1, 2) // member 1 <-> member 2
+	g.AddEdge(1, 3) // AS 3 hangs off member 1
+	g.AddEdge(3, 4) // AS 4 is two hops out
+
+	classes := g.Classify([]uint32{1, 2})
+	fmt.Println(classes[1], classes[3], classes[4])
+	// Output: A(L) A(M) A(G)
+}

@@ -1,0 +1,342 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ixplens/internal/packet"
+)
+
+func mustPrefix(t testing.TB, s string, length uint8) Prefix {
+	t.Helper()
+	a, err := packet.ParseIPv4(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return MakePrefix(a, length)
+}
+
+func TestPrefixBasics(t *testing.T) {
+	p := mustPrefix(t, "192.0.2.0", 24)
+	if p.String() != "192.0.2.0/24" {
+		t.Fatalf("String() = %q", p.String())
+	}
+	if !p.Contains(packet.MakeIPv4(192, 0, 2, 255)) {
+		t.Fatal("Contains should include broadcast address")
+	}
+	if p.Contains(packet.MakeIPv4(192, 0, 3, 0)) {
+		t.Fatal("Contains must reject next /24")
+	}
+	if p.NumAddrs() != 256 {
+		t.Fatalf("NumAddrs = %d", p.NumAddrs())
+	}
+	if p.First() != packet.MakeIPv4(192, 0, 2, 0) || p.Last() != packet.MakeIPv4(192, 0, 2, 255) {
+		t.Fatalf("First/Last wrong: %v..%v", p.First(), p.Last())
+	}
+}
+
+func TestMakePrefixMasksHostBits(t *testing.T) {
+	p := MakePrefix(packet.MakeIPv4(10, 1, 2, 3), 16)
+	if p.Addr != packet.MakeIPv4(10, 1, 0, 0) {
+		t.Fatalf("host bits not masked: %v", p.Addr)
+	}
+}
+
+func TestPrefixOverlaps(t *testing.T) {
+	a := mustPrefix(t, "10.0.0.0", 8)
+	b := mustPrefix(t, "10.1.0.0", 16)
+	c := mustPrefix(t, "11.0.0.0", 8)
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Fatal("containing prefixes must overlap")
+	}
+	if a.Overlaps(c) || c.Overlaps(b) {
+		t.Fatal("disjoint prefixes must not overlap")
+	}
+	zero := Prefix{} // 0.0.0.0/0 overlaps everything
+	if !zero.Overlaps(a) || !a.Overlaps(zero) {
+		t.Fatal("default route overlaps all")
+	}
+}
+
+func TestTableLongestPrefixMatch(t *testing.T) {
+	tbl := NewTable()
+	tbl.Insert(mustPrefix(t, "10.0.0.0", 8), 100)
+	tbl.Insert(mustPrefix(t, "10.1.0.0", 16), 200)
+	tbl.Insert(mustPrefix(t, "10.1.2.0", 24), 300)
+
+	cases := []struct {
+		ip   packet.IPv4Addr
+		asn  uint32
+		want bool
+	}{
+		{packet.MakeIPv4(10, 1, 2, 3), 300, true},
+		{packet.MakeIPv4(10, 1, 9, 9), 200, true},
+		{packet.MakeIPv4(10, 200, 0, 1), 100, true},
+		{packet.MakeIPv4(11, 0, 0, 1), 0, false},
+	}
+	for _, c := range cases {
+		asn, ok := tbl.LookupASN(c.ip)
+		if ok != c.want || asn != c.asn {
+			t.Errorf("Lookup(%v) = %d,%v want %d,%v", c.ip, asn, ok, c.asn, c.want)
+		}
+	}
+	if tbl.Size() != 3 {
+		t.Fatalf("Size = %d", tbl.Size())
+	}
+}
+
+func TestTableReplace(t *testing.T) {
+	tbl := NewTable()
+	p := mustPrefix(t, "192.0.2.0", 24)
+	if tbl.Insert(p, 1) {
+		t.Fatal("first insert must not report replacement")
+	}
+	if !tbl.Insert(p, 2) {
+		t.Fatal("second insert of same prefix must replace")
+	}
+	if tbl.Size() != 1 {
+		t.Fatalf("Size = %d after replace", tbl.Size())
+	}
+	asn, _ := tbl.LookupASN(packet.MakeIPv4(192, 0, 2, 1))
+	if asn != 2 {
+		t.Fatalf("replacement not visible: asn=%d", asn)
+	}
+}
+
+func TestTableDefaultRoute(t *testing.T) {
+	tbl := NewTable()
+	tbl.Insert(Prefix{}, 65000) // 0.0.0.0/0
+	asn, ok := tbl.LookupASN(packet.MakeIPv4(203, 0, 113, 77))
+	if !ok || asn != 65000 {
+		t.Fatalf("default route not matched: %d %v", asn, ok)
+	}
+}
+
+func TestTableWalkAndRoutes(t *testing.T) {
+	tbl := NewTable()
+	tbl.Insert(mustPrefix(t, "10.0.0.0", 8), 1)
+	tbl.Insert(mustPrefix(t, "9.0.0.0", 8), 2)
+	count := 0
+	tbl.Walk(func(Route) bool { count++; return true })
+	if count != 2 {
+		t.Fatalf("Walk visited %d", count)
+	}
+	// Early stop.
+	count = 0
+	tbl.Walk(func(Route) bool { count++; return false })
+	if count != 1 {
+		t.Fatalf("Walk early-stop visited %d", count)
+	}
+	rs := tbl.Routes()
+	if len(rs) != 2 || rs[0].ASN != 2 || rs[1].ASN != 1 {
+		t.Fatalf("Routes not sorted: %+v", rs)
+	}
+}
+
+// linearLookup is the brute-force reference implementation for the
+// property test and the ablation benchmark.
+func linearLookup(routes []Route, ip packet.IPv4Addr) (Route, bool) {
+	best := -1
+	for i, r := range routes {
+		if r.Prefix.Contains(ip) && (best == -1 || r.Prefix.Len > routes[best].Prefix.Len) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return Route{}, false
+	}
+	return routes[best], true
+}
+
+// TestQuickTrieMatchesLinear: on random prefix sets and random probe
+// addresses, the trie's LPM answer must agree with brute force.
+func TestQuickTrieMatchesLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tbl := NewTable()
+		n := 1 + r.Intn(60)
+		routes := make([]Route, 0, n)
+		seen := map[Prefix]bool{}
+		for i := 0; i < n; i++ {
+			length := uint8(r.Intn(25) + 8)
+			p := MakePrefix(packet.IPv4Addr(r.Uint32()), length)
+			asn := uint32(r.Intn(1000) + 1)
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			tbl.Insert(p, asn)
+			routes = append(routes, Route{Prefix: p, ASN: asn})
+		}
+		for probe := 0; probe < 200; probe++ {
+			ip := packet.IPv4Addr(rng.Uint32())
+			if probe%3 == 0 && len(routes) > 0 {
+				// Bias probes into covered space.
+				base := routes[rng.Intn(len(routes))].Prefix
+				ip = base.Addr | packet.IPv4Addr(rng.Uint32())&^packet.IPv4Addr(base.netmask())
+			}
+			got, gok := tbl.Lookup(ip)
+			want, wok := linearLookup(routes, ip)
+			if gok != wok {
+				return false
+			}
+			if gok && (got.Prefix != want.Prefix || got.ASN != want.ASN) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceClassString(t *testing.T) {
+	if ClassLocal.String() != "A(L)" || ClassMiddle.String() != "A(M)" || ClassGlobal.String() != "A(G)" {
+		t.Fatal("class notation wrong")
+	}
+	if DistanceClass(9).String() != "DistanceClass(9)" {
+		t.Fatal("unknown class fallback wrong")
+	}
+}
+
+func TestASGraphClassify(t *testing.T) {
+	g := NewASGraph()
+	// members: 1, 2. 3-4 hang off member 1; 5 hangs off 3 (distance 2).
+	g.AddEdge(1, 2)
+	g.AddEdge(1, 3)
+	g.AddEdge(1, 4)
+	g.AddEdge(3, 5)
+	g.AddAS(6) // isolated: unreachable
+
+	classes := g.Classify([]uint32{1, 2})
+	want := map[uint32]DistanceClass{
+		1: ClassLocal, 2: ClassLocal,
+		3: ClassMiddle, 4: ClassMiddle,
+		5: ClassGlobal, 6: ClassGlobal,
+	}
+	for asn, cls := range want {
+		if classes[asn] != cls {
+			t.Errorf("AS%d = %v, want %v", asn, classes[asn], cls)
+		}
+	}
+}
+
+func TestASGraphIgnoresDuplicatesAndSelfLoops(t *testing.T) {
+	g := NewASGraph()
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 1)
+	g.AddEdge(1, 1)
+	if g.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", g.NumEdges())
+	}
+	if g.NumASes() != 2 {
+		t.Fatalf("NumASes = %d, want 2", g.NumASes())
+	}
+	if len(g.Neighbors(1)) != 1 {
+		t.Fatalf("Neighbors(1) = %v", g.Neighbors(1))
+	}
+}
+
+func TestASGraphDistancesUnknownMember(t *testing.T) {
+	g := NewASGraph()
+	g.AddEdge(1, 2)
+	dist := g.Distances([]uint32{99}) // member not in graph
+	if dist[1] != -1 || dist[2] != -1 {
+		t.Fatalf("unknown member should reach nothing: %v", dist)
+	}
+}
+
+// TestQuickClassesPartition: A(L), A(M), A(G) always partition the AS
+// set (DESIGN.md invariant).
+func TestQuickClassesPartition(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := NewASGraph()
+		n := 2 + r.Intn(100)
+		for i := 0; i < n; i++ {
+			g.AddAS(uint32(i))
+		}
+		for e := 0; e < n*2; e++ {
+			g.AddEdge(uint32(r.Intn(n)), uint32(r.Intn(n)))
+		}
+		nm := 1 + r.Intn(5)
+		members := make([]uint32, 0, nm)
+		for i := 0; i < nm; i++ {
+			members = append(members, uint32(r.Intn(n)))
+		}
+		classes := g.Classify(members)
+		if len(classes) != g.NumASes() {
+			return false
+		}
+		mset := map[uint32]bool{}
+		for _, m := range members {
+			mset[m] = true
+		}
+		for asn, cls := range classes {
+			if mset[asn] != (cls == ClassLocal) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func buildRandomTable(n int, seed int64) (*Table, []Route) {
+	r := rand.New(rand.NewSource(seed))
+	tbl := NewTable()
+	routes := make([]Route, 0, n)
+	for len(routes) < n {
+		p := MakePrefix(packet.IPv4Addr(r.Uint32()), uint8(12+r.Intn(13)))
+		if tbl.Insert(p, uint32(r.Intn(40000)+1)) {
+			continue
+		}
+		routes = append(routes, Route{Prefix: p})
+	}
+	return tbl, routes
+}
+
+func BenchmarkLPMTrie(b *testing.B) {
+	tbl, _ := buildRandomTable(100_000, 1)
+	r := rand.New(rand.NewSource(2))
+	probes := make([]packet.IPv4Addr, 1024)
+	for i := range probes {
+		probes[i] = packet.IPv4Addr(r.Uint32())
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Lookup(probes[i&1023])
+	}
+}
+
+// BenchmarkLPMTrieVsLinear is the ablation: the same lookups against a
+// brute-force scan over the route list (at a smaller table size, since
+// the linear scan is O(n) per probe).
+func BenchmarkLPMTrieVsLinear(b *testing.B) {
+	tbl, routes := buildRandomTable(10_000, 1)
+	r := rand.New(rand.NewSource(2))
+	probes := make([]packet.IPv4Addr, 1024)
+	for i := range probes {
+		probes[i] = packet.IPv4Addr(r.Uint32())
+	}
+	fullRoutes := tbl.Routes()
+	_ = routes
+	b.Run("trie", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tbl.Lookup(probes[i&1023])
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			linearLookup(fullRoutes, probes[i&1023])
+		}
+	})
+}

@@ -1,0 +1,229 @@
+package sflow
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// reader is a bounds-checked big-endian cursor over a datagram.
+type reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("sflow: %s at offset %d: %w", what, r.off, ErrShortDatagram)
+	}
+}
+
+func (r *reader) uint32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.data) {
+		r.fail("uint32")
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) uint64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.data) {
+		r.fail("uint64")
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+// bytes returns n bytes (no padding) aliasing the input buffer.
+func (r *reader) bytes(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.data) {
+		r.fail("bytes")
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *reader) skip(n int) {
+	if r.err != nil {
+		return
+	}
+	if n < 0 || r.off+n > len(r.data) {
+		r.fail("skip")
+		return
+	}
+	r.off += n
+}
+
+// Decode parses one sFlow v5 datagram. Header bytes in flow samples alias
+// data; copy them if data is reused. Unknown sample and record types are
+// skipped and counted, per the sFlow robustness rules.
+func Decode(data []byte, d *Datagram) error {
+	*d = Datagram{Flows: d.Flows[:0], Counters: d.Counters[:0]}
+	r := reader{data: data}
+
+	if v := r.uint32(); r.err == nil && v != Version {
+		return fmt.Errorf("%w: got %d", ErrBadVersion, v)
+	}
+	if at := r.uint32(); r.err == nil && at != 1 {
+		return fmt.Errorf("%w: got %d", ErrBadAddressType, at)
+	}
+	copy(d.AgentAddr[:], r.bytes(4))
+	d.SubAgentID = r.uint32()
+	d.SequenceNum = r.uint32()
+	d.Uptime = r.uint32()
+	n := r.uint32()
+	if r.err != nil {
+		return r.err
+	}
+	for i := uint32(0); i < n; i++ {
+		sampleType := r.uint32()
+		sampleLen := int(r.uint32())
+		if r.err != nil {
+			return r.err
+		}
+		body := r.bytes(sampleLen)
+		if r.err != nil {
+			return r.err
+		}
+		switch sampleType {
+		case sampleTypeFlow:
+			var fs FlowSample
+			if err := decodeFlowSample(body, &fs); err != nil {
+				return err
+			}
+			d.Flows = append(d.Flows, fs)
+		case sampleTypeCounter:
+			var cs CounterSample
+			if err := decodeCounterSample(body, &cs); err != nil {
+				return err
+			}
+			d.Counters = append(d.Counters, cs)
+		default:
+			d.SkippedSamples++
+		}
+	}
+	return nil
+}
+
+func decodeFlowSample(body []byte, fs *FlowSample) error {
+	r := reader{data: body}
+	fs.SequenceNum = r.uint32()
+	src := r.uint32()
+	fs.SourceIDType = src >> 24
+	fs.SourceIDIndex = src & 0xffffff
+	fs.SamplingRate = r.uint32()
+	fs.SamplePool = r.uint32()
+	fs.Drops = r.uint32()
+	fs.InputIf = r.uint32()
+	fs.OutputIf = r.uint32()
+	nrec := r.uint32()
+	if r.err != nil {
+		return r.err
+	}
+	for i := uint32(0); i < nrec; i++ {
+		recType := r.uint32()
+		recLen := int(r.uint32())
+		if r.err != nil {
+			return r.err
+		}
+		recBody := r.bytes(recLen)
+		if r.err != nil {
+			return r.err
+		}
+		switch recType {
+		case recordTypeRawPacketHeader:
+			rr := reader{data: recBody}
+			fs.Raw.Protocol = rr.uint32()
+			fs.Raw.FrameLength = rr.uint32()
+			fs.Raw.Stripped = rr.uint32()
+			hlen := int(rr.uint32())
+			fs.Raw.Header = rr.bytes(hlen)
+			if rr.err != nil {
+				return rr.err
+			}
+			fs.HasRaw = true
+		case recordTypeExtendedSwitch:
+			rr := reader{data: recBody}
+			fs.Switch.SrcVLAN = rr.uint32()
+			fs.Switch.SrcPriority = rr.uint32()
+			fs.Switch.DstVLAN = rr.uint32()
+			fs.Switch.DstPriority = rr.uint32()
+			if rr.err != nil {
+				return rr.err
+			}
+			fs.HasSwitch = true
+		default:
+			fs.SkippedRecords++
+		}
+	}
+	return nil
+}
+
+func decodeCounterSample(body []byte, cs *CounterSample) error {
+	r := reader{data: body}
+	cs.SequenceNum = r.uint32()
+	src := r.uint32()
+	cs.SourceIDType = src >> 24
+	cs.SourceIDIndex = src & 0xffffff
+	nrec := r.uint32()
+	if r.err != nil {
+		return r.err
+	}
+	for i := uint32(0); i < nrec; i++ {
+		recType := r.uint32()
+		recLen := int(r.uint32())
+		if r.err != nil {
+			return r.err
+		}
+		recBody := r.bytes(recLen)
+		if r.err != nil {
+			return r.err
+		}
+		switch recType {
+		case counterTypeGenericInterface:
+			rr := reader{data: recBody}
+			g := &cs.Generic
+			g.IfIndex = rr.uint32()
+			g.IfType = rr.uint32()
+			g.IfSpeed = rr.uint64()
+			g.IfDirection = rr.uint32()
+			g.IfStatus = rr.uint32()
+			g.InOctets = rr.uint64()
+			g.InUcastPkts = rr.uint32()
+			g.InMulticastPkts = rr.uint32()
+			g.InBroadcastPkts = rr.uint32()
+			g.InDiscards = rr.uint32()
+			g.InErrors = rr.uint32()
+			g.InUnknownProtos = rr.uint32()
+			g.OutOctets = rr.uint64()
+			g.OutUcastPkts = rr.uint32()
+			g.OutMulticastPkts = rr.uint32()
+			g.OutBroadcastPkts = rr.uint32()
+			g.OutDiscards = rr.uint32()
+			g.OutErrors = rr.uint32()
+			g.PromiscuousMode = rr.uint32()
+			if rr.err != nil {
+				return rr.err
+			}
+			cs.HasGeneric = true
+		default:
+			cs.SkippedRecords++
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package sflow
+
+// AppendEncode serializes the datagram in sFlow v5 wire format, appending
+// to buf and returning the extended slice. Encoding is allocation-free
+// when buf has sufficient capacity.
+func (d *Datagram) AppendEncode(buf []byte) []byte {
+	buf = appendUint32(buf, Version)
+	buf = appendUint32(buf, 1) // address type: IPv4
+	buf = append(buf, d.AgentAddr[:]...)
+	buf = appendUint32(buf, d.SubAgentID)
+	buf = appendUint32(buf, d.SequenceNum)
+	buf = appendUint32(buf, d.Uptime)
+	buf = appendUint32(buf, uint32(len(d.Flows)+len(d.Counters)))
+	for i := range d.Flows {
+		buf = d.Flows[i].appendEncode(buf)
+	}
+	for i := range d.Counters {
+		buf = d.Counters[i].appendEncode(buf)
+	}
+	return buf
+}
+
+func (s *FlowSample) appendEncode(buf []byte) []byte {
+	buf = appendUint32(buf, sampleTypeFlow)
+	lenAt := len(buf)
+	buf = appendUint32(buf, 0) // length placeholder
+	start := len(buf)
+
+	buf = appendUint32(buf, s.SequenceNum)
+	buf = appendUint32(buf, s.SourceIDType<<24|s.SourceIDIndex&0xffffff)
+	buf = appendUint32(buf, s.SamplingRate)
+	buf = appendUint32(buf, s.SamplePool)
+	buf = appendUint32(buf, s.Drops)
+	buf = appendUint32(buf, s.InputIf)
+	buf = appendUint32(buf, s.OutputIf)
+
+	n := 0
+	if s.HasRaw {
+		n++
+	}
+	if s.HasSwitch {
+		n++
+	}
+	buf = appendUint32(buf, uint32(n))
+	if s.HasRaw {
+		buf = s.Raw.appendEncode(buf)
+	}
+	if s.HasSwitch {
+		buf = s.Switch.appendEncode(buf)
+	}
+	putLen(buf, lenAt, len(buf)-start)
+	return buf
+}
+
+func (r *RawPacketHeader) appendEncode(buf []byte) []byte {
+	buf = appendUint32(buf, recordTypeRawPacketHeader)
+	body := 16 + pad4(len(r.Header))
+	buf = appendUint32(buf, uint32(body))
+	buf = appendUint32(buf, r.Protocol)
+	buf = appendUint32(buf, r.FrameLength)
+	buf = appendUint32(buf, r.Stripped)
+	buf = appendUint32(buf, uint32(len(r.Header)))
+	buf = append(buf, r.Header...)
+	for i := len(r.Header); i%4 != 0; i++ {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+func (e *ExtendedSwitch) appendEncode(buf []byte) []byte {
+	buf = appendUint32(buf, recordTypeExtendedSwitch)
+	buf = appendUint32(buf, 16)
+	buf = appendUint32(buf, e.SrcVLAN)
+	buf = appendUint32(buf, e.SrcPriority)
+	buf = appendUint32(buf, e.DstVLAN)
+	buf = appendUint32(buf, e.DstPriority)
+	return buf
+}
+
+func (s *CounterSample) appendEncode(buf []byte) []byte {
+	buf = appendUint32(buf, sampleTypeCounter)
+	lenAt := len(buf)
+	buf = appendUint32(buf, 0)
+	start := len(buf)
+
+	buf = appendUint32(buf, s.SequenceNum)
+	buf = appendUint32(buf, s.SourceIDType<<24|s.SourceIDIndex&0xffffff)
+	n := 0
+	if s.HasGeneric {
+		n++
+	}
+	buf = appendUint32(buf, uint32(n))
+	if s.HasGeneric {
+		buf = s.Generic.appendEncode(buf)
+	}
+	putLen(buf, lenAt, len(buf)-start)
+	return buf
+}
+
+func (g *GenericInterfaceCounters) appendEncode(buf []byte) []byte {
+	buf = appendUint32(buf, counterTypeGenericInterface)
+	buf = appendUint32(buf, 88)
+	buf = appendUint32(buf, g.IfIndex)
+	buf = appendUint32(buf, g.IfType)
+	buf = appendUint64(buf, g.IfSpeed)
+	buf = appendUint32(buf, g.IfDirection)
+	buf = appendUint32(buf, g.IfStatus)
+	buf = appendUint64(buf, g.InOctets)
+	buf = appendUint32(buf, g.InUcastPkts)
+	buf = appendUint32(buf, g.InMulticastPkts)
+	buf = appendUint32(buf, g.InBroadcastPkts)
+	buf = appendUint32(buf, g.InDiscards)
+	buf = appendUint32(buf, g.InErrors)
+	buf = appendUint32(buf, g.InUnknownProtos)
+	buf = appendUint64(buf, g.OutOctets)
+	buf = appendUint32(buf, g.OutUcastPkts)
+	buf = appendUint32(buf, g.OutMulticastPkts)
+	buf = appendUint32(buf, g.OutBroadcastPkts)
+	buf = appendUint32(buf, g.OutDiscards)
+	buf = appendUint32(buf, g.OutErrors)
+	buf = appendUint32(buf, g.PromiscuousMode)
+	return buf
+}
+
+// putLen writes a 32-bit big-endian length into buf at offset at.
+func putLen(buf []byte, at, length int) {
+	buf[at] = byte(length >> 24)
+	buf[at+1] = byte(length >> 16)
+	buf[at+2] = byte(length >> 8)
+	buf[at+3] = byte(length)
+}

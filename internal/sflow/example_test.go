@@ -1,0 +1,38 @@
+package sflow_test
+
+import (
+	"fmt"
+
+	"ixplens/internal/sflow"
+)
+
+// Example shows the encode/decode round trip of an sFlow v5 datagram
+// carrying one sampled frame header.
+func Example() {
+	d := &sflow.Datagram{
+		AgentAddr:   [4]byte{10, 99, 0, 1},
+		SequenceNum: 1,
+		Flows: []sflow.FlowSample{{
+			SequenceNum:  1,
+			SamplingRate: 16384,
+			InputIf:      1001,
+			OutputIf:     1002,
+			HasRaw:       true,
+			Raw: sflow.RawPacketHeader{
+				Protocol:    sflow.HeaderProtoEthernet,
+				FrameLength: 1514,
+				Header:      []byte{0x02, 0x49, 0x58, 0x00, 0x00, 0x01},
+			},
+		}},
+	}
+	wire := d.AppendEncode(nil)
+
+	var got sflow.Datagram
+	if err := sflow.Decode(wire, &got); err != nil {
+		panic(err)
+	}
+	fs := got.Flows[0]
+	fmt.Printf("rate=1/%d ports=%d->%d frame=%dB captured=%dB\n",
+		fs.SamplingRate, fs.InputIf, fs.OutputIf, fs.Raw.FrameLength, len(fs.Raw.Header))
+	// Output: rate=1/16384 ports=1001->1002 frame=1514B captured=6B
+}

@@ -1,0 +1,42 @@
+package sflow
+
+import "testing"
+
+// FuzzDecode feeds arbitrary bytes to the sFlow datagram decoder: it
+// must never panic, and successful decodes must survive an
+// encode/decode round trip with identical structure.
+func FuzzDecode(f *testing.F) {
+	f.Add(sampleDatagram().AppendEncode(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 5})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var d Datagram
+		if err := Decode(data, &d); err != nil {
+			return
+		}
+		// A decoded datagram with no skipped content must round-trip.
+		if d.SkippedSamples > 0 {
+			return
+		}
+		for i := range d.Flows {
+			if d.Flows[i].SkippedRecords > 0 || !d.Flows[i].HasRaw {
+				return
+			}
+		}
+		for i := range d.Counters {
+			if d.Counters[i].SkippedRecords > 0 {
+				return
+			}
+		}
+		wire := d.AppendEncode(nil)
+		var d2 Datagram
+		if err := Decode(wire, &d2); err != nil {
+			t.Fatalf("re-encode undecodable: %v", err)
+		}
+		if len(d2.Flows) != len(d.Flows) || len(d2.Counters) != len(d.Counters) ||
+			d2.SequenceNum != d.SequenceNum || d2.AgentAddr != d.AgentAddr {
+			t.Fatal("round trip drifted")
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package sflow
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Capture stream framing. sFlow datagrams travel over UDP on the wire;
+// for on-disk captures this package uses a minimal container: an 8-byte
+// magic header followed by length-prefixed datagrams. cmd/ixpgen writes
+// these files and cmd/ixpmine reads them back.
+
+var streamMagic = [8]byte{'I', 'X', 'P', 'S', 'F', 'L', 'W', '1'}
+
+// ErrBadMagic indicates the input is not a capture stream.
+var ErrBadMagic = errors.New("sflow: bad capture stream magic")
+
+// maxDatagramLen bounds a single framed datagram so a corrupt length
+// field cannot trigger a huge allocation.
+const maxDatagramLen = 1 << 20
+
+// StreamWriter writes a sequence of encoded datagrams to an io.Writer.
+type StreamWriter struct {
+	w   *bufio.Writer
+	buf []byte
+	n   int
+}
+
+// NewStreamWriter writes the stream header and returns a writer.
+func NewStreamWriter(w io.Writer) (*StreamWriter, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(streamMagic[:]); err != nil {
+		return nil, err
+	}
+	return &StreamWriter{w: bw}, nil
+}
+
+// WriteDatagram encodes and appends one datagram.
+func (sw *StreamWriter) WriteDatagram(d *Datagram) error {
+	sw.buf = d.AppendEncode(sw.buf[:0])
+	if len(sw.buf) > maxDatagramLen {
+		return fmt.Errorf("sflow: datagram of %d bytes exceeds stream limit", len(sw.buf))
+	}
+	var lenbuf [4]byte
+	binary.BigEndian.PutUint32(lenbuf[:], uint32(len(sw.buf)))
+	if _, err := sw.w.Write(lenbuf[:]); err != nil {
+		return err
+	}
+	if _, err := sw.w.Write(sw.buf); err != nil {
+		return err
+	}
+	sw.n++
+	return nil
+}
+
+// Count returns the number of datagrams written so far.
+func (sw *StreamWriter) Count() int { return sw.n }
+
+// Flush flushes buffered data to the underlying writer.
+func (sw *StreamWriter) Flush() error { return sw.w.Flush() }
+
+// StreamReader reads datagrams written by StreamWriter.
+type StreamReader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewStreamReader validates the stream header and returns a reader.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("sflow: reading stream header: %w", err)
+	}
+	if magic != streamMagic {
+		return nil, ErrBadMagic
+	}
+	return &StreamReader{r: br}, nil
+}
+
+// Next decodes the next datagram into d. It returns io.EOF at a clean end
+// of stream. The datagram's header byte slices alias an internal buffer
+// that is overwritten by the following Next call.
+func (sr *StreamReader) Next(d *Datagram) error {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(sr.r, lenbuf[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("sflow: reading frame length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenbuf[:])
+	if n > maxDatagramLen {
+		return fmt.Errorf("sflow: framed datagram length %d exceeds limit", n)
+	}
+	if cap(sr.buf) < int(n) {
+		sr.buf = make([]byte, n)
+	}
+	sr.buf = sr.buf[:n]
+	if _, err := io.ReadFull(sr.r, sr.buf); err != nil {
+		return fmt.Errorf("sflow: reading framed datagram: %w", err)
+	}
+	return Decode(sr.buf, d)
+}

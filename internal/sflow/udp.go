@@ -1,0 +1,115 @@
+package sflow
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync/atomic"
+)
+
+// sFlow's native transport is UDP (conventionally port 6343): agents
+// fire datagrams at a collector, losses are tolerated by design. The
+// Exporter and Receiver below implement that path over the standard
+// library's net package, so a generated campaign can be shipped across a
+// real socket into the analysis pipeline.
+
+// DefaultPort is the IANA-assigned sFlow collector port.
+const DefaultPort = 6343
+
+// Exporter ships encoded datagrams to a collector address over UDP.
+// It is not safe for concurrent use.
+type Exporter struct {
+	conn net.Conn
+	buf  []byte
+	sent int
+}
+
+// NewExporter dials the collector. addr is "host:port".
+func NewExporter(addr string) (*Exporter, error) {
+	conn, err := net.Dial("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sflow: dialing collector: %w", err)
+	}
+	return &Exporter{conn: conn}, nil
+}
+
+// Send encodes and transmits one datagram.
+func (e *Exporter) Send(d *Datagram) error {
+	e.buf = d.AppendEncode(e.buf[:0])
+	if len(e.buf) > maxDatagramLen {
+		return fmt.Errorf("sflow: datagram of %d bytes exceeds transport limit", len(e.buf))
+	}
+	if _, err := e.conn.Write(e.buf); err != nil {
+		return fmt.Errorf("sflow: sending datagram: %w", err)
+	}
+	e.sent++
+	return nil
+}
+
+// Count returns the number of datagrams sent.
+func (e *Exporter) Count() int { return e.sent }
+
+// Close releases the socket.
+func (e *Exporter) Close() error { return e.conn.Close() }
+
+// Receiver consumes sFlow datagrams from a UDP socket. Decode failures
+// are counted and skipped, never fatal — a collector must survive
+// malformed input from the network.
+type Receiver struct {
+	pc        net.PacketConn
+	received  atomic.Int64
+	malformed atomic.Int64
+}
+
+// NewReceiver binds a UDP listening socket. addr like "127.0.0.1:0"
+// (port 0 picks a free port; see Addr).
+func NewReceiver(addr string) (*Receiver, error) {
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("sflow: binding collector socket: %w", err)
+	}
+	// Collectors face bursty agents; a deep socket buffer absorbs the
+	// bursts the read loop cannot keep up with instantaneously.
+	if uc, ok := pc.(*net.UDPConn); ok {
+		_ = uc.SetReadBuffer(4 << 20)
+	}
+	return &Receiver{pc: pc}, nil
+}
+
+// Addr returns the bound address (useful after binding port 0).
+func (r *Receiver) Addr() net.Addr { return r.pc.LocalAddr() }
+
+// Run reads datagrams until the socket is closed (call Close from
+// another goroutine to stop) and invokes fn for each decoded datagram.
+// The datagram passed to fn aliases an internal buffer and is only
+// valid during the call. A non-nil error from fn stops the loop.
+func (r *Receiver) Run(fn func(*Datagram) error) error {
+	buf := make([]byte, 1<<16)
+	var d Datagram
+	for {
+		n, _, err := r.pc.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			return fmt.Errorf("sflow: reading socket: %w", err)
+		}
+		if err := Decode(buf[:n], &d); err != nil {
+			r.malformed.Add(1)
+			continue
+		}
+		r.received.Add(1)
+		if err := fn(&d); err != nil {
+			return err
+		}
+	}
+}
+
+// Stats returns the number of decoded and malformed datagrams so far.
+// Safe to call concurrently with Run.
+func (r *Receiver) Stats() (received, malformed int64) {
+	return r.received.Load(), r.malformed.Load()
+}
+
+// Close shuts the socket down, stopping Run.
+func (r *Receiver) Close() error { return r.pc.Close() }

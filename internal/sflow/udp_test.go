@@ -1,0 +1,161 @@
+package sflow
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUDPExportReceive(t *testing.T) {
+	recv, err := NewReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	type flowKey struct {
+		seq  uint32
+		rate uint32
+	}
+	var mu sync.Mutex
+	got := map[flowKey]bool{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		err := recv.Run(func(d *Datagram) error {
+			mu.Lock()
+			for i := range d.Flows {
+				got[flowKey{d.Flows[i].SequenceNum, d.Flows[i].SamplingRate}] = true
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+		}
+	}()
+
+	exp, err := NewExporter(recv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	const rounds = 200
+	base := sampleDatagram()
+	for i := 0; i < rounds; i++ {
+		base.SequenceNum = uint32(i)
+		base.Flows[0].SequenceNum = uint32(2 * i)
+		base.Flows[1].SequenceNum = uint32(2*i + 1)
+		if err := exp.Send(base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if exp.Count() != rounds {
+		t.Fatalf("sent %d", exp.Count())
+	}
+
+	// UDP is lossy by design; wait briefly, then require near-complete
+	// delivery on loopback.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		received, _ := recv.Stats()
+		if received >= rounds*95/100 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	recv.Close()
+	wg.Wait()
+
+	received, malformed := recv.Stats()
+	if malformed != 0 {
+		t.Fatalf("%d malformed datagrams", malformed)
+	}
+	if received < rounds*95/100 {
+		t.Fatalf("received only %d of %d datagrams", received, rounds)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) < int(received)*2 {
+		t.Fatalf("flow samples lost in decode: %d keys for %d datagrams", len(got), received)
+	}
+}
+
+func TestReceiverSurvivesGarbage(t *testing.T) {
+	recv, err := NewReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = recv.Run(func(*Datagram) error { return nil })
+	}()
+
+	exp, err := NewExporter(recv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	// Raw garbage straight onto the socket.
+	if _, err := exp.conn.Write([]byte("definitely not sflow")); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.Send(sampleDatagram()); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		received, malformed := recv.Stats()
+		if (received >= 1 && malformed >= 1) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	recv.Close()
+	<-done
+	received, malformed := recv.Stats()
+	if received < 1 || malformed < 1 {
+		t.Fatalf("received=%d malformed=%d", received, malformed)
+	}
+}
+
+func TestExporterRejectsOversize(t *testing.T) {
+	recv, err := NewReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	exp, err := NewExporter(recv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+
+	d := sampleDatagram()
+	d.Flows[0].Raw.Header = make([]byte, maxDatagramLen+1)
+	if err := exp.Send(d); err == nil {
+		t.Fatal("oversize datagram must be rejected")
+	}
+}
+
+func TestStreamWriterRejectsOversize(t *testing.T) {
+	var sink discard
+	sw, err := NewStreamWriter(&sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := sampleDatagram()
+	d.Flows[0].Raw.Header = make([]byte, maxDatagramLen+1)
+	if err := sw.WriteDatagram(d); err == nil {
+		t.Fatal("oversize datagram must be rejected")
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }

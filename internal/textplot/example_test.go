@@ -1,0 +1,25 @@
+package textplot_test
+
+import (
+	"fmt"
+
+	"ixplens/internal/textplot"
+)
+
+// ExampleSparkline renders a weekly series the way cmd/ixpreport's
+// -series view shows the Fig. 4/5 time series.
+func ExampleSparkline() {
+	weekly := []float64{1400, 1420, 1415, 1460, 1475, 1200, 1480, 1502}
+	fmt.Println(textplot.Sparkline(weekly))
+	// Output: ▅▆▅▇▇▁▇█
+}
+
+// ExampleBars renders labeled magnitudes, e.g. a churn bar per week.
+func ExampleBars() {
+	fmt.Println(textplot.Bars(
+		[]string{"week 35", "week 51"},
+		[]float64{1400, 1500}, 15))
+	// Output:
+	//   week 35 ############## 1400
+	//   week 51 ############### 1500
+}

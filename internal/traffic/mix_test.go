@@ -1,0 +1,141 @@
+package traffic
+
+import (
+	"testing"
+
+	"ixplens/internal/dnssim"
+	"ixplens/internal/ixp"
+	"ixplens/internal/netmodel"
+	"ixplens/internal/packet"
+	"ixplens/internal/sflow"
+)
+
+// mixWeek captures one week and returns every decoded peering frame.
+func mixWeek(t testing.TB, week int) (*netmodel.World, []packet.Frame) {
+	t.Helper()
+	w, err := netmodel.Generate(netmodel.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := ixp.NewFabric(w)
+	gen := NewGenerator(w, dnssim.New(w), fabric, DefaultOptions())
+	var frames []packet.Frame
+	col := ixp.NewCollector(fabric, 16384, func(d *sflow.Datagram) error {
+		for i := range d.Flows {
+			var f packet.Frame
+			if packet.Decode(d.Flows[i].Raw.Header, &f) == nil {
+				// Copy the payload out of the reused buffer.
+				f.Payload = append([]byte(nil), f.Payload...)
+				frames = append(frames, f)
+			}
+		}
+		return nil
+	})
+	if _, err := gen.GenerateWeek(week, col); err != nil {
+		t.Fatal(err)
+	}
+	return w, frames
+}
+
+func TestMixDetails(t *testing.T) {
+	w, frames := mixWeek(t, 45)
+	var rtmp, port8080, dns53, fake443, https443 int
+	for i := range frames {
+		f := &frames[i]
+		if f.Transport == packet.TransportTCP {
+			switch {
+			case f.SrcPort() == 1935 || f.DstPort() == 1935:
+				rtmp++
+			case f.SrcPort() == 8080 || f.DstPort() == 8080:
+				port8080++
+			case f.SrcPort() == 443:
+				// HTTPS responses come from the server side.
+				https443++
+			case f.DstPort() == 443:
+				// Split genuine HTTPS requests from tunneled fake-443.
+				if idx, ok := w.ServerByIP(f.IPv4.Dst); ok && w.Servers[idx].Is(netmodel.SrvHTTPS) {
+					https443++
+				} else {
+					fake443++
+				}
+			}
+		}
+		if f.Transport == packet.TransportUDP && f.DstPort() == 53 {
+			dns53++
+		}
+	}
+	if rtmp == 0 {
+		t.Error("no RTMP (1935) traffic — multi-purpose servers impossible")
+	}
+	if port8080 == 0 {
+		t.Error("no port-8080 HTTP traffic")
+	}
+	if dns53 == 0 {
+		t.Error("no DNS traffic in the non-Web mix")
+	}
+	if https443 == 0 {
+		t.Error("no genuine HTTPS traffic")
+	}
+	if fake443 == 0 {
+		t.Error("no tunneled fake-443 traffic — the crawl funnel cannot reject anything")
+	}
+	if fake443 >= https443 {
+		t.Errorf("fake-443 (%d) should be rarer than genuine HTTPS (%d)", fake443, https443)
+	}
+}
+
+func TestJunkHostHeadersEmitted(t *testing.T) {
+	_, frames := mixWeek(t, 45)
+	junk := 0
+	requests := 0
+	for i := range frames {
+		p := string(frames[i].Payload)
+		if len(p) > 4 && (p[:4] == "GET " || p[:5] == "POST " || p[:5] == "HEAD ") {
+			requests++
+			if contains(p, "Host: localhost\r") || contains(p, "bad host header") {
+				junk++
+			}
+		}
+	}
+	if requests == 0 {
+		t.Fatal("no requests decoded")
+	}
+	if junk == 0 {
+		t.Error("no junk Host headers — cleaning never exercised")
+	}
+	if junk > requests/20 {
+		t.Errorf("junk hosts too common: %d of %d", junk, requests)
+	}
+}
+
+func TestM2MShareGrowsInGroundTruth(t *testing.T) {
+	w, err := netmodel.Generate(netmodel.Tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabric := ixp.NewFabric(w)
+	gen := NewGenerator(w, dnssim.New(w), fabric, Options{SamplesPerWeek: 20_000, SamplingRate: 16384, SnapLen: 128})
+	drop := func(*sflow.Datagram) error { return nil }
+	first, err := gen.GenerateWeek(w.Cfg.FirstWeek, ixp.NewCollector(fabric, 16384, drop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := gen.GenerateWeek(w.Cfg.LastWeek(), ixp.NewCollector(fabric, 16384, drop))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := float64(first.M2MSamples) / float64(first.ServerSamples)
+	s2 := float64(last.M2MSamples) / float64(last.ServerSamples)
+	if s2 <= s1 {
+		t.Fatalf("m2m share did not grow: %.4f -> %.4f", s1, s2)
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

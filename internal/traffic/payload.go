@@ -1,0 +1,154 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+
+	"ixplens/internal/netmodel"
+)
+
+// HTTP method mix for requests; GET dominates.
+var httpMethods = []string{"GET", "GET", "GET", "GET", "GET", "GET", "POST", "POST", "HEAD"}
+
+// serverBanners by org kind: what the Server: response header claims.
+var serverBanners = []string{"nginx/1.2.1", "Apache/2.2.22 (Debian)", "ATS/3.2.0", "lighttpd/1.4.31", "IIS/7.5", "AkamaiGHost"}
+
+var contentTypes = []string{"text/html; charset=UTF-8", "image/jpeg", "application/json", "video/mp4", "application/octet-stream", "text/css"}
+
+var userAgents = []string{
+	"Mozilla/5.0 (Windows NT 6.1; rv:17.0) Gecko/17.0 Firefox/17.0",
+	"Mozilla/5.0 (Windows NT 6.1) AppleWebKit/537.11 Chrome/23.0",
+	"Mozilla/5.0 (Macintosh; Intel Mac OS X 10_8_2) Safari/536.26",
+	"Opera/9.80 (Windows NT 6.1)",
+}
+
+// siteFor picks the site whose content a sampled exchange with this
+// server carries: normally one of the owning org's sites (popularity
+// skewed); for deploy-CDNs a share of requests carries third-party
+// customer domains, exactly the Akamai situation the paper's traffic
+// attribution discussion builds on.
+func (g *Generator) siteFor(rng *rand.Rand, serverIdx int32) string {
+	s := &g.w.Servers[serverIdx]
+	o := &g.w.Orgs[s.Org]
+	if (o.Kind == netmodel.OrgCDNDeploy || o.Kind == netmodel.OrgCDNCentral) && rng.Float64() < 0.30 {
+		// CDN edges answer for their customers' domains: pick a popular
+		// third-party site served by this CDN when one exists, falling
+		// back to any popular site.
+		all := g.dns.Sites()
+		span := len(all)
+		if span > 2000 {
+			span = 2000
+		}
+		for tries := 0; tries < 4; tries++ {
+			u := rng.Float64()
+			site := &all[int(u*u*u*float64(span))]
+			if site.ServedBy == s.Org {
+				return site.Domain
+			}
+		}
+		u := rng.Float64()
+		return all[int(u*u*u*float64(span))].Domain
+	}
+	sites := g.dns.SitesOfOrg(s.Org)
+	if len(sites) == 0 {
+		return o.Domain
+	}
+	u := rng.Float64()
+	return g.dns.Site(sites[int(u*u*float64(len(sites)))]).Domain
+}
+
+// httpRequest renders a plausible HTTP/1.1 request head into the
+// generator's scratch buffer (the frame builder copies it out). Every
+// request carries a Host header; that is the URI evidence the meta-data
+// collection of Section 2.4 harvests.
+func (g *Generator) httpRequest(rng *rand.Rand, host string) []byte {
+	// A small share of requests carries junk Host values (bots, IP
+	// literal scans, broken clients); the meta-data cleaning step must
+	// strip these.
+	if rng.Float64() < 0.015 {
+		switch rng.Intn(3) {
+		case 0:
+			host = fmt.Sprintf("%d.%d.%d.%d", rng.Intn(224), rng.Intn(256), rng.Intn(256), rng.Intn(256))
+		case 1:
+			host = "localhost"
+		default:
+			host = "bad host header.com"
+		}
+	}
+	b := g.scratch[:0]
+	b = append(b, httpMethods[rng.Intn(len(httpMethods))]...)
+	b = append(b, ' ')
+	b = appendRequestPath(b, rng)
+	b = append(b, " HTTP/1.1\r\nHost: "...)
+	b = append(b, host...)
+	b = append(b, "\r\nUser-Agent: "...)
+	b = append(b, userAgents[rng.Intn(len(userAgents))]...)
+	b = append(b, "\r\nAccept: */*\r\nConnection: keep-alive\r\n\r\n"...)
+	g.scratch = b[:0]
+	return b
+}
+
+func appendRequestPath(b []byte, rng *rand.Rand) []byte {
+	switch rng.Intn(4) {
+	case 0:
+		return append(b, '/')
+	case 1:
+		b = append(b, "/assets/img/"...)
+		b = strconv.AppendInt(b, int64(rng.Intn(100000)), 10)
+		return append(b, ".jpg"...)
+	case 2:
+		b = append(b, "/v/"...)
+		b = strconv.AppendInt(b, int64(rng.Intn(100)), 10)
+		b = append(b, '/')
+		b = strconv.AppendInt(b, int64(rng.Intn(1000)), 10)
+		b = append(b, "/chunk"...)
+		b = strconv.AppendInt(b, int64(rng.Intn(500)), 10)
+		return append(b, ".ts"...)
+	default:
+		b = append(b, "/index.php?id="...)
+		return strconv.AppendInt(b, int64(rng.Intn(100000)), 10)
+	}
+}
+
+// httpResponseHeader renders the head of an HTTP response; the status
+// line and header words are what the string-matching identification of
+// Section 2.2.2 keys on.
+func (g *Generator) httpResponseHeader(rng *rand.Rand, serverIdx int32) []byte {
+	status := "200 OK"
+	switch rng.Intn(12) {
+	case 0:
+		status = "304 Not Modified"
+	case 1:
+		status = "404 Not Found"
+	case 2:
+		status = "302 Found"
+	}
+	banner := serverBanners[int(uint32(serverIdx))%len(serverBanners)]
+	ct := contentTypes[rng.Intn(len(contentTypes))]
+	head := fmt.Sprintf("HTTP/1.1 %s\r\nServer: %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nCache-Control: max-age=%d\r\n\r\n",
+		status, banner, ct, rng.Intn(5_000_000), rng.Intn(86400))
+	return []byte(head)
+}
+
+// binaryPayload fills buf with n pseudo-random bytes that cannot be
+// mistaken for HTTP text (the high bit is set on every byte). One RNG
+// draw yields eight bytes; this is the hottest path of the generator.
+func binaryPayload(rng *rand.Rand, buf []byte, n int) []byte {
+	for i := 0; i < n; i += 8 {
+		v := rng.Uint64()
+		for k := 0; k < 8 && i+k < n; k++ {
+			buf = append(buf, byte(v)|0x80)
+			v >>= 8
+		}
+	}
+	return buf
+}
+
+// tlsRecord renders the start of a TLS application-data record: content
+// type 23, version 3.3, then opaque ciphertext. String matching finds
+// nothing here, which is why the paper needs active HTTPS crawls.
+func tlsRecord(rng *rand.Rand, buf []byte, n int) []byte {
+	buf = append(buf, 0x17, 0x03, 0x03, byte(n>>8), byte(n))
+	return binaryPayload(rng, buf, n)
+}
