@@ -99,6 +99,79 @@ func BenchmarkServerIdentification(b *testing.B) {
 	b.ReportMetric(float64(len(f.week.Servers.Servers)), "servers")
 }
 
+// --- streaming vs buffered capture→analysis ---
+//
+// The acceptance gate of the streaming refactor: per analyzed week, the
+// streaming path must allocate at least 5× less than materializing the
+// capture in a SliceSource first. Compare allocated bytes/op between
+// the buffered and streaming sub-benchmarks.
+
+func BenchmarkWeekCapture(b *testing.B) {
+	f := setup(b)
+	env := f.env
+	b.Run("buffered", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src, _, err := env.CaptureWeek(45)
+			if err != nil {
+				b.Fatal(err)
+			}
+			counts, err := dissect.Process(src, dissect.NewClassifier(env.Fabric), nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if counts.Total == 0 {
+				b.Fatal("empty capture")
+			}
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			counts, _, err := env.StreamWeek(45, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if counts.Total == 0 {
+				b.Fatal("empty capture")
+			}
+		}
+	})
+}
+
+func BenchmarkWeekIdentify(b *testing.B) {
+	f := setup(b)
+	env := f.env
+	b.Run("buffered", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			src, _, err := env.CaptureWeek(45)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ident := webserver.NewIdentifier()
+			if _, err := dissect.Process(src, dissect.NewClassifier(env.Fabric), ident.Observe); err != nil {
+				b.Fatal(err)
+			}
+			if len(ident.Identify(45, env.Crawler).Servers) == 0 {
+				b.Fatal("no servers identified")
+			}
+		}
+	})
+	b.Run("streaming", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ident := webserver.NewIdentifier()
+			if _, _, err := env.StreamWeek(45, ident.Observe); err != nil {
+				b.Fatal(err)
+			}
+			if len(ident.Identify(45, env.Crawler).Servers) == 0 {
+				b.Fatal("no servers identified")
+			}
+		}
+	})
+}
+
 // --- E3: Fig. 2 ---
 
 func BenchmarkFig2RankCurve(b *testing.B) {

@@ -27,15 +27,16 @@ func main() {
 		out    = flag.String("out", "collected.sflow", "capture stream file to write")
 		count  = flag.Int("count", 0, "stop after this many datagrams (0 = unlimited)")
 		dur    = flag.Duration("for", 0, "stop after this duration (0 = unlimited)")
+		every  = flag.Int("flush-every", 1024, "flush the stream file every N datagrams (0 = only at exit)")
 	)
 	flag.Parse()
-	if err := run(*listen, *out, *count, *dur); err != nil {
+	if err := run(*listen, *out, *count, *dur, *every); err != nil {
 		fmt.Fprintln(os.Stderr, "ixpcollect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, out string, count int, dur time.Duration) error {
+func run(listen, out string, count int, dur time.Duration, flushEvery int) error {
 	recv, err := sflow.NewReceiver(listen)
 	if err != nil {
 		return err
@@ -78,6 +79,13 @@ func run(listen, out string, count int, dur time.Duration) error {
 			return err
 		}
 		written++
+		// Periodic flushes bound how much a crash or kill -9 can lose on
+		// a long-running collection.
+		if flushEvery > 0 && written%flushEvery == 0 {
+			if err := sw.Flush(); err != nil {
+				return err
+			}
+		}
 		if count > 0 && written >= count {
 			return errDone
 		}

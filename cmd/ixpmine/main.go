@@ -136,10 +136,7 @@ func deepDive(env *pipeline.Env, res *webserver.Result, counts dissect.Counts, p
 			if f, err := os.Open(path); err == nil {
 				if sr, err := sflow.NewStreamReader(f); err == nil {
 					ls := hetero.NewLinkStats(acme.HomeAS)
-					cls := dissect.NewClassifier(env.Fabric)
-					_, _ = dissect.Process(sr, cls, func(rec *dissect.Record) {
-						ls.Observe(rec, func(ip packet.IPv4Addr) bool { return set[ip] })
-					})
+					_ = hetero.Attribute(sr, env.Fabric, ls, func(ip packet.IPv4Addr) bool { return set[ip] })
 					fmt.Printf("fig 7 (%s): %.1f%% of traffic off the direct links; %d of %d servers only behind other members\n",
 						acme.Name, 100*ls.OffLinkShare(), ls.ServersOnlyOffLink(),
 						ls.ServersOnlyOffLink()+len(ls.DirectServerIPs))

@@ -12,7 +12,6 @@ import (
 	"log"
 
 	"ixplens/internal/core/cluster"
-	"ixplens/internal/core/dissect"
 	"ixplens/internal/core/hetero"
 	"ixplens/internal/netmodel"
 	"ixplens/internal/packet"
@@ -64,11 +63,10 @@ func main() {
 	for _, ip := range c.IPs {
 		set[ip] = true
 	}
+	// The second pass rides the ReplaySource AnalyzeWeek returned: the
+	// week is regenerated deterministically instead of kept in memory.
 	ls := hetero.NewLinkStats(w.Orgs[acme].HomeAS)
-	cls := dissect.NewClassifier(env.Fabric)
-	if _, err := dissect.Process(src, cls, func(rec *dissect.Record) {
-		ls.Observe(rec, func(ip packet.IPv4Addr) bool { return set[ip] })
-	}); err != nil {
+	if err := hetero.Attribute(src, env.Fabric, ls, func(ip packet.IPv4Addr) bool { return set[ip] }); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nFig. 7(b) — acme-cdn link attribution:\n")

@@ -28,7 +28,8 @@ func main() {
 	}
 	fmt.Println("world:", env)
 
-	// Capture and analyse one weekly snapshot (week 45, as in the paper).
+	// Stream and analyse one weekly snapshot (week 45, as in the paper):
+	// samples are classified as they are generated, with bounded memory.
 	week, _, err := env.AnalyzeWeek(45, nil)
 	if err != nil {
 		log.Fatal(err)

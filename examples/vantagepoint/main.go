@@ -29,16 +29,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// One pass over the capture feeds both the per-IP visibility
-	// aggregator and the server identifier.
-	src, _, err := env.CaptureWeek(45)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// One streaming pass feeds both the per-IP visibility aggregator and
+	// the server identifier; no datagram buffer is ever materialized.
 	agg := visibility.NewAggregator(env.World.RIB(), env.World.GeoDB())
 	ident := webserver.NewIdentifier()
-	cls := dissect.NewClassifier(env.Fabric)
-	if _, err := dissect.Process(src, cls, func(rec *dissect.Record) {
+	if _, _, err := env.StreamWeek(45, func(rec *dissect.Record) {
 		agg.Observe(rec)
 		ident.Observe(rec)
 	}); err != nil {

@@ -1,0 +1,165 @@
+// Package capture implements the on-disk measurement campaign format
+// shared by cmd/ixpgen and cmd/ixpmine: a directory holding one sFlow
+// stream per weekly snapshot plus a JSON manifest recording the world
+// configuration, so the measurement substrates can be rebuilt
+// deterministically for analysis.
+package capture
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"ixplens/internal/anonymize"
+	"ixplens/internal/core/dissect"
+	"ixplens/internal/core/webserver"
+	"ixplens/internal/ixp"
+	"ixplens/internal/netmodel"
+	"ixplens/internal/pipeline"
+	"ixplens/internal/sflow"
+	"ixplens/internal/traffic"
+)
+
+// ManifestName is the manifest file inside a campaign directory.
+const ManifestName = "manifest.json"
+
+// Manifest ties a campaign directory to its generating configuration.
+type Manifest struct {
+	Config  netmodel.Config
+	Options traffic.Options
+	Weeks   []int
+	Files   []string
+	// Anonymized records that the capture's addresses went through the
+	// prefix-preserving anonymizer (the key itself is never stored).
+	Anonymized bool
+}
+
+// WeekFile returns the conventional capture file name for a week.
+func WeekFile(isoWeek int) string {
+	return fmt.Sprintf("week-%02d.sflow", isoWeek)
+}
+
+// WriteCampaign renders every study week of env into dir and writes the
+// manifest. It returns the per-week datagram counts.
+func WriteCampaign(env *pipeline.Env, dir string) ([]int, error) {
+	return writeCampaign(env, dir, nil)
+}
+
+// WriteCampaignAnonymized is WriteCampaign with prefix-preserving
+// address anonymization applied to every sampled frame, like the data
+// the paper's authors could share. The key never leaves the process.
+func WriteCampaignAnonymized(env *pipeline.Env, dir string, key uint64) ([]int, error) {
+	return writeCampaign(env, dir, anonymize.New(key))
+}
+
+func writeCampaign(env *pipeline.Env, dir string, anon *anonymize.PrefixPreserving) ([]int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	cfg := &env.World.Cfg
+	man := Manifest{Config: *cfg, Options: env.Opts, Anonymized: anon != nil}
+	var counts []int
+	for wk := cfg.FirstWeek; wk <= cfg.LastWeek(); wk++ {
+		name := WeekFile(wk)
+		n, err := writeWeek(env, wk, filepath.Join(dir, name), anon)
+		if err != nil {
+			return counts, fmt.Errorf("capture: week %d: %w", wk, err)
+		}
+		counts = append(counts, n)
+		man.Weeks = append(man.Weeks, wk)
+		man.Files = append(man.Files, name)
+	}
+	return counts, writeManifest(filepath.Join(dir, ManifestName), &man)
+}
+
+func writeWeek(env *pipeline.Env, isoWeek int, path string, anon *anonymize.PrefixPreserving) (int, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	sw, err := sflow.NewStreamWriter(f)
+	if err != nil {
+		return 0, err
+	}
+	sink := sw.WriteDatagram
+	if anon != nil {
+		sink = anon.Datagrams(sink)
+	}
+	col := ixp.NewCollector(env.Fabric, env.Opts.SamplingRate, sink)
+	// Both sinks consume the datagram within the call (the writer
+	// serializes, the anonymizer rewrites in place and forwards), so the
+	// collector can recycle its buffers.
+	col.SetBufferReuse(true)
+	if _, err := env.Gen.GenerateWeek(isoWeek, col); err != nil {
+		return sw.Count(), err
+	}
+	if err := sw.Flush(); err != nil {
+		return sw.Count(), err
+	}
+	return sw.Count(), f.Sync()
+}
+
+func writeManifest(path string, man *Manifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(man)
+}
+
+// ReadManifest loads and validates a campaign manifest.
+func ReadManifest(dir string) (*Manifest, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	if err != nil {
+		return nil, err
+	}
+	var man Manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("capture: parsing manifest: %w", err)
+	}
+	if err := man.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("capture: manifest config: %w", err)
+	}
+	if len(man.Weeks) != len(man.Files) {
+		return nil, fmt.Errorf("capture: manifest weeks/files mismatch: %d vs %d",
+			len(man.Weeks), len(man.Files))
+	}
+	return &man, nil
+}
+
+// Rebuild reconstructs the measurement substrates the campaign was
+// generated against (the world regenerates deterministically).
+func (m *Manifest) Rebuild() (*pipeline.Env, error) {
+	return pipeline.NewEnv(m.Config, m.Options)
+}
+
+// AnalyzeWeekFile dissects and identifies one capture file, spreading
+// classification over a worker pool; the ordered merge keeps results
+// identical to a sequential pass.
+func AnalyzeWeekFile(env *pipeline.Env, path string, isoWeek int) (*webserver.Result, dissect.Counts, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, dissect.Counts{}, err
+	}
+	defer f.Close()
+	sr, err := sflow.NewStreamReader(f)
+	if err != nil {
+		return nil, dissect.Counts{}, err
+	}
+	workers := runtime.GOMAXPROCS(0) - 1
+	if workers > 8 {
+		workers = 8
+	}
+	ident := webserver.NewIdentifier()
+	counts, err := dissect.ProcessParallel(sr, env.Fabric, workers, ident.Observe)
+	if err != nil {
+		return nil, counts, err
+	}
+	return ident.Identify(isoWeek, env.Crawler), counts, nil
+}

@@ -1,0 +1,167 @@
+package capture
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ixplens/internal/netmodel"
+	"ixplens/internal/pipeline"
+	"ixplens/internal/traffic"
+)
+
+func smallEnv(t testing.TB) *pipeline.Env {
+	t.Helper()
+	cfg := netmodel.Tiny()
+	cfg.Weeks = 3
+	opts := traffic.Options{SamplesPerWeek: 3000, SamplingRate: 16384, SnapLen: 128}
+	env, err := pipeline.NewEnv(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestCampaignRoundTrip(t *testing.T) {
+	env := smallEnv(t)
+	dir := t.TempDir()
+	counts, err := WriteCampaign(env, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 3 {
+		t.Fatalf("wrote %d weeks", len(counts))
+	}
+	for i, n := range counts {
+		if n == 0 {
+			t.Fatalf("week %d empty", i)
+		}
+	}
+
+	man, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Weeks) != 3 || man.Weeks[0] != env.World.Cfg.FirstWeek {
+		t.Fatalf("manifest weeks wrong: %v", man.Weeks)
+	}
+	env2, err := man.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env2.World.Servers) != len(env.World.Servers) {
+		t.Fatal("rebuilt world differs")
+	}
+
+	// Analysing the on-disk capture must agree with analysing the same
+	// week in memory.
+	res, counts0, err := AnalyzeWeekFile(env2, filepath.Join(dir, man.Files[0]), man.Weeks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts0.Total == 0 || len(res.Servers) == 0 {
+		t.Fatal("file analysis empty")
+	}
+	memRes, memCounts, _, err := env.IdentifyWeek(man.Weeks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts0.Total != memCounts.Total {
+		t.Fatalf("file analysis saw %d samples, in-memory %d", counts0.Total, memCounts.Total)
+	}
+	if len(res.Servers) != len(memRes.Servers) {
+		t.Fatalf("file analysis found %d servers, in-memory %d", len(res.Servers), len(memRes.Servers))
+	}
+	for ip := range memRes.Servers {
+		if _, ok := res.Servers[ip]; !ok {
+			t.Fatalf("server %v missing from file analysis", ip)
+		}
+	}
+}
+
+func TestReadManifestErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadManifest(dir); err == nil {
+		t.Fatal("missing manifest must fail")
+	}
+	path := filepath.Join(dir, ManifestName)
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Fatal("corrupt manifest must fail")
+	}
+	if err := os.WriteFile(path, []byte(`{"Config":{},"Options":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadManifest(dir); err == nil {
+		t.Fatal("invalid config must fail")
+	}
+}
+
+func TestAnalyzeWeekFileErrors(t *testing.T) {
+	env := smallEnv(t)
+	if _, _, err := AnalyzeWeekFile(env, "/nonexistent/file.sflow", 35); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	// A non-capture file must fail the stream header check.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.sflow")
+	if err := os.WriteFile(bad, []byte("garbage bytes here"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := AnalyzeWeekFile(env, bad, 35); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+}
+
+func TestWeekFileNaming(t *testing.T) {
+	if WeekFile(7) != "week-07.sflow" || WeekFile(45) != "week-45.sflow" {
+		t.Fatal("week file names wrong")
+	}
+}
+
+// TestAnonymizedCampaign checks that an anonymized capture hides every
+// real address while keeping the frames decodable — the filtering
+// cascade still works, the RIB (keyed on real addresses) no longer
+// resolves the endpoints.
+func TestAnonymizedCampaign(t *testing.T) {
+	env := smallEnv(t)
+	dir := t.TempDir()
+	if _, err := WriteCampaignAnonymized(env, dir, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	man, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !man.Anonymized {
+		t.Fatal("manifest must record anonymization")
+	}
+	res, counts, err := AnalyzeWeekFile(env, filepath.Join(dir, man.Files[0]), man.Weeks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The cascade is address-agnostic and must survive anonymization.
+	if counts.Undecodable != 0 {
+		t.Fatalf("%d undecodable frames after anonymization", counts.Undecodable)
+	}
+	if counts.PeeringShare() < 0.95 {
+		t.Fatalf("peering share %.3f after anonymization", counts.PeeringShare())
+	}
+	// No identified server may carry a real server address: the
+	// anonymizer has no fixed points on this world (checked below).
+	real := 0
+	for ip := range res.Servers {
+		if _, ok := env.World.ServerByIP(ip); ok {
+			real++
+		}
+	}
+	if real > len(res.Servers)/100 {
+		t.Fatalf("%d of %d identified servers still carry real addresses", real, len(res.Servers))
+	}
+	// Identification itself keeps working on anonymized data.
+	if len(res.Servers) < 50 {
+		t.Fatalf("only %d servers identified on anonymized capture", len(res.Servers))
+	}
+}

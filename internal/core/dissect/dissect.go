@@ -134,15 +134,25 @@ func NewClassifier(members MemberResolver) *Classifier {
 func (c *Classifier) Classify(fs *sflow.FlowSample, rec *Record) Class {
 	*rec = Record{InMember: -1, OutMember: -1}
 	rec.FrameLen = fs.Raw.FrameLength
-	rec.Bytes = uint64(fs.Raw.FrameLength) * uint64(fs.SamplingRate)
-	if fs.SamplingRate == 0 {
-		rec.Bytes = uint64(fs.Raw.FrameLength)
+	// A rate of zero means the exporter did not subsample (or exported a
+	// bogus rate); either way the sample stands for exactly itself.
+	rate := uint64(fs.SamplingRate)
+	if rate == 0 {
+		rate = 1
 	}
-	if !fs.HasRaw || packet.Decode(fs.Raw.Header, &c.frame) != nil {
+	rec.Bytes = uint64(fs.Raw.FrameLength) * rate
+	if !fs.HasRaw || len(fs.Raw.Header) == 0 || packet.Decode(fs.Raw.Header, &c.frame) != nil {
 		rec.Class = ClassUndecodable
 		return rec.Class
 	}
 	f := &c.frame
+
+	// Snapshots that end before the network layer is reached (mid-VLAN
+	// tag, mid-IP header) carry no classifiable information either.
+	if f.Truncated && !f.IsIPv4 && !f.IsIPv6 {
+		rec.Class = ClassUndecodable
+		return rec.Class
+	}
 
 	// Step 1: drop non-IPv4 (native IPv6, ARP, MPLS, ...).
 	if !f.IsIPv4 {
@@ -201,8 +211,26 @@ func (c *Counts) Tally(rec *Record) {
 }
 
 // DatagramSource yields sFlow datagrams, io.EOF at the end.
+//
+// Aliasing contract: the datagram filled by Next — including its
+// Flows/Counters slices and the Raw.Header bytes they point to — is
+// owned by the source and remains valid only until the following Next,
+// Reset or release of the source. Consumers that need samples beyond
+// that window must copy them. Consumers may freely mutate the handed-out
+// datagram (the anonymizer rewrites header bytes in place); sources that
+// support a second pass must not let such mutations leak into the data
+// a later pass reads.
 type DatagramSource interface {
 	Next(*sflow.Datagram) error
+}
+
+// RewindableSource is a DatagramSource that supports additional passes.
+// Reset rewinds to the beginning of the stream; the data seen by the
+// next pass is pristine even if a previous consumer mutated the
+// datagrams it was handed.
+type RewindableSource interface {
+	DatagramSource
+	Reset()
 }
 
 // Process drains a datagram source through the classifier, invoking fn
@@ -230,10 +258,26 @@ func Process(src DatagramSource, cls *Classifier, fn func(*Record)) (Counts, err
 	}
 }
 
-// SliceSource adapts an in-memory datagram slice to a DatagramSource.
+// SliceSource adapts an in-memory datagram slice to a rewindable
+// DatagramSource. It is the buffered, hold-a-whole-week-in-memory
+// capture representation — useful for tests and for experiment runners
+// that make many passes over one week; production paths should stream
+// (see StreamProcessor and pipeline.ReplaySource) instead.
+//
+// Next hands out defensive copies backed by source-owned scratch
+// buffers, so a consumer that mutates the datagram it was given — the
+// prefix-preserving anonymizer rewrites Raw.Header bytes in place —
+// cannot corrupt the stored capture: Reset always replays the pristine
+// data. Per the DatagramSource contract the handed-out datagram is only
+// valid until the following Next or Reset call.
 type SliceSource struct {
 	Datagrams []sflow.Datagram
 	pos       int
+
+	// Reusable scratch backing the datagram handed to the consumer.
+	flows    []sflow.FlowSample
+	counters []sflow.CounterSample
+	arena    []byte
 }
 
 // Next copies the next datagram into d.
@@ -241,10 +285,22 @@ func (s *SliceSource) Next(d *sflow.Datagram) error {
 	if s.pos >= len(s.Datagrams) {
 		return io.EOF
 	}
-	*d = s.Datagrams[s.pos]
+	src := &s.Datagrams[s.pos]
 	s.pos++
+	*d = *src
+	s.flows = append(s.flows[:0], src.Flows...)
+	s.arena = s.arena[:0]
+	for i := range s.flows {
+		h := src.Flows[i].Raw.Header
+		off := len(s.arena)
+		s.arena = append(s.arena, h...)
+		s.flows[i].Raw.Header = s.arena[off:len(s.arena):len(s.arena)]
+	}
+	s.counters = append(s.counters[:0], src.Counters...)
+	d.Flows = s.flows
+	d.Counters = s.counters
 	return nil
 }
 
-// Reset rewinds the source for a second pass.
+// Reset rewinds the source for another pass over the pristine capture.
 func (s *SliceSource) Reset() { s.pos = 0 }

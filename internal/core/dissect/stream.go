@@ -1,0 +1,208 @@
+package dissect
+
+import (
+	"io"
+	"sync"
+
+	"ixplens/internal/sflow"
+)
+
+// Streaming dissection. The buffered path (SliceSource + Process) holds
+// an entire week of datagrams in memory before the first sample is
+// classified; the StreamProcessor instead classifies samples while the
+// capture is still being produced, holding only a bounded number of
+// in-flight batches. A producer (the sFlow collector's emit callback, a
+// capture-file reader, a UDP receiver) pushes datagrams in with Add; a
+// pool of workers — each owning its own Classifier and scratch Record
+// slice — decodes and classifies them in parallel; a single merger
+// goroutine re-establishes input order and invokes the observer
+// callback, so observers see exactly the sequence a sequential Process
+// call would deliver. Results are therefore bit-identical to the
+// buffered path, deterministic, and produced with O(batch) memory
+// instead of O(week).
+
+const (
+	// defaultBatchSamples is how many flow samples ride in one work unit.
+	defaultBatchSamples = 256
+	// batchesPerWorker sizes the recycling pool; together with the batch
+	// size it bounds the processor's peak memory.
+	batchesPerWorker = 2
+)
+
+// streamBatch is one unit of work: a contiguous run of flow samples
+// (with their header bytes copied into a batch-owned arena) plus the
+// records the classifier worker fills in.
+type streamBatch struct {
+	flows []sflow.FlowSample
+	arena []byte
+	recs  []Record
+	done  chan struct{} // signaled by the worker when recs are ready
+}
+
+func (b *streamBatch) reset() {
+	b.flows = b.flows[:0]
+	b.arena = b.arena[:0]
+	b.recs = b.recs[:0]
+}
+
+// StreamProcessor classifies a datagram stream with bounded memory.
+// Add may be used directly as an ixp.Collector sink. The observer fn is
+// invoked from a single goroutine, in exact input order, with records
+// that are only valid for the duration of the callback (the same
+// contract as Process). Close flushes the final partial batch, waits
+// for all in-flight work and returns the merged cascade tallies.
+type StreamProcessor struct {
+	fn           func(*Record)
+	batchSamples int
+
+	jobs  chan *streamBatch // to the classifier workers
+	order chan *streamBatch // to the merger, in dispatch order
+	free  chan *streamBatch // recycled batches, bounds memory
+
+	cur    *streamBatch
+	closed bool
+
+	counts    Counts
+	workerWG  sync.WaitGroup
+	mergeDone chan struct{}
+}
+
+// NewStreamProcessor starts workers classifier goroutines (plus one
+// merger) against the given member resolver. workers below 1 is treated
+// as 1. fn may be nil to only tally the cascade.
+func NewStreamProcessor(members MemberResolver, workers int, fn func(*Record)) *StreamProcessor {
+	if workers < 1 {
+		workers = 1
+	}
+	pool := workers*batchesPerWorker + 2
+	p := &StreamProcessor{
+		fn:           fn,
+		batchSamples: defaultBatchSamples,
+		jobs:         make(chan *streamBatch, pool),
+		order:        make(chan *streamBatch, pool),
+		free:         make(chan *streamBatch, pool),
+		mergeDone:    make(chan struct{}),
+	}
+	for i := 0; i < pool; i++ {
+		p.free <- &streamBatch{done: make(chan struct{}, 1)}
+	}
+	for i := 0; i < workers; i++ {
+		p.workerWG.Add(1)
+		go p.worker(members)
+	}
+	go p.merge()
+	return p
+}
+
+func (p *StreamProcessor) worker(members MemberResolver) {
+	defer p.workerWG.Done()
+	cls := NewClassifier(members)
+	for b := range p.jobs {
+		if cap(b.recs) < len(b.flows) {
+			b.recs = make([]Record, len(b.flows))
+		}
+		b.recs = b.recs[:len(b.flows)]
+		for i := range b.flows {
+			cls.Classify(&b.flows[i], &b.recs[i])
+		}
+		b.done <- struct{}{}
+	}
+}
+
+func (p *StreamProcessor) merge() {
+	defer close(p.mergeDone)
+	for b := range p.order {
+		<-b.done
+		for i := range b.recs {
+			p.counts.Tally(&b.recs[i])
+			if p.fn != nil {
+				p.fn(&b.recs[i])
+			}
+		}
+		b.reset()
+		p.free <- b
+	}
+}
+
+// Add copies the datagram's flow samples (header bytes included) into
+// the current batch and dispatches full batches to the workers. The
+// datagram only needs to stay valid for the duration of the call, so
+// Add composes with buffer-reusing producers. It blocks when all pool
+// batches are in flight — that is the backpressure bounding memory.
+func (p *StreamProcessor) Add(d *sflow.Datagram) error {
+	b := p.cur
+	if b == nil {
+		b = <-p.free
+		p.cur = b
+	}
+	for i := range d.Flows {
+		fs := d.Flows[i]
+		h := fs.Raw.Header
+		off := len(b.arena)
+		b.arena = append(b.arena, h...)
+		fs.Raw.Header = b.arena[off:len(b.arena):len(b.arena)]
+		b.flows = append(b.flows, fs)
+	}
+	if len(b.flows) >= p.batchSamples {
+		p.dispatch()
+	}
+	return nil
+}
+
+// dispatch hands the current batch to the workers and the merger. The
+// order channel's capacity equals the pool size, so pushing there never
+// blocks for a batch obtained from the pool.
+func (p *StreamProcessor) dispatch() {
+	b := p.cur
+	p.cur = nil
+	if b == nil {
+		return
+	}
+	if len(b.flows) == 0 {
+		p.free <- b
+		return
+	}
+	p.order <- b
+	p.jobs <- b
+}
+
+// Close flushes the final batch, drains all in-flight work and returns
+// the merged counts. The observer will not be called again after Close
+// returns. Close is idempotent.
+func (p *StreamProcessor) Close() Counts {
+	if !p.closed {
+		p.closed = true
+		p.dispatch()
+		close(p.jobs)
+		p.workerWG.Wait()
+		close(p.order)
+		<-p.mergeDone
+	}
+	return p.counts
+}
+
+// ProcessParallel drains a datagram source through a StreamProcessor:
+// the same contract and the same (deterministic, input-ordered) results
+// as Process, but with decoding and classification spread over workers
+// goroutines. With workers <= 1 it falls back to the sequential Process.
+func ProcessParallel(src DatagramSource, members MemberResolver, workers int, fn func(*Record)) (Counts, error) {
+	if workers <= 1 {
+		return Process(src, NewClassifier(members), fn)
+	}
+	p := NewStreamProcessor(members, workers, fn)
+	var d sflow.Datagram
+	for {
+		err := src.Next(&d)
+		if err == io.EOF {
+			return p.Close(), nil
+		}
+		if err != nil {
+			counts := p.Close()
+			return counts, err
+		}
+		if err := p.Add(&d); err != nil {
+			counts := p.Close()
+			return counts, err
+		}
+	}
+}

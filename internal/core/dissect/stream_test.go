@@ -1,0 +1,166 @@
+package dissect
+
+import (
+	"testing"
+
+	"ixplens/internal/packet"
+	"ixplens/internal/sflow"
+)
+
+func TestClassifyZeroRateAndTruncation(t *testing.T) {
+	cls := NewClassifier(fakeMembers{})
+	b := packet.NewBuilder(256)
+	eth := packet.Ethernet{Src: packet.MAC{2}, Dst: packet.MAC{4}}
+	ip := packet.IPv4Header{TTL: 60, Src: packet.MakeIPv4(1, 2, 3, 4), Dst: packet.MakeIPv4(5, 6, 7, 8)}
+	fr := b.BuildTCPv4(eth, ip, packet.TCPHeader{SrcPort: 80, DstPort: 5555}, []byte("x"))
+
+	var rec Record
+	// SamplingRate 0 means unsampled: the sample stands for exactly its
+	// own frame, for every class including undecodable.
+	fs := sflow.FlowSample{
+		SamplingRate: 0, InputIf: 1001, OutputIf: 1002, HasRaw: true,
+		Raw: sflow.RawPacketHeader{Protocol: sflow.HeaderProtoEthernet, FrameLength: 1400, Header: append([]byte(nil), fr...)},
+	}
+	if got := cls.Classify(&fs, &rec); got != ClassPeeringTCP {
+		t.Fatalf("zero-rate class = %v", got)
+	}
+	if rec.Bytes != 1400 {
+		t.Fatalf("zero-rate bytes = %d, want frame length", rec.Bytes)
+	}
+
+	// Zero-length header snapshot: undecodable, bytes still accounted.
+	fs = sflow.FlowSample{
+		SamplingRate: 100, InputIf: 1001, OutputIf: 1002, HasRaw: true,
+		Raw: sflow.RawPacketHeader{Protocol: sflow.HeaderProtoEthernet, FrameLength: 900, Header: nil},
+	}
+	if got := cls.Classify(&fs, &rec); got != ClassUndecodable {
+		t.Fatalf("empty-header class = %v", got)
+	}
+	if rec.Bytes != 900*100 {
+		t.Fatalf("empty-header bytes = %d", rec.Bytes)
+	}
+
+	// Snapshot ending mid-VLAN tag: the network layer is unreachable, so
+	// the frame is undecodable, not non-IPv4.
+	vlanStub := append(append([]byte(nil), fr[:12]...), 0x81, 0x00)
+	fs = sflow.FlowSample{
+		SamplingRate: 100, InputIf: 1001, OutputIf: 1002, HasRaw: true,
+		Raw: sflow.RawPacketHeader{Protocol: sflow.HeaderProtoEthernet, FrameLength: 1400, Header: vlanStub},
+	}
+	if got := cls.Classify(&fs, &rec); got != ClassUndecodable {
+		t.Fatalf("mid-VLAN truncation class = %v", got)
+	}
+
+	// Snapshot ending mid-IPv4 header: same rule.
+	ipStub := append(append([]byte(nil), fr[:12]...), 0x08, 0x00, 0x45, 0x00)
+	fs.Raw.Header = ipStub
+	if got := cls.Classify(&fs, &rec); got != ClassUndecodable {
+		t.Fatalf("mid-IP truncation class = %v", got)
+	}
+}
+
+// TestSliceSourceMutationSafety replays the anonymizer situation: a
+// consumer that rewrites the datagram it was handed — header bytes and
+// sample fields alike — must not corrupt what a second pass reads.
+func TestSliceSourceMutationSafety(t *testing.T) {
+	_, fabric, src, _ := buildWeek(t, 45)
+	cls := NewClassifier(fabric)
+	first, err := Process(src, cls, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Reset()
+
+	// Mutating pass: scribble over everything Next hands out.
+	var d sflow.Datagram
+	for src.Next(&d) == nil {
+		for i := range d.Flows {
+			for k := range d.Flows[i].Raw.Header {
+				d.Flows[i].Raw.Header[k] = 0xAA
+			}
+			d.Flows[i].InputIf = 0
+			d.Flows[i].SamplingRate = 0
+		}
+		d.Flows = nil
+	}
+	src.Reset()
+
+	second, err := Process(src, NewClassifier(fabric), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatalf("counts diverged after mutating consumer:\nfirst  %+v\nsecond %+v", first, second)
+	}
+	if second.Undecodable != 0 {
+		t.Fatalf("%d undecodable frames after mutation pass", second.Undecodable)
+	}
+}
+
+// TestProcessParallelMatchesSequential checks the ordered merge: the
+// parallel path must deliver identical counts AND the identical record
+// sequence, because downstream observers are order-dependent.
+func TestProcessParallelMatchesSequential(t *testing.T) {
+	_, fabric, src, _ := buildWeek(t, 45)
+
+	type key struct {
+		class    Class
+		src, dst packet.IPv4Addr
+		bytes    uint64
+	}
+	var seqRecs []key
+	seqCounts, err := Process(src, NewClassifier(fabric), func(rec *Record) {
+		seqRecs = append(seqRecs, key{rec.Class, rec.SrcIP, rec.DstIP, rec.Bytes})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Reset()
+
+	var parRecs []key
+	parCounts, err := ProcessParallel(src, fabric, 4, func(rec *Record) {
+		parRecs = append(parRecs, key{rec.Class, rec.SrcIP, rec.DstIP, rec.Bytes})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqCounts != parCounts {
+		t.Fatalf("counts diverged:\nseq %+v\npar %+v", seqCounts, parCounts)
+	}
+	if len(seqRecs) != len(parRecs) {
+		t.Fatalf("record count diverged: %d vs %d", len(seqRecs), len(parRecs))
+	}
+	for i := range seqRecs {
+		if seqRecs[i] != parRecs[i] {
+			t.Fatalf("record %d diverged: seq %+v, par %+v", i, seqRecs[i], parRecs[i])
+		}
+	}
+}
+
+// TestStreamProcessorSmallBatches drives partial batches and an empty
+// close through the processor.
+func TestStreamProcessorSmallBatches(t *testing.T) {
+	empty := NewStreamProcessor(fakeMembers{}, 2, nil)
+	if counts := empty.Close(); counts.Total != 0 {
+		t.Fatalf("empty close counted %d", counts.Total)
+	}
+	// Close is idempotent.
+	if counts := empty.Close(); counts.Total != 0 {
+		t.Fatalf("second close counted %d", counts.Total)
+	}
+
+	sp := NewStreamProcessor(fakeMembers{}, 2, nil)
+	d := sflow.Datagram{Flows: []sflow.FlowSample{{
+		SamplingRate: 10, InputIf: 1001, OutputIf: 1002, HasRaw: true,
+		Raw: sflow.RawPacketHeader{Protocol: sflow.HeaderProtoEthernet, FrameLength: 100, Header: []byte{1, 2, 3}},
+	}}}
+	for i := 0; i < 3; i++ {
+		if err := sp.Add(&d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := sp.Close()
+	if counts.Total != 3 || counts.Undecodable != 3 {
+		t.Fatalf("counts = %+v", counts)
+	}
+}

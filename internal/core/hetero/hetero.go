@@ -165,6 +165,19 @@ func (ls *LinkStats) Observe(rec *dissect.Record, isServer func(packet.IPv4Addr)
 	}
 }
 
+// Attribute runs the Fig. 7 second pass without a buffered week: it
+// drains src through the dissection cascade and feeds every record to
+// ls.Observe against the org's server set. src is typically a
+// pipeline.ReplaySource (the deterministic regeneration of the analysed
+// week) or a capture-file stream reader.
+func Attribute(src dissect.DatagramSource, members dissect.MemberResolver, ls *LinkStats, isServer func(packet.IPv4Addr) bool) error {
+	cls := dissect.NewClassifier(members)
+	_, err := dissect.Process(src, cls, func(rec *dissect.Record) {
+		ls.Observe(rec, isServer)
+	})
+	return err
+}
+
 // OffLinkShare is the fraction of the org's traffic that does NOT use
 // the direct peering link (11.1% for Akamai in the paper).
 func (ls *LinkStats) OffLinkShare() float64 {

@@ -14,10 +14,10 @@ import (
 var (
 	cachedEnv *pipeline.Env
 	cachedWk  *pipeline.Week
-	cachedSrc *dissect.SliceSource
+	cachedSrc dissect.RewindableSource
 )
 
-func analyzed(t testing.TB) (*pipeline.Env, *pipeline.Week, *dissect.SliceSource) {
+func analyzed(t testing.TB) (*pipeline.Env, *pipeline.Week, dissect.RewindableSource) {
 	t.Helper()
 	if cachedEnv != nil {
 		cachedSrc.Reset()
@@ -123,10 +123,7 @@ func linkStatsFor(t testing.TB, org int32) (*pipeline.Env, *LinkStats) {
 		serverSet[ip] = true
 	}
 	ls := NewLinkStats(w.Orgs[org].HomeAS)
-	cls := dissect.NewClassifier(env.Fabric)
-	_, err := dissect.Process(src, cls, func(rec *dissect.Record) {
-		ls.Observe(rec, func(ip packet.IPv4Addr) bool { return serverSet[ip] })
-	})
+	err := Attribute(src, env.Fabric, ls, func(ip packet.IPv4Addr) bool { return serverSet[ip] })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -68,19 +68,42 @@ func classifyPayload(p []byte) payloadKind {
 	return payloadOpaque
 }
 
-// extractHost pulls the Host header value out of a request payload.
+// extractHost pulls the Host header value out of a request payload. The
+// value runs to the first CR or LF (LF-only line endings are valid in
+// the wild) or, when the 128-byte snap cut the payload right after a
+// complete value, to the end of the payload; surrounding whitespace and
+// an explicit :port suffix are trimmed. A value that might itself be
+// truncated cannot be told apart from a complete one at payload end —
+// the snap boundary falls where it falls — so payload-end values are
+// accepted; the meta-data cleaning step downstream drops junk.
 func extractHost(p []byte) (string, bool) {
-	i := bytes.Index(p, []byte("Host: "))
+	i := bytes.Index(p, []byte("Host:"))
 	if i < 0 {
 		return "", false
 	}
-	rest := p[i+6:]
-	end := bytes.IndexByte(rest, '\r')
-	if end < 0 {
-		// Snapped mid-header: a partial hostname is unusable.
+	rest := p[i+5:]
+	if end := bytes.IndexAny(rest, "\r\n"); end >= 0 {
+		rest = rest[:end]
+	}
+	rest = bytes.TrimSpace(rest)
+	// Strip an explicit port ("example.com:8080"); a lone trailing colon
+	// or non-numeric suffix is left for the cleaning step to judge.
+	if j := bytes.LastIndexByte(rest, ':'); j >= 0 && j+1 < len(rest) && allDigits(rest[j+1:]) {
+		rest = rest[:j]
+	}
+	if len(rest) == 0 {
 		return "", false
 	}
-	return string(rest[:end]), true
+	return string(rest), true
+}
+
+func allDigits(b []byte) bool {
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return false
+		}
+	}
+	return true
 }
 
 // IPStats aggregates everything observed about one IP endpoint.

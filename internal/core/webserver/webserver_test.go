@@ -220,15 +220,30 @@ func TestClassifyPayloadPatterns(t *testing.T) {
 }
 
 func TestExtractHost(t *testing.T) {
-	h, ok := extractHost([]byte("GET / HTTP/1.1\r\nHost: www.example.org\r\nAccept: */*\r\n"))
-	if !ok || h != "www.example.org" {
-		t.Fatalf("extractHost = %q, %v", h, ok)
+	cases := []struct {
+		name    string
+		payload string
+		want    string
+		ok      bool
+	}{
+		{"crlf", "GET / HTTP/1.1\r\nHost: www.example.org\r\nAccept: */*\r\n", "www.example.org", true},
+		{"missing", "GET / HTTP/1.1\r\nAccept: */*\r\n", "", false},
+		// A value cut at the 128-byte snap boundary is indistinguishable
+		// from a complete one; accept it and let cleaning judge.
+		{"payload-end", "GET / HTTP/1.1\r\nHost: truncat", "truncat", true},
+		{"lf-only", "GET / HTTP/1.1\nHost: lf.example.net\nAccept: */*\n", "lf.example.net", true},
+		{"trailing-space", "GET / HTTP/1.1\r\nHost: padded.example.com \r\n", "padded.example.com", true},
+		{"port", "GET / HTTP/1.1\r\nHost: example.com:8080\r\n", "example.com", true},
+		{"port-at-end", "GET / HTTP/1.1\r\nHost: example.com:443", "example.com", true},
+		{"bare-colon", "GET / HTTP/1.1\r\nHost: odd.example.com:\r\n", "odd.example.com:", true},
+		{"empty-value", "GET / HTTP/1.1\r\nHost: \r\n", "", false},
+		{"empty-at-end", "GET / HTTP/1.1\r\nHost:", "", false},
 	}
-	if _, ok := extractHost([]byte("GET / HTTP/1.1\r\nAccept: */*\r\n")); ok {
-		t.Fatal("missing Host must not extract")
-	}
-	if _, ok := extractHost([]byte("GET / HTTP/1.1\r\nHost: truncat")); ok {
-		t.Fatal("snapped Host must not extract")
+	for _, c := range cases {
+		h, ok := extractHost([]byte(c.payload))
+		if ok != c.ok || h != c.want {
+			t.Errorf("%s: extractHost(%q) = %q, %v; want %q, %v", c.name, c.payload, h, ok, c.want, c.ok)
+		}
 	}
 }
 

@@ -34,15 +34,12 @@ func (r *Runner) ServerToServerTrend() (Report, error) {
 }
 
 // m2mShare measures, for one week, the fraction of server-involving
-// peering samples whose both endpoints are identified servers.
+// peering samples whose both endpoints are identified servers. The
+// first pass streams the week; the second rides a ReplaySource, so no
+// datagram buffer is ever held.
 func (r *Runner) m2mShare(isoWeek int) (float64, error) {
-	src, _, err := r.Env.CaptureWeek(isoWeek)
-	if err != nil {
-		return 0, err
-	}
-	cls := dissect.NewClassifier(r.Env.Fabric)
 	ident := webserver.NewIdentifier()
-	if _, err := dissect.Process(src, cls, ident.Observe); err != nil {
+	if _, _, err := r.Env.StreamWeek(isoWeek, ident.Observe); err != nil {
 		return 0, err
 	}
 	res := ident.Identify(isoWeek, r.Env.Crawler)
@@ -50,9 +47,10 @@ func (r *Runner) m2mShare(isoWeek int) (float64, error) {
 		_, ok := res.Servers[ip]
 		return ok
 	}
-	src.Reset()
+	src := r.Env.Replay(isoWeek)
 	cls2 := dissect.NewClassifier(r.Env.Fabric)
 	var serverSamples, m2m int
+	var err error
 	_, err = dissect.Process(src, cls2, func(rec *dissect.Record) {
 		if !rec.Class.IsPeering() {
 			return

@@ -156,6 +156,13 @@ type Collector struct {
 	uptime             uint32
 	rate               uint32
 
+	// reuse switches the collector to buffer-reuse mode: header bytes
+	// live in per-agent arenas and the Flows/Counters slices are recycled
+	// after every flush, so a steady-state capture allocates nothing per
+	// frame. See SetBufferReuse for the sink contract this changes.
+	reuse  bool
+	arenas [][]byte
+
 	// Per-port traffic accounting, scaled up by the sampling rate —
 	// what a real switch's interface counters would show (modulo
 	// sampling error). Keys are ifIndex values.
@@ -185,6 +192,23 @@ func NewCollector(f *Fabric, rate uint32, sink func(*sflow.Datagram) error) *Col
 	return c
 }
 
+// SetBufferReuse toggles buffer-reuse mode. Off (the default), every
+// flushed datagram owns freshly allocated Flows and Raw.Header backing
+// arrays, so a sink may retain them indefinitely — that is what the
+// buffered SliceSource capture relies on. On, the collector recycles
+// those buffers across flushes: the datagram passed to the sink (and
+// everything it points to) is valid only for the duration of the sink
+// call, and the sink must copy whatever it keeps. Streaming consumers
+// (dissect.StreamProcessor.Add, encoders that serialize immediately)
+// honour that contract and gain an allocation-free steady state.
+// Toggle only between flushes, before the affected frames are added.
+func (c *Collector) SetBufferReuse(on bool) {
+	c.reuse = on
+	if on && c.arenas == nil {
+		c.arenas = make([][]byte, len(c.pending))
+	}
+}
+
 // agentOfPort spreads member ports across the edge switches.
 func (c *Collector) agentOfPort(port uint32) int {
 	return int(port) % c.fabric.numAgents
@@ -197,8 +221,17 @@ func (c *Collector) AddFrame(inPort, outPort uint32, header []byte, frameLen int
 	agent := c.agentOfPort(inPort)
 	c.sampleSeq[agent]++
 	c.pool[agent] += c.rate
-	hdr := make([]byte, len(header))
-	copy(hdr, header)
+	var hdr []byte
+	if c.reuse {
+		arena := c.arenas[agent]
+		off := len(arena)
+		arena = append(arena, header...)
+		c.arenas[agent] = arena
+		hdr = arena[off:len(arena):len(arena)]
+	} else {
+		hdr = make([]byte, len(header))
+		copy(hdr, header)
+	}
 	fs := sflow.FlowSample{
 		SequenceNum:   c.sampleSeq[agent],
 		SourceIDIndex: inPort & 0xffffff,
@@ -278,8 +311,14 @@ func (c *Collector) flushAgent(agent int) error {
 	d.SequenceNum = c.seq[agent]
 	d.Uptime = c.uptime
 	err := c.sink(d)
-	d.Flows = nil
-	d.Counters = nil
+	if c.reuse {
+		d.Flows = d.Flows[:0]
+		d.Counters = d.Counters[:0]
+		c.arenas[agent] = c.arenas[agent][:0]
+	} else {
+		d.Flows = nil
+		d.Counters = nil
+	}
 	return err
 }
 

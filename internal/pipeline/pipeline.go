@@ -55,32 +55,77 @@ func NewEnv(cfg netmodel.Config, opts traffic.Options) (*Env, error) {
 
 // CaptureWeek generates one week of traffic and returns it as an
 // in-memory, rewindable datagram source plus the generator ground truth.
+// This is the buffered, O(week)-memory representation — opt into it for
+// tests and for experiment runners that make many passes over one week;
+// analysis paths should use StreamWeek (single pass) or Replay
+// (additional passes) instead.
 func (e *Env) CaptureWeek(isoWeek int) (*dissect.SliceSource, traffic.WeekStats, error) {
-	return e.captureWeekWith(e.Gen, isoWeek)
-}
-
-// captureWeekWith captures using an explicit generator, so parallel
-// callers can each own one (a Generator is not safe for concurrent use).
-func (e *Env) captureWeekWith(gen *traffic.Generator, isoWeek int) (*dissect.SliceSource, traffic.WeekStats, error) {
 	src := &dissect.SliceSource{}
 	col := ixp.NewCollector(e.Fabric, e.Opts.SamplingRate, func(d *sflow.Datagram) error {
-		cp := *d
-		cp.Flows = make([]sflow.FlowSample, len(d.Flows))
-		for i := range d.Flows {
-			cp.Flows[i] = d.Flows[i]
-			hdr := make([]byte, len(d.Flows[i].Raw.Header))
-			copy(hdr, d.Flows[i].Raw.Header)
-			cp.Flows[i].Raw.Header = hdr
-		}
-		cp.Counters = append([]sflow.CounterSample(nil), d.Counters...)
-		src.Datagrams = append(src.Datagrams, cp)
+		// In default (non-reuse) mode the collector hands off fresh
+		// backing arrays with every flush, so the shallow copy owns them.
+		src.Datagrams = append(src.Datagrams, *d)
 		return nil
 	})
-	stats, err := gen.GenerateWeek(isoWeek, col)
+	stats, err := e.Gen.GenerateWeek(isoWeek, col)
 	if err != nil {
 		return nil, stats, err
 	}
 	return src, stats, nil
+}
+
+// streamWorkers picks the classifier pool size for one week's stream:
+// leave a core to the generator, cap where batching stops paying off.
+func streamWorkers() int {
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 1 {
+		n = 1
+	}
+	if n > 8 {
+		n = 8
+	}
+	return n
+}
+
+// StreamWeek generates one week of traffic and classifies every sample
+// on the fly, invoking fn (which may be nil) for each record in capture
+// order. No datagram buffer is retained: the collector reuses its
+// buffers and the classifier pool holds O(batch) samples, so per-week
+// memory is bounded regardless of world size. Results are byte-identical
+// to dissecting a CaptureWeek source.
+func (e *Env) StreamWeek(isoWeek int, fn func(*dissect.Record)) (dissect.Counts, traffic.WeekStats, error) {
+	return e.streamWeekWith(e.Gen, isoWeek, streamWorkers(), fn)
+}
+
+// streamWeekWith streams using an explicit generator, so parallel
+// callers can each own one (a Generator is not safe for concurrent use).
+// workers sizes the classifier pool; 1 classifies inline in the emit
+// callback with zero extra goroutines.
+func (e *Env) streamWeekWith(gen *traffic.Generator, isoWeek, workers int, fn func(*dissect.Record)) (dissect.Counts, traffic.WeekStats, error) {
+	if workers <= 1 {
+		cls := dissect.NewClassifier(e.Fabric)
+		var counts dissect.Counts
+		var rec dissect.Record
+		col := ixp.NewCollector(e.Fabric, e.Opts.SamplingRate, func(d *sflow.Datagram) error {
+			for i := range d.Flows {
+				cls.Classify(&d.Flows[i], &rec)
+				counts.Tally(&rec)
+				if fn != nil {
+					fn(&rec)
+				}
+			}
+			return nil
+		})
+		col.SetBufferReuse(true)
+		stats, err := gen.GenerateWeek(isoWeek, col)
+		return counts, stats, err
+	}
+	sp := dissect.NewStreamProcessor(e.Fabric, workers, fn)
+	col := ixp.NewCollector(e.Fabric, e.Opts.SamplingRate, sp.Add)
+	col.SetBufferReuse(true)
+	stats, err := gen.GenerateWeek(isoWeek, col)
+	counts := sp.Close()
+	return counts, stats, err
 }
 
 // Week is the fully analysed weekly snapshot.
@@ -95,24 +140,31 @@ type Week struct {
 }
 
 // AnalyzeWeek runs the complete per-week pipeline. When src is nil the
-// week is captured first. keepSource optionally receives the capture
-// for further passes (link attribution needs one).
-func (e *Env) AnalyzeWeek(isoWeek int, src *dissect.SliceSource) (*Week, *dissect.SliceSource, error) {
+// week is streamed — classified as it is generated, with bounded
+// memory — and the returned source is a ReplaySource that regenerates
+// the identical stream for callers that need further passes (link
+// attribution does). Passing a non-nil rewindable source (a buffered
+// SliceSource, or a Replay from an earlier call) dissects that instead.
+func (e *Env) AnalyzeWeek(isoWeek int, src dissect.RewindableSource) (*Week, dissect.RewindableSource, error) {
 	var truth traffic.WeekStats
+	var counts dissect.Counts
+	ident := webserver.NewIdentifier()
 	if src == nil {
 		var err error
-		src, truth, err = e.CaptureWeek(isoWeek)
+		counts, truth, err = e.StreamWeek(isoWeek, ident.Observe)
 		if err != nil {
 			return nil, nil, err
 		}
+		src = e.Replay(isoWeek)
+	} else {
+		cls := dissect.NewClassifier(e.Fabric)
+		var err error
+		counts, err = dissect.Process(src, cls, ident.Observe)
+		if err != nil {
+			return nil, nil, err
+		}
+		src.Reset()
 	}
-	cls := dissect.NewClassifier(e.Fabric)
-	ident := webserver.NewIdentifier()
-	counts, err := dissect.Process(src, cls, ident.Observe)
-	if err != nil {
-		return nil, nil, err
-	}
-	src.Reset()
 	res := ident.Identify(isoWeek, e.Crawler)
 	metas, cov := metadata.Collect(res, e.DNS)
 
@@ -137,13 +189,8 @@ func (e *Env) AnalyzeWeek(isoWeek int, src *dissect.SliceSource) (*Week, *dissec
 // identification only) — what the longitudinal analysis needs for each
 // of the 17 weeks.
 func (e *Env) IdentifyWeek(isoWeek int) (*webserver.Result, dissect.Counts, traffic.WeekStats, error) {
-	src, truth, err := e.CaptureWeek(isoWeek)
-	if err != nil {
-		return nil, dissect.Counts{}, truth, err
-	}
-	cls := dissect.NewClassifier(e.Fabric)
 	ident := webserver.NewIdentifier()
-	counts, err := dissect.Process(src, cls, ident.Observe)
+	counts, truth, err := e.StreamWeek(isoWeek, ident.Observe)
 	if err != nil {
 		return nil, counts, truth, err
 	}
@@ -210,14 +257,10 @@ func (e *Env) TrackWeeks() (*churn.Tracker, []*webserver.Result, error) {
 			gen := traffic.NewGenerator(e.World, e.DNS, e.Fabric, e.Opts)
 			for idx := range weekCh {
 				isoWeek := cfg.FirstWeek + idx
-				src, _, err := e.captureWeekWith(gen, isoWeek)
-				if err != nil {
-					errs[idx] = err
-					continue
-				}
-				cls := dissect.NewClassifier(e.Fabric)
 				ident := webserver.NewIdentifier()
-				if _, err := dissect.Process(src, cls, ident.Observe); err != nil {
+				// Weeks already run in parallel here; keep each week's
+				// classifier inline (workers=1) to avoid oversubscription.
+				if _, _, err := e.streamWeekWith(gen, isoWeek, 1, ident.Observe); err != nil {
 					errs[idx] = err
 					continue
 				}

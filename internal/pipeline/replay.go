@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"errors"
+	"io"
+
+	"ixplens/internal/ixp"
+	"ixplens/internal/sflow"
+	"ixplens/internal/traffic"
+)
+
+// ReplaySource re-materializes a week's datagram stream by deterministic
+// regeneration instead of retained buffers: the traffic generator seeds
+// its RNG from (config seed, ISO week) alone, so a fresh Generator
+// driven over the same fabric reproduces the exact datagram sequence a
+// live capture of that week emitted — byte for byte, including sFlow
+// sequence numbers. Passes that need a second sweep (link attribution,
+// heterogeneity) therefore rewind by regenerating, keeping per-week
+// memory bounded where a SliceSource would hold the whole capture.
+//
+// A ReplaySource is lazy: the producing goroutine starts on the first
+// Next and stops at end of stream. Reset (or Close) aborts an unfinished
+// pass and rewinds; a source abandoned mid-stream must be Reset or
+// Closed to release its producer. It implements
+// dissect.RewindableSource and follows the DatagramSource aliasing
+// contract: the datagram is valid until the following Next/Reset. Not
+// safe for concurrent use by multiple consumers.
+type ReplaySource struct {
+	env     *Env
+	isoWeek int
+
+	ch   chan sflow.Datagram
+	stop chan struct{}
+	done chan struct{}
+	err  error
+}
+
+// errReplayStopped aborts GenerateWeek from the sink when the consumer
+// rewinds or closes mid-pass.
+var errReplayStopped = errors.New("pipeline: replay pass aborted")
+
+// Replay returns a rewindable datagram source that regenerates isoWeek
+// on demand. The returned source is cheap until first read.
+func (e *Env) Replay(isoWeek int) *ReplaySource {
+	return &ReplaySource{env: e, isoWeek: isoWeek}
+}
+
+func (r *ReplaySource) start() {
+	r.ch = make(chan sflow.Datagram, 4)
+	r.stop = make(chan struct{})
+	r.done = make(chan struct{})
+	go func() {
+		defer close(r.ch)
+		defer close(r.done)
+		// A fresh generator per pass is what makes replay deterministic;
+		// the shared substrates (world, DNS, fabric) are read-only here.
+		gen := traffic.NewGenerator(r.env.World, r.env.DNS, r.env.Fabric, r.env.Opts)
+		col := ixp.NewCollector(r.env.Fabric, r.env.Opts.SamplingRate, func(d *sflow.Datagram) error {
+			// Default (non-reuse) collector mode hands off fresh backing
+			// arrays with every flush, so the shallow copy is safe.
+			select {
+			case r.ch <- *d:
+				return nil
+			case <-r.stop:
+				return errReplayStopped
+			}
+		})
+		if _, err := gen.GenerateWeek(r.isoWeek, col); err != nil && err != errReplayStopped {
+			r.err = err
+		}
+	}()
+}
+
+// Next implements dissect.DatagramSource.
+func (r *ReplaySource) Next(d *sflow.Datagram) error {
+	if r.ch == nil {
+		r.start()
+	}
+	dg, ok := <-r.ch
+	if !ok {
+		if r.err != nil {
+			return r.err
+		}
+		return io.EOF
+	}
+	*d = dg
+	return nil
+}
+
+// Reset rewinds to the beginning of the week, aborting an in-flight
+// pass if one is running. The next Next starts a fresh regeneration.
+func (r *ReplaySource) Reset() { r.release() }
+
+// Close releases the producer goroutine of an abandoned pass. The
+// source remains usable; Close is equivalent to Reset and exists for
+// call sites that want to signal "done" rather than "again".
+func (r *ReplaySource) Close() { r.release() }
+
+func (r *ReplaySource) release() {
+	if r.ch == nil {
+		return
+	}
+	close(r.stop)
+	for range r.ch {
+	}
+	<-r.done
+	r.ch = nil
+	r.err = nil
+}
