@@ -18,6 +18,7 @@ import (
 	"syscall"
 	"time"
 
+	"ixplens/internal/obs"
 	"ixplens/internal/sflow"
 )
 
@@ -28,15 +29,39 @@ func main() {
 		count  = flag.Int("count", 0, "stop after this many datagrams (0 = unlimited)")
 		dur    = flag.Duration("for", 0, "stop after this duration (0 = unlimited)")
 		every  = flag.Int("flush-every", 1024, "flush the stream file every N datagrams (0 = only at exit)")
+		debug  = flag.String("debug-addr", "", "serve expvar+pprof on this address and print a metrics snapshot at exit (empty = off)")
 	)
 	flag.Parse()
-	if err := run(*listen, *out, *count, *dur, *every); err != nil {
+	if err := run(*listen, *out, *count, *dur, *every, *debug); err != nil {
 		fmt.Fprintln(os.Stderr, "ixpcollect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, out string, count int, dur time.Duration, flushEvery int) error {
+func run(listen, out string, count int, dur time.Duration, flushEvery int, debugAddr string) error {
+	var reg *obs.Registry
+	if debugAddr != "" {
+		reg = obs.NewRegistry()
+		addr, closeDebug, err := obs.Serve(debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer closeDebug()
+		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/debug/vars\n", addr)
+		defer func() {
+			fmt.Fprintln(os.Stderr, "\nmetrics snapshot:")
+			reg.WriteText(os.Stderr)
+		}()
+	}
+	// Counter/histogram methods are nil-safe, so an uninstrumented run
+	// (nil registry) pays only the no-op calls.
+	var (
+		mWritten    = reg.Counter("collect_datagrams_written_total")
+		mFlows      = reg.Counter("collect_flow_samples_total")
+		mFlushes    = reg.Counter("collect_file_flushes_total")
+		mDgramFlows = reg.Histogram("collect_datagram_flows")
+	)
+
 	recv, err := sflow.NewReceiver(listen)
 	if err != nil {
 		return err
@@ -79,12 +104,16 @@ func run(listen, out string, count int, dur time.Duration, flushEvery int) error
 			return err
 		}
 		written++
+		mWritten.Inc()
+		mFlows.Add(uint64(len(d.Flows)))
+		mDgramFlows.Observe(uint64(len(d.Flows)))
 		// Periodic flushes bound how much a crash or kill -9 can lose on
 		// a long-running collection.
 		if flushEvery > 0 && written%flushEvery == 0 {
 			if err := sw.Flush(); err != nil {
 				return err
 			}
+			mFlushes.Inc()
 		}
 		if count > 0 && written >= count {
 			return errDone

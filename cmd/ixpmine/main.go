@@ -23,6 +23,7 @@ import (
 	"ixplens/internal/core/hetero"
 	"ixplens/internal/core/metadata"
 	"ixplens/internal/core/webserver"
+	"ixplens/internal/obs"
 	"ixplens/internal/packet"
 	"ixplens/internal/pipeline"
 	"ixplens/internal/sflow"
@@ -32,15 +33,16 @@ func main() {
 	var (
 		in    = flag.String("in", "capture", "capture directory written by ixpgen")
 		focus = flag.Int("focus", 45, "ISO week for the deep-dive analysis")
+		debug = flag.String("debug-addr", "", "serve expvar+pprof on this address and print a metrics snapshot at exit (empty = off)")
 	)
 	flag.Parse()
-	if err := run(*in, *focus); err != nil {
+	if err := run(*in, *focus, *debug); err != nil {
 		fmt.Fprintln(os.Stderr, "ixpmine:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir string, focus int) error {
+func run(dir string, focus int, debugAddr string) error {
 	man, err := capture.ReadManifest(dir)
 	if err != nil {
 		return err
@@ -49,6 +51,21 @@ func run(dir string, focus int) error {
 	if err != nil {
 		return err
 	}
+	var reg *obs.Registry
+	if debugAddr != "" {
+		reg = obs.NewRegistry()
+		addr, closeDebug, err := obs.Serve(debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer closeDebug()
+		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/debug/vars\n", addr)
+		defer func() {
+			fmt.Fprintln(os.Stderr, "\nmetrics snapshot:")
+			reg.WriteText(os.Stderr)
+		}()
+	}
+	env.Instrument(reg)
 	fmt.Printf("substrates rebuilt: %s\n", env)
 	if man.Anonymized {
 		fmt.Println("note: capture is prefix-preserving anonymized; RIB/geo resolution is not meaningful")

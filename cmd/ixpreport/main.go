@@ -20,6 +20,7 @@ import (
 
 	"ixplens/internal/experiments"
 	"ixplens/internal/netmodel"
+	"ixplens/internal/obs"
 	"ixplens/internal/textplot"
 	"ixplens/internal/traffic"
 )
@@ -33,8 +34,24 @@ func main() {
 		series  = flag.Bool("series", false, "also print raw figure series")
 		asJSON  = flag.Bool("json", false, "emit the reports as JSON instead of tables")
 		asMD    = flag.Bool("md", false, "emit the reports as Markdown sections")
+		debug   = flag.String("debug-addr", "", "serve expvar+pprof on this address and print a metrics snapshot at exit (empty = off)")
 	)
 	flag.Parse()
+
+	var reg *obs.Registry
+	if *debug != "" {
+		reg = obs.NewRegistry()
+		addr, closeDebug, err := obs.Serve(*debug, reg)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeDebug()
+		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/debug/vars\n", addr)
+		defer func() {
+			fmt.Fprintln(os.Stderr, "\nmetrics snapshot:")
+			reg.WriteText(os.Stderr)
+		}()
+	}
 
 	cfg := netmodel.PaperScale(*scale)
 	cfg.Seed = *seed
@@ -46,6 +63,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	runner.Env.Instrument(reg)
 	fmt.Fprintf(os.Stderr, "world: %s (generated in %v)\n\n", runner.Env, time.Since(t0))
 
 	t0 = time.Now()

@@ -157,7 +157,8 @@ func AnalyzeWeekFile(env *pipeline.Env, path string, isoWeek int) (*webserver.Re
 		workers = 8
 	}
 	ident := webserver.NewIdentifier()
-	counts, err := dissect.ProcessParallel(sr, env.Fabric, workers, ident.Observe)
+	ident.SetMetrics(env.M.IdentifyMetrics())
+	counts, err := dissect.ProcessParallel(sr, env.Fabric, workers, ident.Observe, env.M.DissectMetrics())
 	if err != nil {
 		return nil, counts, err
 	}

@@ -209,54 +209,132 @@ func (c *Crawler) fakeResult(i int, f *netmodel.Fake443Endpoint, isoWeek int) Cr
 	return CrawlResult{}
 }
 
+// RejectReason says which of the paper's six validation checks a crawl
+// result failed, for the per-reason rejection accounting of the
+// observability layer. RejectNone means the result validated.
+type RejectReason uint8
+
+// Rejection reasons, in the order the checks run.
+const (
+	RejectNone RejectReason = iota
+	// RejectNoResponse: nothing answered on TCP 443.
+	RejectNoResponse
+	// RejectNoChain: the endpoint responded but delivered no parseable
+	// chain (an SSH banner, a plain-HTTP answer).
+	RejectNoChain
+	// RejectUnstable: repeated crawls disagreed — check (f).
+	RejectUnstable
+	// RejectEmptyChain: a crawl attempt carried a zero-length chain.
+	RejectEmptyChain
+	// RejectBadSubject: the leaf subject is not a valid domain — check (a).
+	RejectBadSubject
+	// RejectBadAltName: an alternative name is invalid — check (b).
+	RejectBadAltName
+	// RejectKeyUsage: the leaf key usage is not serverAuth — check (c).
+	RejectKeyUsage
+	// RejectBrokenChain: issuer/subject references do not link — check (d).
+	RejectBrokenChain
+	// RejectUntrustedRoot: the chain's root is not whitelisted — check (d).
+	RejectUntrustedRoot
+	// RejectExpired: a validity window misses the crawl week — check (e).
+	RejectExpired
+	// RejectCrawler: an opaque crawler-side rejection — used when a
+	// CertCrawler without an inspectable trust store validated through
+	// its own CrawlAndValidate and said no.
+	RejectCrawler
+	// NumRejectReasons sizes per-reason counter arrays.
+	NumRejectReasons
+)
+
+// String names the reason, usable as a metric label.
+func (r RejectReason) String() string {
+	switch r {
+	case RejectNone:
+		return "none"
+	case RejectNoResponse:
+		return "no-response"
+	case RejectNoChain:
+		return "no-chain"
+	case RejectUnstable:
+		return "unstable"
+	case RejectEmptyChain:
+		return "empty-chain"
+	case RejectBadSubject:
+		return "bad-subject"
+	case RejectBadAltName:
+		return "bad-alt-name"
+	case RejectKeyUsage:
+		return "key-usage"
+	case RejectBrokenChain:
+		return "broken-chain"
+	case RejectUntrustedRoot:
+		return "untrusted-root"
+	case RejectExpired:
+		return "expired"
+	case RejectCrawler:
+		return "crawler-rejected"
+	default:
+		return fmt.Sprintf("RejectReason(%d)", uint8(r))
+	}
+}
+
 // Validate applies the paper's six certificate checks to a crawl result
 // and extracts the certificate meta-data on success.
 func Validate(res CrawlResult, roots map[string]bool, isoWeek int) (Info, bool) {
-	if !res.Responded || len(res.Chains) == 0 {
-		return Info{}, false
+	info, reason := ValidateDetail(res, roots, isoWeek)
+	return info, reason == RejectNone
+}
+
+// ValidateDetail is Validate reporting which check rejected the result.
+func ValidateDetail(res CrawlResult, roots map[string]bool, isoWeek int) (Info, RejectReason) {
+	if !res.Responded {
+		return Info{}, RejectNoResponse
+	}
+	if len(res.Chains) == 0 {
+		return Info{}, RejectNoChain
 	}
 	// (f) stability: all crawls must agree (ignoring validity time).
 	first := res.Chains[0]
 	for _, ch := range res.Chains[1:] {
 		if !sameIdentity(first, ch) {
-			return Info{}, false
+			return Info{}, RejectUnstable
 		}
 	}
 	if len(first) == 0 {
-		return Info{}, false
+		return Info{}, RejectEmptyChain
 	}
 	leaf := first[0]
 	// (a) subject must be a valid domain name.
 	if !validDomain(leaf.Subject) {
-		return Info{}, false
+		return Info{}, RejectBadSubject
 	}
 	// (b) alternative names must be valid, including their ccSLDs.
 	for _, an := range leaf.AltNames {
 		if !validDomain(an) {
-			return Info{}, false
+			return Info{}, RejectBadAltName
 		}
 	}
 	// (c) key usage must indicate a server role.
 	if leaf.KeyUsage != UsageServerAuth {
-		return Info{}, false
+		return Info{}, RejectKeyUsage
 	}
 	// (d) chain must refer to each other in order up to a trusted root.
 	for i := 0; i < len(first)-1; i++ {
 		if first[i].Issuer != first[i+1].Subject {
-			return Info{}, false
+			return Info{}, RejectBrokenChain
 		}
 	}
 	rootCert := first[len(first)-1]
 	if rootCert.Issuer != rootCert.Subject || !roots[rootCert.Subject] {
-		return Info{}, false
+		return Info{}, RejectUntrustedRoot
 	}
 	// (e) validity time must cover the crawl for every chain element.
 	for _, cert := range first {
 		if isoWeek < cert.NotBefore || isoWeek > cert.NotAfter {
-			return Info{}, false
+			return Info{}, RejectExpired
 		}
 	}
-	return Info{Subject: leaf.Subject, AltNames: leaf.AltNames}, true
+	return Info{Subject: leaf.Subject, AltNames: leaf.AltNames}, RejectNone
 }
 
 // Roots exposes the crawler's trust store for Validate.

@@ -249,3 +249,62 @@ func BenchmarkCrawlAndValidate(b *testing.B) {
 		c.CrawlAndValidate(ips[i%len(ips)], 45)
 	}
 }
+
+// TestValidateDetailReasons pins every rejection to its specific reason
+// so the per-reason metric counters stay truthful.
+func TestValidateDetailReasons(t *testing.T) {
+	week := 45
+	good := validTestChain(week)
+	if _, reason := ValidateDetail(resultOf(good, good), roots(), week); reason != RejectNone {
+		t.Fatalf("good chain rejected: %v", reason)
+	}
+
+	unstable := validTestChain(week)
+	unstable[0].Subject = "other.org"
+
+	cases := []struct {
+		name string
+		res  CrawlResult
+		want RejectReason
+	}{
+		{"no response", CrawlResult{}, RejectNoResponse},
+		{"no chain", CrawlResult{Responded: true}, RejectNoChain},
+		{"unstable", resultOf(good, unstable), RejectUnstable},
+		{"empty chain", resultOf(Chain{}), RejectEmptyChain},
+		{"bad subject", resultOf(mutated(week, func(ch Chain) { ch[0].Subject = "not a domain" })), RejectBadSubject},
+		{"bad altname", resultOf(mutated(week, func(ch Chain) { ch[0].AltNames = []string{"x"} })), RejectBadAltName},
+		{"key usage", resultOf(mutated(week, func(ch Chain) { ch[0].KeyUsage = UsageCodeSigning })), RejectKeyUsage},
+		{"broken chain", resultOf(mutated(week, func(ch Chain) { ch[0].Issuer = "something-else" })), RejectBrokenChain},
+		{"untrusted root", resultOf(mutated(week, func(ch Chain) {
+			ch[1].Issuer = "evil-root"
+			ch[2].Subject = "evil-root"
+			ch[2].Issuer = "evil-root"
+		})), RejectUntrustedRoot},
+		{"expired", resultOf(mutated(week, func(ch Chain) { ch[0].NotAfter = week - 1 })), RejectExpired},
+	}
+	for _, c := range cases {
+		if _, reason := ValidateDetail(c.res, roots(), week); reason != c.want {
+			t.Errorf("%s: reason = %v, want %v", c.name, reason, c.want)
+		}
+	}
+}
+
+func mutated(week int, f func(Chain)) Chain {
+	ch := validTestChain(week)
+	f(ch)
+	return ch
+}
+
+func TestRejectReasonStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for r := RejectNone; r < NumRejectReasons; r++ {
+		s := r.String()
+		if s == "" || seen[s] {
+			t.Fatalf("reason %d has empty or duplicate label %q", r, s)
+		}
+		seen[s] = true
+	}
+	if RejectReason(200).String() == "" {
+		t.Fatal("out-of-range reason unlabeled")
+	}
+}

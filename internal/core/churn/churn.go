@@ -75,6 +75,11 @@ type WeekChurn struct {
 	// prefix counts (the §4.1 "20K ASes, 75K prefixes" stability).
 	TotalASes     int
 	TotalPrefixes int
+	// UnresolvedIPs counts server IPs whose RIB lookup failed (ASN 0).
+	// They participate in IP-level churn but are excluded from the
+	// AS-level pools — ASN 0 is a lookup failure, not an AS, and pooling
+	// it would fabricate a phantom "stable" AS present every week.
+	UnresolvedIPs int
 	// HTTPSIPs and HTTPSBytes track HTTPS adoption (§4.2).
 	HTTPSIPs   int
 	HTTPSBytes uint64
@@ -168,17 +173,24 @@ func (t *Tracker) Compute() []WeekChurn {
 			rc.Bytes[pool] += so.Bytes
 
 			// AS-level churn: an AS's pool is decided by its own
-			// history, tracked once per week below.
-			if _, done := asPools[so.ASN]; !done {
-				ah := asHist[so.ASN]
-				if ah == nil {
-					ah = &history{first: n}
-					asHist[so.ASN] = ah
+			// history, tracked once per week below. ASN 0 marks a
+			// failed RIB lookup, not an AS — count it separately and
+			// keep it (and its zero-value prefix) out of the AS and
+			// prefix tallies.
+			if so.ASN == 0 {
+				wc.UnresolvedIPs++
+			} else {
+				if _, done := asPools[so.ASN]; !done {
+					ah := asHist[so.ASN]
+					if ah == nil {
+						ah = &history{first: n}
+						asHist[so.ASN] = ah
+					}
+					asPools[so.ASN] = poolOf(ah.first, ah.seen, n)
+					ah.seen++
 				}
-				asPools[so.ASN] = poolOf(ah.first, ah.seen, n)
-				ah.seen++
+				prefixes[so.Prefix] = true
 			}
-			prefixes[so.Prefix] = true
 		}
 		for _, pool := range asPools {
 			wc.ASes[pool]++

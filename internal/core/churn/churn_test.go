@@ -300,3 +300,45 @@ func check(t *testing.T, err error) {
 		t.Fatal(err)
 	}
 }
+
+// TestUnresolvedASNsExcluded pins the ASN-0 fix: server IPs whose RIB
+// lookup failed must participate in IP-level churn but stay out of the
+// AS pools (where a phantom "AS 0" would otherwise appear stable every
+// week) and out of the prefix count; they are reported separately.
+func TestUnresolvedASNsExcluded(t *testing.T) {
+	ip := func(n byte) packet.IPv4Addr { return packet.MakeIPv4(9, 1, 0, n) }
+	pfx := routing.Prefix{Addr: packet.MakeIPv4(9, 1, 0, 0), Len: 24}
+	tr := NewTracker()
+	mk := func(week int) WeekObservation {
+		obs := WeekObservation{Week: week, Servers: map[packet.IPv4Addr]ServerObs{
+			ip(1): {Bytes: 100, ASN: 7, Prefix: pfx, Region: "DE"},
+			ip(2): {Bytes: 100, ASN: 0, Region: "DE"}, // lookup failed
+			ip(3): {Bytes: 100, ASN: 0, Region: "US"}, // lookup failed
+		}}
+		return obs
+	}
+	check(t, tr.Add(mk(1)))
+	check(t, tr.Add(mk(2)))
+	weeks := tr.Compute()
+	for _, wc := range weeks {
+		if wc.Total() != 3 {
+			t.Fatalf("week %d: IP churn lost the unresolved IPs: %d", wc.Week, wc.Total())
+		}
+		if wc.TotalASes != 1 {
+			t.Fatalf("week %d: %d ASes counted, want 1 (ASN 0 must not be an AS)", wc.Week, wc.TotalASes)
+		}
+		if wc.ASes[0]+wc.ASes[1]+wc.ASes[2] != wc.TotalASes {
+			t.Fatalf("week %d: AS partitions do not sum to total", wc.Week)
+		}
+		if wc.TotalPrefixes != 1 {
+			t.Fatalf("week %d: %d prefixes counted, want 1 (zero prefix excluded)", wc.Week, wc.TotalPrefixes)
+		}
+		if wc.UnresolvedIPs != 2 {
+			t.Fatalf("week %d: %d unresolved IPs, want 2", wc.Week, wc.UnresolvedIPs)
+		}
+	}
+	// Week 2's sole real AS was present in week 1 as well: stable.
+	if weeks[1].ASes[PoolStable] != 1 {
+		t.Fatalf("week 2 AS pools: %+v", weeks[1].ASes)
+	}
+}

@@ -123,6 +123,7 @@ type MemberResolver interface {
 type Classifier struct {
 	members MemberResolver
 	frame   packet.Frame
+	m       *Metrics
 }
 
 // NewClassifier builds a classifier using the fabric's port map.
@@ -130,8 +131,21 @@ func NewClassifier(members MemberResolver) *Classifier {
 	return &Classifier{members: members}
 }
 
+// SetMetrics attaches an observability bundle (nil disables). Call it
+// before the classifier starts classifying; the bundle itself is safe to
+// share across classifiers.
+func (c *Classifier) SetMetrics(m *Metrics) { c.m = m }
+
 // Classify fills rec from one flow sample and returns its class.
 func (c *Classifier) Classify(fs *sflow.FlowSample, rec *Record) Class {
+	cl := c.classify(fs, rec)
+	if c.m != nil {
+		c.m.record(cl)
+	}
+	return cl
+}
+
+func (c *Classifier) classify(fs *sflow.FlowSample, rec *Record) Class {
 	*rec = Record{InMember: -1, OutMember: -1}
 	rec.FrameLen = fs.Raw.FrameLength
 	// A rate of zero means the exporter did not subsample (or exported a

@@ -3,6 +3,7 @@ package dissect
 import (
 	"io"
 	"sync"
+	"time"
 
 	"ixplens/internal/sflow"
 )
@@ -37,6 +38,7 @@ type streamBatch struct {
 	arena []byte
 	recs  []Record
 	done  chan struct{} // signaled by the worker when recs are ready
+	start time.Time     // dispatch time, set only when metrics are on
 }
 
 func (b *streamBatch) reset() {
@@ -54,6 +56,7 @@ func (b *streamBatch) reset() {
 type StreamProcessor struct {
 	fn           func(*Record)
 	batchSamples int
+	m            *Metrics
 
 	jobs  chan *streamBatch // to the classifier workers
 	order chan *streamBatch // to the merger, in dispatch order
@@ -69,8 +72,9 @@ type StreamProcessor struct {
 
 // NewStreamProcessor starts workers classifier goroutines (plus one
 // merger) against the given member resolver. workers below 1 is treated
-// as 1. fn may be nil to only tally the cascade.
-func NewStreamProcessor(members MemberResolver, workers int, fn func(*Record)) *StreamProcessor {
+// as 1. fn may be nil to only tally the cascade; m may be nil to run
+// uninstrumented.
+func NewStreamProcessor(members MemberResolver, workers int, fn func(*Record), m *Metrics) *StreamProcessor {
 	if workers < 1 {
 		workers = 1
 	}
@@ -78,6 +82,7 @@ func NewStreamProcessor(members MemberResolver, workers int, fn func(*Record)) *
 	p := &StreamProcessor{
 		fn:           fn,
 		batchSamples: defaultBatchSamples,
+		m:            m,
 		jobs:         make(chan *streamBatch, pool),
 		order:        make(chan *streamBatch, pool),
 		free:         make(chan *streamBatch, pool),
@@ -97,6 +102,7 @@ func NewStreamProcessor(members MemberResolver, workers int, fn func(*Record)) *
 func (p *StreamProcessor) worker(members MemberResolver) {
 	defer p.workerWG.Done()
 	cls := NewClassifier(members)
+	cls.SetMetrics(p.m)
 	for b := range p.jobs {
 		if cap(b.recs) < len(b.flows) {
 			b.recs = make([]Record, len(b.flows))
@@ -118,6 +124,10 @@ func (p *StreamProcessor) merge() {
 			if p.fn != nil {
 				p.fn(&b.recs[i])
 			}
+		}
+		if p.m != nil {
+			p.m.BatchNanos.ObserveSince(b.start)
+			p.m.QueueDepth.Set(int64(len(p.jobs)))
 		}
 		b.reset()
 		p.free <- b
@@ -162,6 +172,11 @@ func (p *StreamProcessor) dispatch() {
 		p.free <- b
 		return
 	}
+	if p.m != nil {
+		p.m.Batches.Inc()
+		b.start = time.Now()
+		p.m.QueueDepth.Set(int64(len(p.jobs) + 1))
+	}
 	p.order <- b
 	p.jobs <- b
 }
@@ -185,11 +200,14 @@ func (p *StreamProcessor) Close() Counts {
 // the same contract and the same (deterministic, input-ordered) results
 // as Process, but with decoding and classification spread over workers
 // goroutines. With workers <= 1 it falls back to the sequential Process.
-func ProcessParallel(src DatagramSource, members MemberResolver, workers int, fn func(*Record)) (Counts, error) {
+// m may be nil to run uninstrumented.
+func ProcessParallel(src DatagramSource, members MemberResolver, workers int, fn func(*Record), m *Metrics) (Counts, error) {
 	if workers <= 1 {
-		return Process(src, NewClassifier(members), fn)
+		cls := NewClassifier(members)
+		cls.SetMetrics(m)
+		return Process(src, cls, fn)
 	}
-	p := NewStreamProcessor(members, workers, fn)
+	p := NewStreamProcessor(members, workers, fn, m)
 	var d sflow.Datagram
 	for {
 		err := src.Next(&d)

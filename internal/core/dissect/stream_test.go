@@ -3,6 +3,7 @@ package dissect
 import (
 	"testing"
 
+	"ixplens/internal/obs"
 	"ixplens/internal/packet"
 	"ixplens/internal/sflow"
 )
@@ -118,14 +119,26 @@ func TestProcessParallelMatchesSequential(t *testing.T) {
 	src.Reset()
 
 	var parRecs []key
+	reg := obs.NewRegistry()
 	parCounts, err := ProcessParallel(src, fabric, 4, func(rec *Record) {
 		parRecs = append(parRecs, key{rec.Class, rec.SrcIP, rec.DstIP, rec.Bytes})
-	})
+	}, NewMetrics(reg))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if seqCounts != parCounts {
 		t.Fatalf("counts diverged:\nseq %+v\npar %+v", seqCounts, parCounts)
+	}
+	// The shared metrics bundle must agree with the merged tallies even
+	// though every worker classifier updated it concurrently.
+	if got := reg.Counter("dissect_records_total").Value(); got != uint64(parCounts.Total) {
+		t.Fatalf("metrics counted %d records, tallies say %d", got, parCounts.Total)
+	}
+	if got := reg.Counter("dissect_peering_total").Value(); got != uint64(parCounts.Peering()) {
+		t.Fatalf("metrics counted %d peering, tallies say %d", got, parCounts.Peering())
+	}
+	if reg.Counter("dissect_batches_total").Value() == 0 {
+		t.Fatal("no batches recorded")
 	}
 	if len(seqRecs) != len(parRecs) {
 		t.Fatalf("record count diverged: %d vs %d", len(seqRecs), len(parRecs))
@@ -140,7 +153,7 @@ func TestProcessParallelMatchesSequential(t *testing.T) {
 // TestStreamProcessorSmallBatches drives partial batches and an empty
 // close through the processor.
 func TestStreamProcessorSmallBatches(t *testing.T) {
-	empty := NewStreamProcessor(fakeMembers{}, 2, nil)
+	empty := NewStreamProcessor(fakeMembers{}, 2, nil, nil)
 	if counts := empty.Close(); counts.Total != 0 {
 		t.Fatalf("empty close counted %d", counts.Total)
 	}
@@ -149,7 +162,7 @@ func TestStreamProcessorSmallBatches(t *testing.T) {
 		t.Fatalf("second close counted %d", counts.Total)
 	}
 
-	sp := NewStreamProcessor(fakeMembers{}, 2, nil)
+	sp := NewStreamProcessor(fakeMembers{}, 2, nil, nil)
 	d := sflow.Datagram{Flows: []sflow.FlowSample{{
 		SamplingRate: 10, InputIf: 1001, OutputIf: 1002, HasRaw: true,
 		Raw: sflow.RawPacketHeader{Protocol: sflow.HeaderProtoEthernet, FrameLength: 100, Header: []byte{1, 2, 3}},

@@ -9,12 +9,71 @@ package webserver
 
 import (
 	"bytes"
+	"fmt"
 	"sort"
 
 	"ixplens/internal/certsim"
 	"ixplens/internal/core/dissect"
+	"ixplens/internal/obs"
 	"ixplens/internal/packet"
 )
+
+// Metrics is the identifier's observability bundle: payload kinds the
+// string matching saw, Host headers extracted, and the HTTPS crawl
+// funnel with per-reason validation failures. Build it with NewMetrics;
+// a nil *Metrics disables instrumentation at the cost of one branch per
+// observation.
+type Metrics struct {
+	PayloadRequests   *obs.Counter
+	PayloadResponses  *obs.Counter
+	PayloadHeaderOnly *obs.Counter
+	PayloadOpaque     *obs.Counter
+	HostsExtracted    *obs.Counter
+	CrawlAttempts     *obs.Counter
+	CrawlResponses    *obs.Counter
+	CrawlValid        *obs.Counter
+	// ValidateFail counts rejected HTTPS candidates by rejection reason,
+	// indexed by certsim.RejectReason. Exposed as
+	// crawl_validate_fail{reason=...}; the reasons sum to
+	// Candidates443 - Valid443, making every rejection auditable.
+	ValidateFail [certsim.NumRejectReasons]*obs.Counter
+}
+
+// NewMetrics resolves the identifier's metrics in r. A nil registry
+// yields nil, which disables instrumentation.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	m := &Metrics{
+		PayloadRequests:   r.Counter("webserver_payload_requests_total"),
+		PayloadResponses:  r.Counter("webserver_payload_responses_total"),
+		PayloadHeaderOnly: r.Counter("webserver_payload_header_only_total"),
+		PayloadOpaque:     r.Counter("webserver_payload_opaque_total"),
+		HostsExtracted:    r.Counter("webserver_hosts_extracted_total"),
+		CrawlAttempts:     r.Counter("webserver_crawl_attempts_total"),
+		CrawlResponses:    r.Counter("webserver_crawl_responses_total"),
+		CrawlValid:        r.Counter("webserver_crawl_valid_total"),
+	}
+	for reason := certsim.RejectReason(1); reason < certsim.NumRejectReasons; reason++ {
+		m.ValidateFail[reason] = r.Counter(fmt.Sprintf("crawl_validate_fail{reason=%s}", reason))
+	}
+	return m
+}
+
+// payload tallies one string-matching outcome.
+func (m *Metrics) payload(kind payloadKind) {
+	switch kind {
+	case payloadHTTPRequest:
+		m.PayloadRequests.Inc()
+	case payloadHTTPResponse:
+		m.PayloadResponses.Inc()
+	case payloadHTTPHeaderOnly:
+		m.PayloadHeaderOnly.Inc()
+	default:
+		m.PayloadOpaque.Inc()
+	}
+}
 
 // payloadKind is what string matching saw in one payload.
 type payloadKind uint8
@@ -61,27 +120,75 @@ func classifyPayload(p []byte) payloadKind {
 		}
 	}
 	for _, h := range headerWords {
-		if bytes.Contains(p, h) {
+		if containsHeaderField(p, h) {
 			return payloadHTTPHeaderOnly
 		}
 	}
 	return payloadOpaque
 }
 
+// fieldNameByte reports whether c can be part of an HTTP header field
+// name as they occur in practice (letters, digits, '-', '_').
+func fieldNameByte(c byte) bool {
+	return c == '-' || c == '_' ||
+		('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || ('0' <= c && c <= '9')
+}
+
+// containsHeaderField reports whether name occurs where a header field
+// can actually start. A bare bytes.Contains also matches mid-token
+// occurrences — "Host: " inside "X-Forwarded-Host: " — and misattributes
+// them. Because the 128-byte snap can begin mid-stream, a match is
+// accepted at the payload start, after CR/LF, or after any byte that
+// cannot be part of a longer field name.
+func containsHeaderField(p, name []byte) bool {
+	for off := 0; ; {
+		j := bytes.Index(p[off:], name)
+		if j < 0 {
+			return false
+		}
+		k := off + j
+		if k == 0 || !fieldNameByte(p[k-1]) {
+			return true
+		}
+		off = k + 1
+	}
+}
+
+// indexHeaderValue finds the value start of the header field name,
+// requiring the field at the payload start or immediately after CR/LF so
+// that mid-token occurrences ("X-Forwarded-Host:" containing "Host:")
+// cannot donate the wrong header's value. Returns -1 when the field is
+// absent.
+func indexHeaderValue(p, name []byte) int {
+	for off := 0; ; {
+		j := bytes.Index(p[off:], name)
+		if j < 0 {
+			return -1
+		}
+		k := off + j
+		if k == 0 || p[k-1] == '\n' || p[k-1] == '\r' {
+			return k + len(name)
+		}
+		off = k + 1
+	}
+}
+
 // extractHost pulls the Host header value out of a request payload. The
-// value runs to the first CR or LF (LF-only line endings are valid in
-// the wild) or, when the 128-byte snap cut the payload right after a
-// complete value, to the end of the payload; surrounding whitespace and
-// an explicit :port suffix are trimmed. A value that might itself be
-// truncated cannot be told apart from a complete one at payload end —
-// the snap boundary falls where it falls — so payload-end values are
-// accepted; the meta-data cleaning step downstream drops junk.
+// field must sit at the payload start or right after CR/LF — otherwise
+// "X-Forwarded-Host:" and friends donate the wrong value. The value runs
+// to the first CR or LF (LF-only line endings are valid in the wild) or,
+// when the 128-byte snap cut the payload right after a complete value,
+// to the end of the payload; surrounding whitespace and an explicit
+// :port suffix are trimmed. A value that might itself be truncated
+// cannot be told apart from a complete one at payload end — the snap
+// boundary falls where it falls — so payload-end values are accepted;
+// the meta-data cleaning step downstream drops junk.
 func extractHost(p []byte) (string, bool) {
-	i := bytes.Index(p, []byte("Host:"))
+	i := indexHeaderValue(p, []byte("Host:"))
 	if i < 0 {
 		return "", false
 	}
-	rest := p[i+5:]
+	rest := p[i:]
 	if end := bytes.IndexAny(rest, "\r\n"); end >= 0 {
 		rest = rest[:end]
 	}
@@ -163,12 +270,17 @@ func (s *IPStats) addHost(h string) {
 // Identifier consumes peering records and accumulates per-IP evidence.
 type Identifier struct {
 	stats map[packet.IPv4Addr]*IPStats
+	m     *Metrics
 }
 
 // NewIdentifier returns an empty identifier.
 func NewIdentifier() *Identifier {
 	return &Identifier{stats: make(map[packet.IPv4Addr]*IPStats, 1<<12)}
 }
+
+// SetMetrics attaches an observability bundle (nil detaches). Call
+// before the identifier is shared between goroutines.
+func (id *Identifier) SetMetrics(m *Metrics) { id.m = m }
 
 func (id *Identifier) get(ip packet.IPv4Addr) *IPStats {
 	s := id.stats[ip]
@@ -206,7 +318,11 @@ func (id *Identifier) Observe(rec *dissect.Record) {
 	src.SrcMember = rec.InMember
 	id.get(rec.DstIP).BytesTotal += rec.Bytes
 
-	switch classifyPayload(rec.Payload) {
+	kind := classifyPayload(rec.Payload)
+	if id.m != nil {
+		id.m.payload(kind)
+	}
+	switch kind {
 	case payloadHTTPRequest:
 		// The destination acts as server, the source as client.
 		srv := id.get(rec.DstIP)
@@ -214,6 +330,9 @@ func (id *Identifier) Observe(rec *dissect.Record) {
 		srv.addPort(rec.DstPort)
 		if h, ok := extractHost(rec.Payload); ok {
 			srv.addHost(h)
+			if id.m != nil {
+				id.m.HostsExtracted.Inc()
+			}
 		}
 		id.get(rec.SrcIP).ClientHits++
 	case payloadHTTPResponse:
@@ -299,6 +418,7 @@ func (id *Identifier) Identify(isoWeek int, crawler CertCrawler) *Result {
 		Servers: make(map[packet.IPv4Addr]*Server, len(id.stats)/4),
 	}
 	res.TotalIPs = len(id.stats)
+	roots := crawlRoots(crawler)
 	for ip, st := range id.stats {
 		isHTTP := st.ServerHits > 0
 		var srv *Server
@@ -311,18 +431,24 @@ func (id *Identifier) Identify(isoWeek int, crawler CertCrawler) *Result {
 		}
 		if st.Candidate443 {
 			res.Candidates443++
+			id.m.crawlAttempt()
 			crawl := crawler.Crawl(ip, isoWeek)
 			if crawl.Responded {
 				res.Responded443++
+				id.m.crawlResponse()
 			}
-			if info, ok := certsim.Validate(crawl, crawlRoots(crawler), isoWeek); ok {
+			info, reason := validateCrawl(crawler, roots, ip, crawl, isoWeek)
+			if reason == certsim.RejectNone {
 				res.Valid443++
+				id.m.crawlValid()
 				if srv == nil {
 					srv = &Server{IP: ip, Bytes: st.BytesTotal, Ports: st.Ports,
 						Hosts: st.Hosts, AlsoClient: st.ClientHits > 0, Member: st.SrcMember}
 				}
 				srv.HTTPS = true
 				srv.Cert = info
+			} else {
+				id.m.crawlReject(reason)
 			}
 		}
 		if srv != nil {
@@ -333,9 +459,54 @@ func (id *Identifier) Identify(isoWeek int, crawler CertCrawler) *Result {
 	return res
 }
 
-// crawlRoots extracts the trust store when the crawler can provide one;
-// otherwise validation uses the default synthetic roots via the
-// crawler's own CrawlAndValidate. certsim.Crawler implements Roots().
+// validateCrawl applies the certificate checks to one candidate. With an
+// inspectable trust store the checks run here, yielding a precise
+// rejection reason; without one, validation falls back to the crawler's
+// own CrawlAndValidate composition — passing a nil trust store to
+// certsim.Validate would instead reject every chain, silently emptying
+// the HTTPS set.
+func validateCrawl(crawler CertCrawler, roots map[string]bool, ip packet.IPv4Addr, crawl certsim.CrawlResult, isoWeek int) (certsim.Info, certsim.RejectReason) {
+	if roots != nil {
+		return certsim.ValidateDetail(crawl, roots, isoWeek)
+	}
+	if info, ok := crawler.CrawlAndValidate(ip, isoWeek); ok {
+		return info, certsim.RejectNone
+	}
+	if !crawl.Responded {
+		return certsim.Info{}, certsim.RejectNoResponse
+	}
+	return certsim.Info{}, certsim.RejectCrawler
+}
+
+// crawlAttempt, crawlResponse, crawlValid and crawlReject tolerate a nil
+// bundle so Identify stays branch-light.
+func (m *Metrics) crawlAttempt() {
+	if m != nil {
+		m.CrawlAttempts.Inc()
+	}
+}
+
+func (m *Metrics) crawlResponse() {
+	if m != nil {
+		m.CrawlResponses.Inc()
+	}
+}
+
+func (m *Metrics) crawlValid() {
+	if m != nil {
+		m.CrawlValid.Inc()
+	}
+}
+
+func (m *Metrics) crawlReject(reason certsim.RejectReason) {
+	if m != nil && reason > certsim.RejectNone && reason < certsim.NumRejectReasons {
+		m.ValidateFail[reason].Inc()
+	}
+}
+
+// crawlRoots extracts the trust store when the crawler can provide one
+// (certsim.Crawler implements Roots()); validateCrawl falls back to the
+// crawler's own CrawlAndValidate otherwise.
 func crawlRoots(c CertCrawler) map[string]bool {
 	if r, ok := c.(interface{ Roots() map[string]bool }); ok {
 		return r.Roots()

@@ -1,6 +1,7 @@
 package webserver
 
 import (
+	"fmt"
 	"testing"
 
 	"ixplens/internal/certsim"
@@ -8,6 +9,7 @@ import (
 	"ixplens/internal/dnssim"
 	"ixplens/internal/ixp"
 	"ixplens/internal/netmodel"
+	"ixplens/internal/obs"
 	"ixplens/internal/packet"
 	"ixplens/internal/sflow"
 	"ixplens/internal/traffic"
@@ -211,6 +213,15 @@ func TestClassifyPayloadPatterns(t *testing.T) {
 		{"\x17\x03\x03\x01\x00\x8a\x91", payloadOpaque},
 		{"", payloadOpaque},
 		{"random text without markers", payloadOpaque},
+		// A header word matched mid-token is another field's suffix, not
+		// evidence of HTTP: X-Forwarded-Host must not satisfy the Host:
+		// scan, and binary junk containing the bytes mid-word must not
+		// either.
+		{"\x00\x01X-Forwarded-Host: h.example\r\n\x02", payloadOpaque},
+		{"junkSet-Cookie: a=1\r\n", payloadOpaque},
+		// At a snap boundary the field can open the payload.
+		{"Host: cut.example.org\r\nAccept: */*\r\n", payloadHTTPHeaderOnly},
+		{"\r\nHost: after-crlf.example\r\n", payloadHTTPHeaderOnly},
 	}
 	for _, c := range cases {
 		if got := classifyPayload([]byte(c.payload)); got != c.want {
@@ -238,6 +249,12 @@ func TestExtractHost(t *testing.T) {
 		{"bare-colon", "GET / HTTP/1.1\r\nHost: odd.example.com:\r\n", "odd.example.com:", true},
 		{"empty-value", "GET / HTTP/1.1\r\nHost: \r\n", "", false},
 		{"empty-at-end", "GET / HTTP/1.1\r\nHost:", "", false},
+		// "Host:" inside another field name is not the Host header; only a
+		// match at the payload start or right after a line break counts.
+		{"x-forwarded-host", "GET / HTTP/1.1\r\nX-Forwarded-Host: evil.example\r\n", "", false},
+		{"forwarded-then-real", "GET / HTTP/1.1\r\nX-Forwarded-Host: evil.example\r\nHost: real.example\r\n", "real.example", true},
+		{"host-at-start", "Host: snap.example.org\r\nAccept: */*\r\n", "snap.example.org", true},
+		{"mid-token-no-break", "GET / HTTP/1.1\r\nAbcHost: nope.example\r\n", "", false},
 	}
 	for _, c := range cases {
 		h, ok := extractHost([]byte(c.payload))
@@ -286,8 +303,10 @@ func BenchmarkObserve(b *testing.B) {
 	}
 }
 
-// rootlessCrawler exercises the fallback when a crawler cannot expose a
-// trust store: validation must reject everything rather than accept.
+// rootlessCrawler hides the trust store: it forwards Crawl and
+// CrawlAndValidate but does not implement Roots(), so Identify must fall
+// back to the crawler's own validation instead of passing a nil trust
+// store to certsim.Validate (which would reject every chain).
 type rootlessCrawler struct{ inner CertCrawler }
 
 func (r rootlessCrawler) Crawl(ip packet.IPv4Addr, w int) certsim.CrawlResult {
@@ -300,6 +319,11 @@ func (r rootlessCrawler) CrawlAndValidate(ip packet.IPv4Addr, w int) (certsim.In
 
 func TestIdentifyWithoutTrustStore(t *testing.T) {
 	env := buildEnv(t, 45)
+	direct := identify(t, env, 45)
+	if direct.Valid443 == 0 {
+		t.Fatal("direct crawler validated nothing; test is vacuous")
+	}
+
 	id := NewIdentifier()
 	cls := dissect.NewClassifier(env.fabric)
 	if _, err := dissect.Process(env.src, cls, id.Observe); err != nil {
@@ -307,11 +331,56 @@ func TestIdentifyWithoutTrustStore(t *testing.T) {
 	}
 	env.src.Reset()
 	res := id.Identify(45, rootlessCrawler{env.crawler})
-	if res.Valid443 != 0 {
-		t.Fatalf("validated %d HTTPS servers without a trust store", res.Valid443)
+
+	// The Roots-less fallback must validate the exact same HTTPS set.
+	if res.Valid443 != direct.Valid443 {
+		t.Fatalf("rootless crawler validated %d HTTPS servers, direct validated %d",
+			res.Valid443, direct.Valid443)
 	}
-	// HTTP identification must be unaffected.
-	if len(res.Servers) == 0 {
-		t.Fatal("HTTP identification broke")
+	for ip, want := range direct.Servers {
+		got := res.Servers[ip]
+		if got == nil || got.HTTPS != want.HTTPS {
+			t.Fatalf("server %v: HTTPS diverged between rootless and direct crawler", ip)
+		}
+	}
+	if len(res.Servers) != len(direct.Servers) {
+		t.Fatalf("server sets diverged: %d vs %d", len(res.Servers), len(direct.Servers))
+	}
+}
+
+// TestCrawlRejectAccounting checks the funnel arithmetic the metrics
+// promise: every rejected candidate lands in exactly one
+// crawl_validate_fail{reason=...} counter, with and without a trust
+// store.
+func TestCrawlRejectAccounting(t *testing.T) {
+	env := buildEnv(t, 45)
+	crawlers := map[string]CertCrawler{
+		"direct":   env.crawler,
+		"rootless": rootlessCrawler{env.crawler},
+	}
+	for name, crawler := range crawlers {
+		reg := obs.NewRegistry()
+		id := NewIdentifier()
+		id.SetMetrics(NewMetrics(reg))
+		cls := dissect.NewClassifier(env.fabric)
+		if _, err := dissect.Process(env.src, cls, id.Observe); err != nil {
+			t.Fatal(err)
+		}
+		env.src.Reset()
+		res := id.Identify(45, crawler)
+
+		var rejected uint64
+		for r := certsim.RejectReason(1); r < certsim.NumRejectReasons; r++ {
+			rejected += reg.Counter(fmt.Sprintf("crawl_validate_fail{reason=%s}", r)).Value()
+		}
+		if want := uint64(res.Candidates443 - res.Valid443); rejected != want {
+			t.Fatalf("%s: reject counters sum to %d, funnel says %d rejected", name, rejected, want)
+		}
+		if got := reg.Counter("webserver_crawl_attempts_total").Value(); got != uint64(res.Candidates443) {
+			t.Fatalf("%s: %d crawl attempts recorded, %d candidates", name, got, res.Candidates443)
+		}
+		if got := reg.Counter("webserver_crawl_valid_total").Value(); got != uint64(res.Valid443) {
+			t.Fatalf("%s: %d valid recorded, funnel says %d", name, got, res.Valid443)
+		}
 	}
 }

@@ -170,6 +170,8 @@ type Collector struct {
 	outOctets map[uint32]uint64
 	inPkts    map[uint32]uint32
 	outPkts   map[uint32]uint32
+
+	m *CollectorMetrics
 }
 
 // NewCollector builds a collector exporting at the given sampling rate.
@@ -208,6 +210,11 @@ func (c *Collector) SetBufferReuse(on bool) {
 		c.arenas = make([][]byte, len(c.pending))
 	}
 }
+
+// SetMetrics attaches an observability bundle (nil disables). Collector
+// is single-goroutine, so this may be called at any point between
+// flushes.
+func (c *Collector) SetMetrics(m *CollectorMetrics) { c.m = m }
 
 // agentOfPort spreads member ports across the edge switches.
 func (c *Collector) agentOfPort(port uint32) int {
@@ -252,6 +259,9 @@ func (c *Collector) AddFrame(inPort, outPort uint32, header []byte, frameLen int
 	}
 	d := &c.pending[agent]
 	d.Flows = append(d.Flows, fs)
+	if c.m != nil {
+		c.m.Samples.Inc()
+	}
 	c.uptime += 7 // arbitrary monotone clock
 	scaled := uint64(frameLen) * uint64(c.rate)
 	c.inOctets[inPort] += scaled
@@ -296,6 +306,9 @@ func (c *Collector) AddCounters(port uint32, g sflow.GenericInterfaceCounters) e
 		HasGeneric:    true,
 		Generic:       g,
 	})
+	if c.m != nil {
+		c.m.CounterSamples.Inc()
+	}
 	if len(d.Counters) >= c.samplesPerDatagram {
 		return c.flushAgent(agent)
 	}
@@ -311,6 +324,12 @@ func (c *Collector) flushAgent(agent int) error {
 	d.SequenceNum = c.seq[agent]
 	d.Uptime = c.uptime
 	err := c.sink(d)
+	if c.m != nil {
+		c.m.Flushes.Inc()
+		if c.reuse {
+			c.m.BufferReuses.Inc()
+		}
+	}
 	if c.reuse {
 		d.Flows = d.Flows[:0]
 		d.Counters = d.Counters[:0]

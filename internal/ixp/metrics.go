@@ -1,0 +1,32 @@
+package ixp
+
+import "ixplens/internal/obs"
+
+// CollectorMetrics is the sFlow export path's observability bundle. A
+// nil *CollectorMetrics disables instrumentation; the collector gates
+// every update on the pointer so the disabled cost is one branch.
+type CollectorMetrics struct {
+	// Samples counts flow samples exported; CounterSamples counts
+	// interface counter samples.
+	Samples        *obs.Counter
+	CounterSamples *obs.Counter
+	// Flushes counts datagrams handed to the sink; BufferReuses counts
+	// the flushes whose backing arrays were recycled (buffer-reuse mode)
+	// rather than freshly allocated.
+	Flushes      *obs.Counter
+	BufferReuses *obs.Counter
+}
+
+// NewCollectorMetrics builds the bundle against a registry; nil in,
+// nil out.
+func NewCollectorMetrics(r *obs.Registry) *CollectorMetrics {
+	if r == nil {
+		return nil
+	}
+	return &CollectorMetrics{
+		Samples:        r.Counter("ixp_samples_total"),
+		CounterSamples: r.Counter("ixp_counter_samples_total"),
+		Flushes:        r.Counter("ixp_flushes_total"),
+		BufferReuses:   r.Counter("ixp_buffer_reuses_total"),
+	}
+}

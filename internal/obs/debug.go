@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// The registry currently exposed over HTTP. expvar.Publish is global and
+// forbids re-publishing a name, so the "ixplens" var is registered once
+// and indirects through this pointer; a later Serve call (tests, a
+// second campaign in one process) swaps the registry atomically.
+var (
+	servedRegistry atomic.Pointer[Registry]
+	publishOnce    sync.Once
+)
+
+// Serve exposes the registry on an HTTP debug endpoint: expvar-style
+// JSON at /debug/vars (the registry appears under the "ixplens" key,
+// next to the standard cmdline/memstats vars) and the pprof suite under
+// /debug/pprof/. It listens on addr (":0" picks a free port), serves in
+// a background goroutine, and returns the bound address plus a closer
+// that stops the listener. This is the -debug-addr implementation of the
+// command-line tools.
+func Serve(addr string, r *Registry) (string, func() error, error) {
+	servedRegistry.Store(r)
+	publishOnce.Do(func() {
+		expvar.Publish("ixplens", expvar.Func(func() interface{} {
+			return servedRegistry.Load().expvarValue()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	go func() {
+		// Serve returns when the listener closes; nothing to report.
+		_ = http.Serve(ln, mux)
+	}()
+	return ln.Addr().String(), ln.Close, nil
+}

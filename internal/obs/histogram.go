@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numBuckets covers bits.Len64 of every uint64: bucket 0 holds the value
+// zero, bucket i holds values in [2^(i-1), 2^i).
+const numBuckets = 65
+
+// Histogram records a distribution of non-negative values (bytes,
+// nanoseconds) in power-of-two buckets. All methods are safe for
+// concurrent use; a nil Histogram ignores observations. Quantile reads
+// taken while writers are active are approximate — each bucket is
+// internally consistent but the set is not snapshotted atomically —
+// which is the usual, acceptable contract for monitoring reads.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [numBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// ObserveSince records the nanoseconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(uint64(time.Since(start)))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the average observed value, 0 when empty.
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile returns an upper bound for the q-th quantile (0 < q ≤ 1): the
+// top of the first bucket whose cumulative count reaches q. Zero when
+// the histogram is empty.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	target := uint64(q * float64(n))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(numBuckets - 1)
+}
+
+// bucketUpper is the largest value bucket i can hold.
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// HistogramSummary is the rendered form of a histogram, used by the text
+// snapshot and the expvar endpoint.
+type HistogramSummary struct {
+	Count uint64
+	Sum   uint64
+	Mean  float64
+	P50   uint64
+	P90   uint64
+	P99   uint64
+}
+
+// Summary computes the histogram's summary statistics.
+func (h *Histogram) Summary() HistogramSummary {
+	if h == nil {
+		return HistogramSummary{}
+	}
+	return HistogramSummary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+}

@@ -1,0 +1,235 @@
+// Package obs is the pipeline's zero-dependency observability layer:
+// atomic counters, gauges and log2-bucketed histograms collected in a
+// named Registry, a plain-text end-of-run snapshot, and an opt-in
+// expvar/pprof HTTP endpoint (see Serve).
+//
+// The layer is built to cost nothing when unused. Every metric type is
+// nil-safe — methods on a nil *Counter, *Gauge or *Histogram are no-ops,
+// and a nil *Registry hands out nil metrics — so instrumented code holds
+// plain metric pointers and pays one predictable branch per event when
+// observability is disabled. Hot paths that would need extra work to
+// feed a metric (a time.Now call, a queue-length read) additionally gate
+// on a nil check of their metrics bundle, keeping the disabled path free
+// of clock reads.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event tally. The zero value is
+// ready to use; a nil Counter ignores writes and reads as zero.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous level (queue depth, utilization). The zero
+// value is ready to use; a nil Gauge ignores writes and reads as zero.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry names and owns a process's metrics. The zero value is not
+// useful — use NewRegistry — but a nil *Registry is valid everywhere and
+// hands out nil (no-op) metrics, which is how instrumentation is
+// disabled.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// registry returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use. A nil
+// registry returns a nil (no-op) histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Counters snapshots every counter's current value by name.
+func (r *Registry) Counters() map[string]uint64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64, len(r.counters))
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// snapshot materializes a stable view for rendering.
+type snapshot struct {
+	counters   map[string]uint64
+	gauges     map[string]int64
+	histograms map[string]HistogramSummary
+}
+
+func (r *Registry) snapshot() snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := snapshot{
+		counters:   make(map[string]uint64, len(r.counters)),
+		gauges:     make(map[string]int64, len(r.gauges)),
+		histograms: make(map[string]HistogramSummary, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.histograms[name] = h.Summary()
+	}
+	return s
+}
+
+// expvarValue renders the registry as a JSON-marshalable tree, the shape
+// served under the "ixplens" key of the /debug/vars endpoint.
+func (r *Registry) expvarValue() interface{} {
+	if r == nil {
+		return nil
+	}
+	s := r.snapshot()
+	return map[string]interface{}{
+		"counters":   s.counters,
+		"gauges":     s.gauges,
+		"histograms": s.histograms,
+	}
+}
+
+// WriteText prints a sorted, human-readable snapshot of every metric —
+// the end-of-run summary the command-line tools emit.
+func (r *Registry) WriteText(w io.Writer) {
+	if r == nil {
+		return
+	}
+	s := r.snapshot()
+	names := make([]string, 0, len(s.counters))
+	for name := range s.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "counter  %-48s %d\n", name, s.counters[name])
+	}
+	names = names[:0]
+	for name := range s.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "gauge    %-48s %d\n", name, s.gauges[name])
+	}
+	names = names[:0]
+	for name := range s.histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.histograms[name]
+		fmt.Fprintf(w, "hist     %-48s count=%d sum=%d mean=%.1f p50≤%d p90≤%d p99≤%d\n",
+			name, h.Count, h.Sum, h.Mean, h.P50, h.P90, h.P99)
+	}
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Fatal("nil counter read non-zero")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge read non-zero")
+	}
+	var h *Histogram
+	h.Observe(42)
+	if h.Count() != 0 || h.Sum() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram read non-zero")
+	}
+	if s := h.Summary(); s.Count != 0 {
+		t.Fatal("nil histogram summary non-zero")
+	}
+}
+
+func TestNilRegistryHandsOutNilMetrics(t *testing.T) {
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry created metrics")
+	}
+	if r.Counters() != nil {
+		t.Fatal("nil registry snapshot non-nil")
+	}
+	r.WriteText(io.Discard) // must not panic
+}
+
+func TestRegistryReturnsSameMetricPerName(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("counter identity lost")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Fatal("gauge identity lost")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Fatal("histogram identity lost")
+	}
+	if r.Counter("a") == r.Counter("b") {
+		t.Fatal("distinct names share a counter")
+	}
+}
+
+// TestConcurrentWriters drives every metric type from many goroutines;
+// the totals must be exact (run under -race in CI).
+func TestConcurrentWriters(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 10_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("events")
+			g := r.Gauge("level")
+			h := r.Histogram("sizes")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(uint64(i % 1024))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("events").Value(); got != workers*perWorker {
+		t.Fatalf("counter lost updates: %d", got)
+	}
+	if got := r.Gauge("level").Value(); got != workers*perWorker {
+		t.Fatalf("gauge lost updates: %d", got)
+	}
+	h := r.Histogram("sizes")
+	if h.Count() != workers*perWorker {
+		t.Fatalf("histogram lost observations: %d", h.Count())
+	}
+	var wantSum uint64
+	for i := 0; i < perWorker; i++ {
+		wantSum += uint64(i % 1024)
+	}
+	if h.Sum() != workers*wantSum {
+		t.Fatalf("histogram sum %d, want %d", h.Sum(), workers*wantSum)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 90 small values, 10 large: p50 must bound the small cohort, p99
+	// the large one.
+	for i := 0; i < 90; i++ {
+		h.Observe(100) // bucket upper bound 127
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(100_000) // bucket upper bound 131071
+	}
+	if p50 := h.Quantile(0.50); p50 != 127 {
+		t.Fatalf("p50 = %d, want 127", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 != 131071 {
+		t.Fatalf("p99 = %d, want 131071", p99)
+	}
+	if h.Mean() < 100 || h.Mean() > 100_000 {
+		t.Fatalf("mean %.1f out of range", h.Mean())
+	}
+}
+
+func TestHistogramEdgeValues(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(^uint64(0))
+	if h.Count() != 2 {
+		t.Fatalf("count %d", h.Count())
+	}
+	if q := h.Quantile(0.01); q != 0 {
+		t.Fatalf("low quantile %d, want 0", q)
+	}
+	if q := h.Quantile(1.0); q != ^uint64(0) {
+		t.Fatalf("high quantile %d", q)
+	}
+}
+
+func TestWriteTextSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("samples_total").Add(12)
+	r.Gauge("queue_depth").Set(3)
+	r.Histogram("batch_ns").Observe(1000)
+	var b strings.Builder
+	r.WriteText(&b)
+	out := b.String()
+	for _, want := range []string{"samples_total", "12", "queue_depth", "batch_ns", "count=1"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeExposesExpvarJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_events").Add(5)
+	addr, closeFn, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn()
+	resp, err := http.Get("http://" + addr + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var vars struct {
+		IXPLens struct {
+			Counters map[string]uint64 `json:"counters"`
+		} `json:"ixplens"`
+	}
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("expvar output not JSON: %v\n%s", err, body)
+	}
+	if vars.IXPLens.Counters["served_events"] != 5 {
+		t.Fatalf("counter missing from expvar output: %s", body)
+	}
+	// A later Serve must swap the published registry.
+	r2 := NewRegistry()
+	r2.Counter("served_events").Add(9)
+	addr2, closeFn2, err := Serve("127.0.0.1:0", r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer closeFn2()
+	resp2, err := http.Get("http://" + addr2 + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	body2, _ := io.ReadAll(resp2.Body)
+	if err := json.Unmarshal(body2, &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars.IXPLens.Counters["served_events"] != 9 {
+		t.Fatalf("second registry not served: %s", body2)
+	}
+}

@@ -1,0 +1,80 @@
+package pipeline
+
+import (
+	"ixplens/internal/core/dissect"
+	"ixplens/internal/core/webserver"
+	"ixplens/internal/ixp"
+	"ixplens/internal/obs"
+)
+
+// Metrics bundles the per-stage observability of one environment: the
+// collector's export path, the dissection cascade, server
+// identification, and the longitudinal driver itself. A nil *Metrics
+// (the default — see Env.Instrument) disables instrumentation
+// everywhere; the accessors below are nil-safe so wiring code never has
+// to branch.
+type Metrics struct {
+	Registry  *obs.Registry
+	Collector *ixp.CollectorMetrics
+	Dissect   *dissect.Metrics
+	Identify  *webserver.Metrics
+	// WeekNanos is the wall-time distribution of one week's light
+	// pipeline run (stream + identify); Weeks counts completed weeks.
+	WeekNanos *obs.Histogram
+	Weeks     *obs.Counter
+	// WorkerBusy accumulates the nanoseconds TrackWeeks workers spent on
+	// week work; Utilization is busy time over wall time × workers, in
+	// percent, set once per TrackWeeks run.
+	WorkerBusy  *obs.Counter
+	Utilization *obs.Gauge
+}
+
+// NewMetrics builds the full bundle against a registry; nil in, nil out.
+func NewMetrics(r *obs.Registry) *Metrics {
+	if r == nil {
+		return nil
+	}
+	return &Metrics{
+		Registry:    r,
+		Collector:   ixp.NewCollectorMetrics(r),
+		Dissect:     dissect.NewMetrics(r),
+		Identify:    webserver.NewMetrics(r),
+		WeekNanos:   r.Histogram("pipeline_week_ns"),
+		Weeks:       r.Counter("pipeline_weeks_total"),
+		WorkerBusy:  r.Counter("pipeline_worker_busy_ns"),
+		Utilization: r.Gauge("pipeline_worker_utilization_pct"),
+	}
+}
+
+// CollectorMetrics returns the collector sub-bundle, nil when disabled.
+func (m *Metrics) CollectorMetrics() *ixp.CollectorMetrics {
+	if m == nil {
+		return nil
+	}
+	return m.Collector
+}
+
+// DissectMetrics returns the dissection sub-bundle, nil when disabled.
+func (m *Metrics) DissectMetrics() *dissect.Metrics {
+	if m == nil {
+		return nil
+	}
+	return m.Dissect
+}
+
+// IdentifyMetrics returns the identification sub-bundle, nil when
+// disabled.
+func (m *Metrics) IdentifyMetrics() *webserver.Metrics {
+	if m == nil {
+		return nil
+	}
+	return m.Identify
+}
+
+// Instrument attaches an observability registry to the environment:
+// every pipeline run after the call feeds the per-stage metric bundles
+// built against r. Passing nil detaches instrumentation (the default
+// state of a fresh Env).
+func (e *Env) Instrument(r *obs.Registry) {
+	e.M = NewMetrics(r)
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"ixplens/internal/alexa"
 	"ixplens/internal/certsim"
@@ -33,6 +34,9 @@ type Env struct {
 	Crawler *certsim.Crawler
 	Gen     *traffic.Generator
 	Opts    traffic.Options
+	// M is the observability bundle; nil (the default) runs the whole
+	// pipeline uninstrumented. Attach one with Instrument.
+	M *Metrics
 }
 
 // NewEnv generates a world and wires all substrates.
@@ -67,6 +71,7 @@ func (e *Env) CaptureWeek(isoWeek int) (*dissect.SliceSource, traffic.WeekStats,
 		src.Datagrams = append(src.Datagrams, *d)
 		return nil
 	})
+	col.SetMetrics(e.M.CollectorMetrics())
 	stats, err := e.Gen.GenerateWeek(isoWeek, col)
 	if err != nil {
 		return nil, stats, err
@@ -104,6 +109,7 @@ func (e *Env) StreamWeek(isoWeek int, fn func(*dissect.Record)) (dissect.Counts,
 func (e *Env) streamWeekWith(gen *traffic.Generator, isoWeek, workers int, fn func(*dissect.Record)) (dissect.Counts, traffic.WeekStats, error) {
 	if workers <= 1 {
 		cls := dissect.NewClassifier(e.Fabric)
+		cls.SetMetrics(e.M.DissectMetrics())
 		var counts dissect.Counts
 		var rec dissect.Record
 		col := ixp.NewCollector(e.Fabric, e.Opts.SamplingRate, func(d *sflow.Datagram) error {
@@ -116,12 +122,14 @@ func (e *Env) streamWeekWith(gen *traffic.Generator, isoWeek, workers int, fn fu
 			}
 			return nil
 		})
+		col.SetMetrics(e.M.CollectorMetrics())
 		col.SetBufferReuse(true)
 		stats, err := gen.GenerateWeek(isoWeek, col)
 		return counts, stats, err
 	}
-	sp := dissect.NewStreamProcessor(e.Fabric, workers, fn)
+	sp := dissect.NewStreamProcessor(e.Fabric, workers, fn, e.M.DissectMetrics())
 	col := ixp.NewCollector(e.Fabric, e.Opts.SamplingRate, sp.Add)
+	col.SetMetrics(e.M.CollectorMetrics())
 	col.SetBufferReuse(true)
 	stats, err := gen.GenerateWeek(isoWeek, col)
 	counts := sp.Close()
@@ -149,6 +157,7 @@ func (e *Env) AnalyzeWeek(isoWeek int, src dissect.RewindableSource) (*Week, dis
 	var truth traffic.WeekStats
 	var counts dissect.Counts
 	ident := webserver.NewIdentifier()
+	ident.SetMetrics(e.M.IdentifyMetrics())
 	if src == nil {
 		var err error
 		counts, truth, err = e.StreamWeek(isoWeek, ident.Observe)
@@ -158,6 +167,7 @@ func (e *Env) AnalyzeWeek(isoWeek int, src dissect.RewindableSource) (*Week, dis
 		src = e.Replay(isoWeek)
 	} else {
 		cls := dissect.NewClassifier(e.Fabric)
+		cls.SetMetrics(e.M.DissectMetrics())
 		var err error
 		counts, err = dissect.Process(src, cls, ident.Observe)
 		if err != nil {
@@ -190,6 +200,7 @@ func (e *Env) AnalyzeWeek(isoWeek int, src dissect.RewindableSource) (*Week, dis
 // of the 17 weeks.
 func (e *Env) IdentifyWeek(isoWeek int) (*webserver.Result, dissect.Counts, traffic.WeekStats, error) {
 	ident := webserver.NewIdentifier()
+	ident.SetMetrics(e.M.IdentifyMetrics())
 	counts, truth, err := e.StreamWeek(isoWeek, ident.Observe)
 	if err != nil {
 		return nil, counts, truth, err
@@ -250,6 +261,10 @@ func (e *Env) TrackWeeks() (*churn.Tracker, []*webserver.Result, error) {
 	errs := make([]error, cfg.Weeks)
 	weekCh := make(chan int)
 	var wg sync.WaitGroup
+	var wallStart time.Time
+	if e.M != nil {
+		wallStart = time.Now()
+	}
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
@@ -257,7 +272,12 @@ func (e *Env) TrackWeeks() (*churn.Tracker, []*webserver.Result, error) {
 			gen := traffic.NewGenerator(e.World, e.DNS, e.Fabric, e.Opts)
 			for idx := range weekCh {
 				isoWeek := cfg.FirstWeek + idx
+				var weekStart time.Time
+				if e.M != nil {
+					weekStart = time.Now()
+				}
 				ident := webserver.NewIdentifier()
+				ident.SetMetrics(e.M.IdentifyMetrics())
 				// Weeks already run in parallel here; keep each week's
 				// classifier inline (workers=1) to avoid oversubscription.
 				if _, _, err := e.streamWeekWith(gen, isoWeek, 1, ident.Observe); err != nil {
@@ -265,6 +285,12 @@ func (e *Env) TrackWeeks() (*churn.Tracker, []*webserver.Result, error) {
 					continue
 				}
 				results[idx] = ident.Identify(isoWeek, e.Crawler)
+				if e.M != nil {
+					busy := time.Since(weekStart)
+					e.M.WeekNanos.Observe(uint64(busy))
+					e.M.Weeks.Inc()
+					e.M.WorkerBusy.Add(uint64(busy))
+				}
 			}
 		}()
 	}
@@ -273,6 +299,15 @@ func (e *Env) TrackWeeks() (*churn.Tracker, []*webserver.Result, error) {
 	}
 	close(weekCh)
 	wg.Wait()
+	if e.M != nil {
+		// Utilization: the share of the worker pool's wall-clock capacity
+		// that went into week work. 100% means every worker was busy the
+		// whole run.
+		if wall := time.Since(wallStart); wall > 0 {
+			pct := 100 * float64(e.M.WorkerBusy.Value()) / (float64(wall) * float64(workers))
+			e.M.Utilization.Set(int64(pct))
+		}
+	}
 
 	tracker := churn.NewTracker()
 	for idx := 0; idx < cfg.Weeks; idx++ {

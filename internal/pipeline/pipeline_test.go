@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"ixplens/internal/netmodel"
+	"ixplens/internal/obs"
 	. "ixplens/internal/pipeline"
 	"ixplens/internal/traffic"
 )
@@ -123,5 +124,68 @@ func TestTrackWeeksParallelConsistent(t *testing.T) {
 		if _, ok := got.Servers[ip]; !ok {
 			t.Fatalf("server %v missing from parallel result", ip)
 		}
+	}
+}
+
+// TestInstrumentedPipelineConsistency attaches a registry and checks
+// that the cross-stage invariants the metrics promise actually hold:
+// every exported sample is classified exactly once, the crawl funnel
+// matches the identification result, and TrackWeeks times every week.
+func TestInstrumentedPipelineConsistency(t *testing.T) {
+	env := newEnv(t)
+	reg := obs.NewRegistry()
+	env.Instrument(reg)
+
+	res, counts, _, err := env.IdentifyWeek(45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := reg.Counter("ixp_samples_total").Value()
+	records := reg.Counter("dissect_records_total").Value()
+	if samples == 0 || samples != records {
+		t.Fatalf("exported %d samples but classified %d records", samples, records)
+	}
+	if records != uint64(counts.Total) {
+		t.Fatalf("metrics saw %d records, tallies %d", records, counts.Total)
+	}
+	if got := reg.Counter("webserver_crawl_attempts_total").Value(); got != uint64(res.Candidates443) {
+		t.Fatalf("crawl attempts %d != candidates %d", got, res.Candidates443)
+	}
+	if reg.Counter("ixp_flushes_total").Value() == 0 {
+		t.Fatal("no collector flushes recorded")
+	}
+	if reg.Counter("ixp_buffer_reuses_total").Value() == 0 {
+		t.Fatal("streaming path did not record buffer reuse")
+	}
+	if reg.Counter("webserver_hosts_extracted_total").Value() == 0 {
+		t.Fatal("no Host headers recorded")
+	}
+
+	// TrackWeeks on a freshly instrumented env: one timing observation
+	// per week, and a utilization figure in (0, 100].
+	env.Instrument(reg)
+	if _, _, err := env.TrackWeeks(); err != nil {
+		t.Fatal(err)
+	}
+	weeks := uint64(env.World.Cfg.Weeks)
+	if got := reg.Counter("pipeline_weeks_total").Value(); got != weeks {
+		t.Fatalf("timed %d weeks, world has %d", got, weeks)
+	}
+	if got := reg.Histogram("pipeline_week_ns").Count(); got != weeks {
+		t.Fatalf("week histogram has %d observations, want %d", got, weeks)
+	}
+	util := reg.Gauge("pipeline_worker_utilization_pct").Value()
+	if util <= 0 || util > 100 {
+		t.Fatalf("worker utilization %d%% out of range", util)
+	}
+
+	// Detaching must stop the counters moving.
+	env.Instrument(nil)
+	before := reg.Counter("ixp_samples_total").Value()
+	if _, _, _, err := env.IdentifyWeek(46); err != nil {
+		t.Fatal(err)
+	}
+	if after := reg.Counter("ixp_samples_total").Value(); after != before {
+		t.Fatal("detached env still updated metrics")
 	}
 }
