@@ -8,6 +8,7 @@
 package ixplens_test
 
 import (
+	"context"
 	"testing"
 
 	"ixplens/internal/core/blindspot"
@@ -112,7 +113,7 @@ func BenchmarkWeekCapture(b *testing.B) {
 	b.Run("buffered", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			src, _, err := env.CaptureWeek(45)
+			src, _, err := env.CaptureWeek(context.Background(), 45)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -128,7 +129,7 @@ func BenchmarkWeekCapture(b *testing.B) {
 	b.Run("streaming", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			counts, _, err := env.StreamWeek(45, nil)
+			counts, _, _, err := env.StreamWeek(context.Background(), 45, nil)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -145,7 +146,7 @@ func BenchmarkWeekIdentify(b *testing.B) {
 	b.Run("buffered", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			src, _, err := env.CaptureWeek(45)
+			src, _, err := env.CaptureWeek(context.Background(), 45)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -162,7 +163,7 @@ func BenchmarkWeekIdentify(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			ident := webserver.NewIdentifier()
-			if _, _, err := env.StreamWeek(45, ident.Observe); err != nil {
+			if _, _, _, err := env.StreamWeek(context.Background(), 45, ident.Observe); err != nil {
 				b.Fatal(err)
 			}
 			if len(ident.Identify(45, env.Crawler).Servers) == 0 {
@@ -575,7 +576,7 @@ func BenchmarkSamplingRateSweep(b *testing.B) {
 			b.ResetTimer()
 			var found int
 			for i := 0; i < b.N; i++ {
-				res, _, _, err := env.IdentifyWeek(45)
+				res, _, _, err := env.IdentifyWeek(context.Background(), 45)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -641,7 +642,7 @@ func BenchmarkEndToEndWeek(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, _, err := env.IdentifyWeek(45); err != nil {
+		if _, _, _, err := env.IdentifyWeek(context.Background(), 45); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,12 +11,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
-	"time"
 
 	"ixplens/internal/obs"
 	"ixplens/internal/sflow"
@@ -24,21 +25,31 @@ import (
 
 func main() {
 	var (
-		listen = flag.String("listen", fmt.Sprintf("127.0.0.1:%d", sflow.DefaultPort), "UDP address to listen on")
-		out    = flag.String("out", "collected.sflow", "capture stream file to write")
-		count  = flag.Int("count", 0, "stop after this many datagrams (0 = unlimited)")
-		dur    = flag.Duration("for", 0, "stop after this duration (0 = unlimited)")
-		every  = flag.Int("flush-every", 1024, "flush the stream file every N datagrams (0 = only at exit)")
-		debug  = flag.String("debug-addr", "", "serve expvar+pprof on this address and print a metrics snapshot at exit (empty = off)")
+		listen  = flag.String("listen", fmt.Sprintf("127.0.0.1:%d", sflow.DefaultPort), "UDP address to listen on")
+		out     = flag.String("out", "collected.sflow", "capture stream file to write")
+		count   = flag.Int("count", 0, "stop after this many datagrams (0 = unlimited)")
+		dur     = flag.Duration("for", 0, "stop after this duration (0 = unlimited)")
+		every   = flag.Int("flush-every", 1024, "flush the stream file every N datagrams (0 = only at exit)")
+		maxLoss = flag.Float64("max-loss", 0, "abort when the estimated datagram loss fraction exceeds this (0 = no limit; checked every 256 datagrams)")
+		debug   = flag.String("debug-addr", "", "serve expvar+pprof on this address and print a metrics snapshot at exit (empty = off)")
 	)
 	flag.Parse()
-	if err := run(*listen, *out, *count, *dur, *every, *debug); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *dur > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *dur)
+		defer cancel()
+	}
+
+	if err := run(ctx, *listen, *out, *count, *maxLoss, *every, *debug); err != nil {
 		fmt.Fprintln(os.Stderr, "ixpcollect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, out string, count int, dur time.Duration, flushEvery int, debugAddr string) error {
+func run(ctx context.Context, listen, out string, count int, maxLoss float64, flushEvery int, debugAddr string) error {
 	var reg *obs.Registry
 	if debugAddr != "" {
 		reg = obs.NewRegistry()
@@ -78,28 +89,11 @@ func run(listen, out string, count int, dur time.Duration, flushEvery int, debug
 		return err
 	}
 
-	// Stop on signal or timer by closing the socket; Run then returns.
-	sigCh := make(chan os.Signal, 1)
-	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
-	if dur > 0 {
-		go func() {
-			select {
-			case <-time.After(dur):
-				recv.Close()
-			case <-sigCh:
-				recv.Close()
-			}
-		}()
-	} else {
-		go func() {
-			<-sigCh
-			recv.Close()
-		}()
-	}
-
+	// SIGINT/SIGTERM or the -for timer cancel ctx; RunContext notices
+	// within one read-deadline tick and returns cleanly.
 	fmt.Printf("listening on %s, writing %s\n", recv.Addr(), out)
 	written := 0
-	err = recv.Run(func(d *sflow.Datagram) error {
+	err = recv.RunContext(ctx, func(d *sflow.Datagram) error {
 		if err := sw.WriteDatagram(d); err != nil {
 			return err
 		}
@@ -115,21 +109,35 @@ func run(listen, out string, count int, dur time.Duration, flushEvery int, debug
 			}
 			mFlushes.Inc()
 		}
+		// The per-agent sequence trackers estimate transport loss as it
+		// happens; past -max-loss the collection is not worth continuing.
+		if maxLoss > 0 && written%256 == 0 {
+			if est := recv.EstLoss(); est > maxLoss {
+				return fmt.Errorf("estimated datagram loss %.4f > max %.4f: %w",
+					est, maxLoss, errLossExceeded)
+			}
+		}
 		if count > 0 && written >= count {
 			return errDone
 		}
 		return nil
 	})
-	if err != nil && err != errDone {
+	if err != nil && err != errDone && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
 	if err := sw.Flush(); err != nil {
 		return err
 	}
 	received, malformed := recv.Stats()
+	st := recv.SeqStats()
 	fmt.Printf("wrote %d datagrams (%d received, %d malformed)\n", written, received, malformed)
+	fmt.Printf("transport quality: %d seq gaps, %d dups, %d reordered, est loss %.2f%%, %d queue drops\n",
+		st.GapDatagrams, st.Duplicates, st.Reordered, 100*st.EstLoss(), recv.QueueDrops())
 	return f.Sync()
 }
 
 // errDone signals the requested datagram count was reached.
 var errDone = fmt.Errorf("done")
+
+// errLossExceeded aborts a collection whose transport is too lossy.
+var errLossExceeded = fmt.Errorf("loss threshold exceeded")

@@ -8,15 +8,25 @@
 //
 //	ixpgen [-scale 0.01] [-samples 60000] [-seed 1] -out capture/
 //	ixpgen [-scale ...] -udp 127.0.0.1:6343    # export over sFlow's UDP transport
+//	ixpgen [-scale ...] -fault-drop 0.05 -fault-corrupt 0.02 -out degraded/
+//
+// The -fault-* flags write a deterministically degraded campaign
+// (dropped, duplicated, reordered and corrupted datagrams), for
+// exercising the analysis pipeline's loss accounting and robustness.
+// SIGINT/SIGTERM abort generation cleanly mid-week.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ixplens/internal/capture"
+	"ixplens/internal/faultline"
 	"ixplens/internal/ixp"
 	"ixplens/internal/netmodel"
 	"ixplens/internal/pipeline"
@@ -32,8 +42,17 @@ func main() {
 		out     = flag.String("out", "capture", "output directory")
 		udp     = flag.String("udp", "", "export over UDP to this collector address instead of writing files")
 		anonKey = flag.Uint64("anonkey", 0, "prefix-preserving anonymization key (0 = no anonymization)")
+
+		faultDrop    = flag.Float64("fault-drop", 0, "fraction of datagrams to drop (deterministic fault injection)")
+		faultDup     = flag.Float64("fault-dup", 0, "fraction of datagrams to duplicate")
+		faultReorder = flag.Float64("fault-reorder", 0, "fraction of datagrams to delay by one position")
+		faultCorrupt = flag.Float64("fault-corrupt", 0, "fraction of datagrams to corrupt (half truncated, half bit-flipped)")
+		faultSeed    = flag.Uint64("fault-seed", 1, "fault injection seed")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	cfg := netmodel.PaperScale(*scale)
 	cfg.Seed = *seed
@@ -43,11 +62,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *faultDrop > 0 || *faultDup > 0 || *faultReorder > 0 || *faultCorrupt > 0 {
+		env.Faults = &faultline.Config{
+			Seed:      *faultSeed,
+			Drop:      *faultDrop,
+			Duplicate: *faultDup,
+			Reorder:   *faultReorder,
+			Truncate:  *faultCorrupt / 2,
+			BitFlip:   *faultCorrupt / 2,
+		}
+		if err := env.Faults.Validate(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fault injection: drop=%.3f dup=%.3f reorder=%.3f corrupt=%.3f seed=%d\n",
+			*faultDrop, *faultDup, *faultReorder, *faultCorrupt, *faultSeed)
+	}
 	fmt.Printf("world: %s\n", env)
 
 	t0 := time.Now()
 	if *udp != "" {
-		if err := exportUDP(env, *udp); err != nil {
+		if err := exportUDP(ctx, env, *udp); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("exported %d weeks over UDP in %v\n", cfg.Weeks, time.Since(t0))
@@ -55,9 +89,9 @@ func main() {
 	}
 	var counts []int
 	if *anonKey != 0 {
-		counts, err = capture.WriteCampaignAnonymized(env, *out, *anonKey)
+		counts, err = capture.WriteCampaignAnonymized(ctx, env, *out, *anonKey)
 	} else {
-		counts, err = capture.WriteCampaign(env, *out)
+		counts, err = capture.WriteCampaign(ctx, env, *out)
 	}
 	if err != nil {
 		fatal(err)
@@ -69,20 +103,37 @@ func main() {
 }
 
 // exportUDP ships every week's datagrams to a live collector over
-// sFlow's native transport.
-func exportUDP(env *pipeline.Env, addr string) error {
+// sFlow's native transport. Cancelling ctx aborts within one datagram.
+func exportUDP(ctx context.Context, env *pipeline.Env, addr string) error {
 	exp, err := sflow.NewExporter(addr)
 	if err != nil {
 		return err
 	}
 	defer exp.Close()
+	send := func(d *sflow.Datagram) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return exp.Send(d)
+	}
 	cfg := &env.World.Cfg
 	for wk := cfg.FirstWeek; wk <= cfg.LastWeek(); wk++ {
-		col := ixp.NewCollector(env.Fabric, env.Opts.SamplingRate, exp.Send)
+		sink := send
+		var inj *faultline.Injector
+		if env.Faults.Active() {
+			inj = faultline.New(*env.Faults, uint64(wk))
+			sink = inj.Sink(send)
+		}
+		col := ixp.NewCollector(env.Fabric, env.Opts.SamplingRate, sink)
 		if _, err := env.Gen.GenerateWeek(wk, col); err != nil {
 			return fmt.Errorf("week %d: %w", wk, err)
 		}
-		fmt.Printf("  week %d exported (%d datagrams total)\n", wk, exp.Count())
+		if inj != nil {
+			if err := inj.Flush(send); err != nil {
+				return fmt.Errorf("week %d: %w", wk, err)
+			}
+		}
+		fmt.Printf("  week %d exported (%d datagrams total, %d send retries)\n", wk, exp.Count(), exp.Retries())
 	}
 	return nil
 }

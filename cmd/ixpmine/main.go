@@ -11,10 +11,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"ixplens/internal/capture"
 	"ixplens/internal/core/churn"
@@ -31,18 +34,21 @@ import (
 
 func main() {
 	var (
-		in    = flag.String("in", "capture", "capture directory written by ixpgen")
-		focus = flag.Int("focus", 45, "ISO week for the deep-dive analysis")
-		debug = flag.String("debug-addr", "", "serve expvar+pprof on this address and print a metrics snapshot at exit (empty = off)")
+		in      = flag.String("in", "capture", "capture directory written by ixpgen")
+		focus   = flag.Int("focus", 45, "ISO week for the deep-dive analysis")
+		maxLoss = flag.Float64("max-loss", 0, "abort when a week's estimated datagram loss fraction exceeds this (0 = no limit)")
+		debug   = flag.String("debug-addr", "", "serve expvar+pprof on this address and print a metrics snapshot at exit (empty = off)")
 	)
 	flag.Parse()
-	if err := run(*in, *focus, *debug); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *in, *focus, *maxLoss, *debug); err != nil {
 		fmt.Fprintln(os.Stderr, "ixpmine:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir string, focus int, debugAddr string) error {
+func run(ctx context.Context, dir string, focus int, maxLoss float64, debugAddr string) error {
 	man, err := capture.ReadManifest(dir)
 	if err != nil {
 		return err
@@ -66,6 +72,7 @@ func run(dir string, focus int, debugAddr string) error {
 		}()
 	}
 	env.Instrument(reg)
+	env.MaxLoss = maxLoss
 	fmt.Printf("substrates rebuilt: %s\n", env)
 	if man.Anonymized {
 		fmt.Println("note: capture is prefix-preserving anonymized; RIB/geo resolution is not meaningful")
@@ -73,9 +80,9 @@ func run(dir string, focus int, debugAddr string) error {
 	fmt.Println()
 
 	tracker := churn.NewTracker()
-	fmt.Println("week  samples  peering%  servers  https  server-traffic-share")
+	fmt.Println("week  samples  peering%  servers  https  loss%  server-traffic-share")
 	for i, wk := range man.Weeks {
-		res, counts, err := capture.AnalyzeWeekFile(env, filepath.Join(dir, man.Files[i]), wk)
+		res, counts, err := capture.AnalyzeWeekFile(ctx, env, filepath.Join(dir, man.Files[i]), wk)
 		if err != nil {
 			return fmt.Errorf("week %d: %w", wk, err)
 		}
@@ -99,8 +106,8 @@ func run(dir string, focus int, debugAddr string) error {
 				share = 1
 			}
 		}
-		fmt.Printf("%4d  %7d  %7.2f%%  %7d  %5d  %.1f%%\n",
-			wk, counts.Total, 100*counts.PeeringShare(), len(res.Servers), https, 100*share)
+		fmt.Printf("%4d  %7d  %7.2f%%  %7d  %5d  %5.2f  %.1f%%\n",
+			wk, counts.Total, 100*counts.PeeringShare(), len(res.Servers), https, 100*res.EstLoss, 100*share)
 
 		if wk == focus {
 			deepDive(env, res, counts, filepath.Join(dir, man.Files[i]), man.Anonymized)

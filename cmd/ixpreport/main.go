@@ -10,12 +10,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"ixplens/internal/experiments"
@@ -34,9 +37,13 @@ func main() {
 		series  = flag.Bool("series", false, "also print raw figure series")
 		asJSON  = flag.Bool("json", false, "emit the reports as JSON instead of tables")
 		asMD    = flag.Bool("md", false, "emit the reports as Markdown sections")
+		maxLoss = flag.Float64("max-loss", 0, "abort when a week's estimated datagram loss fraction exceeds this (0 = no limit)")
 		debug   = flag.String("debug-addr", "", "serve expvar+pprof on this address and print a metrics snapshot at exit (empty = off)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var reg *obs.Registry
 	if *debug != "" {
@@ -64,6 +71,8 @@ func main() {
 		fatal(err)
 	}
 	runner.Env.Instrument(reg)
+	runner.Env.MaxLoss = *maxLoss
+	runner.SetContext(ctx)
 	fmt.Fprintf(os.Stderr, "world: %s (generated in %v)\n\n", runner.Env, time.Since(t0))
 
 	t0 = time.Now()

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -30,7 +31,7 @@ func main() {
 	}
 
 	fmt.Println("tracking 17 weekly snapshots...")
-	tracker, _, err := env.TrackWeeks()
+	tracker, _, err := env.TrackWeeks(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}

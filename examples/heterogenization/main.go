@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	week, src, err := env.AnalyzeWeek(45, nil)
+	week, src, err := env.AnalyzeWeek(context.Background(), 45, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ func main() {
 
 	// Stream and analyse one weekly snapshot (week 45, as in the paper):
 	// samples are classified as they are generated, with bounded memory.
-	week, _, err := env.AnalyzeWeek(45, nil)
+	week, _, err := env.AnalyzeWeek(context.Background(), 45, nil)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 	// the server identifier; no datagram buffer is ever materialized.
 	agg := visibility.NewAggregator(env.World.RIB(), env.World.GeoDB())
 	ident := webserver.NewIdentifier()
-	if _, _, err := env.StreamWeek(45, func(rec *dissect.Record) {
+	if _, _, _, err := env.StreamWeek(context.Background(), 45, func(rec *dissect.Record) {
 		agg.Observe(rec)
 		ident.Observe(rec)
 	}); err != nil {

@@ -6,6 +6,7 @@
 package capture
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -15,6 +16,7 @@ import (
 	"ixplens/internal/anonymize"
 	"ixplens/internal/core/dissect"
 	"ixplens/internal/core/webserver"
+	"ixplens/internal/faultline"
 	"ixplens/internal/ixp"
 	"ixplens/internal/netmodel"
 	"ixplens/internal/pipeline"
@@ -42,19 +44,24 @@ func WeekFile(isoWeek int) string {
 }
 
 // WriteCampaign renders every study week of env into dir and writes the
-// manifest. It returns the per-week datagram counts.
-func WriteCampaign(env *pipeline.Env, dir string) ([]int, error) {
-	return writeCampaign(env, dir, nil)
+// manifest. It returns the per-week datagram counts. Cancelling ctx
+// aborts mid-week within one datagram flush; env.Faults, when active,
+// degrades the written streams exactly as it would a live capture.
+func WriteCampaign(ctx context.Context, env *pipeline.Env, dir string) ([]int, error) {
+	return writeCampaign(ctx, env, dir, nil)
 }
 
 // WriteCampaignAnonymized is WriteCampaign with prefix-preserving
 // address anonymization applied to every sampled frame, like the data
 // the paper's authors could share. The key never leaves the process.
-func WriteCampaignAnonymized(env *pipeline.Env, dir string, key uint64) ([]int, error) {
-	return writeCampaign(env, dir, anonymize.New(key))
+func WriteCampaignAnonymized(ctx context.Context, env *pipeline.Env, dir string, key uint64) ([]int, error) {
+	return writeCampaign(ctx, env, dir, anonymize.New(key))
 }
 
-func writeCampaign(env *pipeline.Env, dir string, anon *anonymize.PrefixPreserving) ([]int, error) {
+func writeCampaign(ctx context.Context, env *pipeline.Env, dir string, anon *anonymize.PrefixPreserving) ([]int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -63,7 +70,7 @@ func writeCampaign(env *pipeline.Env, dir string, anon *anonymize.PrefixPreservi
 	var counts []int
 	for wk := cfg.FirstWeek; wk <= cfg.LastWeek(); wk++ {
 		name := WeekFile(wk)
-		n, err := writeWeek(env, wk, filepath.Join(dir, name), anon)
+		n, err := writeWeek(ctx, env, wk, filepath.Join(dir, name), anon)
 		if err != nil {
 			return counts, fmt.Errorf("capture: week %d: %w", wk, err)
 		}
@@ -74,7 +81,7 @@ func writeCampaign(env *pipeline.Env, dir string, anon *anonymize.PrefixPreservi
 	return counts, writeManifest(filepath.Join(dir, ManifestName), &man)
 }
 
-func writeWeek(env *pipeline.Env, isoWeek int, path string, anon *anonymize.PrefixPreserving) (int, error) {
+func writeWeek(ctx context.Context, env *pipeline.Env, isoWeek int, path string, anon *anonymize.PrefixPreserving) (int, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return 0, err
@@ -84,17 +91,39 @@ func writeWeek(env *pipeline.Env, isoWeek int, path string, anon *anonymize.Pref
 	if err != nil {
 		return 0, err
 	}
-	sink := sw.WriteDatagram
+	base := func(d *sflow.Datagram) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return sw.WriteDatagram(d)
+	}
+	sink := base
 	if anon != nil {
 		sink = anon.Datagrams(sink)
 	}
+	// inner is where a flushed held-back datagram must go: through the
+	// anonymizer, never around it.
+	inner := sink
+	var inj *faultline.Injector
+	if env.Faults.Active() {
+		// Faults go in front of the anonymizer: the injector corrupts the
+		// wire stream, the anonymizer is part of the trusted collector.
+		inj = faultline.New(*env.Faults, uint64(isoWeek))
+		sink = inj.Sink(inner)
+	}
 	col := ixp.NewCollector(env.Fabric, env.Opts.SamplingRate, sink)
-	// Both sinks consume the datagram within the call (the writer
-	// serializes, the anonymizer rewrites in place and forwards), so the
-	// collector can recycle its buffers.
+	// All sinks consume the datagram within the call (the writer
+	// serializes, the anonymizer rewrites in place and forwards, the
+	// injector clones what it holds back), so the collector can recycle
+	// its buffers.
 	col.SetBufferReuse(true)
 	if _, err := env.Gen.GenerateWeek(isoWeek, col); err != nil {
 		return sw.Count(), err
+	}
+	if inj != nil {
+		if err := inj.Flush(inner); err != nil {
+			return sw.Count(), err
+		}
 	}
 	if err := sw.Flush(); err != nil {
 		return sw.Count(), err
@@ -141,8 +170,11 @@ func (m *Manifest) Rebuild() (*pipeline.Env, error) {
 
 // AnalyzeWeekFile dissects and identifies one capture file, spreading
 // classification over a worker pool; the ordered merge keeps results
-// identical to a sequential pass.
-func AnalyzeWeekFile(env *pipeline.Env, path string, isoWeek int) (*webserver.Result, dissect.Counts, error) {
+// identical to a sequential pass. Sequence gaps in the file (a capture
+// written through a lossy path, or truncated on disk) surface as the
+// result's EstLoss annotation, and ctx cancels the pass within one
+// datagram.
+func AnalyzeWeekFile(ctx context.Context, env *pipeline.Env, path string, isoWeek int) (*webserver.Result, dissect.Counts, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, dissect.Counts{}, err
@@ -158,9 +190,17 @@ func AnalyzeWeekFile(env *pipeline.Env, path string, isoWeek int) (*webserver.Re
 	}
 	ident := webserver.NewIdentifier()
 	ident.SetMetrics(env.M.IdentifyMetrics())
-	counts, err := dissect.ProcessParallel(sr, env.Fabric, workers, ident.Observe, env.M.DissectMetrics())
+	var seq sflow.SeqTracker
+	src := &faultline.TrackSource{Src: sr, Seq: &seq}
+	counts, err := dissect.ProcessParallel(ctx, src, env.Fabric, workers, ident.Observe, env.M.DissectMetrics())
 	if err != nil {
 		return nil, counts, err
 	}
-	return ident.Identify(isoWeek, env.Crawler), counts, nil
+	res := ident.Identify(isoWeek, env.Crawler)
+	res.EstLoss = seq.EstLoss()
+	if env.MaxLoss > 0 && res.EstLoss > env.MaxLoss {
+		return nil, counts, fmt.Errorf("capture: week %d estimated loss %.4f > max %.4f: %w",
+			isoWeek, res.EstLoss, env.MaxLoss, pipeline.ErrLossExceeded)
+	}
+	return res, counts, nil
 }

@@ -1,6 +1,7 @@
 package capture
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -25,7 +26,7 @@ func smallEnv(t testing.TB) *pipeline.Env {
 func TestCampaignRoundTrip(t *testing.T) {
 	env := smallEnv(t)
 	dir := t.TempDir()
-	counts, err := WriteCampaign(env, dir)
+	counts, err := WriteCampaign(context.Background(), env, dir)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,14 +56,14 @@ func TestCampaignRoundTrip(t *testing.T) {
 
 	// Analysing the on-disk capture must agree with analysing the same
 	// week in memory.
-	res, counts0, err := AnalyzeWeekFile(env2, filepath.Join(dir, man.Files[0]), man.Weeks[0])
+	res, counts0, err := AnalyzeWeekFile(context.Background(), env2, filepath.Join(dir, man.Files[0]), man.Weeks[0])
 	if err != nil {
 		t.Fatal(err)
 	}
 	if counts0.Total == 0 || len(res.Servers) == 0 {
 		t.Fatal("file analysis empty")
 	}
-	memRes, memCounts, _, err := env.IdentifyWeek(man.Weeks[0])
+	memRes, memCounts, _, err := env.IdentifyWeek(context.Background(), man.Weeks[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestReadManifestErrors(t *testing.T) {
 
 func TestAnalyzeWeekFileErrors(t *testing.T) {
 	env := smallEnv(t)
-	if _, _, err := AnalyzeWeekFile(env, "/nonexistent/file.sflow", 35); err == nil {
+	if _, _, err := AnalyzeWeekFile(context.Background(), env, "/nonexistent/file.sflow", 35); err == nil {
 		t.Fatal("missing file must fail")
 	}
 	// A non-capture file must fail the stream header check.
@@ -110,7 +111,7 @@ func TestAnalyzeWeekFileErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte("garbage bytes here"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := AnalyzeWeekFile(env, bad, 35); err == nil {
+	if _, _, err := AnalyzeWeekFile(context.Background(), env, bad, 35); err == nil {
 		t.Fatal("bad magic must fail")
 	}
 }
@@ -128,7 +129,7 @@ func TestWeekFileNaming(t *testing.T) {
 func TestAnonymizedCampaign(t *testing.T) {
 	env := smallEnv(t)
 	dir := t.TempDir()
-	if _, err := WriteCampaignAnonymized(env, dir, 0xdeadbeef); err != nil {
+	if _, err := WriteCampaignAnonymized(context.Background(), env, dir, 0xdeadbeef); err != nil {
 		t.Fatal(err)
 	}
 	man, err := ReadManifest(dir)
@@ -138,7 +139,7 @@ func TestAnonymizedCampaign(t *testing.T) {
 	if !man.Anonymized {
 		t.Fatal("manifest must record anonymization")
 	}
-	res, counts, err := AnalyzeWeekFile(env, filepath.Join(dir, man.Files[0]), man.Weeks[0])
+	res, counts, err := AnalyzeWeekFile(context.Background(), env, filepath.Join(dir, man.Files[0]), man.Weeks[0])
 	if err != nil {
 		t.Fatal(err)
 	}

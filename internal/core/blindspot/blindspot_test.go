@@ -1,6 +1,7 @@
 package blindspot_test
 
 import (
+	"context"
 	"testing"
 
 	. "ixplens/internal/core/blindspot"
@@ -25,7 +26,7 @@ func analyzed(t testing.TB) (*pipeline.Env, *pipeline.Week) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wk, _, err := env.AnalyzeWeek(45, nil)
+	wk, _, err := env.AnalyzeWeek(context.Background(), 45, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,6 +32,10 @@ type ServerObs struct {
 type WeekObservation struct {
 	Week    int
 	Servers map[packet.IPv4Addr]ServerObs
+	// EstLoss carries the capture's estimated datagram loss fraction
+	// into the longitudinal record, so churn figures derived from a
+	// degraded week are marked as such.
+	EstLoss float64
 }
 
 // Pool indexes the three churn partitions.
@@ -85,6 +89,9 @@ type WeekChurn struct {
 	HTTPSBytes uint64
 	// TotalBytes is the week's server traffic.
 	TotalBytes uint64
+	// EstLoss is the source week's estimated datagram loss fraction, a
+	// data-quality annotation propagated from the capture layer.
+	EstLoss float64
 }
 
 // RegionChurn is a per-region slice of a week's churn.
@@ -141,7 +148,7 @@ func (t *Tracker) Compute() []WeekChurn {
 
 	out := make([]WeekChurn, 0, len(t.weeks))
 	for n, obs := range t.weeks {
-		wc := WeekChurn{Week: obs.Week, ByRegion: make(map[string]*RegionChurn)}
+		wc := WeekChurn{Week: obs.Week, EstLoss: obs.EstLoss, ByRegion: make(map[string]*RegionChurn)}
 		asPools := make(map[uint32]Pool)
 		prefixes := make(map[routing.Prefix]bool)
 		for ip, so := range obs.Servers {

@@ -1,6 +1,7 @@
 package churn_test
 
 import (
+	"context"
 	"testing"
 
 	. "ixplens/internal/core/churn"
@@ -29,7 +30,7 @@ func tracked(t testing.TB) (*pipeline.Env, *Tracker) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tracker, _, err := env.TrackWeeks()
+	tracker, _, err := env.TrackWeeks(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

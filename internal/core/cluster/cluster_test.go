@@ -1,6 +1,7 @@
 package cluster_test
 
 import (
+	"context"
 	. "ixplens/internal/core/cluster"
 	"math/rand"
 	"testing"
@@ -19,7 +20,7 @@ func analyzedWeek(t testing.TB) (*pipeline.Env, *pipeline.Week) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wk, _, err := env.AnalyzeWeek(45, nil)
+	wk, _, err := env.AnalyzeWeek(context.Background(), 45, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +283,7 @@ func BenchmarkRun(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	wk, _, err := env.AnalyzeWeek(45, nil)
+	wk, _, err := env.AnalyzeWeek(context.Background(), 45, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -88,6 +88,13 @@ type Counts struct {
 	PeeringTCP  int
 	PeeringUDP  int
 
+	// PanicQuarantined counts samples that were never classified because
+	// classification (or an observer callback) panicked on their batch:
+	// the panic is recovered, the poisoned work quarantined and counted
+	// here instead of killing the run. Quarantined samples are NOT
+	// included in Total — they carry no trustworthy classification.
+	PanicQuarantined int
+
 	TotalBytes      uint64
 	PeeringTCPBytes uint64
 	PeeringUDPBytes uint64
@@ -249,11 +256,12 @@ type RewindableSource interface {
 
 // Process drains a datagram source through the classifier, invoking fn
 // for every sample (of every class; fn filters on rec.Class). It returns
-// the cascade tallies.
+// the cascade tallies. A panic while classifying a datagram quarantines
+// that datagram's remaining samples (see ClassifyDatagram) instead of
+// propagating.
 func Process(src DatagramSource, cls *Classifier, fn func(*Record)) (Counts, error) {
 	var counts Counts
 	var d sflow.Datagram
-	var rec Record
 	for {
 		err := src.Next(&d)
 		if err == io.EOF {
@@ -262,13 +270,37 @@ func Process(src DatagramSource, cls *Classifier, fn func(*Record)) (Counts, err
 		if err != nil {
 			return counts, err
 		}
-		for i := range d.Flows {
-			cls.Classify(&d.Flows[i], &rec)
-			counts.Tally(&rec)
-			if fn != nil {
-				fn(&rec)
+		cls.ClassifyDatagram(&d, &counts, fn)
+	}
+}
+
+// ClassifyDatagram classifies every flow sample of one datagram,
+// tallying into counts and invoking fn (which may be nil) per record —
+// with panic isolation: if classifying a sample (or its fn callback)
+// panics, the panic is recovered and the sample plus the datagram's
+// remaining samples are quarantined into counts.PanicQuarantined
+// instead of killing the caller. One poisoned datagram costs at most
+// its own samples.
+func (c *Classifier) ClassifyDatagram(d *sflow.Datagram, counts *Counts, fn func(*Record)) {
+	i := 0
+	defer func() {
+		if r := recover(); r != nil {
+			n := len(d.Flows) - i
+			counts.PanicQuarantined += n
+			if c.m != nil {
+				c.m.PanicQuarantined.Add(uint64(n))
 			}
 		}
+	}()
+	var rec Record
+	for ; i < len(d.Flows); i++ {
+		c.Classify(&d.Flows[i], &rec)
+		if fn != nil {
+			fn(&rec)
+		}
+		// Tally only after the observer returned: a sample whose callback
+		// panicked is quarantined, not half-counted.
+		counts.Tally(&rec)
 	}
 }
 

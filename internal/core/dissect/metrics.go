@@ -19,6 +19,10 @@ type Metrics struct {
 	Batches    *obs.Counter
 	QueueDepth *obs.Gauge
 	BatchNanos *obs.Histogram
+	// PanicQuarantined counts samples discarded because classification or
+	// an observer callback panicked on their batch (see
+	// Counts.PanicQuarantined).
+	PanicQuarantined *obs.Counter
 }
 
 // NewMetrics builds the bundle against a registry; nil in, nil out.
@@ -27,12 +31,13 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		return nil
 	}
 	return &Metrics{
-		Records:     r.Counter("dissect_records_total"),
-		Undecodable: r.Counter("dissect_undecodable_total"),
-		Peering:     r.Counter("dissect_peering_total"),
-		Batches:     r.Counter("dissect_batches_total"),
-		QueueDepth:  r.Gauge("dissect_queue_depth"),
-		BatchNanos:  r.Histogram("dissect_batch_latency_ns"),
+		Records:          r.Counter("dissect_records_total"),
+		Undecodable:      r.Counter("dissect_undecodable_total"),
+		Peering:          r.Counter("dissect_peering_total"),
+		Batches:          r.Counter("dissect_batches_total"),
+		QueueDepth:       r.Gauge("dissect_queue_depth"),
+		BatchNanos:       r.Histogram("dissect_batch_latency_ns"),
+		PanicQuarantined: r.Counter("dissect_panic_quarantined_total"),
 	}
 }
 

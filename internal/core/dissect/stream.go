@@ -1,6 +1,7 @@
 package dissect
 
 import (
+	"context"
 	"io"
 	"sync"
 	"time"
@@ -21,6 +22,18 @@ import (
 // call would deliver. Results are therefore bit-identical to the
 // buffered path, deterministic, and produced with O(batch) memory
 // instead of O(week).
+//
+// Two robustness properties ride on top of the ordering machinery:
+//
+//   - Cancellation: the processor carries a context. Add fails fast once
+//     the context is cancelled — including while blocked waiting for a
+//     free batch — so a producer unwinds within one batch instead of
+//     deadlocking against a pipeline that stopped consuming.
+//   - Panic isolation: a panic inside a classifier worker (a poisoned
+//     datagram hitting a buggy resolver) or inside the observer callback
+//     quarantines the affected batch — its samples are counted in
+//     Counts.PanicQuarantined and reported via metrics — instead of
+//     crashing the whole run.
 
 const (
 	// defaultBatchSamples is how many flow samples ride in one work unit.
@@ -39,12 +52,16 @@ type streamBatch struct {
 	recs  []Record
 	done  chan struct{} // signaled by the worker when recs are ready
 	start time.Time     // dispatch time, set only when metrics are on
+	// quarantined marks a batch whose classification panicked; the
+	// merger counts its samples instead of delivering them.
+	quarantined bool
 }
 
 func (b *streamBatch) reset() {
 	b.flows = b.flows[:0]
 	b.arena = b.arena[:0]
 	b.recs = b.recs[:0]
+	b.quarantined = false
 }
 
 // StreamProcessor classifies a datagram stream with bounded memory.
@@ -54,6 +71,7 @@ func (b *streamBatch) reset() {
 // contract as Process). Close flushes the final partial batch, waits
 // for all in-flight work and returns the merged cascade tallies.
 type StreamProcessor struct {
+	ctx          context.Context
 	fn           func(*Record)
 	batchSamples int
 	m            *Metrics
@@ -73,13 +91,19 @@ type StreamProcessor struct {
 // NewStreamProcessor starts workers classifier goroutines (plus one
 // merger) against the given member resolver. workers below 1 is treated
 // as 1. fn may be nil to only tally the cascade; m may be nil to run
-// uninstrumented.
-func NewStreamProcessor(members MemberResolver, workers int, fn func(*Record), m *Metrics) *StreamProcessor {
+// uninstrumented. ctx may be nil (treated as context.Background());
+// once it is cancelled, Add returns the context error — in-flight
+// batches still drain through Close.
+func NewStreamProcessor(ctx context.Context, members MemberResolver, workers int, fn func(*Record), m *Metrics) *StreamProcessor {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers < 1 {
 		workers = 1
 	}
 	pool := workers*batchesPerWorker + 2
 	p := &StreamProcessor{
+		ctx:          ctx,
 		fn:           fn,
 		batchSamples: defaultBatchSamples,
 		m:            m,
@@ -104,14 +128,27 @@ func (p *StreamProcessor) worker(members MemberResolver) {
 	cls := NewClassifier(members)
 	cls.SetMetrics(p.m)
 	for b := range p.jobs {
-		if cap(b.recs) < len(b.flows) {
-			b.recs = make([]Record, len(b.flows))
-		}
-		b.recs = b.recs[:len(b.flows)]
-		for i := range b.flows {
-			cls.Classify(&b.flows[i], &b.recs[i])
-		}
+		classifyBatch(cls, b)
 		b.done <- struct{}{}
+	}
+}
+
+// classifyBatch fills b.recs from b.flows, flagging the batch as
+// quarantined instead of unwinding if classification panics. The done
+// signal is the caller's job, so a panicking batch still reaches the
+// merger and the pipeline keeps flowing.
+func classifyBatch(cls *Classifier, b *streamBatch) {
+	defer func() {
+		if r := recover(); r != nil {
+			b.quarantined = true
+		}
+	}()
+	if cap(b.recs) < len(b.flows) {
+		b.recs = make([]Record, len(b.flows))
+	}
+	b.recs = b.recs[:len(b.flows)]
+	for i := range b.flows {
+		cls.Classify(&b.flows[i], &b.recs[i])
 	}
 }
 
@@ -119,11 +156,10 @@ func (p *StreamProcessor) merge() {
 	defer close(p.mergeDone)
 	for b := range p.order {
 		<-b.done
-		for i := range b.recs {
-			p.counts.Tally(&b.recs[i])
-			if p.fn != nil {
-				p.fn(&b.recs[i])
-			}
+		if b.quarantined {
+			p.quarantine(len(b.flows))
+		} else {
+			p.deliver(b)
 		}
 		if p.m != nil {
 			p.m.BatchNanos.ObserveSince(b.start)
@@ -134,15 +170,50 @@ func (p *StreamProcessor) merge() {
 	}
 }
 
+// deliver hands a classified batch to the observer, in order, with
+// panic isolation: if the callback panics, the current record and the
+// batch's remaining records are quarantined and merging continues with
+// the next batch.
+func (p *StreamProcessor) deliver(b *streamBatch) {
+	i := 0
+	defer func() {
+		if r := recover(); r != nil {
+			p.quarantine(len(b.recs) - i)
+		}
+	}()
+	for ; i < len(b.recs); i++ {
+		if p.fn != nil {
+			p.fn(&b.recs[i])
+		}
+		p.counts.Tally(&b.recs[i])
+	}
+}
+
+func (p *StreamProcessor) quarantine(n int) {
+	p.counts.PanicQuarantined += n
+	if p.m != nil {
+		p.m.PanicQuarantined.Add(uint64(n))
+	}
+}
+
 // Add copies the datagram's flow samples (header bytes included) into
 // the current batch and dispatches full batches to the workers. The
 // datagram only needs to stay valid for the duration of the call, so
 // Add composes with buffer-reusing producers. It blocks when all pool
-// batches are in flight — that is the backpressure bounding memory.
+// batches are in flight — that is the backpressure bounding memory —
+// but never past cancellation of the processor's context, which it
+// reports as the context's error.
 func (p *StreamProcessor) Add(d *sflow.Datagram) error {
+	if err := p.ctx.Err(); err != nil {
+		return err
+	}
 	b := p.cur
 	if b == nil {
-		b = <-p.free
+		select {
+		case b = <-p.free:
+		case <-p.ctx.Done():
+			return p.ctx.Err()
+		}
 		p.cur = b
 	}
 	for i := range d.Flows {
@@ -183,7 +254,8 @@ func (p *StreamProcessor) dispatch() {
 
 // Close flushes the final batch, drains all in-flight work and returns
 // the merged counts. The observer will not be called again after Close
-// returns. Close is idempotent.
+// returns. Close is idempotent, and safe to call after cancellation —
+// whatever was dispatched before the cancel still merges.
 func (p *StreamProcessor) Close() Counts {
 	if !p.closed {
 		p.closed = true
@@ -199,15 +271,35 @@ func (p *StreamProcessor) Close() Counts {
 // ProcessParallel drains a datagram source through a StreamProcessor:
 // the same contract and the same (deterministic, input-ordered) results
 // as Process, but with decoding and classification spread over workers
-// goroutines. With workers <= 1 it falls back to the sequential Process.
+// goroutines. With workers <= 1 it runs sequentially on the caller's
+// goroutine. Either way the drain honours ctx (nil means Background):
+// cancellation stops consuming the source within one datagram and
+// returns the tallies accumulated so far alongside the context error.
 // m may be nil to run uninstrumented.
-func ProcessParallel(src DatagramSource, members MemberResolver, workers int, fn func(*Record), m *Metrics) (Counts, error) {
+func ProcessParallel(ctx context.Context, src DatagramSource, members MemberResolver, workers int, fn func(*Record), m *Metrics) (Counts, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 1 {
 		cls := NewClassifier(members)
 		cls.SetMetrics(m)
-		return Process(src, cls, fn)
+		var counts Counts
+		var d sflow.Datagram
+		for {
+			if err := ctx.Err(); err != nil {
+				return counts, err
+			}
+			err := src.Next(&d)
+			if err == io.EOF {
+				return counts, nil
+			}
+			if err != nil {
+				return counts, err
+			}
+			cls.ClassifyDatagram(&d, &counts, fn)
+		}
 	}
-	p := NewStreamProcessor(members, workers, fn, m)
+	p := NewStreamProcessor(ctx, members, workers, fn, m)
 	var d sflow.Datagram
 	for {
 		err := src.Next(&d)

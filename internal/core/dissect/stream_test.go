@@ -1,6 +1,7 @@
 package dissect
 
 import (
+	"context"
 	"testing"
 
 	"ixplens/internal/obs"
@@ -120,7 +121,7 @@ func TestProcessParallelMatchesSequential(t *testing.T) {
 
 	var parRecs []key
 	reg := obs.NewRegistry()
-	parCounts, err := ProcessParallel(src, fabric, 4, func(rec *Record) {
+	parCounts, err := ProcessParallel(context.Background(), src, fabric, 4, func(rec *Record) {
 		parRecs = append(parRecs, key{rec.Class, rec.SrcIP, rec.DstIP, rec.Bytes})
 	}, NewMetrics(reg))
 	if err != nil {
@@ -153,7 +154,7 @@ func TestProcessParallelMatchesSequential(t *testing.T) {
 // TestStreamProcessorSmallBatches drives partial batches and an empty
 // close through the processor.
 func TestStreamProcessorSmallBatches(t *testing.T) {
-	empty := NewStreamProcessor(fakeMembers{}, 2, nil, nil)
+	empty := NewStreamProcessor(context.Background(), fakeMembers{}, 2, nil, nil)
 	if counts := empty.Close(); counts.Total != 0 {
 		t.Fatalf("empty close counted %d", counts.Total)
 	}
@@ -162,7 +163,7 @@ func TestStreamProcessorSmallBatches(t *testing.T) {
 		t.Fatalf("second close counted %d", counts.Total)
 	}
 
-	sp := NewStreamProcessor(fakeMembers{}, 2, nil, nil)
+	sp := NewStreamProcessor(context.Background(), fakeMembers{}, 2, nil, nil)
 	d := sflow.Datagram{Flows: []sflow.FlowSample{{
 		SamplingRate: 10, InputIf: 1001, OutputIf: 1002, HasRaw: true,
 		Raw: sflow.RawPacketHeader{Protocol: sflow.HeaderProtoEthernet, FrameLength: 100, Header: []byte{1, 2, 3}},
@@ -175,5 +176,177 @@ func TestStreamProcessorSmallBatches(t *testing.T) {
 	counts := sp.Close()
 	if counts.Total != 3 || counts.Undecodable != 3 {
 		t.Fatalf("counts = %+v", counts)
+	}
+}
+
+// panickyMembers panics on the Nth lookup, then behaves like
+// fakeMembers — the poisoned-datagram scenario.
+type panickyMembers struct {
+	n  *int
+	at int
+}
+
+func (p panickyMembers) MemberOfPort(port uint32) (int32, bool) {
+	*p.n++
+	if *p.n == p.at {
+		panic("poisoned datagram")
+	}
+	return fakeMembers{}.MemberOfPort(port)
+}
+
+// peeringDatagram builds a datagram with n decodable peering TCP samples.
+func peeringDatagram(t *testing.T, n int) *sflow.Datagram {
+	t.Helper()
+	b := packet.NewBuilder(256)
+	eth := packet.Ethernet{Src: packet.MAC{2}, Dst: packet.MAC{4}}
+	ip := packet.IPv4Header{TTL: 60, Src: packet.MakeIPv4(1, 2, 3, 4), Dst: packet.MakeIPv4(5, 6, 7, 8)}
+	fr := b.BuildTCPv4(eth, ip, packet.TCPHeader{SrcPort: 80, DstPort: 5555}, []byte("x"))
+	d := &sflow.Datagram{}
+	for i := 0; i < n; i++ {
+		d.Flows = append(d.Flows, sflow.FlowSample{
+			SamplingRate: 1000, InputIf: 1001, OutputIf: 1002, HasRaw: true,
+			Raw: sflow.RawPacketHeader{Protocol: sflow.HeaderProtoEthernet, FrameLength: uint32(len(fr)), Header: append([]byte(nil), fr...)},
+		})
+	}
+	return d
+}
+
+// TestClassifyDatagramQuarantine drives a panic out of the resolver mid
+// datagram: the samples processed before the panic stay tallied, the
+// rest are quarantined, and nothing is double-counted.
+func TestClassifyDatagramQuarantine(t *testing.T) {
+	lookups := 0
+	// Each peering sample costs two lookups (input and output port);
+	// panicking on lookup 5 poisons the third sample.
+	cls := NewClassifier(panickyMembers{n: &lookups, at: 5})
+	reg := obs.NewRegistry()
+	cls.SetMetrics(NewMetrics(reg))
+	var counts Counts
+	cls.ClassifyDatagram(peeringDatagram(t, 8), &counts, nil)
+	if counts.Total != 2 {
+		t.Fatalf("tallied %d samples before the panic, want 2", counts.Total)
+	}
+	if counts.PanicQuarantined != 6 {
+		t.Fatalf("quarantined %d samples, want 6", counts.PanicQuarantined)
+	}
+	if got := reg.Counter("dissect_panic_quarantined_total").Value(); got != 6 {
+		t.Fatalf("metric reported %d quarantined, want 6", got)
+	}
+	// The classifier stays usable afterwards.
+	cls2 := NewClassifier(fakeMembers{})
+	var counts2 Counts
+	cls2.ClassifyDatagram(peeringDatagram(t, 3), &counts2, nil)
+	if counts2.Total != 3 || counts2.PanicQuarantined != 0 {
+		t.Fatalf("clean pass counts = %+v", counts2)
+	}
+}
+
+// TestClassifyDatagramObserverPanic panics inside the observer: the
+// sample whose callback blew up must be quarantined, not half-tallied.
+func TestClassifyDatagramObserverPanic(t *testing.T) {
+	cls := NewClassifier(fakeMembers{})
+	var counts Counts
+	seen := 0
+	cls.ClassifyDatagram(peeringDatagram(t, 5), &counts, func(rec *Record) {
+		seen++
+		if seen == 2 {
+			panic("observer bug")
+		}
+	})
+	if counts.Total != 1 {
+		t.Fatalf("tallied %d, want 1 (sample 2 panicked mid-callback)", counts.Total)
+	}
+	if counts.PanicQuarantined != 4 {
+		t.Fatalf("quarantined %d, want 4", counts.PanicQuarantined)
+	}
+}
+
+// TestStreamProcessorQuarantine poisons one worker lookup: exactly one
+// batch is quarantined, every other sample flows through, and the split
+// is conserved.
+func TestStreamProcessorQuarantine(t *testing.T) {
+	lookups := 0
+	sp := NewStreamProcessor(context.Background(), panickyMembers{n: &lookups, at: 101}, 1, nil, nil)
+	const total = 600 // > 2 batches of 256
+	for i := 0; i < total/10; i++ {
+		if err := sp.Add(peeringDatagram(t, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := sp.Close()
+	if counts.PanicQuarantined == 0 {
+		t.Fatal("no samples quarantined")
+	}
+	// Batches dispatch at >= defaultBatchSamples, so a batch can
+	// overshoot by up to one datagram (10 samples here).
+	if counts.PanicQuarantined > defaultBatchSamples+10 {
+		t.Fatalf("quarantined %d, more than one batch", counts.PanicQuarantined)
+	}
+	if counts.Total+counts.PanicQuarantined != total {
+		t.Fatalf("conservation broken: %d tallied + %d quarantined != %d",
+			counts.Total, counts.PanicQuarantined, total)
+	}
+}
+
+// TestStreamProcessorObserverPanicQuarantine panics in the merge-side
+// observer; the remainder of that batch quarantines, later batches
+// still deliver.
+func TestStreamProcessorObserverPanicQuarantine(t *testing.T) {
+	seen := 0
+	sp := NewStreamProcessor(context.Background(), fakeMembers{}, 2, func(rec *Record) {
+		seen++
+		if seen == 10 {
+			panic("observer bug")
+		}
+	}, nil)
+	const total = 600
+	for i := 0; i < total/10; i++ {
+		if err := sp.Add(peeringDatagram(t, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	counts := sp.Close()
+	if counts.PanicQuarantined == 0 {
+		t.Fatal("no samples quarantined")
+	}
+	if counts.Total+counts.PanicQuarantined != total {
+		t.Fatalf("conservation broken: %d + %d != %d", counts.Total, counts.PanicQuarantined, total)
+	}
+	if counts.Total < total-defaultBatchSamples {
+		t.Fatalf("only %d delivered; later batches must survive an observer panic", counts.Total)
+	}
+}
+
+// TestStreamProcessorCancellation cancels mid-stream: Add starts
+// failing with the context error, and Close still drains cleanly.
+func TestStreamProcessorCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sp := NewStreamProcessor(ctx, fakeMembers{}, 2, nil, nil)
+	if err := sp.Add(peeringDatagram(t, 10)); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := sp.Add(peeringDatagram(t, 10)); err != context.Canceled {
+		t.Fatalf("Add after cancel = %v, want context.Canceled", err)
+	}
+	counts := sp.Close()
+	if counts.Total != 10 {
+		t.Fatalf("pre-cancel samples lost: counts = %+v", counts)
+	}
+}
+
+// TestProcessParallelCancelled runs both drain paths against an
+// already-cancelled context: each must return the context error without
+// consuming the source to EOF.
+func TestProcessParallelCancelled(t *testing.T) {
+	_, fabric, src, _ := buildWeek(t, 45)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		src.Reset()
+		_, err := ProcessParallel(ctx, src, fabric, workers, nil, nil)
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package hetero_test
 
 import (
+	"context"
 	"testing"
 
 	"ixplens/internal/core/dissect"
@@ -27,7 +28,7 @@ func analyzed(t testing.TB) (*pipeline.Env, *pipeline.Week, dissect.RewindableSo
 	if err != nil {
 		t.Fatal(err)
 	}
-	wk, src, err := env.AnalyzeWeek(45, nil)
+	wk, src, err := env.AnalyzeWeek(context.Background(), 45, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

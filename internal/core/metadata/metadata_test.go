@@ -1,6 +1,7 @@
 package metadata_test
 
 import (
+	"context"
 	"testing"
 
 	. "ixplens/internal/core/metadata"
@@ -18,7 +19,7 @@ func analyzedWeek(t testing.TB) (*pipeline.Env, *pipeline.Week) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wk, _, err := env.AnalyzeWeek(45, nil)
+	wk, _, err := env.AnalyzeWeek(context.Background(), 45, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package visibility_test
 
 import (
+	"context"
 	"testing"
 
 	"ixplens/internal/core/dissect"
@@ -25,7 +26,7 @@ func buildView(t testing.TB) *weekView {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src, _, err := env.CaptureWeek(45)
+	src, _, err := env.CaptureWeek(context.Background(), 45)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestGeoErrorRobustness(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	src, _, err := env.CaptureWeek(45)
+	src, _, err := env.CaptureWeek(context.Background(), 45)
 	if err != nil {
 		t.Fatal(err)
 	}

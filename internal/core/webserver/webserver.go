@@ -408,6 +408,11 @@ type Result struct {
 	TotalIPs int
 	// ServerBytes is the total represented server-related traffic.
 	ServerBytes uint64
+	// EstLoss is a data-quality annotation: the estimated fraction of
+	// the week's sFlow datagrams that never reached the analysis
+	// (derived from per-agent sequence gaps). Filled in by the pipeline,
+	// not the identifier; 0 means no measured loss.
+	EstLoss float64
 }
 
 // Identify finalizes the week: applies the server criteria and runs the

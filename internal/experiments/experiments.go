@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -79,12 +80,30 @@ func (r *Report) String() string {
 type Runner struct {
 	Env *pipeline.Env
 
+	// runCtx cancels the pipeline passes behind every experiment; see
+	// SetContext. nil means context.Background().
+	runCtx context.Context
+
 	week45 *pipeline.Week
 	src45  *dissect.SliceSource
 	agg45  *visibility.Aggregator
 
 	tracker *churn.Tracker
 	weekly  []*webserver.Result
+}
+
+// SetContext installs the context every subsequent experiment's
+// pipeline passes run under, so a whole report run can be cancelled
+// from one place (experiments themselves are too numerous and too
+// cheap to each take a context parameter).
+func (r *Runner) SetContext(ctx context.Context) { r.runCtx = ctx }
+
+// ctx returns the runner's context, never nil.
+func (r *Runner) ctx() context.Context {
+	if r.runCtx == nil {
+		return context.Background()
+	}
+	return r.runCtx
 }
 
 // New builds a runner over a fresh world.
@@ -107,7 +126,7 @@ func (r *Runner) Week45() (*pipeline.Week, *visibility.Aggregator, *dissect.Slic
 		r.src45.Reset()
 		return r.week45, r.agg45, r.src45, nil
 	}
-	src, truth, err := r.Env.CaptureWeek(r.focusWeek())
+	src, truth, err := r.Env.CaptureWeek(r.ctx(), r.focusWeek())
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -119,7 +138,7 @@ func (r *Runner) Week45() (*pipeline.Week, *visibility.Aggregator, *dissect.Slic
 		return nil, nil, nil, err
 	}
 	src.Reset()
-	wk, _, err := r.Env.AnalyzeWeek(r.focusWeek(), src)
+	wk, _, err := r.Env.AnalyzeWeek(r.ctx(), r.focusWeek(), src)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -147,7 +166,7 @@ func (r *Runner) Tracked() (*churn.Tracker, []*webserver.Result, error) {
 	if r.tracker != nil {
 		return r.tracker, r.weekly, nil
 	}
-	tracker, weekly, err := r.Env.TrackWeeks()
+	tracker, weekly, err := r.Env.TrackWeeks(r.ctx())
 	if err != nil {
 		return nil, nil, err
 	}

@@ -39,7 +39,7 @@ func (r *Runner) ServerToServerTrend() (Report, error) {
 // datagram buffer is ever held.
 func (r *Runner) m2mShare(isoWeek int) (float64, error) {
 	ident := webserver.NewIdentifier()
-	if _, _, err := r.Env.StreamWeek(isoWeek, ident.Observe); err != nil {
+	if _, _, _, err := r.Env.StreamWeek(r.ctx(), isoWeek, ident.Observe); err != nil {
 		return 0, err
 	}
 	res := ident.Identify(isoWeek, r.Env.Crawler)

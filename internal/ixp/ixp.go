@@ -9,6 +9,8 @@
 package ixp
 
 import (
+	"sort"
+
 	"ixplens/internal/netmodel"
 	"ixplens/internal/packet"
 	"ixplens/internal/randutil"
@@ -286,9 +288,17 @@ func (c *Collector) PortCounters(port uint32) sflow.GenericInterfaceCounters {
 }
 
 // EmitPortCounters sends a counter sample for every port that saw
-// traffic, like an agent's periodic counter export.
+// traffic, like an agent's periodic counter export. Ports are emitted
+// in ascending order: map iteration order would otherwise vary the
+// datagram stream run to run, breaking the determinism that replay and
+// fault injection (both keyed on datagram index) rely on.
 func (c *Collector) EmitPortCounters() error {
+	ports := make([]uint32, 0, len(c.inOctets))
 	for port := range c.inOctets {
+		ports = append(ports, port)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	for _, port := range ports {
 		if err := c.AddCounters(port, c.PortCounters(port)); err != nil {
 			return err
 		}

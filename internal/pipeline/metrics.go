@@ -5,6 +5,7 @@ import (
 	"ixplens/internal/core/webserver"
 	"ixplens/internal/ixp"
 	"ixplens/internal/obs"
+	"ixplens/internal/sflow"
 )
 
 // Metrics bundles the per-stage observability of one environment: the
@@ -27,6 +28,11 @@ type Metrics struct {
 	// percent, set once per TrackWeeks run.
 	WorkerBusy  *obs.Counter
 	Utilization *obs.Gauge
+	// SeqGaps counts datagrams inferred lost from sFlow sequence gaps
+	// across all analysed weeks; EstLossBP is the latest analysed week's
+	// estimated loss fraction in basis points (1/100 of a percent).
+	SeqGaps   *obs.Counter
+	EstLossBP *obs.Gauge
 }
 
 // NewMetrics builds the full bundle against a registry; nil in, nil out.
@@ -43,7 +49,19 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		Weeks:       r.Counter("pipeline_weeks_total"),
 		WorkerBusy:  r.Counter("pipeline_worker_busy_ns"),
 		Utilization: r.Gauge("pipeline_worker_utilization_pct"),
+		SeqGaps:     r.Counter("pipeline_seq_gap_datagrams_total"),
+		EstLossBP:   r.Gauge("pipeline_est_loss_bp"),
 	}
+}
+
+// observeSeq folds one week's sequence-gap accounting into the bundle.
+// Nil-safe like every accessor.
+func (m *Metrics) observeSeq(st sflow.SeqStats) {
+	if m == nil {
+		return
+	}
+	m.SeqGaps.Add(st.GapDatagrams)
+	m.EstLossBP.Set(int64(st.EstLoss() * 10_000))
 }
 
 // CollectorMetrics returns the collector sub-bundle, nil when disabled.

@@ -2,9 +2,20 @@
 // traffic → sFlow capture → dissection → server identification →
 // meta-data → clustering. It is the composition layer the command-line
 // tools, the examples and the experiment harness all build on.
+//
+// The layer is built to degrade, not die: every analysis entry point
+// takes a context and unwinds within roughly one datagram batch of
+// cancellation; an Env may carry a faultline.Config that replays
+// production failure modes (loss, duplication, reordering, corruption,
+// worker panics) deterministically; each week's estimated datagram loss
+// — measured from sFlow sequence gaps exactly as a real collector would
+// — is attached to the week's results as a data-quality annotation and,
+// when MaxLoss is set, enforced as an abort threshold.
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -18,6 +29,7 @@ import (
 	"ixplens/internal/core/metadata"
 	"ixplens/internal/core/webserver"
 	"ixplens/internal/dnssim"
+	"ixplens/internal/faultline"
 	"ixplens/internal/geo"
 	"ixplens/internal/ixp"
 	"ixplens/internal/netmodel"
@@ -25,6 +37,10 @@ import (
 	"ixplens/internal/sflow"
 	"ixplens/internal/traffic"
 )
+
+// ErrLossExceeded marks a week aborted because its estimated datagram
+// loss crossed Env.MaxLoss. Test with errors.Is.
+var ErrLossExceeded = errors.New("pipeline: estimated datagram loss exceeds configured maximum")
 
 // Env bundles a generated world with its measurement substrates.
 type Env struct {
@@ -37,6 +53,15 @@ type Env struct {
 	// M is the observability bundle; nil (the default) runs the whole
 	// pipeline uninstrumented. Attach one with Instrument.
 	M *Metrics
+	// Faults, when non-nil and active, threads every captured or
+	// streamed week through a deterministic fault injector (seeded with
+	// Faults.Seed, salted with the ISO week). Replay passes regenerate
+	// the pristine stream and are not faulted.
+	Faults *faultline.Config
+	// MaxLoss, when positive, is the largest estimated per-week datagram
+	// loss fraction the analysis tolerates; a week above it fails with
+	// an error wrapping ErrLossExceeded.
+	MaxLoss float64
 }
 
 // NewEnv generates a world and wires all substrates.
@@ -57,22 +82,69 @@ func NewEnv(cfg netmodel.Config, opts traffic.Options) (*Env, error) {
 	}, nil
 }
 
+// members returns the classifier's port resolver, wrapped with the
+// fault injector's panic seam when one is configured.
+func (e *Env) members() dissect.MemberResolver {
+	if e.Faults.Active() && e.Faults.PanicAtLookup > 0 {
+		return &faultline.PanickyResolver{Members: e.Fabric, At: e.Faults.PanicAtLookup}
+	}
+	return e.Fabric
+}
+
+// injector builds the per-week fault injector, nil when faults are off.
+func (e *Env) injector(isoWeek int) *faultline.Injector {
+	if !e.Faults.Active() {
+		return nil
+	}
+	return faultline.New(*e.Faults, uint64(isoWeek))
+}
+
+// checkLoss turns a week's sequence-gap accounting into metrics and,
+// when MaxLoss is set, an abort decision.
+func (e *Env) checkLoss(isoWeek int, st sflow.SeqStats) (float64, error) {
+	est := st.EstLoss()
+	e.M.observeSeq(st)
+	if e.MaxLoss > 0 && est > e.MaxLoss {
+		return est, fmt.Errorf("week %d: estimated loss %.4f > max %.4f (%d gap datagrams): %w",
+			isoWeek, est, e.MaxLoss, st.GapDatagrams, ErrLossExceeded)
+	}
+	return est, nil
+}
+
 // CaptureWeek generates one week of traffic and returns it as an
 // in-memory, rewindable datagram source plus the generator ground truth.
 // This is the buffered, O(week)-memory representation — opt into it for
 // tests and for experiment runners that make many passes over one week;
 // analysis paths should use StreamWeek (single pass) or Replay
-// (additional passes) instead.
-func (e *Env) CaptureWeek(isoWeek int) (*dissect.SliceSource, traffic.WeekStats, error) {
+// (additional passes) instead. Configured faults are applied at capture
+// time, so the buffer holds the degraded stream an unreliable network
+// would have delivered; ctx cancellation aborts generation within one
+// datagram flush.
+func (e *Env) CaptureWeek(ctx context.Context, isoWeek int) (*dissect.SliceSource, traffic.WeekStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	src := &dissect.SliceSource{}
-	col := ixp.NewCollector(e.Fabric, e.Opts.SamplingRate, func(d *sflow.Datagram) error {
+	base := func(d *sflow.Datagram) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		// In default (non-reuse) mode the collector hands off fresh
 		// backing arrays with every flush, so the shallow copy owns them.
 		src.Datagrams = append(src.Datagrams, *d)
 		return nil
-	})
+	}
+	sink := base
+	inj := e.injector(isoWeek)
+	if inj != nil {
+		sink = inj.Sink(base)
+	}
+	col := ixp.NewCollector(e.Fabric, e.Opts.SamplingRate, sink)
 	col.SetMetrics(e.M.CollectorMetrics())
 	stats, err := e.Gen.GenerateWeek(isoWeek, col)
+	if err == nil && inj != nil {
+		err = inj.Flush(base)
+	}
 	if err != nil {
 		return nil, stats, err
 	}
@@ -98,42 +170,80 @@ func streamWorkers() int {
 // buffers and the classifier pool holds O(batch) samples, so per-week
 // memory is bounded regardless of world size. Results are byte-identical
 // to dissecting a CaptureWeek source.
-func (e *Env) StreamWeek(isoWeek int, fn func(*dissect.Record)) (dissect.Counts, traffic.WeekStats, error) {
-	return e.streamWeekWith(e.Gen, isoWeek, streamWorkers(), fn)
+//
+// The third return value is the week's estimated datagram loss fraction
+// (sequence gaps over expected datagrams), measured after any configured
+// fault injection. Cancelling ctx aborts generation within one datagram
+// flush; a week whose loss crosses Env.MaxLoss fails with
+// ErrLossExceeded.
+func (e *Env) StreamWeek(ctx context.Context, isoWeek int, fn func(*dissect.Record)) (dissect.Counts, traffic.WeekStats, float64, error) {
+	return e.streamWeekWith(ctx, e.Gen, isoWeek, streamWorkers(), fn)
 }
 
 // streamWeekWith streams using an explicit generator, so parallel
 // callers can each own one (a Generator is not safe for concurrent use).
 // workers sizes the classifier pool; 1 classifies inline in the emit
 // callback with zero extra goroutines.
-func (e *Env) streamWeekWith(gen *traffic.Generator, isoWeek, workers int, fn func(*dissect.Record)) (dissect.Counts, traffic.WeekStats, error) {
+func (e *Env) streamWeekWith(ctx context.Context, gen *traffic.Generator, isoWeek, workers int, fn func(*dissect.Record)) (dissect.Counts, traffic.WeekStats, float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	inj := e.injector(isoWeek)
+	var seq sflow.SeqTracker
+
+	var counts dissect.Counts
+	var stats traffic.WeekStats
+	var err error
 	if workers <= 1 {
-		cls := dissect.NewClassifier(e.Fabric)
+		cls := dissect.NewClassifier(e.members())
 		cls.SetMetrics(e.M.DissectMetrics())
-		var counts dissect.Counts
-		var rec dissect.Record
-		col := ixp.NewCollector(e.Fabric, e.Opts.SamplingRate, func(d *sflow.Datagram) error {
-			for i := range d.Flows {
-				cls.Classify(&d.Flows[i], &rec)
-				counts.Tally(&rec)
-				if fn != nil {
-					fn(&rec)
-				}
+		base := func(d *sflow.Datagram) error {
+			if err := ctx.Err(); err != nil {
+				return err
 			}
+			seq.Observe(d)
+			// ClassifyDatagram quarantines the datagram's samples if
+			// classification or the observer panics.
+			cls.ClassifyDatagram(d, &counts, fn)
 			return nil
-		})
+		}
+		sink := base
+		if inj != nil {
+			sink = inj.Sink(base)
+		}
+		col := ixp.NewCollector(e.Fabric, e.Opts.SamplingRate, sink)
 		col.SetMetrics(e.M.CollectorMetrics())
 		col.SetBufferReuse(true)
-		stats, err := gen.GenerateWeek(isoWeek, col)
-		return counts, stats, err
+		stats, err = gen.GenerateWeek(isoWeek, col)
+		if err == nil && inj != nil {
+			err = inj.Flush(base)
+		}
+	} else {
+		sp := dissect.NewStreamProcessor(ctx, e.members(), workers, fn, e.M.DissectMetrics())
+		base := func(d *sflow.Datagram) error {
+			seq.Observe(d)
+			return sp.Add(d)
+		}
+		sink := base
+		if inj != nil {
+			sink = inj.Sink(base)
+		}
+		col := ixp.NewCollector(e.Fabric, e.Opts.SamplingRate, sink)
+		col.SetMetrics(e.M.CollectorMetrics())
+		col.SetBufferReuse(true)
+		stats, err = gen.GenerateWeek(isoWeek, col)
+		if err == nil && inj != nil {
+			err = inj.Flush(base)
+		}
+		// Close drains in-flight batches even after an abort, so the
+		// worker pool never leaks.
+		counts = sp.Close()
 	}
-	sp := dissect.NewStreamProcessor(e.Fabric, workers, fn, e.M.DissectMetrics())
-	col := ixp.NewCollector(e.Fabric, e.Opts.SamplingRate, sp.Add)
-	col.SetMetrics(e.M.CollectorMetrics())
-	col.SetBufferReuse(true)
-	stats, err := gen.GenerateWeek(isoWeek, col)
-	counts := sp.Close()
-	return counts, stats, err
+	if err != nil {
+		return counts, stats, seq.EstLoss(), err
+	}
+	est, err := e.checkLoss(isoWeek, seq.Stats())
+	return counts, stats, est, err
 }
 
 // Week is the fully analysed weekly snapshot.
@@ -145,6 +255,23 @@ type Week struct {
 	Metas    []metadata.ServerMeta
 	Coverage metadata.Coverage
 	Clusters *cluster.Result
+	// EstLoss is the week's estimated datagram loss fraction — the
+	// capture's data-quality annotation, also carried on Servers.
+	EstLoss float64
+}
+
+// ctxSource makes a pull-based dissection pass cancellable: Next fails
+// with the context's error once it is cancelled.
+type ctxSource struct {
+	ctx context.Context
+	src dissect.DatagramSource
+}
+
+func (c *ctxSource) Next(d *sflow.Datagram) error {
+	if err := c.ctx.Err(); err != nil {
+		return err
+	}
+	return c.src.Next(d)
 }
 
 // AnalyzeWeek runs the complete per-week pipeline. When src is nil the
@@ -152,30 +279,44 @@ type Week struct {
 // memory — and the returned source is a ReplaySource that regenerates
 // the identical stream for callers that need further passes (link
 // attribution does). Passing a non-nil rewindable source (a buffered
-// SliceSource, or a Replay from an earlier call) dissects that instead.
-func (e *Env) AnalyzeWeek(isoWeek int, src dissect.RewindableSource) (*Week, dissect.RewindableSource, error) {
+// SliceSource, or a Replay from an earlier call) dissects that instead,
+// tracking sequence gaps so a lossy capture is annotated just like a
+// lossy live stream. Note that replay sources regenerate pristine
+// traffic: configured faults apply to live capture/stream passes, not
+// to replays.
+func (e *Env) AnalyzeWeek(ctx context.Context, isoWeek int, src dissect.RewindableSource) (*Week, dissect.RewindableSource, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var truth traffic.WeekStats
 	var counts dissect.Counts
+	var est float64
 	ident := webserver.NewIdentifier()
 	ident.SetMetrics(e.M.IdentifyMetrics())
 	if src == nil {
 		var err error
-		counts, truth, err = e.StreamWeek(isoWeek, ident.Observe)
+		counts, truth, est, err = e.StreamWeek(ctx, isoWeek, ident.Observe)
 		if err != nil {
 			return nil, nil, err
 		}
 		src = e.Replay(isoWeek)
 	} else {
-		cls := dissect.NewClassifier(e.Fabric)
+		cls := dissect.NewClassifier(e.members())
 		cls.SetMetrics(e.M.DissectMetrics())
+		var seq sflow.SeqTracker
 		var err error
-		counts, err = dissect.Process(src, cls, ident.Observe)
+		counts, err = dissect.Process(
+			&ctxSource{ctx, &faultline.TrackSource{Src: src, Seq: &seq}}, cls, ident.Observe)
 		if err != nil {
+			return nil, nil, err
+		}
+		if est, err = e.checkLoss(isoWeek, seq.Stats()); err != nil {
 			return nil, nil, err
 		}
 		src.Reset()
 	}
 	res := ident.Identify(isoWeek, e.Crawler)
+	res.EstLoss = est
 	metas, cov := metadata.Collect(res, e.DNS)
 
 	opts := cluster.DefaultOptions()
@@ -192,31 +333,36 @@ func (e *Env) AnalyzeWeek(isoWeek int, src dissect.RewindableSource) (*Week, dis
 		Metas:    metas,
 		Coverage: cov,
 		Clusters: clusters,
+		EstLoss:  est,
 	}, src, nil
 }
 
 // IdentifyWeek runs the light per-week pipeline (dissection and server
 // identification only) — what the longitudinal analysis needs for each
-// of the 17 weeks.
-func (e *Env) IdentifyWeek(isoWeek int) (*webserver.Result, dissect.Counts, traffic.WeekStats, error) {
+// of the 17 weeks. The returned result carries the week's estimated
+// loss annotation.
+func (e *Env) IdentifyWeek(ctx context.Context, isoWeek int) (*webserver.Result, dissect.Counts, traffic.WeekStats, error) {
 	ident := webserver.NewIdentifier()
 	ident.SetMetrics(e.M.IdentifyMetrics())
-	counts, truth, err := e.StreamWeek(isoWeek, ident.Observe)
+	counts, truth, est, err := e.StreamWeek(ctx, isoWeek, ident.Observe)
 	if err != nil {
 		return nil, counts, truth, err
 	}
-	return ident.Identify(isoWeek, e.Crawler), counts, truth, nil
+	res := ident.Identify(isoWeek, e.Crawler)
+	res.EstLoss = est
+	return res, counts, truth, nil
 }
 
 // Observation converts an identification result into the churn
 // tracker's input, resolving every server IP against the RIB and geo
-// database.
+// database and forwarding the loss annotation.
 func (e *Env) Observation(res *webserver.Result) churn.WeekObservation {
 	rib := e.World.RIB()
 	gdb := e.World.GeoDB()
 	obs := churn.WeekObservation{
 		Week:    res.Week,
 		Servers: make(map[packet.IPv4Addr]churn.ServerObs, len(res.Servers)),
+		EstLoss: res.EstLoss,
 	}
 	for ip, srv := range res.Servers {
 		so := churn.ServerObs{
@@ -238,8 +384,13 @@ func (e *Env) Observation(res *webserver.Result) churn.WeekObservation {
 // the filled churn tracker plus per-week identification results. Weeks
 // are processed concurrently (they are independent: a generator per
 // worker, shared read-only substrates) and folded into the tracker in
-// chronological order.
-func (e *Env) TrackWeeks() (*churn.Tracker, []*webserver.Result, error) {
+// chronological order. Cancelling ctx stops dispatching new weeks and
+// unwinds in-flight ones within one datagram flush; the call then
+// returns the context's error with no goroutines left behind.
+func (e *Env) TrackWeeks(ctx context.Context) (*churn.Tracker, []*webserver.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg := &e.World.Cfg
 
 	// Pre-build the lazily cached substrates so workers only read.
@@ -271,6 +422,10 @@ func (e *Env) TrackWeeks() (*churn.Tracker, []*webserver.Result, error) {
 			defer wg.Done()
 			gen := traffic.NewGenerator(e.World, e.DNS, e.Fabric, e.Opts)
 			for idx := range weekCh {
+				if err := ctx.Err(); err != nil {
+					errs[idx] = err
+					continue
+				}
 				isoWeek := cfg.FirstWeek + idx
 				var weekStart time.Time
 				if e.M != nil {
@@ -280,11 +435,13 @@ func (e *Env) TrackWeeks() (*churn.Tracker, []*webserver.Result, error) {
 				ident.SetMetrics(e.M.IdentifyMetrics())
 				// Weeks already run in parallel here; keep each week's
 				// classifier inline (workers=1) to avoid oversubscription.
-				if _, _, err := e.streamWeekWith(gen, isoWeek, 1, ident.Observe); err != nil {
+				_, _, est, err := e.streamWeekWith(ctx, gen, isoWeek, 1, ident.Observe)
+				if err != nil {
 					errs[idx] = err
 					continue
 				}
 				results[idx] = ident.Identify(isoWeek, e.Crawler)
+				results[idx].EstLoss = est
 				if e.M != nil {
 					busy := time.Since(weekStart)
 					e.M.WeekNanos.Observe(uint64(busy))
@@ -295,7 +452,14 @@ func (e *Env) TrackWeeks() (*churn.Tracker, []*webserver.Result, error) {
 		}()
 	}
 	for idx := 0; idx < cfg.Weeks; idx++ {
-		weekCh <- idx
+		select {
+		case weekCh <- idx:
+		case <-ctx.Done():
+			// Stop feeding; in-flight weeks unwind via their sinks.
+		}
+		if ctx.Err() != nil {
+			break
+		}
 	}
 	close(weekCh)
 	wg.Wait()
@@ -307,6 +471,9 @@ func (e *Env) TrackWeeks() (*churn.Tracker, []*webserver.Result, error) {
 			pct := 100 * float64(e.M.WorkerBusy.Value()) / (float64(wall) * float64(workers))
 			e.M.Utilization.Set(int64(pct))
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
 	}
 
 	tracker := churn.NewTracker()

@@ -1,6 +1,7 @@
 package pipeline_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -29,7 +30,7 @@ func TestNewEnvRejectsBadConfig(t *testing.T) {
 
 func TestAnalyzeWeekEndToEnd(t *testing.T) {
 	env := newEnv(t)
-	wk, src, err := env.AnalyzeWeek(45, nil)
+	wk, src, err := env.AnalyzeWeek(context.Background(), 45, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +50,7 @@ func TestAnalyzeWeekEndToEnd(t *testing.T) {
 	n := 0
 	var d = src
 	_ = d
-	wk2, _, err := env.AnalyzeWeek(45, src)
+	wk2, _, err := env.AnalyzeWeek(context.Background(), 45, src)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestAnalyzeWeekEndToEnd(t *testing.T) {
 
 func TestObservationResolvesEverything(t *testing.T) {
 	env := newEnv(t)
-	res, _, _, err := env.IdentifyWeek(45)
+	res, _, _, err := env.IdentifyWeek(context.Background(), 45)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestTrackWeeksParallelConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tracker, results, err := env.TrackWeeks()
+	tracker, results, err := env.TrackWeeks(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestTrackWeeksParallelConsistent(t *testing.T) {
 	}
 	// The parallel result must equal a fresh sequential re-run of one
 	// week (generation is deterministic per week).
-	res45, _, _, err := env.IdentifyWeek(cfg.FirstWeek + 2)
+	res45, _, _, err := env.IdentifyWeek(context.Background(), cfg.FirstWeek+2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestInstrumentedPipelineConsistency(t *testing.T) {
 	reg := obs.NewRegistry()
 	env.Instrument(reg)
 
-	res, counts, _, err := env.IdentifyWeek(45)
+	res, counts, _, err := env.IdentifyWeek(context.Background(), 45)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestInstrumentedPipelineConsistency(t *testing.T) {
 	// TrackWeeks on a freshly instrumented env: one timing observation
 	// per week, and a utilization figure in (0, 100].
 	env.Instrument(reg)
-	if _, _, err := env.TrackWeeks(); err != nil {
+	if _, _, err := env.TrackWeeks(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	weeks := uint64(env.World.Cfg.Weeks)
@@ -182,7 +183,7 @@ func TestInstrumentedPipelineConsistency(t *testing.T) {
 	// Detaching must stop the counters moving.
 	env.Instrument(nil)
 	before := reg.Counter("ixp_samples_total").Value()
-	if _, _, _, err := env.IdentifyWeek(46); err != nil {
+	if _, _, _, err := env.IdentifyWeek(context.Background(), 46); err != nil {
 		t.Fatal(err)
 	}
 	if after := reg.Counter("ixp_samples_total").Value(); after != before {

@@ -1,6 +1,7 @@
 package pipeline_test
 
 import (
+	"context"
 	"testing"
 
 	"ixplens/internal/core/dissect"
@@ -48,14 +49,14 @@ func sameServers(t *testing.T, a, b *webserver.Result) {
 // sets to dissecting a buffered CaptureWeek source.
 func TestStreamMatchesBuffered(t *testing.T) {
 	env := newEnv(t)
-	src, bufTruth, err := env.CaptureWeek(45)
+	src, bufTruth, err := env.CaptureWeek(context.Background(), 45)
 	if err != nil {
 		t.Fatal(err)
 	}
 	bufCounts, bufRes := identifyOver(t, env, src, 45)
 
 	ident := webserver.NewIdentifier()
-	strCounts, strTruth, err := env.StreamWeek(45, ident.Observe)
+	strCounts, strTruth, _, err := env.StreamWeek(context.Background(), 45, ident.Observe)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestReplayDeterminism(t *testing.T) {
 	sameServers(t, r1, r2)
 
 	// And a replay must match the buffered capture of the same week.
-	src, _, err := env.CaptureWeek(45)
+	src, _, err := env.CaptureWeek(context.Background(), 45)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,128 @@
+package sflow
+
+import "sync"
+
+// Sequence-gap loss detection. sFlow is lossy by design: agents fire
+// datagrams over UDP and never retransmit, so the only way a collector
+// can know what it missed is the per-agent SequenceNum every datagram
+// carries. A SeqTracker folds those numbers into a loss estimate — the
+// data-quality annotation the analysis pipeline attaches to its weekly
+// results, in the spirit of quantifying the vantage point's own blind
+// spots rather than pretending the capture is complete.
+
+// maxSeqGap bounds a believable forward jump. A larger jump means the
+// agent restarted (sequence numbers reset), not that thousands of
+// datagrams vanished; counting it as loss would wreck the estimate.
+const maxSeqGap = 1 << 12
+
+// maxReorderWindow bounds a believable backward step. Network reordering
+// displaces a datagram by a handful of positions; a datagram arriving
+// hundreds of sequence numbers late is an agent that restarted its
+// numbering (a per-week exporter reconnecting, say), and treating it as
+// a reorder would both misreport the stream and wrongly reclaim real
+// gaps. Restarts resync tracking to the new numbering instead.
+const maxReorderWindow = 16
+
+// SeqStats is a snapshot of a SeqTracker's accounting.
+type SeqStats struct {
+	// Received counts observed datagrams (including duplicates).
+	Received uint64
+	// GapDatagrams counts datagrams inferred lost from sequence gaps.
+	GapDatagrams uint64
+	// Duplicates counts datagrams whose sequence number repeated the
+	// previous one for that agent (duplicated in flight).
+	Duplicates uint64
+	// Reordered counts datagrams that arrived after a successor already
+	// had (their provisional gap is reclaimed when they show up).
+	Reordered uint64
+	// Restarts counts sequence discontinuities attributed to an agent
+	// restart rather than loss.
+	Restarts uint64
+}
+
+// EstLoss estimates the fraction of datagrams the stream is missing:
+// gaps / (received + gaps). Zero when nothing was observed.
+func (s SeqStats) EstLoss() float64 {
+	total := s.Received + s.GapDatagrams
+	if total == 0 {
+		return 0
+	}
+	return float64(s.GapDatagrams) / float64(total)
+}
+
+// SeqTracker tracks per-agent datagram sequence numbers and estimates
+// the loss fraction of an sFlow stream. The zero value is ready to use;
+// a nil *SeqTracker ignores observations and reports zero loss. Safe for
+// concurrent use.
+type SeqTracker struct {
+	mu    sync.Mutex
+	last  map[seqKey]uint32
+	stats SeqStats
+}
+
+// seqKey identifies one exporting process: agents number datagrams per
+// (agent address, sub-agent) pair.
+type seqKey struct {
+	addr [4]byte
+	sub  uint32
+}
+
+// Observe folds one datagram's sequence number into the tracker.
+func (t *SeqTracker) Observe(d *Datagram) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.last == nil {
+		t.last = make(map[seqKey]uint32)
+	}
+	t.stats.Received++
+	k := seqKey{d.AgentAddr, d.SubAgentID}
+	last, seen := t.last[k]
+	if !seen {
+		t.last[k] = d.SequenceNum
+		return
+	}
+	switch {
+	case d.SequenceNum == last+1:
+		t.last[k] = d.SequenceNum
+	case d.SequenceNum > last+1:
+		gap := uint64(d.SequenceNum - last - 1)
+		if gap > maxSeqGap {
+			t.stats.Restarts++
+		} else {
+			t.stats.GapDatagrams += gap
+		}
+		t.last[k] = d.SequenceNum
+	case d.SequenceNum == last:
+		t.stats.Duplicates++
+	default:
+		// An older sequence number. Within the window it is a late
+		// (reordered) datagram whose absence was provisionally booked as
+		// a gap — reclaim it. Beyond the window it is a restart to a
+		// lower numbering: resync so the new stream tracks forward.
+		if last-d.SequenceNum <= maxReorderWindow {
+			t.stats.Reordered++
+			if t.stats.GapDatagrams > 0 {
+				t.stats.GapDatagrams--
+			}
+		} else {
+			t.stats.Restarts++
+			t.last[k] = d.SequenceNum
+		}
+	}
+}
+
+// Stats returns a snapshot of the accounting so far.
+func (t *SeqTracker) Stats() SeqStats {
+	if t == nil {
+		return SeqStats{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.stats
+}
+
+// EstLoss is shorthand for Stats().EstLoss().
+func (t *SeqTracker) EstLoss() float64 { return t.Stats().EstLoss() }

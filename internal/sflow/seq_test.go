@@ -1,0 +1,115 @@
+package sflow
+
+import (
+	"math"
+	"testing"
+)
+
+func seqDatagram(agent byte, seq uint32) *Datagram {
+	return &Datagram{AgentAddr: [4]byte{10, 0, 0, agent}, SequenceNum: seq}
+}
+
+func TestSeqTrackerGapAccounting(t *testing.T) {
+	var tr SeqTracker
+	// Agent 1 delivers 1,2,3, skips 4-5, delivers 6.
+	for _, s := range []uint32{1, 2, 3, 6} {
+		tr.Observe(seqDatagram(1, s))
+	}
+	st := tr.Stats()
+	if st.Received != 4 || st.GapDatagrams != 2 {
+		t.Fatalf("stats = %+v, want 4 received / 2 gap", st)
+	}
+	want := 2.0 / 6.0
+	if got := st.EstLoss(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("EstLoss = %v, want %v", got, want)
+	}
+}
+
+func TestSeqTrackerPerAgentIndependence(t *testing.T) {
+	var tr SeqTracker
+	// Interleaved agents each counting cleanly: no gaps.
+	for i := uint32(1); i <= 10; i++ {
+		tr.Observe(seqDatagram(1, i))
+		tr.Observe(seqDatagram(2, i))
+	}
+	// Same agent address, different sub-agent: also independent.
+	d := seqDatagram(1, 1)
+	d.SubAgentID = 7
+	tr.Observe(d)
+	if st := tr.Stats(); st.GapDatagrams != 0 || st.Restarts != 0 {
+		t.Fatalf("clean interleaving produced %+v", st)
+	}
+}
+
+func TestSeqTrackerDuplicateAndReorder(t *testing.T) {
+	var tr SeqTracker
+	tr.Observe(seqDatagram(1, 1))
+	tr.Observe(seqDatagram(1, 1)) // duplicate
+	tr.Observe(seqDatagram(1, 3)) // 2 missing so far
+	tr.Observe(seqDatagram(1, 2)) // ...no: it was just late
+	tr.Observe(seqDatagram(1, 4))
+	st := tr.Stats()
+	if st.Duplicates != 1 {
+		t.Fatalf("duplicates = %d", st.Duplicates)
+	}
+	if st.Reordered != 1 {
+		t.Fatalf("reordered = %d", st.Reordered)
+	}
+	if st.GapDatagrams != 0 {
+		t.Fatalf("reorder left a phantom gap: %+v", st)
+	}
+}
+
+func TestSeqTrackerRestartNotLoss(t *testing.T) {
+	var tr SeqTracker
+	tr.Observe(seqDatagram(1, 500_000))
+	tr.Observe(seqDatagram(1, 1)) // agent rebooted
+	tr.Observe(seqDatagram(1, 2))
+	st := tr.Stats()
+	if st.Restarts != 1 {
+		t.Fatalf("restarts = %d", st.Restarts)
+	}
+	if st.GapDatagrams != 0 {
+		t.Fatalf("restart was booked as loss: %+v", st)
+	}
+	// A huge forward jump is also a restart, not half a million drops.
+	tr.Observe(seqDatagram(1, 900_000))
+	if st := tr.Stats(); st.GapDatagrams != 0 || st.Restarts != 2 {
+		t.Fatalf("forward restart mis-booked: %+v", st)
+	}
+}
+
+func TestSeqTrackerNilSafe(t *testing.T) {
+	var tr *SeqTracker
+	tr.Observe(seqDatagram(1, 1))
+	if tr.EstLoss() != 0 {
+		t.Fatal("nil tracker reported loss")
+	}
+	if st := tr.Stats(); st != (SeqStats{}) {
+		t.Fatalf("nil tracker stats = %+v", st)
+	}
+}
+
+func TestDatagramClone(t *testing.T) {
+	d := sampleDatagram()
+	c := d.Clone()
+	// Mutate the original's backing arrays; the clone must not move.
+	origHdr := append([]byte(nil), d.Flows[0].Raw.Header...)
+	for i := range d.Flows[0].Raw.Header {
+		d.Flows[0].Raw.Header[i] = 0xFF
+	}
+	d.Flows[0].SequenceNum = 999999
+	d.Counters[0].SourceIDIndex = 424242
+	if string(c.Flows[0].Raw.Header) != string(origHdr) {
+		t.Fatal("clone header aliases the original")
+	}
+	if c.Flows[0].SequenceNum == 999999 || c.Counters[0].SourceIDIndex == 424242 {
+		t.Fatal("clone slices alias the original")
+	}
+	// Round-trip equality: a clone encodes identically to its source's
+	// pristine state.
+	d2 := sampleDatagram()
+	if string(d2.AppendEncode(nil)) != string(c.AppendEncode(nil)) {
+		t.Fatal("clone encoding drifted")
+	}
+}

@@ -157,6 +157,28 @@ type GenericInterfaceCounters struct {
 	PromiscuousMode  uint32
 }
 
+// Clone returns a deep copy of the datagram: the Flows and Counters
+// slices and every Raw.Header they point to get fresh backing arrays, so
+// the copy stays valid however the original's buffers are recycled.
+// Consumers that must hold a datagram beyond the producer's aliasing
+// window (queued receivers, fault injectors that delay delivery) clone.
+func (d *Datagram) Clone() *Datagram {
+	c := *d
+	if d.Flows != nil {
+		c.Flows = make([]FlowSample, len(d.Flows))
+		copy(c.Flows, d.Flows)
+		for i := range c.Flows {
+			if h := c.Flows[i].Raw.Header; h != nil {
+				c.Flows[i].Raw.Header = append([]byte(nil), h...)
+			}
+		}
+	}
+	if d.Counters != nil {
+		c.Counters = append([]CounterSample(nil), d.Counters...)
+	}
+	return &c
+}
+
 // String summarizes a datagram for logs.
 func (d *Datagram) String() string {
 	return fmt.Sprintf("sflow{agent=%d.%d.%d.%d seq=%d flows=%d counters=%d}",

@@ -1,10 +1,14 @@
 package sflow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
+	"os"
 	"sync/atomic"
+	"syscall"
+	"time"
 )
 
 // sFlow's native transport is UDP (conventionally port 6343): agents
@@ -16,12 +20,17 @@ import (
 // DefaultPort is the IANA-assigned sFlow collector port.
 const DefaultPort = 6343
 
+// sendRetryBackoff is how long Send waits before its single retry of a
+// transiently failed transmit.
+const sendRetryBackoff = time.Millisecond
+
 // Exporter ships encoded datagrams to a collector address over UDP.
 // It is not safe for concurrent use.
 type Exporter struct {
-	conn net.Conn
-	buf  []byte
-	sent int
+	conn    net.Conn
+	buf     []byte
+	sent    int
+	retries int
 }
 
 // NewExporter dials the collector. addr is "host:port".
@@ -33,14 +42,35 @@ func NewExporter(addr string) (*Exporter, error) {
 	return &Exporter{conn: conn}, nil
 }
 
-// Send encodes and transmits one datagram.
+// transientSendError reports whether a transmit failure is worth one
+// retry: the kernel ran out of socket buffers (ENOBUFS/ENOMEM, common
+// under export bursts) or the write was interrupted by a signal
+// (EINTR), as opposed to a dead socket or an unreachable peer.
+func transientSendError(err error) bool {
+	return errors.Is(err, syscall.ENOBUFS) ||
+		errors.Is(err, syscall.ENOMEM) ||
+		errors.Is(err, syscall.EINTR) ||
+		errors.Is(err, syscall.EAGAIN)
+}
+
+// Send encodes and transmits one datagram. A transient transmit failure
+// (buffer exhaustion, interrupted syscall) is retried once after a tiny
+// backoff instead of failing the whole export — agents drop, they do
+// not abort.
 func (e *Exporter) Send(d *Datagram) error {
 	e.buf = d.AppendEncode(e.buf[:0])
 	if len(e.buf) > maxDatagramLen {
 		return fmt.Errorf("sflow: datagram of %d bytes exceeds transport limit", len(e.buf))
 	}
 	if _, err := e.conn.Write(e.buf); err != nil {
-		return fmt.Errorf("sflow: sending datagram: %w", err)
+		if !transientSendError(err) {
+			return fmt.Errorf("sflow: sending datagram: %w", err)
+		}
+		time.Sleep(sendRetryBackoff)
+		e.retries++
+		if _, err := e.conn.Write(e.buf); err != nil {
+			return fmt.Errorf("sflow: sending datagram (after retry): %w", err)
+		}
 	}
 	e.sent++
 	return nil
@@ -49,16 +79,28 @@ func (e *Exporter) Send(d *Datagram) error {
 // Count returns the number of datagrams sent.
 func (e *Exporter) Count() int { return e.sent }
 
+// Retries returns how many transmits needed the transient-error retry.
+func (e *Exporter) Retries() int { return e.retries }
+
 // Close releases the socket.
 func (e *Exporter) Close() error { return e.conn.Close() }
 
+// livenessInterval is the read-deadline granularity of the receiver's
+// loop: how often a blocked ReadFrom wakes up to notice a cancelled
+// context even when no traffic arrives.
+const livenessInterval = 250 * time.Millisecond
+
 // Receiver consumes sFlow datagrams from a UDP socket. Decode failures
 // are counted and skipped, never fatal — a collector must survive
-// malformed input from the network.
+// malformed input from the network. Every decoded datagram additionally
+// feeds a sequence tracker, so the receiver can estimate how much of the
+// stream it lost (socket overruns, network drops).
 type Receiver struct {
-	pc        net.PacketConn
-	received  atomic.Int64
-	malformed atomic.Int64
+	pc           net.PacketConn
+	received     atomic.Int64
+	malformed    atomic.Int64
+	queueDropped atomic.Int64
+	seq          SeqTracker
 }
 
 // NewReceiver binds a UDP listening socket. addr like "127.0.0.1:0"
@@ -84,25 +126,95 @@ func (r *Receiver) Addr() net.Addr { return r.pc.LocalAddr() }
 // The datagram passed to fn aliases an internal buffer and is only
 // valid during the call. A non-nil error from fn stops the loop.
 func (r *Receiver) Run(fn func(*Datagram) error) error {
+	return r.RunContext(context.Background(), fn)
+}
+
+// RunContext is Run with cancellation: the read loop sets periodic read
+// deadlines as a liveness check, so a cancelled context stops a receiver
+// that is blocked waiting for traffic within livenessInterval even if
+// nobody calls Close. Close during a blocked read still works and is
+// reported as a clean shutdown (nil), not an opaque net error; context
+// cancellation returns ctx.Err().
+func (r *Receiver) RunContext(ctx context.Context, fn func(*Datagram) error) error {
 	buf := make([]byte, 1<<16)
 	var d Datagram
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		_ = r.pc.SetReadDeadline(time.Now().Add(livenessInterval))
 		n, _, err := r.pc.ReadFrom(buf)
 		if err != nil {
-			if errors.Is(err, net.ErrClosed) {
+			switch {
+			case errors.Is(err, os.ErrDeadlineExceeded):
+				// Liveness tick: nothing arrived, recheck the context.
+				continue
+			case errors.Is(err, net.ErrClosed):
+				// Close raced the read — a deliberate shutdown, not a
+				// transport failure.
 				return nil
+			default:
+				return fmt.Errorf("sflow: reading socket: %w", err)
 			}
-			return fmt.Errorf("sflow: reading socket: %w", err)
 		}
 		if err := Decode(buf[:n], &d); err != nil {
 			r.malformed.Add(1)
 			continue
 		}
 		r.received.Add(1)
+		r.seq.Observe(&d)
 		if err := fn(&d); err != nil {
 			return err
 		}
 	}
+}
+
+// RunQueued is RunContext with a bounded hand-off queue between the
+// socket read loop and the consumer: a dedicated goroutine reads and
+// decodes as fast as the socket delivers, and fn consumes from a queue
+// of at most depth datagrams. When the consumer falls behind, the oldest
+// unconsumed backlog is preserved and NEW datagrams are dropped and
+// counted (QueueDrops) — bounded memory and an honest loss figure
+// instead of unbounded blocking back into the kernel. Queued datagrams
+// are deep copies, so fn may retain them.
+func (r *Receiver) RunQueued(ctx context.Context, depth int, fn func(*Datagram) error) error {
+	if depth < 1 {
+		depth = 1
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	ch := make(chan *Datagram, depth)
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(ch)
+		readErr <- r.RunContext(ctx, func(d *Datagram) error {
+			select {
+			case ch <- d.Clone():
+			default:
+				r.queueDropped.Add(1)
+			}
+			return nil
+		})
+	}()
+
+	var consumeErr error
+	for d := range ch {
+		if consumeErr != nil {
+			continue // drain so the reader can exit
+		}
+		if err := fn(d); err != nil {
+			consumeErr = err
+			cancel()
+		}
+	}
+	err := <-readErr
+	if consumeErr != nil {
+		// The consumer failed; the reader's context.Canceled is just the
+		// shutdown we triggered.
+		return consumeErr
+	}
+	return err
 }
 
 // Stats returns the number of decoded and malformed datagrams so far.
@@ -110,6 +222,19 @@ func (r *Receiver) Run(fn func(*Datagram) error) error {
 func (r *Receiver) Stats() (received, malformed int64) {
 	return r.received.Load(), r.malformed.Load()
 }
+
+// QueueDrops returns how many datagrams RunQueued discarded because the
+// consumer queue was full.
+func (r *Receiver) QueueDrops() int64 { return r.queueDropped.Load() }
+
+// SeqStats returns the receiver's sequence-gap accounting: what the
+// datagram sequence numbers say about datagrams that never arrived.
+func (r *Receiver) SeqStats() SeqStats { return r.seq.Stats() }
+
+// EstLoss estimates the fraction of the stream the receiver missed,
+// derived from per-agent sequence gaps. Safe to call concurrently with
+// Run.
+func (r *Receiver) EstLoss() float64 { return r.seq.EstLoss() }
 
 // Close shuts the socket down, stopping Run.
 func (r *Receiver) Close() error { return r.pc.Close() }

@@ -1,7 +1,11 @@
 package sflow
 
 import (
+	"context"
+	"errors"
+	"net"
 	"sync"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -159,3 +163,206 @@ func TestStreamWriterRejectsOversize(t *testing.T) {
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestRunContextCancelUnblocksIdleReceiver: a receiver blocked in
+// ReadFrom with no traffic must notice context cancellation via its
+// read-deadline liveness checks, without anyone calling Close.
+func TestRunContextCancelUnblocksIdleReceiver(t *testing.T) {
+	recv, err := NewReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- recv.RunContext(ctx, func(*Datagram) error { return nil })
+	}()
+	time.Sleep(20 * time.Millisecond) // let it block in ReadFrom
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("RunContext = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled receiver did not return within the liveness window")
+	}
+}
+
+// TestCloseDuringBlockedReadIsCleanShutdown: Close racing a blocked
+// ReadFrom must surface as a nil return, not an opaque net error.
+func TestCloseDuringBlockedReadIsCleanShutdown(t *testing.T) {
+	recv, err := NewReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- recv.Run(func(*Datagram) error { return nil })
+	}()
+	time.Sleep(20 * time.Millisecond)
+	recv.Close()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run after Close = %v, want nil", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not return after Close")
+	}
+}
+
+// TestReceiverTracksSequenceGaps: skipped datagram sequence numbers on
+// the wire must show up in the receiver's loss estimate.
+func TestReceiverTracksSequenceGaps(t *testing.T) {
+	recv, err := NewReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = recv.Run(func(*Datagram) error { return nil })
+	}()
+
+	exp, err := NewExporter(recv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	d := sampleDatagram()
+	// Send 1..10 but skip 4 and 7: two datagrams "lost".
+	sent := 0
+	for seq := uint32(1); seq <= 10; seq++ {
+		if seq == 4 || seq == 7 {
+			continue
+		}
+		d.SequenceNum = seq
+		if err := exp.Send(d); err != nil {
+			t.Fatal(err)
+		}
+		sent++
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if got, _ := recv.Stats(); int(got) >= sent || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	recv.Close()
+	<-done
+	st := recv.SeqStats()
+	if st.GapDatagrams != 2 {
+		t.Fatalf("gap datagrams = %d, want 2 (%+v)", st.GapDatagrams, st)
+	}
+	if loss := recv.EstLoss(); loss < 0.1 || loss > 0.3 {
+		t.Fatalf("EstLoss = %v, want ~0.2", loss)
+	}
+}
+
+// TestRunQueuedDeliversAndBounds: the queued consumer must see the
+// datagrams (as retainable copies) and stop cleanly on context cancel.
+func TestRunQueuedDeliversAndBounds(t *testing.T) {
+	recv, err := NewReceiver("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const rounds = 50
+	got := make(chan *Datagram, rounds)
+	done := make(chan error, 1)
+	go func() {
+		done <- recv.RunQueued(ctx, 16, func(d *Datagram) error {
+			got <- d // retained beyond the callback: must be a copy
+			return nil
+		})
+	}()
+
+	exp, err := NewExporter(recv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+	base := sampleDatagram()
+	for i := 0; i < rounds; i++ {
+		base.SequenceNum = uint32(i + 1)
+		if err := exp.Send(base); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond) // let the slow queue keep up
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for len(got) < rounds*9/10 && time.Now().After(deadline) == false {
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-done; err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunQueued = %v", err)
+	}
+	close(got)
+	n := 0
+	for d := range got {
+		if len(d.Flows) != len(base.Flows) {
+			t.Fatalf("queued datagram lost flows: %d", len(d.Flows))
+		}
+		n++
+	}
+	if n < rounds*9/10 {
+		t.Fatalf("consumer saw %d of %d datagrams", n, rounds)
+	}
+}
+
+// flakyConn fails the first write with a transient error, then behaves.
+type flakyConn struct {
+	net.Conn // nil; only Write/Close are called
+	fails    int
+	failWith error
+	wrote    int
+}
+
+func (c *flakyConn) Write(p []byte) (int, error) {
+	if c.fails > 0 {
+		c.fails--
+		return 0, &net.OpError{Op: "write", Net: "udp", Err: c.failWith}
+	}
+	c.wrote++
+	return len(p), nil
+}
+
+func (c *flakyConn) Close() error { return nil }
+
+func TestExporterRetriesTransientSendErrors(t *testing.T) {
+	for _, transient := range []error{syscall.ENOBUFS, syscall.EINTR} {
+		conn := &flakyConn{fails: 1, failWith: transient}
+		exp := &Exporter{conn: conn}
+		if err := exp.Send(sampleDatagram()); err != nil {
+			t.Fatalf("%v: Send = %v, want retried success", transient, err)
+		}
+		if exp.Retries() != 1 || exp.Count() != 1 || conn.wrote != 1 {
+			t.Fatalf("%v: retries=%d sent=%d wrote=%d", transient, exp.Retries(), exp.Count(), conn.wrote)
+		}
+	}
+
+	// A persistent transient error still fails after the single retry.
+	exp := &Exporter{conn: &flakyConn{fails: 2, failWith: syscall.ENOBUFS}}
+	if err := exp.Send(sampleDatagram()); err == nil {
+		t.Fatal("persistent ENOBUFS must fail after one retry")
+	}
+
+	// Non-transient errors are not retried.
+	conn := &flakyConn{fails: 1, failWith: syscall.ECONNREFUSED}
+	exp = &Exporter{conn: conn}
+	if err := exp.Send(sampleDatagram()); err == nil {
+		t.Fatal("ECONNREFUSED must fail immediately")
+	}
+	if exp.Retries() != 0 {
+		t.Fatalf("non-transient error was retried %d times", exp.Retries())
+	}
+}
