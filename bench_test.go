@@ -9,6 +9,7 @@ package ixplens_test
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"ixplens/internal/core/blindspot"
@@ -18,6 +19,7 @@ import (
 	"ixplens/internal/core/metadata"
 	"ixplens/internal/core/visibility"
 	"ixplens/internal/core/webserver"
+	"ixplens/internal/entity"
 	"ixplens/internal/experiments"
 	"ixplens/internal/ispview"
 	"ixplens/internal/ixp"
@@ -170,6 +172,93 @@ func BenchmarkWeekIdentify(b *testing.B) {
 				b.Fatal("no servers identified")
 			}
 		}
+	})
+}
+
+// --- sharded vs serial observation (interned-entity refactor gate) ---
+//
+// Both sub-benchmarks drive the identical cached week-45 capture, so
+// the comparison isolates decode+classify+observe: "serial" is the
+// pre-refactor path (single classifier goroutine feeding one
+// identifier in stream order), "sharded" fans batches over a worker
+// pool where each worker feeds its own identifier shard, merged
+// deterministically inside Identify. The golden-equivalence test pins
+// both paths to bit-identical results.
+
+func BenchmarkIdentifyWeekSharded(b *testing.B) {
+	f := setup(b)
+	env := f.env
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.src.Reset()
+			ident := webserver.NewIdentifier()
+			if _, err := dissect.Process(f.src, dissect.NewClassifier(env.Fabric), ident.Observe); err != nil {
+				b.Fatal(err)
+			}
+			if len(ident.Identify(45, env.Crawler).Servers) == 0 {
+				b.Fatal("no servers identified")
+			}
+		}
+	})
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	b.Run("sharded", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f.src.Reset()
+			ident := webserver.NewSharded(workers)
+			if _, err := dissect.ProcessSharded(context.Background(), f.src, env.Fabric,
+				workers, ident.ObserveShard, nil); err != nil {
+				b.Fatal(err)
+			}
+			if len(ident.Identify(45, env.Crawler).Servers) == 0 {
+				b.Fatal("no servers identified")
+			}
+		}
+	})
+}
+
+// BenchmarkEntityResolve measures the interning layer itself: "cold"
+// pays the full RIB trie walk + geo binary search + intern per address
+// on a fresh table, "memoized" replays the same addresses against a
+// warm table (the steady state every analysis stage after the first
+// runs in).
+func BenchmarkEntityResolve(b *testing.B) {
+	f := setup(b)
+	ips := make([]packet.IPv4Addr, 0, len(f.week.Servers.Servers))
+	for ip := range f.week.Servers.Servers {
+		ips = append(ips, ip)
+	}
+	if len(ips) == 0 {
+		b.Fatal("no server IPs in fixture")
+	}
+	rib, gdb := f.env.World.RIB(), f.env.World.GeoDB()
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tab := entity.NewTable(rib, gdb)
+			for _, ip := range ips {
+				tab.Resolve(ip)
+			}
+		}
+		b.ReportMetric(float64(len(ips)), "ips/op")
+	})
+	b.Run("memoized", func(b *testing.B) {
+		b.ReportAllocs()
+		tab := entity.NewTable(rib, gdb)
+		for _, ip := range ips {
+			tab.Resolve(ip)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, ip := range ips {
+				tab.Resolve(ip)
+			}
+		}
+		b.ReportMetric(float64(len(ips)), "ips/op")
 	})
 }
 

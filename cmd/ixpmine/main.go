@@ -79,7 +79,7 @@ func run(ctx context.Context, dir string, focus int, maxLoss float64, debugAddr 
 	}
 	fmt.Println()
 
-	tracker := churn.NewTracker()
+	tracker := churn.NewTrackerWith(env.EntityTable())
 	fmt.Println("week  samples  peering%  servers  https  loss%  server-traffic-share")
 	for i, wk := range man.Weeks {
 		res, counts, err := capture.AnalyzeWeekFile(ctx, env, filepath.Join(dir, man.Files[i]), wk)
@@ -138,7 +138,7 @@ func deepDive(env *pipeline.Env, res *webserver.Result, counts dissect.Counts, p
 
 	opts := cluster.DefaultOptions()
 	opts.KnownShared = env.DNS.PublicDNSProviders()
-	opts.ASNOf = env.World.RIB().LookupASN
+	opts.Entities = env.EntityTable()
 	cl := cluster.Run(metas, opts)
 	fmt.Printf("clustering: %d orgs; steps %.1f%% / %.1f%% / %.1f%%\n",
 		len(cl.Clusters),
@@ -159,11 +159,11 @@ func deepDive(env *pipeline.Env, res *webserver.Result, counts dissect.Counts, p
 			}
 			if f, err := os.Open(path); err == nil {
 				if sr, err := sflow.NewStreamReader(f); err == nil {
-					ls := hetero.NewLinkStats(acme.HomeAS)
+					ls := hetero.NewLinkStatsWith(acme.HomeAS, env.EntityTable())
 					_ = hetero.Attribute(sr, env.Fabric, ls, func(ip packet.IPv4Addr) bool { return set[ip] })
 					fmt.Printf("fig 7 (%s): %.1f%% of traffic off the direct links; %d of %d servers only behind other members\n",
 						acme.Name, 100*ls.OffLinkShare(), ls.ServersOnlyOffLink(),
-						ls.ServersOnlyOffLink()+len(ls.DirectServerIPs))
+						ls.ServersOnlyOffLink()+ls.NumDirectServers())
 				}
 				f.Close()
 			}

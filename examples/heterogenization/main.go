@@ -74,7 +74,7 @@ func main() {
 	fmt.Printf("  %.1f%% of its traffic does NOT use the direct peering link (paper: 11.1%%)\n",
 		100*ls.OffLinkShare())
 	fmt.Printf("  %d of %d observed acme servers are seen only behind other members\n",
-		ls.ServersOnlyOffLink(), ls.ServersOnlyOffLink()+len(ls.DirectServerIPs))
+		ls.ServersOnlyOffLink(), ls.ServersOnlyOffLink()+ls.NumDirectServers())
 	points := ls.Points()
 	lo, hi := 0, 0
 	for _, p := range points {

@@ -31,8 +31,10 @@ func main() {
 	}
 
 	// One streaming pass feeds both the per-IP visibility aggregator and
-	// the server identifier; no datagram buffer is ever materialized.
-	agg := visibility.NewAggregator(env.World.RIB(), env.World.GeoDB())
+	// the server identifier; no datagram buffer is ever materialized. The
+	// aggregator shares the environment's entity table, so every IP is
+	// resolved through RIB and geo exactly once across all stages.
+	agg := visibility.NewAggregatorWith(env.EntityTable())
 	ident := webserver.NewIdentifier()
 	if _, _, _, err := env.StreamWeek(context.Background(), 45, func(rec *dissect.Record) {
 		agg.Observe(rec)

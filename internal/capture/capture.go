@@ -169,11 +169,12 @@ func (m *Manifest) Rebuild() (*pipeline.Env, error) {
 }
 
 // AnalyzeWeekFile dissects and identifies one capture file, spreading
-// classification over a worker pool; the ordered merge keeps results
-// identical to a sequential pass. Sequence gaps in the file (a capture
-// written through a lossy path, or truncated on disk) surface as the
-// result's EstLoss annotation, and ctx cancels the pass within one
-// datagram.
+// classification over a worker pool; each worker feeds its own
+// identifier shard and the deterministic shard merge inside Identify
+// keeps results identical to a sequential pass. Sequence gaps in the
+// file (a capture written through a lossy path, or truncated on disk)
+// surface as the result's EstLoss annotation, and ctx cancels the pass
+// within one datagram.
 func AnalyzeWeekFile(ctx context.Context, env *pipeline.Env, path string, isoWeek int) (*webserver.Result, dissect.Counts, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -188,11 +189,14 @@ func AnalyzeWeekFile(ctx context.Context, env *pipeline.Env, path string, isoWee
 	if workers > 8 {
 		workers = 8
 	}
-	ident := webserver.NewIdentifier()
+	if workers < 1 {
+		workers = 1
+	}
+	ident := webserver.NewSharded(workers)
 	ident.SetMetrics(env.M.IdentifyMetrics())
 	var seq sflow.SeqTracker
 	src := &faultline.TrackSource{Src: sr, Seq: &seq}
-	counts, err := dissect.ProcessParallel(ctx, src, env.Fabric, workers, ident.Observe, env.M.DissectMetrics())
+	counts, err := dissect.ProcessSharded(ctx, src, env.Fabric, workers, ident.ObserveShard, env.M.DissectMetrics())
 	if err != nil {
 		return nil, counts, err
 	}

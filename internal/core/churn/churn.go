@@ -11,6 +11,7 @@ package churn
 import (
 	"fmt"
 
+	"ixplens/internal/entity"
 	"ixplens/internal/packet"
 	"ixplens/internal/routing"
 )
@@ -103,10 +104,20 @@ type RegionChurn struct {
 // Tracker consumes weekly observations in chronological order.
 type Tracker struct {
 	weeks []WeekObservation
+	// table, when set, rebases Compute's per-IP histories onto the
+	// shared interning layer: dense-ID slice indexing instead of an
+	// address-keyed map over every server IP of every week.
+	table *entity.Table
 }
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker { return &Tracker{} }
+
+// NewTrackerWith returns a tracker that resolves IP identity through
+// the shared entity table (nil behaves like NewTracker). Results are
+// identical either way; the table only changes the bookkeeping from
+// map lookups to memoized dense-ID slice indexing.
+func NewTrackerWith(table *entity.Table) *Tracker { return &Tracker{table: table} }
 
 // Add appends a week. Weeks must be added in increasing order.
 func (t *Tracker) Add(obs WeekObservation) error {
@@ -137,13 +148,45 @@ func poolOf(first, seen, n int) Pool {
 	}
 }
 
-// Compute derives the per-week churn series.
+// history tracks one entity's appearance record: the week index it was
+// first seen (-1 before any sighting) and how many weeks it has been
+// seen in.
+type history struct {
+	first int32
+	seen  int32
+}
+
+// Compute derives the per-week churn series. With a table attached
+// (NewTrackerWith) the per-IP histories are a slice indexed by dense
+// entity ID — the tracker's dominant data structure across hundreds of
+// thousands of IPs × 17 weeks — instead of an address-keyed map; the
+// output is identical.
 func (t *Tracker) Compute() []WeekChurn {
-	type history struct {
-		first int
-		seen  int
+	var ipHistMap map[packet.IPv4Addr]*history
+	var ipHistIDs []history
+	if t.table == nil {
+		ipHistMap = make(map[packet.IPv4Addr]*history)
 	}
-	ipHist := make(map[packet.IPv4Addr]*history)
+	histOf := func(ip packet.IPv4Addr) *history {
+		if t.table == nil {
+			h := ipHistMap[ip]
+			if h == nil {
+				h = &history{first: -1}
+				ipHistMap[ip] = h
+			}
+			return h
+		}
+		id := int(t.table.Resolve(ip))
+		if id >= len(ipHistIDs) {
+			grown := make([]history, id+1+len(ipHistIDs)/2)
+			copy(grown, ipHistIDs)
+			for i := len(ipHistIDs); i < len(grown); i++ {
+				grown[i].first = -1
+			}
+			ipHistIDs = grown
+		}
+		return &ipHistIDs[id]
+	}
 	asHist := make(map[uint32]*history)
 
 	out := make([]WeekChurn, 0, len(t.weeks))
@@ -152,12 +195,11 @@ func (t *Tracker) Compute() []WeekChurn {
 		asPools := make(map[uint32]Pool)
 		prefixes := make(map[routing.Prefix]bool)
 		for ip, so := range obs.Servers {
-			h := ipHist[ip]
-			if h == nil {
-				h = &history{first: n}
-				ipHist[ip] = h
+			h := histOf(ip)
+			if h.first < 0 {
+				h.first = int32(n)
 			}
-			pool := poolOf(h.first, h.seen, n)
+			pool := poolOf(int(h.first), int(h.seen), n)
 			h.seen++
 
 			wc.IPs[pool]++
@@ -190,10 +232,10 @@ func (t *Tracker) Compute() []WeekChurn {
 				if _, done := asPools[so.ASN]; !done {
 					ah := asHist[so.ASN]
 					if ah == nil {
-						ah = &history{first: n}
+						ah = &history{first: int32(n)}
 						asHist[so.ASN] = ah
 					}
-					asPools[so.ASN] = poolOf(ah.first, ah.seen, n)
+					asPools[so.ASN] = poolOf(int(ah.first), int(ah.seen), n)
 					ah.seen++
 				}
 				prefixes[so.Prefix] = true

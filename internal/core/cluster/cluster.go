@@ -29,6 +29,7 @@ import (
 	"sort"
 
 	"ixplens/internal/core/metadata"
+	"ixplens/internal/entity"
 	"ixplens/internal/packet"
 )
 
@@ -73,6 +74,11 @@ type Options struct {
 	// majority votes use network footprints as a late tie-breaker, as
 	// the paper describes.
 	ASNOf func(packet.IPv4Addr) (uint32, bool)
+	// Entities, when set, supersedes ASNOf with the shared interning
+	// layer: AS resolution becomes a memoized table read instead of a
+	// trie walk per IP, and authority names intern through
+	// Entities.Names so the vote bookkeeping is keyed by dense IDs.
+	Entities *entity.Table
 }
 
 // DefaultOptions returns the thresholds used throughout the study.
@@ -118,37 +124,81 @@ func (r *Result) ClusteredShare(s Step) float64 {
 	return float64(r.StepIPs[s]) / float64(total)
 }
 
-// Run executes the clustering over cleaned meta-data.
+// asnResolver composes the AS lookup the vote and footprint bookkeeping
+// use: the entity table's memoized attributes when available, the plain
+// ASNOf callback otherwise, nil when neither is set.
+func (opts *Options) asnResolver() func(packet.IPv4Addr) (uint32, bool) {
+	if opts.Entities != nil {
+		tab := opts.Entities
+		return func(ip packet.IPv4Addr) (uint32, bool) {
+			_, a := tab.ResolveAttrs(ip)
+			return a.ASN, a.ASN != 0
+		}
+	}
+	return opts.ASNOf
+}
+
+// Run executes the clustering over cleaned meta-data. Authority names
+// are interned to dense IDs for the duration of the run (through
+// Options.Entities.Names when set), so the per-server evidence counts,
+// the unanimous-cluster sizes and the vote all operate on uint32 keys
+// and slice indices; the Result is keyed by the authority strings as
+// before.
 func Run(metas []metadata.ServerMeta, opts Options) *Result {
+	names := entity.NewStrings()
+	if opts.Entities != nil {
+		names = opts.Entities.Names
+	}
+	asnOf := opts.asnResolver()
+
 	res := &Result{
 		ByServer:          make(map[packet.IPv4Addr]Assignment, len(metas)),
 		Clusters:          make(map[string]*Cluster),
 		StepIPs:           make(map[Step]int),
-		SharedAuthorities: detectShared(metas, opts),
+		SharedAuthorities: detectShared(metas, opts, names),
+	}
+	sharedIDs := make(map[uint32]bool, len(res.SharedAuthorities))
+	for a := range res.SharedAuthorities {
+		sharedIDs[names.Intern(a)] = true
 	}
 
 	// Evidence per server, with shared-authority substitution applied.
+	// Authorities are dense name IDs throughout.
 	type serverEvidence struct {
 		meta    *metadata.ServerMeta
-		counts  map[string]int // authority -> occurrences for this server
+		counts  map[uint32]int // authority ID -> occurrences for this server
 		sources int            // distinct evidence sources contributing
-		ordered []string
-		// hostAuth is the hostname-derived authority ("" without DNS).
-		hostAuth string
+		ordered []uint32       // authority IDs, lexicographic by value
+		// hostAuth is the hostname-derived authority (hasHost guards it).
+		hostAuth uint32
+		hasHost  bool
 		// hostConfirmed is set when a URI or certificate authority
 		// agrees with hostAuth.
 		hostConfirmed bool
 	}
 	evs := make([]serverEvidence, 0, len(metas))
-	// step1Size counts, per candidate authority, the IPs whose evidence
-	// is unanimous — the basis of the majority vote.
-	step1Size := make(map[string]int)
-	step1Footprint := make(map[string]map[uint32]bool)
+	// step1Size counts, per candidate authority ID, the IPs whose
+	// evidence is unanimous — the basis of the majority vote. Slice
+	// indexed by name ID, grown on demand.
+	var step1Size []int
+	var step1Footprint []map[uint32]bool
+	sizeOf := func(a uint32) int {
+		if int(a) < len(step1Size) {
+			return step1Size[a]
+		}
+		return 0
+	}
+	footprintOf := func(a uint32) int {
+		if int(a) < len(step1Footprint) {
+			return len(step1Footprint[a])
+		}
+		return 0
+	}
 
-	addCount := func(m map[string]int, ev metadata.Evidence, shared map[string]bool) string {
-		a := ev.Authority
-		if shared[a] {
-			a = ev.Domain
+	addCount := func(m map[uint32]int, ev metadata.Evidence) uint32 {
+		a := names.Intern(ev.Authority)
+		if sharedIDs[a] {
+			a = names.Intern(ev.Domain)
 		}
 		m[a]++
 		return a
@@ -161,10 +211,11 @@ func Run(metas []metadata.ServerMeta, opts Options) *Result {
 			res.StepIPs[Unclustered]++
 			continue
 		}
-		se := serverEvidence{meta: m, counts: make(map[string]int, 4)}
+		se := serverEvidence{meta: m, counts: make(map[uint32]int, 4)}
 		if m.HasDNS() {
 			se.sources++
-			se.hostAuth = addCount(se.counts, m.HostnameEv, res.SharedAuthorities)
+			se.hostAuth = addCount(se.counts, m.HostnameEv)
+			se.hasHost = true
 		}
 		if m.HasURI() {
 			se.sources++
@@ -173,42 +224,49 @@ func Run(metas []metadata.ServerMeta, opts Options) *Result {
 			se.sources++
 		}
 		for _, ev := range m.URIEv {
-			a := addCount(se.counts, ev, res.SharedAuthorities)
-			if se.hostAuth != "" && a == se.hostAuth {
+			a := addCount(se.counts, ev)
+			if se.hasHost && a == se.hostAuth {
 				se.hostConfirmed = true
 			}
 		}
 		for _, ev := range m.CertEv {
-			a := addCount(se.counts, ev, res.SharedAuthorities)
-			if se.hostAuth != "" && a == se.hostAuth {
+			a := addCount(se.counts, ev)
+			if se.hasHost && a == se.hostAuth {
 				se.hostConfirmed = true
 			}
 		}
 		for a := range se.counts {
 			se.ordered = append(se.ordered, a)
 		}
-		sort.Strings(se.ordered)
+		sort.Slice(se.ordered, func(i, j int) bool {
+			return names.Value(se.ordered[i]) < names.Value(se.ordered[j])
+		})
 		evs = append(evs, se)
 		if len(se.counts) == 1 || se.hostConfirmed {
 			a := se.ordered[0]
 			if se.hostConfirmed {
 				a = se.hostAuth
 			}
+			for int(a) >= len(step1Size) {
+				step1Size = append(step1Size, 0)
+			}
 			step1Size[a]++
-			if opts.ASNOf != nil {
-				if asn, ok := opts.ASNOf(m.IP); ok {
-					fp := step1Footprint[a]
-					if fp == nil {
-						fp = make(map[uint32]bool)
-						step1Footprint[a] = fp
+			if asnOf != nil {
+				if asn, ok := asnOf(m.IP); ok {
+					for int(a) >= len(step1Footprint) {
+						step1Footprint = append(step1Footprint, nil)
 					}
-					fp[asn] = true
+					if step1Footprint[a] == nil {
+						step1Footprint[a] = make(map[uint32]bool)
+					}
+					step1Footprint[a][asn] = true
 				}
 			}
 		}
 	}
 
-	assign := func(m *metadata.ServerMeta, authority string, step Step) {
+	assign := func(m *metadata.ServerMeta, authID uint32, step Step) {
+		authority := names.Value(authID)
 		res.ByServer[m.IP] = Assignment{Authority: authority, Step: step}
 		res.StepIPs[step]++
 		c := res.Clusters[authority]
@@ -218,8 +276,8 @@ func Run(metas []metadata.ServerMeta, opts Options) *Result {
 		}
 		c.IPs = append(c.IPs, m.IP)
 		c.Bytes += m.Bytes
-		if opts.ASNOf != nil {
-			if asn, ok := opts.ASNOf(m.IP); ok {
+		if asnOf != nil {
+			if asn, ok := asnOf(m.IP); ok {
 				if c.ASNs == nil {
 					c.ASNs = make(map[uint32]int)
 				}
@@ -242,10 +300,10 @@ func Run(metas []metadata.ServerMeta, opts Options) *Result {
 			assign(se.meta, se.hostAuth, Step1)
 		case se.sources >= 2:
 			// Full but conflicting information: majority vote.
-			assign(se.meta, vote(se.ordered, se.counts, step1Size, step1Footprint), Step2)
+			assign(se.meta, vote(se.ordered, se.counts, sizeOf, footprintOf), Step2)
 		default:
 			// Partial (single-source) ambiguous information.
-			assign(se.meta, vote(se.ordered, se.counts, step1Size, step1Footprint), Step3)
+			assign(se.meta, vote(se.ordered, se.counts, sizeOf, footprintOf), Step3)
 		}
 	}
 	return res
@@ -253,8 +311,9 @@ func Run(metas []metadata.ServerMeta, opts Options) *Result {
 
 // vote picks the winning authority: per-server occurrence count first,
 // then global unanimous-cluster size, then network footprint, then
-// lexicographic order for determinism.
-func vote(ordered []string, counts map[string]int, step1Size map[string]int, footprint map[string]map[uint32]bool) string {
+// lexicographic order for determinism (ordered is sorted by authority
+// string, and ties keep the earlier entry).
+func vote(ordered []uint32, counts map[uint32]int, sizeOf, footprintOf func(uint32) int) uint32 {
 	best := ordered[0]
 	for _, a := range ordered[1:] {
 		switch {
@@ -262,12 +321,12 @@ func vote(ordered []string, counts map[string]int, step1Size map[string]int, foo
 			if counts[a] > counts[best] {
 				best = a
 			}
-		case step1Size[a] != step1Size[best]:
-			if step1Size[a] > step1Size[best] {
+		case sizeOf(a) != sizeOf(best):
+			if sizeOf(a) > sizeOf(best) {
 				best = a
 			}
-		case len(footprint[a]) != len(footprint[best]):
-			if len(footprint[a]) > len(footprint[best]) {
+		case footprintOf(a) != footprintOf(best):
+			if footprintOf(a) > footprintOf(best) {
 				best = a
 			}
 		}
@@ -277,23 +336,26 @@ func vote(ordered []string, counts map[string]int, step1Size map[string]int, foo
 
 // detectShared finds authorities whose zone spread marks them as
 // third-party DNS operators or meta-hosters: many unrelated registrable
-// domains lead to them, while almost no server hostname does.
-func detectShared(metas []metadata.ServerMeta, opts Options) map[string]bool {
-	domains := make(map[string]map[string]bool)
-	hostnameIPs := make(map[string]int)
-	record := func(ev metadata.Evidence) {
-		ds := domains[ev.Authority]
+// domains lead to them, while almost no server hostname does. The scan
+// interns authority and domain names so the spread bookkeeping is
+// ID-keyed; the returned set is string-keyed for the public Result.
+func detectShared(metas []metadata.ServerMeta, opts Options, names *entity.Strings) map[string]bool {
+	domains := make(map[uint32]map[uint32]bool)
+	hostnameIPs := make(map[uint32]int)
+	record := func(ev metadata.Evidence) uint32 {
+		auth := names.Intern(ev.Authority)
+		ds := domains[auth]
 		if ds == nil {
-			ds = make(map[string]bool)
-			domains[ev.Authority] = ds
+			ds = make(map[uint32]bool)
+			domains[auth] = ds
 		}
-		ds[ev.Domain] = true
+		ds[names.Intern(ev.Domain)] = true
+		return auth
 	}
 	for i := range metas {
 		m := &metas[i]
 		if m.HasDNS() {
-			record(m.HostnameEv)
-			hostnameIPs[m.HostnameEv.Authority]++
+			hostnameIPs[record(m.HostnameEv)]++
 		}
 		for _, ev := range m.URIEv {
 			record(ev)
@@ -312,7 +374,7 @@ func detectShared(metas []metadata.ServerMeta, opts Options) map[string]bool {
 			continue
 		}
 		if float64(spread) >= opts.SharedSpreadRatio*float64(hostnameIPs[auth]+1) {
-			shared[auth] = true
+			shared[names.Value(auth)] = true
 		}
 	}
 	return shared

@@ -52,6 +52,10 @@ type streamBatch struct {
 	recs  []Record
 	done  chan struct{} // signaled by the worker when recs are ready
 	start time.Time     // dispatch time, set only when metrics are on
+	// seqBase is the global stream index of the batch's first sample
+	// (sharded mode only): assigned at dispatch, so seqBase + i is the
+	// position a sequential pass would have seen sample i at.
+	seqBase uint64
 	// quarantined marks a batch whose classification panicked; the
 	// merger counts its samples instead of delivering them.
 	quarantined bool
@@ -76,6 +80,14 @@ type StreamProcessor struct {
 	batchSamples int
 	m            *Metrics
 
+	// Sharded mode (NewShardedStreamProcessor): no merger, no ordering.
+	// Workers invoke shardFn inline with their worker index and the
+	// sample's global stream position, and tally into their own counts
+	// slot; Close sums the slots.
+	shardFn      ShardObserver
+	workerCounts []Counts
+	sampleSeq    uint64
+
 	jobs  chan *streamBatch // to the classifier workers
 	order chan *streamBatch // to the merger, in dispatch order
 	free  chan *streamBatch // recycled batches, bounds memory
@@ -87,6 +99,15 @@ type StreamProcessor struct {
 	workerWG  sync.WaitGroup
 	mergeDone chan struct{}
 }
+
+// ShardObserver is the per-worker observer of the sharded streaming
+// mode. worker identifies the calling goroutine (0 <= worker < workers,
+// stable for the processor's lifetime), seq is the record's global
+// stream position. Calls for the same worker are sequential; calls for
+// different workers are concurrent — the observer must keep per-worker
+// state (e.g. one webserver.Identifier shard per worker) and merge
+// after Close. The record is only valid for the duration of the call.
+type ShardObserver func(worker int, rec *Record, seq uint64)
 
 // NewStreamProcessor starts workers classifier goroutines (plus one
 // merger) against the given member resolver. workers below 1 is treated
@@ -121,6 +142,82 @@ func NewStreamProcessor(ctx context.Context, members MemberResolver, workers int
 	}
 	go p.merge()
 	return p
+}
+
+// NewShardedStreamProcessor starts a pool like NewStreamProcessor, but
+// with the ordered merge removed: each worker classifies AND observes
+// its batches inline through obs, passing its worker index and the
+// sample's global stream position. Observation runs on all workers
+// concurrently instead of serializing behind a merger — the observer
+// must shard its state by worker index (see ShardObserver). Per-batch
+// panic isolation still applies: a panic in classification or the
+// observer quarantines the batch's remaining samples into
+// Counts.PanicQuarantined and the pool keeps flowing.
+func NewShardedStreamProcessor(ctx context.Context, members MemberResolver, workers int, obs ShardObserver, m *Metrics) *StreamProcessor {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	pool := workers*batchesPerWorker + 2
+	p := &StreamProcessor{
+		ctx:          ctx,
+		shardFn:      obs,
+		workerCounts: make([]Counts, workers),
+		batchSamples: defaultBatchSamples,
+		m:            m,
+		jobs:         make(chan *streamBatch, pool),
+		free:         make(chan *streamBatch, pool),
+	}
+	for i := 0; i < pool; i++ {
+		p.free <- &streamBatch{done: make(chan struct{}, 1)}
+	}
+	for i := 0; i < workers; i++ {
+		p.workerWG.Add(1)
+		go p.shardWorker(i, members)
+	}
+	return p
+}
+
+func (p *StreamProcessor) shardWorker(idx int, members MemberResolver) {
+	defer p.workerWG.Done()
+	cls := NewClassifier(members)
+	cls.SetMetrics(p.m)
+	var rec Record
+	for b := range p.jobs {
+		p.shardBatch(idx, cls, b, &rec)
+		if p.m != nil {
+			p.m.BatchNanos.ObserveSince(b.start)
+			p.m.QueueDepth.Set(int64(len(p.jobs)))
+		}
+		b.reset()
+		p.free <- b
+	}
+}
+
+// shardBatch classifies and observes one batch on worker idx. A panic —
+// in the classifier or the observer — quarantines the current sample
+// and the batch's remainder, mirroring the ordered path's deliver.
+func (p *StreamProcessor) shardBatch(idx int, cls *Classifier, b *streamBatch, rec *Record) {
+	counts := &p.workerCounts[idx]
+	i := 0
+	defer func() {
+		if r := recover(); r != nil {
+			n := len(b.flows) - i
+			counts.PanicQuarantined += n
+			if p.m != nil {
+				p.m.PanicQuarantined.Add(uint64(n))
+			}
+		}
+	}()
+	for ; i < len(b.flows); i++ {
+		cls.Classify(&b.flows[i], rec)
+		if p.shardFn != nil {
+			p.shardFn(idx, rec, b.seqBase+uint64(i))
+		}
+		counts.Tally(rec)
+	}
 }
 
 func (p *StreamProcessor) worker(members MemberResolver) {
@@ -248,6 +345,16 @@ func (p *StreamProcessor) dispatch() {
 		b.start = time.Now()
 		p.m.QueueDepth.Set(int64(len(p.jobs) + 1))
 	}
+	if p.order == nil {
+		// Sharded mode: stamp the batch's global stream position. Batches
+		// are dispatched by the single producer in fill order, so seqBase
+		// is monotone in stream order even though batches complete out of
+		// order on the workers.
+		b.seqBase = p.sampleSeq
+		p.sampleSeq += uint64(len(b.flows))
+		p.jobs <- b
+		return
+	}
 	p.order <- b
 	p.jobs <- b
 }
@@ -262,10 +369,32 @@ func (p *StreamProcessor) Close() Counts {
 		p.dispatch()
 		close(p.jobs)
 		p.workerWG.Wait()
-		close(p.order)
-		<-p.mergeDone
+		if p.order != nil {
+			close(p.order)
+			<-p.mergeDone
+		}
+		// Sharded mode: fold the per-worker tallies. Counts fields are
+		// additive, so the sum is independent of shard assignment.
+		for i := range p.workerCounts {
+			p.counts.add(&p.workerCounts[i])
+		}
 	}
 	return p.counts
+}
+
+// add folds another tally into c field by field.
+func (c *Counts) add(o *Counts) {
+	c.Total += o.Total
+	c.Undecodable += o.Undecodable
+	c.NonIPv4 += o.NonIPv4
+	c.Local += o.Local
+	c.NonTCPUDP += o.NonTCPUDP
+	c.PeeringTCP += o.PeeringTCP
+	c.PeeringUDP += o.PeeringUDP
+	c.PanicQuarantined += o.PanicQuarantined
+	c.TotalBytes += o.TotalBytes
+	c.PeeringTCPBytes += o.PeeringTCPBytes
+	c.PeeringUDPBytes += o.PeeringUDPBytes
 }
 
 // ProcessParallel drains a datagram source through a StreamProcessor:
@@ -300,6 +429,55 @@ func ProcessParallel(ctx context.Context, src DatagramSource, members MemberReso
 		}
 	}
 	p := NewStreamProcessor(ctx, members, workers, fn, m)
+	return drainInto(p, src)
+}
+
+// ProcessSharded drains a datagram source through the sharded (merge-
+// free) streaming mode: classification and observation both spread over
+// workers goroutines, with obs receiving each worker's index and every
+// sample's global stream position. Aggregates built from the calls are
+// deterministic as long as the observer's per-IP state merges
+// order-independently (webserver.Identifier's sharded form does).
+// With workers <= 1 it runs sequentially on the caller's goroutine,
+// still passing stream positions. The drain honours ctx like
+// ProcessParallel; m may be nil.
+func ProcessSharded(ctx context.Context, src DatagramSource, members MemberResolver, workers int, obs ShardObserver, m *Metrics) (Counts, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if workers <= 1 {
+		cls := NewClassifier(members)
+		cls.SetMetrics(m)
+		var counts Counts
+		var seq uint64
+		fn := func(rec *Record) {
+			if obs != nil {
+				obs(0, rec, seq)
+			}
+			seq++
+		}
+		var d sflow.Datagram
+		for {
+			if err := ctx.Err(); err != nil {
+				return counts, err
+			}
+			err := src.Next(&d)
+			if err == io.EOF {
+				return counts, nil
+			}
+			if err != nil {
+				return counts, err
+			}
+			cls.ClassifyDatagram(&d, &counts, fn)
+		}
+	}
+	p := NewShardedStreamProcessor(ctx, members, workers, obs, m)
+	return drainInto(p, src)
+}
+
+// drainInto feeds every datagram of src into p and closes it, in all
+// outcomes returning the merged tallies.
+func drainInto(p *StreamProcessor, src DatagramSource) (Counts, error) {
 	var d sflow.Datagram
 	for {
 		err := src.Next(&d)

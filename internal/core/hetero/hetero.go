@@ -11,6 +11,7 @@ import (
 
 	"ixplens/internal/core/cluster"
 	"ixplens/internal/core/dissect"
+	"ixplens/internal/entity"
 	"ixplens/internal/packet"
 )
 
@@ -52,21 +53,28 @@ type ASPoint struct {
 
 // ASHosting derives Fig. 6(c): for every AS, how many organizations
 // (clusters with at least minServers IPs overall) have servers inside
-// it, and how many server IPs it hosts in total.
+// it, and how many server IPs it hosts in total. Organization names are
+// interned to dense IDs for the per-AS membership sets, so the scan
+// hashes uint32 keys instead of authority strings.
 func ASHosting(res *cluster.Result, minServers int) []ASPoint {
-	orgsPerAS := make(map[uint32]map[string]bool)
+	orgIDs := entity.NewStrings()
+	orgsPerAS := make(map[uint32]map[uint32]bool)
 	serversPerAS := make(map[uint32]int)
 	for _, c := range res.Clusters {
 		qualifies := len(c.IPs) >= minServers
+		var org uint32
+		if qualifies {
+			org = orgIDs.Intern(c.Authority)
+		}
 		for asn, n := range c.ASNs {
 			serversPerAS[asn] += n
 			if qualifies {
 				set := orgsPerAS[asn]
 				if set == nil {
-					set = make(map[string]bool)
+					set = make(map[uint32]bool)
 					orgsPerAS[asn] = set
 				}
-				set[c.Authority] = true
+				set[org] = true
 			}
 		}
 	}
@@ -108,10 +116,13 @@ type LinkStats struct {
 	TotalBytes uint64
 	// DirectBytes is the share entering/leaving via the home member.
 	DirectBytes uint64
-	// DirectServerIPs and OffLinkServerIPs partition the org's observed
-	// servers by whether their traffic ever used the direct link.
-	DirectServerIPs  map[packet.IPv4Addr]bool
-	OffLinkServerIPs map[packet.IPv4Addr]bool
+	// directServers and offLinkServers partition the org's observed
+	// servers by whether their traffic ever used the direct link. With an
+	// entity table attached the keys are dense entity IDs, otherwise raw
+	// addresses; both fit uint64.
+	directServers  map[uint64]bool
+	offLinkServers map[uint64]bool
+	table          *entity.Table
 }
 
 // MemberLink is one member AS's view of the org's traffic.
@@ -125,12 +136,28 @@ type MemberLink struct {
 
 // NewLinkStats prepares an accumulator for one organization.
 func NewLinkStats(homeMember int32) *LinkStats {
+	return NewLinkStatsWith(homeMember, nil)
+}
+
+// NewLinkStatsWith prepares an accumulator whose server sets are keyed
+// by dense entity IDs from the shared table (nil table falls back to
+// address keys; results are identical).
+func NewLinkStatsWith(homeMember int32, table *entity.Table) *LinkStats {
 	return &LinkStats{
-		HomeMember:       homeMember,
-		PerMember:        make(map[int32]*MemberLink),
-		DirectServerIPs:  make(map[packet.IPv4Addr]bool),
-		OffLinkServerIPs: make(map[packet.IPv4Addr]bool),
+		HomeMember:     homeMember,
+		PerMember:      make(map[int32]*MemberLink),
+		directServers:  make(map[uint64]bool),
+		offLinkServers: make(map[uint64]bool),
+		table:          table,
 	}
+}
+
+// serverKey maps a server IP into the set-key space.
+func (ls *LinkStats) serverKey(ip packet.IPv4Addr) uint64 {
+	if ls.table != nil {
+		return uint64(ls.table.Resolve(ip))
+	}
+	return uint64(ip)
 }
 
 // Observe processes one dissected record against the org's server set.
@@ -159,11 +186,15 @@ func (ls *LinkStats) Observe(rec *dissect.Record, isServer func(packet.IPv4Addr)
 	if serverSide == ls.HomeMember {
 		ml.Direct += rec.Bytes
 		ls.DirectBytes += rec.Bytes
-		ls.DirectServerIPs[serverIP] = true
+		ls.directServers[ls.serverKey(serverIP)] = true
 	} else {
-		ls.OffLinkServerIPs[serverIP] = true
+		ls.offLinkServers[ls.serverKey(serverIP)] = true
 	}
 }
+
+// NumDirectServers counts servers seen at least once over the direct
+// peering link.
+func (ls *LinkStats) NumDirectServers() int { return len(ls.directServers) }
 
 // Attribute runs the Fig. 7 second pass without a buffered week: it
 // drains src through the dissection cascade and feeds every record to
@@ -191,8 +222,8 @@ func (ls *LinkStats) OffLinkShare() float64 {
 // (15K of 28K Akamai servers in the paper).
 func (ls *LinkStats) ServersOnlyOffLink() int {
 	n := 0
-	for ip := range ls.OffLinkServerIPs {
-		if !ls.DirectServerIPs[ip] {
+	for k := range ls.offLinkServers {
+		if !ls.directServers[k] {
 			n++
 		}
 	}

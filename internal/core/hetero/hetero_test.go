@@ -145,7 +145,7 @@ func TestFig7bAcmeLinks(t *testing.T) {
 	// A majority of acme's observed servers never use the direct link
 	// (15K of 28K in the paper) while carrying a minority of traffic.
 	only := ls.ServersOnlyOffLink()
-	totalServers := len(ls.DirectServerIPs) + only
+	totalServers := ls.NumDirectServers() + only
 	if only*3 < totalServers {
 		t.Fatalf("only %d of %d acme servers exclusively off-link", only, totalServers)
 	}

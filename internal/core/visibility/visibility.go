@@ -10,41 +10,67 @@ import (
 
 	"ixplens/internal/core/dissect"
 	"ixplens/internal/core/webserver"
+	"ixplens/internal/entity"
 	"ixplens/internal/geo"
 	"ixplens/internal/packet"
 	"ixplens/internal/routing"
 )
 
 // Aggregator accumulates per-IP activity over one week of peering
-// traffic and derives the visibility views.
+// traffic and derives the visibility views. IPs intern to dense entity
+// IDs on first sight, so the per-IP byte accumulator is a slice indexed
+// by ID and every RIB/geo resolution is a memoized table read.
 type Aggregator struct {
-	rib *routing.Table
-	geo *geo.DB
-	ips map[packet.IPv4Addr]*ipAgg
+	table *entity.Table
+	// bytes is indexed by entity ID; seen marks the IDs this aggregator
+	// observed (the table may be shared across weeks and hold more IPs
+	// than this week saw). order lists the observed IDs for iteration.
+	bytes []uint64
+	seen  []bool
+	order []entity.ID
 }
 
-type ipAgg struct {
-	bytes uint64
-}
-
-// NewAggregator builds an aggregator against a RIB and geo database.
+// NewAggregator builds an aggregator against a RIB and geo database,
+// with a private interning table.
 func NewAggregator(rib *routing.Table, gdb *geo.DB) *Aggregator {
-	return &Aggregator{rib: rib, geo: gdb, ips: make(map[packet.IPv4Addr]*ipAgg, 1<<14)}
+	return NewAggregatorWith(entity.NewTable(rib, gdb))
 }
 
-// Observe feeds one dissected record; only peering traffic counts.
+// NewAggregatorWith builds an aggregator sharing an existing entity
+// table, so IPs already interned by other pipeline stages resolve for
+// free.
+func NewAggregatorWith(table *entity.Table) *Aggregator {
+	return &Aggregator{table: table}
+}
+
+// Observe feeds one dissected record; only peering traffic counts. Each
+// endpoint is credited with the record's bytes; a self-addressed record
+// (SrcIP == DstIP) credits that IP once, not twice.
 func (a *Aggregator) Observe(rec *dissect.Record) {
 	if !rec.Class.IsPeering() {
 		return
 	}
-	for _, ip := range [2]packet.IPv4Addr{rec.SrcIP, rec.DstIP} {
-		e := a.ips[ip]
-		if e == nil {
-			e = &ipAgg{}
-			a.ips[ip] = e
-		}
-		e.bytes += rec.Bytes
+	a.credit(rec.SrcIP, rec.Bytes)
+	if rec.DstIP != rec.SrcIP {
+		a.credit(rec.DstIP, rec.Bytes)
 	}
+}
+
+func (a *Aggregator) credit(ip packet.IPv4Addr, bytes uint64) {
+	id := a.table.Resolve(ip)
+	if int(id) >= len(a.bytes) {
+		grown := make([]uint64, int(id)+1+len(a.bytes)/2)
+		copy(grown, a.bytes)
+		a.bytes = grown
+		seen := make([]bool, len(grown))
+		copy(seen, a.seen)
+		a.seen = seen
+	}
+	if !a.seen[id] {
+		a.seen[id] = true
+		a.order = append(a.order, id)
+	}
+	a.bytes[id] += bytes
 }
 
 // Summary is one side of Table 1 (either all peering traffic or the
@@ -57,40 +83,38 @@ type Summary struct {
 	Bytes     uint64
 }
 
-// entityView resolves an IP to its prefix/AS/country using the public
-// measurement substrates, exactly like the study does.
-func (a *Aggregator) resolve(ip packet.IPv4Addr) (routing.Route, string, bool) {
-	r, ok := a.rib.Lookup(ip)
-	if !ok {
-		return routing.Route{}, "", false
-	}
-	return r, a.geo.Lookup(ip), true
-}
-
 // Summarize computes Table 1's row set over a subset of the observed
 // IPs: pass nil to use all peering IPs, or a filter for the server set.
+// Distinct-AS/prefix/country counting is bool slices over the table's
+// dense index spaces, not hash sets.
 func (a *Aggregator) Summarize(filter func(packet.IPv4Addr) bool) Summary {
 	var s Summary
-	ases := make(map[uint32]bool)
-	prefixes := make(map[routing.Prefix]bool)
-	countries := make(map[string]bool)
-	for ip, agg := range a.ips {
-		if filter != nil && !filter(ip) {
+	attrs := a.table.AttrsView()
+	ases := make([]bool, a.table.NumAS())
+	prefixes := make([]bool, a.table.NumPrefixes())
+	countries := make([]bool, a.table.Countries.Len())
+	for _, id := range a.order {
+		if filter != nil && !filter(a.table.IP(id)) {
 			continue
 		}
 		s.IPs++
-		s.Bytes += agg.bytes
-		if r, country, ok := a.resolve(ip); ok {
-			ases[r.ASN] = true
-			prefixes[r.Prefix] = true
-			if country != "" {
-				countries[country] = true
+		s.Bytes += a.bytes[id]
+		at := &attrs[id]
+		if at.PrefixID != entity.NoPrefix {
+			if !ases[at.ASIdx] {
+				ases[at.ASIdx] = true
+				s.ASes++
+			}
+			if !prefixes[at.PrefixID] {
+				prefixes[at.PrefixID] = true
+				s.Prefixes++
+			}
+			if at.CountryID != 0 && !countries[at.CountryID] {
+				countries[at.CountryID] = true
+				s.Countries++
 			}
 		}
 	}
-	s.ASes = len(ases)
-	s.Prefixes = len(prefixes)
-	s.Countries = len(countries)
 	return s
 }
 
@@ -101,24 +125,25 @@ type Share struct {
 	Bytes uint64
 }
 
-// byCountry aggregates IP counts and traffic per country.
-func (a *Aggregator) byCountry(filter func(packet.IPv4Addr) bool) map[string]*Share {
-	out := make(map[string]*Share)
-	for ip, agg := range a.ips {
-		if filter != nil && !filter(ip) {
+// byCountry aggregates IP counts and traffic per country ID.
+func (a *Aggregator) byCountry(filter func(packet.IPv4Addr) bool) map[uint32]*Share {
+	out := make(map[uint32]*Share)
+	attrs := a.table.AttrsView()
+	for _, id := range a.order {
+		if filter != nil && !filter(a.table.IP(id)) {
 			continue
 		}
-		_, country, ok := a.resolve(ip)
-		if !ok || country == "" {
+		at := &attrs[id]
+		if at.PrefixID == entity.NoPrefix || at.CountryID == 0 {
 			continue
 		}
-		sh := out[country]
+		sh := out[at.CountryID]
 		if sh == nil {
-			sh = &Share{Key: country}
-			out[country] = sh
+			sh = &Share{Key: a.table.Countries.Value(at.CountryID)}
+			out[at.CountryID] = sh
 		}
 		sh.Count++
-		sh.Bytes += agg.bytes
+		sh.Bytes += a.bytes[id]
 	}
 	return out
 }
@@ -126,21 +151,22 @@ func (a *Aggregator) byCountry(filter func(packet.IPv4Addr) bool) map[string]*Sh
 // byASN aggregates IP counts and traffic per origin AS.
 func (a *Aggregator) byASN(filter func(packet.IPv4Addr) bool) map[uint32]*Share {
 	out := make(map[uint32]*Share)
-	for ip, agg := range a.ips {
-		if filter != nil && !filter(ip) {
+	attrs := a.table.AttrsView()
+	for _, id := range a.order {
+		if filter != nil && !filter(a.table.IP(id)) {
 			continue
 		}
-		r, _, ok := a.resolve(ip)
-		if !ok {
+		at := &attrs[id]
+		if at.PrefixID == entity.NoPrefix {
 			continue
 		}
-		sh := out[r.ASN]
+		sh := out[at.ASN]
 		if sh == nil {
 			sh = &Share{}
-			out[r.ASN] = sh
+			out[at.ASN] = sh
 		}
 		sh.Count++
-		sh.Bytes += agg.bytes
+		sh.Bytes += a.bytes[id]
 	}
 	return out
 }
@@ -236,37 +262,42 @@ type ClassBreakdown struct {
 func (a *Aggregator) LocalGlobal(classes map[uint32]routing.DistanceClass, filter func(packet.IPv4Addr) bool) ClassBreakdown {
 	var out ClassBreakdown
 	var ipTot, trafTot float64
-	asSeen := make(map[uint32]routing.DistanceClass)
-	pfxSeen := make(map[routing.Prefix]routing.DistanceClass)
-	for ip, agg := range a.ips {
-		if filter != nil && !filter(ip) {
+	attrs := a.table.AttrsView()
+	// Dense per-AS/per-prefix class memos: 0 = unseen, class+1 otherwise.
+	asSeen := make([]uint8, a.table.NumAS())
+	pfxSeen := make([]uint8, a.table.NumPrefixes())
+	var nAS, nPfx float64
+	for _, id := range a.order {
+		if filter != nil && !filter(a.table.IP(id)) {
 			continue
 		}
-		r, _, ok := a.resolve(ip)
-		if !ok {
+		at := &attrs[id]
+		if at.PrefixID == entity.NoPrefix {
 			continue
 		}
-		cls, known := classes[r.ASN]
+		cls, known := classes[at.ASN]
 		if !known {
 			cls = routing.ClassGlobal
 		}
 		out.IPs[cls]++
 		ipTot++
-		out.Traffic[cls] += float64(agg.bytes)
-		trafTot += float64(agg.bytes)
-		asSeen[r.ASN] = cls
-		pfxSeen[r.Prefix] = cls
-	}
-	for _, cls := range asSeen {
-		out.ASes[cls]++
-	}
-	for _, cls := range pfxSeen {
-		out.Prefixes[cls]++
+		out.Traffic[cls] += float64(a.bytes[id])
+		trafTot += float64(a.bytes[id])
+		if asSeen[at.ASIdx] == 0 {
+			asSeen[at.ASIdx] = uint8(cls) + 1
+			out.ASes[cls]++
+			nAS++
+		}
+		if pfxSeen[at.PrefixID] == 0 {
+			pfxSeen[at.PrefixID] = uint8(cls) + 1
+			out.Prefixes[cls]++
+			nPfx++
+		}
 	}
 	normalize(&out.IPs, ipTot)
 	normalize(&out.Traffic, trafTot)
-	normalize(&out.ASes, float64(len(asSeen)))
-	normalize(&out.Prefixes, float64(len(pfxSeen)))
+	normalize(&out.ASes, nAS)
+	normalize(&out.Prefixes, nPfx)
 	return out
 }
 
@@ -311,7 +342,7 @@ func TopShare(curve []float64, n int) float64 {
 }
 
 // NumObservedIPs returns how many distinct endpoint IPs were seen.
-func (a *Aggregator) NumObservedIPs() int { return len(a.ips) }
+func (a *Aggregator) NumObservedIPs() int { return len(a.order) }
 
 func minInt(a, b int) int {
 	if a < b {

@@ -250,6 +250,29 @@ func TestNumObservedIPs(t *testing.T) {
 	}
 }
 
+// TestSelfAddressedRecordCreditsOnce pins the SrcIP==DstIP accounting:
+// a record whose two endpoints are the same address must credit that IP
+// with the record's bytes once, not twice.
+func TestSelfAddressedRecordCreditsOnce(t *testing.T) {
+	agg := NewAggregator(nil, nil)
+	ip := packet.MakeIPv4(10, 1, 2, 3)
+	agg.Observe(&dissect.Record{Class: dissect.ClassPeeringTCP, SrcIP: ip, DstIP: ip, Bytes: 1000})
+	if got := agg.NumObservedIPs(); got != 1 {
+		t.Fatalf("observed %d IPs, want 1", got)
+	}
+	s := agg.Summarize(nil)
+	if s.Bytes != 1000 {
+		t.Fatalf("self-addressed record credited %d bytes, want 1000", s.Bytes)
+	}
+	// A normal two-endpoint record still credits both sides.
+	other := packet.MakeIPv4(10, 9, 9, 9)
+	agg.Observe(&dissect.Record{Class: dissect.ClassPeeringTCP, SrcIP: ip, DstIP: other, Bytes: 500})
+	s = agg.Summarize(nil)
+	if s.Bytes != 1000+2*500 {
+		t.Fatalf("mixed records credited %d bytes, want %d", s.Bytes, 1000+2*500)
+	}
+}
+
 // TestGeoErrorRobustness injects geolocation-database errors (the paper
 // cites geo DBs' unreliability) and checks the headline country rankings
 // survive them.

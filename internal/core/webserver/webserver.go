@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"time"
 
 	"ixplens/internal/certsim"
 	"ixplens/internal/core/dissect"
@@ -32,6 +33,9 @@ type Metrics struct {
 	CrawlAttempts     *obs.Counter
 	CrawlResponses    *obs.Counter
 	CrawlValid        *obs.Counter
+	// MergeNanos times the deterministic shard merge at the start of
+	// Identify (zero observations when the identifier has one shard).
+	MergeNanos *obs.Histogram
 	// ValidateFail counts rejected HTTPS candidates by rejection reason,
 	// indexed by certsim.RejectReason. Exposed as
 	// crawl_validate_fail{reason=...}; the reasons sum to
@@ -54,6 +58,7 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		CrawlAttempts:     r.Counter("webserver_crawl_attempts_total"),
 		CrawlResponses:    r.Counter("webserver_crawl_responses_total"),
 		CrawlValid:        r.Counter("webserver_crawl_valid_total"),
+		MergeNanos:        r.Histogram("webserver_shard_merge_ns"),
 	}
 	for reason := certsim.RejectReason(1); reason < certsim.NumRejectReasons; reason++ {
 		m.ValidateFail[reason] = r.Counter(fmt.Sprintf("crawl_validate_fail{reason=%s}", reason))
@@ -238,6 +243,11 @@ type IPStats struct {
 	SrcMember int32
 	// Bytes443 is represented traffic on port 443.
 	Bytes443 uint64
+	// srcSeq is the stream position of the sample that last set
+	// SrcMember, so the shard merge can reproduce the serial
+	// last-writer-wins outcome regardless of how samples were
+	// partitioned across shards.
+	srcSeq uint64
 }
 
 const (
@@ -245,67 +255,150 @@ const (
 	maxHostsPerIP = 12
 )
 
+// addPort keeps the maxPortsPerIP numerically smallest distinct ports,
+// sorted ascending. "k smallest" (rather than "first k encountered")
+// makes the capped set a pure function of the sample multiset: merging
+// two shards' sets yields exactly the set a serial pass over the union
+// would keep, which the deterministic shard merge depends on.
 func (s *IPStats) addPort(p uint16) {
-	for _, q := range s.Ports {
-		if q == p {
-			return
-		}
+	i := sort.Search(len(s.Ports), func(i int) bool { return s.Ports[i] >= p })
+	if i < len(s.Ports) && s.Ports[i] == p {
+		return
 	}
 	if len(s.Ports) < maxPortsPerIP {
-		s.Ports = append(s.Ports, p)
+		s.Ports = append(s.Ports, 0)
+	} else if i == len(s.Ports) {
+		return // full and p is larger than everything kept
+	}
+	copy(s.Ports[i+1:], s.Ports[i:])
+	s.Ports[i] = p
+}
+
+// addHost keeps the maxHostsPerIP lexicographically smallest distinct
+// Host values, sorted — partition-independent for the same reason as
+// addPort.
+func (s *IPStats) addHost(h string) {
+	i := sort.SearchStrings(s.Hosts, h)
+	if i < len(s.Hosts) && s.Hosts[i] == h {
+		return
+	}
+	if len(s.Hosts) < maxHostsPerIP {
+		s.Hosts = append(s.Hosts, "")
+	} else if i == len(s.Hosts) {
+		return
+	}
+	copy(s.Hosts[i+1:], s.Hosts[i:])
+	s.Hosts[i] = h
+}
+
+// merge folds another shard's evidence about the same IP into s. All
+// fields are either commutative-associative (counters, byte totals,
+// candidacy OR, k-smallest capped sets) or resolved by the global
+// sample sequence (SrcMember), so the result is independent of shard
+// assignment and merge order.
+func (s *IPStats) merge(o *IPStats) {
+	s.ServerHits += o.ServerHits
+	s.ClientHits += o.ClientHits
+	s.BytesTotal += o.BytesTotal
+	s.Bytes443 += o.Bytes443
+	s.Candidate443 = s.Candidate443 || o.Candidate443
+	for _, p := range o.Ports {
+		s.addPort(p)
+	}
+	for _, h := range o.Hosts {
+		s.addHost(h)
+	}
+	if o.SrcMember != -1 && (s.SrcMember == -1 || o.srcSeq > s.srcSeq) {
+		s.SrcMember = o.SrcMember
+		s.srcSeq = o.srcSeq
 	}
 }
 
-func (s *IPStats) addHost(h string) {
-	for _, q := range s.Hosts {
-		if q == h {
-			return
-		}
-	}
-	if len(s.Hosts) < maxHostsPerIP {
-		s.Hosts = append(s.Hosts, h)
-	}
+// shard is one worker's private accumulator: a stats map plus the
+// auto-sequence used when records arrive through the serial Observe
+// path.
+type shard struct {
+	stats map[packet.IPv4Addr]*IPStats
+	seq   uint64
 }
 
 // Identifier consumes peering records and accumulates per-IP evidence.
+// With one shard (NewIdentifier) it is the familiar serial accumulator;
+// NewSharded builds one accumulator per worker so a parallel dissect
+// pool can observe records concurrently — each worker owning one shard
+// index — with Identify merging the shards deterministically.
 type Identifier struct {
-	stats map[packet.IPv4Addr]*IPStats
-	m     *Metrics
+	shards []shard
+	m      *Metrics
 }
 
-// NewIdentifier returns an empty identifier.
-func NewIdentifier() *Identifier {
-	return &Identifier{stats: make(map[packet.IPv4Addr]*IPStats, 1<<12)}
+// NewIdentifier returns an empty single-shard identifier.
+func NewIdentifier() *Identifier { return NewSharded(1) }
+
+// NewSharded returns an identifier with n independent shards (n < 1 is
+// treated as 1). ObserveShard(i, ...) may be called concurrently for
+// distinct i; the merge in Identify produces results identical to a
+// serial pass over the same samples in stream order.
+func NewSharded(n int) *Identifier {
+	if n < 1 {
+		n = 1
+	}
+	id := &Identifier{shards: make([]shard, n)}
+	for i := range id.shards {
+		id.shards[i].stats = make(map[packet.IPv4Addr]*IPStats, 1<<12/n)
+	}
+	return id
 }
+
+// NumShards returns the shard count the identifier was built with.
+func (id *Identifier) NumShards() int { return len(id.shards) }
 
 // SetMetrics attaches an observability bundle (nil detaches). Call
 // before the identifier is shared between goroutines.
 func (id *Identifier) SetMetrics(m *Metrics) { id.m = m }
 
-func (id *Identifier) get(ip packet.IPv4Addr) *IPStats {
-	s := id.stats[ip]
+func (sh *shard) get(ip packet.IPv4Addr) *IPStats {
+	s := sh.stats[ip]
 	if s == nil {
 		s = &IPStats{SrcMember: -1}
-		id.stats[ip] = s
+		sh.stats[ip] = s
 	}
 	return s
 }
 
-// Observe processes one peering record. Non-peering records are ignored.
+// Observe processes one peering record on shard 0, with an
+// automatically assigned stream sequence. This is the serial path: it
+// must not race with ObserveShard or a concurrent Observe.
 func (id *Identifier) Observe(rec *dissect.Record) {
+	sh := &id.shards[0]
+	seq := sh.seq
+	sh.seq++
+	id.observe(sh, rec, seq)
+}
+
+// ObserveShard processes one peering record on the given shard. seq is
+// the record's global stream position (assigned by the producer before
+// fan-out); it breaks last-writer ties during the merge, so equal
+// results fall out regardless of which worker saw which record.
+// Concurrent calls must use distinct shard indices.
+func (id *Identifier) ObserveShard(shardIdx int, rec *dissect.Record, seq uint64) {
+	id.observe(&id.shards[shardIdx], rec, seq)
+}
+
+func (id *Identifier) observe(sh *shard, rec *dissect.Record, seq uint64) {
 	if !rec.Class.IsPeering() {
 		return
 	}
 	if rec.Class == dissect.ClassPeeringTCP {
 		// HTTPS candidates: any endpoint contacted on TCP 443.
 		if rec.DstPort == 443 {
-			d := id.get(rec.DstIP)
+			d := sh.get(rec.DstIP)
 			d.Candidate443 = true
 			d.Bytes443 += rec.Bytes
 			d.addPort(443)
 		}
 		if rec.SrcPort == 443 {
-			s := id.get(rec.SrcIP)
+			s := sh.get(rec.SrcIP)
 			s.Candidate443 = true
 			s.Bytes443 += rec.Bytes
 			s.addPort(443)
@@ -313,10 +406,11 @@ func (id *Identifier) Observe(rec *dissect.Record) {
 	}
 	// Every endpoint accumulates its total peering traffic; server
 	// identification later decides whose totals count as server-related.
-	src := id.get(rec.SrcIP)
+	src := sh.get(rec.SrcIP)
 	src.BytesTotal += rec.Bytes
 	src.SrcMember = rec.InMember
-	id.get(rec.DstIP).BytesTotal += rec.Bytes
+	src.srcSeq = seq
+	sh.get(rec.DstIP).BytesTotal += rec.Bytes
 
 	kind := classifyPayload(rec.Payload)
 	if id.m != nil {
@@ -325,7 +419,7 @@ func (id *Identifier) Observe(rec *dissect.Record) {
 	switch kind {
 	case payloadHTTPRequest:
 		// The destination acts as server, the source as client.
-		srv := id.get(rec.DstIP)
+		srv := sh.get(rec.DstIP)
 		srv.ServerHits++
 		srv.addPort(rec.DstPort)
 		if h, ok := extractHost(rec.Payload); ok {
@@ -334,22 +428,22 @@ func (id *Identifier) Observe(rec *dissect.Record) {
 				id.m.HostsExtracted.Inc()
 			}
 		}
-		id.get(rec.SrcIP).ClientHits++
+		sh.get(rec.SrcIP).ClientHits++
 	case payloadHTTPResponse:
-		srv := id.get(rec.SrcIP)
+		srv := sh.get(rec.SrcIP)
 		srv.ServerHits++
 		srv.addPort(rec.SrcPort)
-		id.get(rec.DstIP).ClientHits++
+		sh.get(rec.DstIP).ClientHits++
 	case payloadHTTPHeaderOnly:
 		// Mid-stream header material: attribute the server role to the
 		// well-known-port side when one exists.
 		switch {
 		case isWebPort(rec.SrcPort):
-			srv := id.get(rec.SrcIP)
+			srv := sh.get(rec.SrcIP)
 			srv.ServerHits++
 			srv.addPort(rec.SrcPort)
 		case isWebPort(rec.DstPort):
-			srv := id.get(rec.DstIP)
+			srv := sh.get(rec.DstIP)
 			srv.ServerHits++
 			srv.addPort(rec.DstPort)
 		}
@@ -357,9 +451,34 @@ func (id *Identifier) Observe(rec *dissect.Record) {
 		// Opaque payload: still track RTMP-style multi-purpose port use
 		// for IPs that string matching identifies elsewhere.
 		if rec.Class == dissect.ClassPeeringTCP && rec.SrcPort == 1935 {
-			id.get(rec.SrcIP).addPort(1935)
+			sh.get(rec.SrcIP).addPort(1935)
 		}
 	}
+}
+
+// merged collapses all shards into shard 0's map and returns it. The
+// per-IP merge is order-independent (see IPStats.merge), so the result
+// does not depend on how the stream was partitioned.
+func (id *Identifier) merged() map[packet.IPv4Addr]*IPStats {
+	dst := id.shards[0].stats
+	if len(id.shards) == 1 {
+		return dst
+	}
+	start := time.Now()
+	for i := 1; i < len(id.shards); i++ {
+		for ip, st := range id.shards[i].stats {
+			if d, ok := dst[ip]; ok {
+				d.merge(st)
+			} else {
+				dst[ip] = st
+			}
+		}
+		id.shards[i].stats = nil
+	}
+	if id.m != nil {
+		id.m.MergeNanos.ObserveSince(start)
+	}
+	return dst
 }
 
 func isWebPort(p uint16) bool {
@@ -415,16 +534,18 @@ type Result struct {
 	EstLoss float64
 }
 
-// Identify finalizes the week: applies the server criteria and runs the
-// HTTPS crawl over the candidate set.
+// Identify finalizes the week: merges the shards deterministically,
+// applies the server criteria and runs the HTTPS crawl over the
+// candidate set. It must not run concurrently with Observe/ObserveShard.
 func (id *Identifier) Identify(isoWeek int, crawler CertCrawler) *Result {
+	stats := id.merged()
 	res := &Result{
 		Week:    isoWeek,
-		Servers: make(map[packet.IPv4Addr]*Server, len(id.stats)/4),
+		Servers: make(map[packet.IPv4Addr]*Server, len(stats)/4),
 	}
-	res.TotalIPs = len(id.stats)
+	res.TotalIPs = len(stats)
 	roots := crawlRoots(crawler)
-	for ip, st := range id.stats {
+	for ip, st := range stats {
 		isHTTP := st.ServerHits > 0
 		var srv *Server
 		if isHTTP {

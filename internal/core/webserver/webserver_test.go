@@ -283,7 +283,7 @@ func TestObserveIgnoresNonPeering(t *testing.T) {
 	id := NewIdentifier()
 	rec := &dissect.Record{Class: dissect.ClassLocal, SrcIP: packet.MakeIPv4(1, 2, 3, 4)}
 	id.Observe(rec)
-	if len(id.stats) != 0 {
+	if len(id.shards[0].stats) != 0 {
 		t.Fatal("non-peering record created state")
 	}
 }

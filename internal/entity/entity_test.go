@@ -1,0 +1,194 @@
+package entity
+
+import (
+	"sync"
+	"testing"
+
+	"ixplens/internal/geo"
+	"ixplens/internal/obs"
+	"ixplens/internal/packet"
+	"ixplens/internal/routing"
+)
+
+func testSubstrates(t *testing.T) (*routing.Table, *geo.DB) {
+	t.Helper()
+	rib := routing.NewTable()
+	rib.Insert(routing.MakePrefix(packet.MakeIPv4(10, 0, 0, 0), 8), 64500)
+	rib.Insert(routing.MakePrefix(packet.MakeIPv4(10, 1, 0, 0), 16), 64501)
+	gdb, err := geo.Build([]geo.Range{
+		{First: packet.MakeIPv4(10, 0, 0, 0), Last: packet.MakeIPv4(10, 0, 255, 255), Country: "DE"},
+		{First: packet.MakeIPv4(10, 1, 0, 0), Last: packet.MakeIPv4(10, 1, 255, 255), Country: "JP"},
+	})
+	if err != nil {
+		t.Fatalf("geo.Build: %v", err)
+	}
+	return rib, gdb
+}
+
+func TestResolveMemoizesAttrs(t *testing.T) {
+	rib, gdb := testSubstrates(t)
+	tab := NewTable(rib, gdb)
+
+	ip := packet.MakeIPv4(10, 1, 2, 3)
+	id, a := tab.ResolveAttrs(ip)
+	if a.ASN != 64501 {
+		t.Fatalf("ASN = %d, want 64501", a.ASN)
+	}
+	if a.ASIdx == NoAS || tab.ASN(a.ASIdx) != 64501 {
+		t.Fatalf("ASIdx %d does not round-trip to 64501", a.ASIdx)
+	}
+	if a.PrefixID == NoPrefix || tab.Prefix(a.PrefixID) != a.Prefix {
+		t.Fatalf("PrefixID %d does not round-trip to %v", a.PrefixID, a.Prefix)
+	}
+	if !a.Prefix.Contains(ip) || a.Prefix.Len != 16 {
+		t.Fatalf("prefix %v is not the /16 longest match for %v", a.Prefix, ip)
+	}
+	if got := tab.Countries.Value(a.CountryID); got != "JP" {
+		t.Fatalf("country = %q, want JP", got)
+	}
+	if got := tab.Countries.Value(a.RegionID); got != geo.Region("JP") {
+		t.Fatalf("region = %q, want %q", got, geo.Region("JP"))
+	}
+
+	id2, a2 := tab.ResolveAttrs(ip)
+	if id2 != id || a2 != a {
+		t.Fatalf("second resolve (%d, %+v) != first (%d, %+v)", id2, a2, id, a)
+	}
+	if tab.IP(id) != ip || tab.Attrs(id) != a {
+		t.Fatal("IP/Attrs accessors disagree with ResolveAttrs")
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+}
+
+func TestResolveUnroutedAndUncovered(t *testing.T) {
+	rib, gdb := testSubstrates(t)
+	tab := NewTable(rib, gdb)
+
+	_, a := tab.ResolveAttrs(packet.MakeIPv4(192, 168, 0, 1))
+	if a.ASN != 0 || a.ASIdx != NoAS || a.PrefixID != NoPrefix {
+		t.Fatalf("unrouted IP resolved to %+v", a)
+	}
+	if got := tab.Countries.Value(a.CountryID); got != "" {
+		t.Fatalf("uncovered country = %q, want empty", got)
+	}
+	if got := tab.Countries.Value(a.RegionID); got != geo.Region("") {
+		t.Fatalf("region = %q, want RoW bucket %q", got, geo.Region(""))
+	}
+}
+
+func TestDenseSpacesShareIndices(t *testing.T) {
+	rib, gdb := testSubstrates(t)
+	tab := NewTable(rib, gdb)
+
+	// Two addresses in the same /8 (but outside the /16) share AS and
+	// prefix indices; the /16 address gets fresh ones.
+	_, a1 := tab.ResolveAttrs(packet.MakeIPv4(10, 2, 0, 1))
+	_, a2 := tab.ResolveAttrs(packet.MakeIPv4(10, 3, 0, 1))
+	_, b := tab.ResolveAttrs(packet.MakeIPv4(10, 1, 0, 1))
+	if a1.ASIdx != a2.ASIdx || a1.PrefixID != a2.PrefixID {
+		t.Fatalf("same-prefix addresses got different indices: %+v vs %+v", a1, a2)
+	}
+	if b.ASIdx == a1.ASIdx || b.PrefixID == a1.PrefixID {
+		t.Fatalf("distinct AS/prefix shared an index: %+v vs %+v", b, a1)
+	}
+	if tab.NumAS() != 3 { // reserved slot + 2 ASes
+		t.Fatalf("NumAS = %d, want 3", tab.NumAS())
+	}
+	if tab.NumPrefixes() != 3 {
+		t.Fatalf("NumPrefixes = %d, want 3", tab.NumPrefixes())
+	}
+}
+
+func TestNilSubstrates(t *testing.T) {
+	tab := NewTable(nil, nil)
+	id, a := tab.ResolveAttrs(packet.MakeIPv4(1, 2, 3, 4))
+	if id != 0 || a.ASN != 0 || a.PrefixID != NoPrefix {
+		t.Fatalf("nil-substrate resolve = (%d, %+v)", id, a)
+	}
+}
+
+func TestConcurrentResolveConsistent(t *testing.T) {
+	rib, gdb := testSubstrates(t)
+	tab := NewTable(rib, gdb)
+
+	const goroutines = 8
+	const addrs = 512
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < addrs; i++ {
+				// Overlapping address sets across goroutines force interning
+				// races on the same IPs.
+				ip := packet.MakeIPv4(10, byte(i%4), byte(i/256), byte(i))
+				id, a := tab.ResolveAttrs(ip)
+				if tab.IP(id) != ip {
+					t.Errorf("goroutine %d: IP(%d) = %v, want %v", g, id, tab.IP(id), ip)
+					return
+				}
+				if a != tab.Attrs(id) {
+					t.Errorf("goroutine %d: attrs mismatch for %v", g, ip)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	view := tab.AttrsView()
+	for id := range view {
+		ip := tab.IP(ID(id))
+		wantID, ok := tab.Lookup(ip)
+		if !ok || wantID != ID(id) {
+			t.Fatalf("Lookup(%v) = (%d, %v), want (%d, true)", ip, wantID, ok, id)
+		}
+	}
+}
+
+func TestStringsIntern(t *testing.T) {
+	s := NewStrings()
+	a := s.Intern("alpha")
+	b := s.Intern("beta")
+	if a == b {
+		t.Fatal("distinct strings shared an ID")
+	}
+	if s.Intern("alpha") != a {
+		t.Fatal("re-intern changed the ID")
+	}
+	if s.Value(a) != "alpha" || s.Value(b) != "beta" {
+		t.Fatal("Value does not round-trip")
+	}
+	if id, ok := s.Lookup("beta"); !ok || id != b {
+		t.Fatalf("Lookup(beta) = (%d, %v)", id, ok)
+	}
+	if _, ok := s.Lookup("gamma"); ok {
+		t.Fatal("Lookup of never-interned string succeeded")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+}
+
+func TestMetricsHitMiss(t *testing.T) {
+	rib, gdb := testSubstrates(t)
+	tab := NewTable(rib, gdb)
+	reg := obs.NewRegistry()
+	tab.SetMetrics(NewMetrics(reg))
+	ip := packet.MakeIPv4(10, 0, 0, 1)
+	tab.Resolve(ip)
+	tab.Resolve(ip)
+	tab.Resolve(packet.MakeIPv4(10, 0, 0, 2))
+	c := reg.Counters()
+	if c["entity_intern_misses_total"] != 2 {
+		t.Fatalf("misses = %d, want 2", c["entity_intern_misses_total"])
+	}
+	if c["entity_intern_hits_total"] != 1 {
+		t.Fatalf("hits = %d, want 1", c["entity_intern_hits_total"])
+	}
+	if NewMetrics(nil) != nil {
+		t.Fatal("NewMetrics(nil) should disable instrumentation")
+	}
+}

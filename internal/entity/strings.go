@@ -1,0 +1,62 @@
+package entity
+
+import "sync"
+
+// Strings interns strings to dense uint32 IDs in first-interned order.
+// It backs the country/region codes of a Table and the certificate
+// authority and organization names of the clustering and
+// heterogenization layers, replacing string-keyed maps with
+// slice-indexed accumulators. Safe for concurrent use.
+type Strings struct {
+	mu   sync.RWMutex
+	ids  map[string]uint32
+	vals []string
+}
+
+// NewStrings returns an empty interner.
+func NewStrings() *Strings {
+	return &Strings{ids: make(map[string]uint32, 64)}
+}
+
+// Intern returns the dense ID of s, allocating one on first sight.
+func (s *Strings) Intern(v string) uint32 {
+	s.mu.RLock()
+	id, ok := s.ids[v]
+	s.mu.RUnlock()
+	if ok {
+		return id
+	}
+	s.mu.Lock()
+	id, ok = s.ids[v]
+	if !ok {
+		id = uint32(len(s.vals))
+		s.ids[v] = id
+		s.vals = append(s.vals, v)
+	}
+	s.mu.Unlock()
+	return id
+}
+
+// Lookup returns the ID of an already-interned string.
+func (s *Strings) Lookup(v string) (uint32, bool) {
+	s.mu.RLock()
+	id, ok := s.ids[v]
+	s.mu.RUnlock()
+	return id, ok
+}
+
+// Value returns the string behind an ID.
+func (s *Strings) Value(id uint32) string {
+	s.mu.RLock()
+	v := s.vals[id]
+	s.mu.RUnlock()
+	return v
+}
+
+// Len is the number of interned strings.
+func (s *Strings) Len() int {
+	s.mu.RLock()
+	n := len(s.vals)
+	s.mu.RUnlock()
+	return n
+}

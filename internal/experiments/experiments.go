@@ -131,8 +131,9 @@ func (r *Runner) Week45() (*pipeline.Week, *visibility.Aggregator, *dissect.Slic
 		return nil, nil, nil, err
 	}
 	// One pass feeding both the identifier (via AnalyzeWeek) and the
-	// visibility aggregator.
-	agg := visibility.NewAggregator(r.Env.World.RIB(), r.Env.World.GeoDB())
+	// visibility aggregator, which shares the environment's entity table
+	// so IPs interned here resolve for free in every later stage.
+	agg := visibility.NewAggregatorWith(r.Env.EntityTable())
 	cls := dissect.NewClassifier(r.Env.Fabric)
 	if _, err := dissect.Process(src, cls, agg.Observe); err != nil {
 		return nil, nil, nil, err

@@ -131,7 +131,7 @@ func (r *Runner) linkStudy(org int32) (*hetero.LinkStats, error) {
 	for _, ip := range c.IPs {
 		set[ip] = true
 	}
-	ls := hetero.NewLinkStats(w.Orgs[org].HomeAS)
+	ls := hetero.NewLinkStatsWith(w.Orgs[org].HomeAS, r.Env.EntityTable())
 	cls := dissect.NewClassifier(r.Env.Fabric)
 	_, err = dissect.Process(src, cls, func(rec *dissect.Record) {
 		ls.Observe(rec, func(ip packet.IPv4Addr) bool { return set[ip] })
@@ -150,7 +150,7 @@ func (r *Runner) Fig7bAcmeLinks() (Report, error) {
 	}
 	rep.addf("traffic NOT via own peering links", "11.1%", "%s", pct(ls.OffLinkShare()))
 	only := ls.ServersOnlyOffLink()
-	total := len(ls.DirectServerIPs) + only
+	total := ls.NumDirectServers() + only
 	rep.addf("servers seen only via non-member links", "15K of 28K", "%d of %d", only, total)
 	points := ls.Points()
 	x0, x100 := 0, 0

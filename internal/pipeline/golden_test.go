@@ -1,0 +1,205 @@
+package pipeline
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"ixplens/internal/core/churn"
+	"ixplens/internal/core/dissect"
+	"ixplens/internal/core/visibility"
+	"ixplens/internal/faultline"
+	"ixplens/internal/netmodel"
+	"ixplens/internal/traffic"
+)
+
+func goldenEnv(t testing.TB) *Env {
+	t.Helper()
+	env, err := NewEnv(netmodel.Tiny(),
+		traffic.Options{SamplesPerWeek: 4000, SamplingRate: 16384, SnapLen: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// TestGoldenShardedMatchesSerial is the refactor's equivalence proof:
+// over every study week, the sharded pipeline (records fanned into
+// per-worker identifier shards, merged deterministically in Identify)
+// must produce results bit-identical to the pre-refactor ordered-merge
+// serial path — identification aggregates, the derived churn series,
+// and the visibility summaries alike.
+func TestGoldenShardedMatchesSerial(t *testing.T) {
+	env := goldenEnv(t)
+	cfg := &env.World.Cfg
+	ctx := context.Background()
+
+	serialTracker := churn.NewTracker()
+	shardedTracker := churn.NewTrackerWith(env.EntityTable())
+	for wk := cfg.FirstWeek; wk <= cfg.LastWeek(); wk++ {
+		serial, serialCounts, _, err := env.IdentifyWeekSerial(ctx, wk)
+		if err != nil {
+			t.Fatalf("week %d serial: %v", wk, err)
+		}
+		sharded, shardedCounts, _, err := env.IdentifyWeek(ctx, wk)
+		if err != nil {
+			t.Fatalf("week %d sharded: %v", wk, err)
+		}
+		if serialCounts != shardedCounts {
+			t.Fatalf("week %d counts diverged:\nserial  %+v\nsharded %+v",
+				wk, serialCounts, shardedCounts)
+		}
+		if !reflect.DeepEqual(serial, sharded) {
+			t.Fatalf("week %d identification diverged: %d vs %d servers, %d vs %d bytes",
+				wk, len(serial.Servers), len(sharded.Servers), serial.ServerBytes, sharded.ServerBytes)
+		}
+		if err := serialTracker.Add(env.Observation(serial)); err != nil {
+			t.Fatal(err)
+		}
+		if err := shardedTracker.Add(env.Observation(sharded)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The churn series must agree regardless of the history bookkeeping
+	// (address-keyed maps vs dense entity-ID slices).
+	serialChurn := serialTracker.Compute()
+	shardedChurn := shardedTracker.Compute()
+	if !reflect.DeepEqual(serialChurn, shardedChurn) {
+		t.Fatal("churn series diverged between serial and sharded observations")
+	}
+	last := shardedChurn[len(shardedChurn)-1]
+	if last.Total() == 0 || last.Share(churn.PoolStable) == 0 {
+		t.Fatalf("degenerate final week: %+v", last)
+	}
+}
+
+// TestGoldenAnalyzeWeekAggregates compares the full heavy pipeline:
+// the streamed (sharded) AnalyzeWeek against the buffered (ordered,
+// serial-observer) path, including the clustering built on interned
+// authority IDs. Cluster IP orderings are iteration-order dependent
+// upstream of this package, so sizes and aggregates are compared, not
+// orderings.
+func TestGoldenAnalyzeWeekAggregates(t *testing.T) {
+	env := goldenEnv(t)
+	ctx := context.Background()
+	const wk = 45
+
+	src, _, err := env.CaptureWeek(ctx, wk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffered, _, err := env.AnalyzeWeek(ctx, wk, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, _, err := env.AnalyzeWeek(ctx, wk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(buffered.Servers, streamed.Servers) {
+		t.Fatal("identification diverged between buffered and streamed AnalyzeWeek")
+	}
+	if buffered.Counts != streamed.Counts {
+		t.Fatalf("counts diverged:\nbuffered %+v\nstreamed %+v", buffered.Counts, streamed.Counts)
+	}
+	if buffered.Coverage != streamed.Coverage {
+		t.Fatalf("metadata coverage diverged: %+v vs %+v", buffered.Coverage, streamed.Coverage)
+	}
+	bc, sc := buffered.Clusters, streamed.Clusters
+	if !reflect.DeepEqual(bc.StepIPs, sc.StepIPs) {
+		t.Fatalf("step populations diverged: %+v vs %+v", bc.StepIPs, sc.StepIPs)
+	}
+	if !reflect.DeepEqual(bc.SharedAuthorities, sc.SharedAuthorities) {
+		t.Fatal("shared-authority sets diverged")
+	}
+	if len(bc.Clusters) != len(sc.Clusters) {
+		t.Fatalf("cluster counts diverged: %d vs %d", len(bc.Clusters), len(sc.Clusters))
+	}
+	for auth, b := range bc.Clusters {
+		s := sc.Clusters[auth]
+		if s == nil {
+			t.Fatalf("cluster %q missing from streamed result", auth)
+		}
+		if len(b.IPs) != len(s.IPs) || b.Bytes != s.Bytes {
+			t.Fatalf("cluster %q diverged: %d IPs/%d bytes vs %d IPs/%d bytes",
+				auth, len(b.IPs), b.Bytes, len(s.IPs), s.Bytes)
+		}
+		if !reflect.DeepEqual(b.ASNs, s.ASNs) {
+			t.Fatalf("cluster %q AS footprint diverged", auth)
+		}
+	}
+	for ip, b := range bc.ByServer {
+		if s, ok := sc.ByServer[ip]; !ok || s != b {
+			t.Fatalf("assignment of %v diverged: %+v vs %+v", ip, b, sc.ByServer[ip])
+		}
+	}
+
+	// Visibility summaries must not depend on whether the aggregator owns
+	// its interning table or shares the environment's.
+	src.Reset()
+	private := visibility.NewAggregator(env.World.RIB(), env.World.GeoDB())
+	shared := visibility.NewAggregatorWith(env.EntityTable())
+	cls := dissect.NewClassifier(env.Fabric)
+	if _, err := dissect.Process(src, cls, func(rec *dissect.Record) {
+		private.Observe(rec)
+		shared.Observe(rec)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p, s := private.Summarize(nil), shared.Summarize(nil); p != s {
+		t.Fatalf("visibility summaries diverged:\nprivate %+v\nshared  %+v", p, s)
+	}
+	pIPs, pBytes := private.TopCountries(10, nil)
+	sIPs, sBytes := shared.TopCountries(10, nil)
+	if !reflect.DeepEqual(pIPs, sIPs) || !reflect.DeepEqual(pBytes, sBytes) {
+		t.Fatal("country rankings diverged between private and shared tables")
+	}
+}
+
+// TestGoldenDeterministicAcrossRuns runs the sharded path twice over the
+// same week: concurrent shard assignment must not leak into the result.
+func TestGoldenDeterministicAcrossRuns(t *testing.T) {
+	env := goldenEnv(t)
+	ctx := context.Background()
+	first, c1, _, err := env.IdentifyWeek(ctx, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, c2, _, err := env.IdentifyWeek(ctx, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatalf("counts diverged across runs: %+v vs %+v", c1, c2)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("sharded identification not deterministic across runs")
+	}
+}
+
+// TestGoldenFaultedWeek repeats the equivalence under deterministic
+// fault injection: the replay/fault paths must stay byte-identical too.
+func TestGoldenFaultedWeek(t *testing.T) {
+	env := goldenEnv(t)
+	env.Faults = &faultline.Config{Seed: 11, Drop: 0.05, Duplicate: 0.02, Reorder: 0.03}
+	ctx := context.Background()
+	serial, sc, _, err := env.IdentifyWeekSerial(ctx, 38)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, shc, _, err := env.IdentifyWeek(ctx, 38)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc != shc {
+		t.Fatalf("faulted counts diverged: %+v vs %+v", sc, shc)
+	}
+	if serial.EstLoss == 0 {
+		t.Fatal("fault injection produced no estimated loss")
+	}
+	if !reflect.DeepEqual(serial, sharded) {
+		t.Fatal("faulted-week identification diverged between serial and sharded paths")
+	}
+}

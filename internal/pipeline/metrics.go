@@ -3,6 +3,7 @@ package pipeline
 import (
 	"ixplens/internal/core/dissect"
 	"ixplens/internal/core/webserver"
+	"ixplens/internal/entity"
 	"ixplens/internal/ixp"
 	"ixplens/internal/obs"
 	"ixplens/internal/sflow"
@@ -19,6 +20,8 @@ type Metrics struct {
 	Collector *ixp.CollectorMetrics
 	Dissect   *dissect.Metrics
 	Identify  *webserver.Metrics
+	// Entity tracks the interning layer: memo hits/misses and table size.
+	Entity *entity.Metrics
 	// WeekNanos is the wall-time distribution of one week's light
 	// pipeline run (stream + identify); Weeks counts completed weeks.
 	WeekNanos *obs.Histogram
@@ -45,6 +48,7 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		Collector:   ixp.NewCollectorMetrics(r),
 		Dissect:     dissect.NewMetrics(r),
 		Identify:    webserver.NewMetrics(r),
+		Entity:      entity.NewMetrics(r),
 		WeekNanos:   r.Histogram("pipeline_week_ns"),
 		Weeks:       r.Counter("pipeline_weeks_total"),
 		WorkerBusy:  r.Counter("pipeline_worker_busy_ns"),
@@ -95,4 +99,11 @@ func (m *Metrics) IdentifyMetrics() *webserver.Metrics {
 // state of a fresh Env).
 func (e *Env) Instrument(r *obs.Registry) {
 	e.M = NewMetrics(r)
+	if e.Entities != nil {
+		if e.M != nil {
+			e.Entities.SetMetrics(e.M.Entity)
+		} else {
+			e.Entities.SetMetrics(nil)
+		}
+	}
 }

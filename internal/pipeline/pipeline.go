@@ -29,8 +29,8 @@ import (
 	"ixplens/internal/core/metadata"
 	"ixplens/internal/core/webserver"
 	"ixplens/internal/dnssim"
+	"ixplens/internal/entity"
 	"ixplens/internal/faultline"
-	"ixplens/internal/geo"
 	"ixplens/internal/ixp"
 	"ixplens/internal/netmodel"
 	"ixplens/internal/packet"
@@ -50,6 +50,11 @@ type Env struct {
 	Crawler *certsim.Crawler
 	Gen     *traffic.Generator
 	Opts    traffic.Options
+	// Entities is the Env's shared interning layer: every analysis stage
+	// resolves IPs through it, so RIB/geo lookups run once per distinct
+	// address per Env instead of once per (layer, week, sample). NewEnv
+	// wires it; hand-assembled Envs get one lazily via EntityTable.
+	Entities *entity.Table
 	// M is the observability bundle; nil (the default) runs the whole
 	// pipeline uninstrumented. Attach one with Instrument.
 	M *Metrics
@@ -79,7 +84,21 @@ func NewEnv(cfg netmodel.Config, opts traffic.Options) (*Env, error) {
 		Crawler: certsim.NewCrawler(w, dns),
 		Gen:     traffic.NewGenerator(w, dns, fabric, opts),
 		Opts:    opts,
+		// Building the table here also forces the lazily cached RIB and
+		// geo DB, so later concurrent readers never race their builds.
+		Entities: entity.NewTable(w.RIB(), w.GeoDB()),
 	}, nil
+}
+
+// EntityTable returns the Env's interning layer, creating one on first
+// use for Envs assembled by hand (NewEnv always wires it). Lazy
+// creation is not synchronized — call it once before sharing such an
+// Env across goroutines.
+func (e *Env) EntityTable() *entity.Table {
+	if e.Entities == nil {
+		e.Entities = entity.NewTable(e.World.RIB(), e.World.GeoDB())
+	}
+	return e.Entities
 }
 
 // members returns the classifier's port resolver, wrapped with the
@@ -246,6 +265,79 @@ func (e *Env) streamWeekWith(ctx context.Context, gen *traffic.Generator, isoWee
 	return counts, stats, est, err
 }
 
+// streamWeekSharded streams one week through the merge-free sharded
+// pool: classification AND observation run on all workers, with obs
+// receiving each worker's index and the sample's global stream
+// position. Aggregates built from the calls (a sharded
+// webserver.Identifier) come out identical to the ordered path; the
+// record ordering itself is not reproduced — callers that need ordered
+// delivery use streamWeekWith. workers <= 1 observes inline on the
+// caller's goroutine, still passing stream positions.
+func (e *Env) streamWeekSharded(ctx context.Context, gen *traffic.Generator, isoWeek, workers int, obs dissect.ShardObserver) (dissect.Counts, traffic.WeekStats, float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	inj := e.injector(isoWeek)
+	var seq sflow.SeqTracker
+
+	var counts dissect.Counts
+	var stats traffic.WeekStats
+	var err error
+	if workers <= 1 {
+		cls := dissect.NewClassifier(e.members())
+		cls.SetMetrics(e.M.DissectMetrics())
+		var sampleSeq uint64
+		fn := func(rec *dissect.Record) {
+			if obs != nil {
+				obs(0, rec, sampleSeq)
+			}
+			sampleSeq++
+		}
+		base := func(d *sflow.Datagram) error {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			seq.Observe(d)
+			cls.ClassifyDatagram(d, &counts, fn)
+			return nil
+		}
+		sink := base
+		if inj != nil {
+			sink = inj.Sink(base)
+		}
+		col := ixp.NewCollector(e.Fabric, e.Opts.SamplingRate, sink)
+		col.SetMetrics(e.M.CollectorMetrics())
+		col.SetBufferReuse(true)
+		stats, err = gen.GenerateWeek(isoWeek, col)
+		if err == nil && inj != nil {
+			err = inj.Flush(base)
+		}
+	} else {
+		sp := dissect.NewShardedStreamProcessor(ctx, e.members(), workers, obs, e.M.DissectMetrics())
+		base := func(d *sflow.Datagram) error {
+			seq.Observe(d)
+			return sp.Add(d)
+		}
+		sink := base
+		if inj != nil {
+			sink = inj.Sink(base)
+		}
+		col := ixp.NewCollector(e.Fabric, e.Opts.SamplingRate, sink)
+		col.SetMetrics(e.M.CollectorMetrics())
+		col.SetBufferReuse(true)
+		stats, err = gen.GenerateWeek(isoWeek, col)
+		if err == nil && inj != nil {
+			err = inj.Flush(base)
+		}
+		counts = sp.Close()
+	}
+	if err != nil {
+		return counts, stats, seq.EstLoss(), err
+	}
+	est, err := e.checkLoss(isoWeek, seq.Stats())
+	return counts, stats, est, err
+}
+
 // Week is the fully analysed weekly snapshot.
 type Week struct {
 	ISOWeek  int
@@ -291,16 +383,23 @@ func (e *Env) AnalyzeWeek(ctx context.Context, isoWeek int, src dissect.Rewindab
 	var truth traffic.WeekStats
 	var counts dissect.Counts
 	var est float64
-	ident := webserver.NewIdentifier()
-	ident.SetMetrics(e.M.IdentifyMetrics())
+	var ident *webserver.Identifier
 	if src == nil {
+		// Streamed weeks fan records into per-worker identifier shards;
+		// the deterministic merge inside Identify reproduces the ordered
+		// path's aggregates exactly (the golden-equivalence test pins it).
+		workers := streamWorkers()
+		ident = webserver.NewSharded(workers)
+		ident.SetMetrics(e.M.IdentifyMetrics())
 		var err error
-		counts, truth, est, err = e.StreamWeek(ctx, isoWeek, ident.Observe)
+		counts, truth, est, err = e.streamWeekSharded(ctx, e.Gen, isoWeek, workers, ident.ObserveShard)
 		if err != nil {
 			return nil, nil, err
 		}
 		src = e.Replay(isoWeek)
 	} else {
+		ident = webserver.NewIdentifier()
+		ident.SetMetrics(e.M.IdentifyMetrics())
 		cls := dissect.NewClassifier(e.members())
 		cls.SetMetrics(e.M.DissectMetrics())
 		var seq sflow.SeqTracker
@@ -321,8 +420,9 @@ func (e *Env) AnalyzeWeek(ctx context.Context, isoWeek int, src dissect.Rewindab
 
 	opts := cluster.DefaultOptions()
 	opts.KnownShared = e.DNS.PublicDNSProviders()
-	rib := e.World.RIB()
-	opts.ASNOf = rib.LookupASN
+	// The entity table both memoizes the per-IP AS resolution and interns
+	// authority names for the vote bookkeeping.
+	opts.Entities = e.EntityTable()
 	clusters := cluster.Run(metas, opts)
 
 	return &Week{
@@ -339,9 +439,31 @@ func (e *Env) AnalyzeWeek(ctx context.Context, isoWeek int, src dissect.Rewindab
 
 // IdentifyWeek runs the light per-week pipeline (dissection and server
 // identification only) — what the longitudinal analysis needs for each
-// of the 17 weeks. The returned result carries the week's estimated
-// loss annotation.
+// of the 17 weeks. Records fan into per-worker identifier shards (no
+// ordered merge), so observation scales with the classifier pool; the
+// deterministic shard merge inside Identify keeps the result identical
+// to IdentifyWeekSerial. The returned result carries the week's
+// estimated loss annotation.
 func (e *Env) IdentifyWeek(ctx context.Context, isoWeek int) (*webserver.Result, dissect.Counts, traffic.WeekStats, error) {
+	workers := streamWorkers()
+	ident := webserver.NewSharded(workers)
+	ident.SetMetrics(e.M.IdentifyMetrics())
+	counts, truth, est, err := e.streamWeekSharded(ctx, e.Gen, isoWeek, workers, ident.ObserveShard)
+	if err != nil {
+		return nil, counts, truth, err
+	}
+	res := ident.Identify(isoWeek, e.Crawler)
+	res.EstLoss = est
+	return res, counts, truth, nil
+}
+
+// IdentifyWeekSerial is the ordered-merge reference path: classification
+// may still run on a worker pool, but every record is observed by a
+// single identifier from the merger goroutine, in exact stream order.
+// It exists for callers that need the pre-shard behaviour (and for the
+// golden-equivalence test and benchmarks that prove the sharded path
+// matches it).
+func (e *Env) IdentifyWeekSerial(ctx context.Context, isoWeek int) (*webserver.Result, dissect.Counts, traffic.WeekStats, error) {
 	ident := webserver.NewIdentifier()
 	ident.SetMetrics(e.M.IdentifyMetrics())
 	counts, truth, est, err := e.StreamWeek(ctx, isoWeek, ident.Observe)
@@ -354,28 +476,27 @@ func (e *Env) IdentifyWeek(ctx context.Context, isoWeek int) (*webserver.Result,
 }
 
 // Observation converts an identification result into the churn
-// tracker's input, resolving every server IP against the RIB and geo
-// database and forwarding the loss annotation.
+// tracker's input, resolving every server IP through the Env's entity
+// table — one memoized lookup per address, instead of re-running the
+// RIB trie and geo binary search for the same server IPs week after
+// week — and forwarding the loss annotation.
 func (e *Env) Observation(res *webserver.Result) churn.WeekObservation {
-	rib := e.World.RIB()
-	gdb := e.World.GeoDB()
+	tab := e.EntityTable()
 	obs := churn.WeekObservation{
 		Week:    res.Week,
 		Servers: make(map[packet.IPv4Addr]churn.ServerObs, len(res.Servers)),
 		EstLoss: res.EstLoss,
 	}
 	for ip, srv := range res.Servers {
-		so := churn.ServerObs{
+		_, a := tab.ResolveAttrs(ip)
+		obs.Servers[ip] = churn.ServerObs{
 			Bytes:  srv.Bytes,
 			HTTPS:  srv.HTTPS,
 			Member: srv.Member,
-			Region: geo.Region(gdb.Lookup(ip)),
+			Region: tab.Countries.Value(a.RegionID),
+			ASN:    a.ASN,
+			Prefix: a.Prefix,
 		}
-		if r, ok := rib.Lookup(ip); ok {
-			so.ASN = r.ASN
-			so.Prefix = r.Prefix
-		}
-		obs.Servers[ip] = so
 	}
 	return obs
 }
@@ -396,6 +517,7 @@ func (e *Env) TrackWeeks(ctx context.Context) (*churn.Tracker, []*webserver.Resu
 	// Pre-build the lazily cached substrates so workers only read.
 	e.World.RIB()
 	e.World.GeoDB()
+	e.EntityTable()
 	if len(e.World.Servers) > 0 {
 		e.World.ServerByIP(e.World.Servers[0].IP)
 	}
@@ -476,7 +598,9 @@ func (e *Env) TrackWeeks(ctx context.Context) (*churn.Tracker, []*webserver.Resu
 		return nil, nil, err
 	}
 
-	tracker := churn.NewTracker()
+	// The tracker shares the Env's entity table: per-IP histories become
+	// slice-indexed by dense ID instead of address-keyed maps.
+	tracker := churn.NewTrackerWith(e.Entities)
 	for idx := 0; idx < cfg.Weeks; idx++ {
 		if errs[idx] != nil {
 			return nil, nil, errs[idx]
