@@ -1,8 +1,8 @@
 // Command ixpcollect is a minimal sFlow collector: it listens on UDP
 // (the protocol's native transport, port 6343 by default), decodes
-// incoming datagrams, and appends them to a capture stream file that
-// cmd/ixpmine-style tooling can analyse. It stops after -count
-// datagrams, after -for duration, or on SIGINT/SIGTERM.
+// incoming datagrams, and appends them to a checksummed v2 block
+// capture file that cmd/ixpmine-style tooling can analyse. It stops
+// after -count datagrams, after -for duration, or on SIGINT/SIGTERM.
 //
 // Pair it with the generator:
 //
@@ -25,13 +25,14 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", fmt.Sprintf("127.0.0.1:%d", sflow.DefaultPort), "UDP address to listen on")
-		out     = flag.String("out", "collected.sflow", "capture stream file to write")
-		count   = flag.Int("count", 0, "stop after this many datagrams (0 = unlimited)")
-		dur     = flag.Duration("for", 0, "stop after this duration (0 = unlimited)")
-		every   = flag.Int("flush-every", 1024, "flush the stream file every N datagrams (0 = only at exit)")
-		maxLoss = flag.Float64("max-loss", 0, "abort when the estimated datagram loss fraction exceeds this (0 = no limit; checked every 256 datagrams)")
-		debug   = flag.String("debug-addr", "", "serve expvar+pprof on this address and print a metrics snapshot at exit (empty = off)")
+		listen   = flag.String("listen", fmt.Sprintf("127.0.0.1:%d", sflow.DefaultPort), "UDP address to listen on")
+		out      = flag.String("out", "collected.sflow", "capture stream file to write")
+		count    = flag.Int("count", 0, "stop after this many datagrams (0 = unlimited)")
+		dur      = flag.Duration("for", 0, "stop after this duration (0 = unlimited)")
+		every    = flag.Int("flush-every", 1024, "seal and flush a capture block every N datagrams (0 = only at exit)")
+		compress = flag.Bool("compress", false, "DEFLATE-compress capture blocks")
+		maxLoss  = flag.Float64("max-loss", 0, "abort when the estimated datagram loss fraction exceeds this (0 = no limit; checked every 256 datagrams)")
+		debug    = flag.String("debug-addr", "", "serve expvar+pprof on this address and print a metrics snapshot at exit (empty = off)")
 	)
 	flag.Parse()
 
@@ -43,13 +44,13 @@ func main() {
 		defer cancel()
 	}
 
-	if err := run(ctx, *listen, *out, *count, *maxLoss, *every, *debug); err != nil {
+	if err := run(ctx, *listen, *out, *count, *maxLoss, *every, *compress, *debug); err != nil {
 		fmt.Fprintln(os.Stderr, "ixpcollect:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, listen, out string, count int, maxLoss float64, flushEvery int, debugAddr string) error {
+func run(ctx context.Context, listen, out string, count int, maxLoss float64, flushEvery int, compress bool, debugAddr string) error {
 	var reg *obs.Registry
 	if debugAddr != "" {
 		reg = obs.NewRegistry()
@@ -84,7 +85,7 @@ func run(ctx context.Context, listen, out string, count int, maxLoss float64, fl
 		return err
 	}
 	defer f.Close()
-	sw, err := sflow.NewStreamWriter(f)
+	sw, err := sflow.NewBlockWriter(f, compress)
 	if err != nil {
 		return err
 	}
@@ -125,7 +126,11 @@ func run(ctx context.Context, listen, out string, count int, maxLoss float64, fl
 	if err != nil && err != errDone && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
-	if err := sw.Flush(); err != nil {
+	// Close seals the final block and writes the footer index, so the
+	// file gets the fast parallel-decode path at analysis time. A kill
+	// before this point leaves a footerless capture, which readers
+	// degrade to a sequential scan of the intact blocks.
+	if err := sw.Close(); err != nil {
 		return err
 	}
 	received, malformed := recv.Stats()

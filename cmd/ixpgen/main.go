@@ -7,13 +7,18 @@
 // Usage:
 //
 //	ixpgen [-scale 0.01] [-samples 60000] [-seed 1] -out capture/
+//	ixpgen [-scale ...] -compress -out capture/    # DEFLATE-compressed blocks
+//	ixpgen [-scale ...] -resume -out capture/      # pick up an interrupted run
 //	ixpgen [-scale ...] -udp 127.0.0.1:6343    # export over sFlow's UDP transport
 //	ixpgen [-scale ...] -fault-drop 0.05 -fault-corrupt 0.02 -out degraded/
 //
-// The -fault-* flags write a deterministically degraded campaign
-// (dropped, duplicated, reordered and corrupted datagrams), for
-// exercising the analysis pipeline's loss accounting and robustness.
-// SIGINT/SIGTERM abort generation cleanly mid-week.
+// Captures are written in the checksummed v2 block container; -resume
+// skips weeks whose files still verify against the manifest's digests,
+// so an aborted campaign continues instead of starting over. The
+// -fault-* flags write a deterministically degraded campaign (dropped,
+// duplicated, reordered and corrupted datagrams), for exercising the
+// analysis pipeline's loss accounting and robustness. SIGINT/SIGTERM
+// abort generation cleanly mid-week.
 package main
 
 import (
@@ -36,12 +41,14 @@ import (
 
 func main() {
 	var (
-		scale   = flag.Float64("scale", 0.01, "fraction of the paper's world size")
-		samples = flag.Int("samples", 60_000, "sFlow samples generated per week")
-		seed    = flag.Int64("seed", 1, "world generation seed")
-		out     = flag.String("out", "capture", "output directory")
-		udp     = flag.String("udp", "", "export over UDP to this collector address instead of writing files")
-		anonKey = flag.Uint64("anonkey", 0, "prefix-preserving anonymization key (0 = no anonymization)")
+		scale    = flag.Float64("scale", 0.01, "fraction of the paper's world size")
+		samples  = flag.Int("samples", 60_000, "sFlow samples generated per week")
+		seed     = flag.Int64("seed", 1, "world generation seed")
+		out      = flag.String("out", "capture", "output directory")
+		udp      = flag.String("udp", "", "export over UDP to this collector address instead of writing files")
+		anonKey  = flag.Uint64("anonkey", 0, "prefix-preserving anonymization key (0 = no anonymization)")
+		compress = flag.Bool("compress", false, "DEFLATE-compress capture blocks")
+		resume   = flag.Bool("resume", false, "skip weeks already written and verified against the manifest digests")
 
 		faultDrop    = flag.Float64("fault-drop", 0, "fraction of datagrams to drop (deterministic fault injection)")
 		faultDup     = flag.Float64("fault-dup", 0, "fraction of datagrams to duplicate")
@@ -87,12 +94,12 @@ func main() {
 		fmt.Printf("exported %d weeks over UDP in %v\n", cfg.Weeks, time.Since(t0))
 		return
 	}
-	var counts []int
-	if *anonKey != 0 {
-		counts, err = capture.WriteCampaignAnonymized(ctx, env, *out, *anonKey)
-	} else {
-		counts, err = capture.WriteCampaign(ctx, env, *out)
-	}
+	counts, err := capture.WriteCampaignOpts(ctx, env, *out, capture.WriteOptions{
+		Compress:  *compress,
+		Resume:    *resume,
+		Anonymize: *anonKey != 0,
+		AnonKey:   *anonKey,
+	})
 	if err != nil {
 		fatal(err)
 	}

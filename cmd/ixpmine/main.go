@@ -29,7 +29,6 @@ import (
 	"ixplens/internal/obs"
 	"ixplens/internal/packet"
 	"ixplens/internal/pipeline"
-	"ixplens/internal/sflow"
 )
 
 func main() {
@@ -157,15 +156,15 @@ func deepDive(env *pipeline.Env, res *webserver.Result, counts dissect.Counts, p
 			for _, ip := range c.IPs {
 				set[ip] = true
 			}
-			if f, err := os.Open(path); err == nil {
-				if sr, err := sflow.NewStreamReader(f); err == nil {
-					ls := hetero.NewLinkStatsWith(acme.HomeAS, env.EntityTable())
-					_ = hetero.Attribute(sr, env.Fabric, ls, func(ip packet.IPv4Addr) bool { return set[ip] })
-					fmt.Printf("fig 7 (%s): %.1f%% of traffic off the direct links; %d of %d servers only behind other members\n",
-						acme.Name, 100*ls.OffLinkShare(), ls.ServersOnlyOffLink(),
-						ls.ServersOnlyOffLink()+ls.NumDirectServers())
-				}
-				f.Close()
+			// FileSource sniffs the container format, so the second pass
+			// works on v1 and v2 (block) captures alike.
+			if src, err := pipeline.OpenFileSource(path); err == nil {
+				ls := hetero.NewLinkStatsWith(acme.HomeAS, env.EntityTable())
+				_ = hetero.Attribute(src, env.Fabric, ls, func(ip packet.IPv4Addr) bool { return set[ip] })
+				fmt.Printf("fig 7 (%s): %.1f%% of traffic off the direct links; %d of %d servers only behind other members\n",
+					acme.Name, 100*ls.OffLinkShare(), ls.ServersOnlyOffLink(),
+					ls.ServersOnlyOffLink()+ls.NumDirectServers())
+				src.Close()
 			}
 		}
 	}

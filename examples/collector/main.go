@@ -48,7 +48,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sw, err := sflow.NewStreamWriter(out)
+	// The v2 block container checksums every block and indexes the file
+	// for parallel decoding at analysis time.
+	sw, err := sflow.NewBlockWriter(out, false)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -88,7 +90,7 @@ func main() {
 	}
 	recv.Close()
 	wg.Wait()
-	if err := sw.Flush(); err != nil {
+	if err := sw.Close(); err != nil {
 		log.Fatal(err)
 	}
 	out.Close()
@@ -102,7 +104,9 @@ func main() {
 		log.Fatal(err)
 	}
 	defer in.Close()
-	sr, err := sflow.NewStreamReader(in)
+	// OpenReader sniffs the container magic, so the same analysis code
+	// reads v1 stream and v2 block captures.
+	sr, err := sflow.OpenReader(in)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,342 @@
+package capture
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"ixplens/internal/faultline"
+	"ixplens/internal/ixp"
+	"ixplens/internal/netmodel"
+	"ixplens/internal/obs"
+	"ixplens/internal/pipeline"
+	"ixplens/internal/sflow"
+	"ixplens/internal/traffic"
+)
+
+// writeV1Week renders one week into the legacy v1 stream container —
+// the format every pre-existing campaign on disk is in.
+func writeV1Week(t *testing.T, env *pipeline.Env, isoWeek int, path string) int {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sw, err := sflow.NewStreamWriter(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := ixp.NewCollector(env.Fabric, env.Opts.SamplingRate, sw.WriteDatagram)
+	col.SetBufferReuse(true)
+	if _, err := env.Gen.GenerateWeek(isoWeek, col); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return sw.Count()
+}
+
+// TestGoldenV1V2Equivalence writes the same full 17-week campaign in
+// both container formats and requires AnalyzeWeekFile to produce
+// identical results from either — the v2 migration must be invisible to
+// the analysis.
+func TestGoldenV1V2Equivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-campaign golden comparison")
+	}
+	cfg := netmodel.Tiny()
+	opts := traffic.Options{SamplesPerWeek: 1500, SamplingRate: 16384, SnapLen: 128}
+	env, err := pipeline.NewEnv(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1dir, v2dir := t.TempDir(), t.TempDir()
+
+	// Week generation is deterministic in (seed, week) alone, so the v1
+	// files written here carry the same datagrams WriteCampaign renders.
+	v1counts := make([]int, 0, cfg.Weeks)
+	for wk := cfg.FirstWeek; wk <= cfg.LastWeek(); wk++ {
+		v1counts = append(v1counts, writeV1Week(t, env, wk, filepath.Join(v1dir, WeekFile(wk))))
+	}
+	v2counts, err := WriteCampaignOpts(context.Background(), env, v2dir, WriteOptions{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v1counts, v2counts) {
+		t.Fatalf("datagram counts diverge: v1 %v, v2 %v", v1counts, v2counts)
+	}
+
+	man, err := ReadManifest(v2dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Format != 2 || !man.Compression {
+		t.Fatalf("manifest format/compression = %d/%v", man.Format, man.Compression)
+	}
+	if len(man.Digests) != cfg.Weeks || len(man.Datagrams) != cfg.Weeks {
+		t.Fatalf("manifest digests/datagrams: %d/%d entries", len(man.Digests), len(man.Datagrams))
+	}
+	for i, wk := range man.Weeks {
+		if man.Datagrams[i] != v2counts[i] {
+			t.Fatalf("week %d: manifest says %d datagrams, writer reported %d", wk, man.Datagrams[i], v2counts[i])
+		}
+		got, err := fileDigest(filepath.Join(v2dir, man.Files[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != man.Digests[i] {
+			t.Fatalf("week %d digest mismatch", wk)
+		}
+
+		res1, c1, err := AnalyzeWeekFile(context.Background(), env, filepath.Join(v1dir, man.Files[i]), wk)
+		if err != nil {
+			t.Fatalf("v1 week %d: %v", wk, err)
+		}
+		res2, c2, err := AnalyzeWeekFile(context.Background(), env, filepath.Join(v2dir, man.Files[i]), wk)
+		if err != nil {
+			t.Fatalf("v2 week %d: %v", wk, err)
+		}
+		if c1 != c2 {
+			t.Fatalf("week %d cascade diverges: v1 %+v, v2 %+v", wk, c1, c2)
+		}
+		if !reflect.DeepEqual(res1, res2) {
+			t.Fatalf("week %d analysis diverges between containers", wk)
+		}
+		if c1.Total == 0 || len(res1.Servers) == 0 {
+			t.Fatalf("week %d analysis empty", wk)
+		}
+	}
+}
+
+// instrumented returns a small campaign plus a metrics registry wired
+// into its env, for asserting on the capture damage counters.
+func instrumented(t *testing.T, weeks int) (*pipeline.Env, *obs.Registry, string) {
+	t.Helper()
+	cfg := netmodel.Tiny()
+	cfg.Weeks = weeks
+	opts := traffic.Options{SamplesPerWeek: 3000, SamplingRate: 16384, SnapLen: 128}
+	env, err := pipeline.NewEnv(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	env.Instrument(reg)
+	dir := t.TempDir()
+	if _, err := WriteCampaign(context.Background(), env, dir); err != nil {
+		t.Fatal(err)
+	}
+	return env, reg, dir
+}
+
+func counterValue(t *testing.T, reg *obs.Registry, name string) uint64 {
+	t.Helper()
+	return reg.Counters()[name]
+}
+
+// TestCorruptedBlockQuarantine flips one bit in the middle of a v2
+// capture — the single-bit disk corruption the checksums exist for —
+// and requires the analysis to quarantine the damaged block, count it,
+// and surface the lost datagrams as estimated loss instead of failing.
+func TestCorruptedBlockQuarantine(t *testing.T) {
+	env, reg, dir := instrumented(t, 2)
+	path := filepath.Join(dir, WeekFile(env.World.Cfg.FirstWeek))
+
+	_, clean, err := AnalyzeWeekFile(context.Background(), env, path, env.World.Cfg.FirstWeek)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := faultline.FlipFileBit(path, uint64(fi.Size()/2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("flipped one bit at offset %d of %d", off, fi.Size())
+
+	res, counts, err := AnalyzeWeekFile(context.Background(), env, path, env.World.Cfg.FirstWeek)
+	if err != nil {
+		t.Fatalf("bit flip must degrade, not fail: %v", err)
+	}
+	if got := counterValue(t, reg, "capture_blocks_corrupt_total"); got != 1 {
+		t.Fatalf("corrupt blocks counted = %d, want 1", got)
+	}
+	if got := counterValue(t, reg, "capture_datagrams_quarantined_total"); got == 0 {
+		t.Fatal("no quarantined datagrams counted")
+	}
+	if counts.Total >= clean.Total {
+		t.Fatalf("quarantine lost nothing: %d of %d samples survived", counts.Total, clean.Total)
+	}
+	if res.EstLoss <= 0 {
+		t.Fatal("quarantined datagrams must surface as estimated loss")
+	}
+}
+
+// TestTruncatedCaptureDegrades cuts a v2 capture mid-file — the shape a
+// crash or full disk leaves behind — and requires the analysis to keep
+// everything before the cut and mark the file truncated.
+func TestTruncatedCaptureDegrades(t *testing.T) {
+	env, reg, dir := instrumented(t, 2)
+	wk := env.World.Cfg.FirstWeek
+	path := filepath.Join(dir, WeekFile(wk))
+
+	_, clean, err := AnalyzeWeekFile(context.Background(), env, path, wk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()*6/10); err != nil {
+		t.Fatal(err)
+	}
+	_, counts, err := AnalyzeWeekFile(context.Background(), env, path, wk)
+	if err != nil {
+		t.Fatalf("truncated capture must degrade, not fail: %v", err)
+	}
+	if counts.Total == 0 || counts.Total >= clean.Total {
+		t.Fatalf("truncated analysis saw %d of %d samples", counts.Total, clean.Total)
+	}
+	if got := counterValue(t, reg, "capture_truncated_files_total"); got != 1 {
+		t.Fatalf("truncated files counted = %d, want 1", got)
+	}
+}
+
+// TestTruncatedV1CaptureDegrades: the same crash tolerance holds on the
+// legacy container, via the typed ErrTruncated from the v1 reader.
+func TestTruncatedV1CaptureDegrades(t *testing.T) {
+	cfg := netmodel.Tiny()
+	cfg.Weeks = 2
+	opts := traffic.Options{SamplesPerWeek: 3000, SamplingRate: 16384, SnapLen: 128}
+	env, err := pipeline.NewEnv(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	env.Instrument(reg)
+	path := filepath.Join(t.TempDir(), "week.sflow")
+	writeV1Week(t, env, cfg.FirstWeek, path)
+
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()*6/10); err != nil {
+		t.Fatal(err)
+	}
+	_, counts, err := AnalyzeWeekFile(context.Background(), env, path, cfg.FirstWeek)
+	if err != nil {
+		t.Fatalf("truncated v1 capture must degrade, not fail: %v", err)
+	}
+	if counts.Total == 0 {
+		t.Fatal("nothing decoded before the cut")
+	}
+	if got := counterValue(t, reg, "capture_truncated_files_total"); got != 1 {
+		t.Fatalf("truncated files counted = %d, want 1", got)
+	}
+}
+
+// TestCampaignResume checks the crash-recovery write path: weeks whose
+// files verify against the manifest digests are skipped, damaged ones
+// are rewritten, and option changes invalidate the whole directory.
+func TestCampaignResume(t *testing.T) {
+	env := smallEnv(t)
+	dir := t.TempDir()
+	counts1, err := WriteCampaign(context.Background(), env, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man1, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Backdate every file so "rewritten" is observable as a fresh mtime.
+	past := time.Now().Add(-time.Hour)
+	for _, name := range man1.Files {
+		if err := os.Chtimes(filepath.Join(dir, name), past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mtime := func(name string) time.Time {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fi.ModTime()
+	}
+
+	// A resume over an intact campaign rewrites nothing.
+	env2, err := man1.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts2, err := WriteCampaignOpts(context.Background(), env2, dir, WriteOptions{Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(counts1, counts2) {
+		t.Fatalf("resume changed counts: %v vs %v", counts1, counts2)
+	}
+	for _, name := range man1.Files {
+		if !mtime(name).Equal(past) {
+			t.Fatalf("resume rewrote intact week %s", name)
+		}
+	}
+
+	// Damage one week; only that week is rewritten.
+	damaged := man1.Files[1]
+	if _, err := faultline.FlipFileBit(filepath.Join(dir, damaged), 12345); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(filepath.Join(dir, damaged), past, past); err != nil {
+		t.Fatal(err)
+	}
+	counts3, err := WriteCampaignOpts(context.Background(), env2, dir, WriteOptions{Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(counts1, counts3) {
+		t.Fatalf("resume after damage changed counts: %v vs %v", counts1, counts3)
+	}
+	for i, name := range man1.Files {
+		rewritten := !mtime(name).Equal(past)
+		if (name == damaged) != rewritten {
+			t.Fatalf("file %d (%s): rewritten=%v", i, name, rewritten)
+		}
+	}
+	man3, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fileDigest(filepath.Join(dir, damaged))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != man3.Digests[1] {
+		t.Fatal("rewritten week does not match its fresh digest")
+	}
+
+	// Changed options (compression here) must invalidate every week.
+	for _, name := range man1.Files {
+		if err := os.Chtimes(filepath.Join(dir, name), past, past); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := WriteCampaignOpts(context.Background(), env2, dir, WriteOptions{Resume: true, Compress: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range man1.Files {
+		if mtime(name).Equal(past) {
+			t.Fatalf("option change did not rewrite %s", name)
+		}
+	}
+}

@@ -1,14 +1,22 @@
 // Package capture implements the on-disk measurement campaign format
 // shared by cmd/ixpgen and cmd/ixpmine: a directory holding one sFlow
-// stream per weekly snapshot plus a JSON manifest recording the world
+// capture per weekly snapshot plus a JSON manifest recording the world
 // configuration, so the measurement substrates can be rebuilt
-// deterministically for analysis.
+// deterministically for analysis. New campaigns are written in the
+// checksummed v2 block container (see internal/sflow); v1 campaigns
+// remain fully readable. The manifest carries a sha256 digest per week
+// file, written as each week completes, so an interrupted campaign can
+// resume: verified weeks are skipped, missing or damaged ones rewritten.
 package capture
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -28,6 +36,8 @@ import (
 const ManifestName = "manifest.json"
 
 // Manifest ties a campaign directory to its generating configuration.
+// The v2 fields are omitted when empty so manifests from v1 campaigns
+// still parse (and old readers ignore the additions).
 type Manifest struct {
 	Config  netmodel.Config
 	Options traffic.Options
@@ -36,6 +46,17 @@ type Manifest struct {
 	// Anonymized records that the capture's addresses went through the
 	// prefix-preserving anonymizer (the key itself is never stored).
 	Anonymized bool
+	// Format is the capture container version: 2 for block captures,
+	// absent (0) for the original v1 stream container.
+	Format int `json:",omitempty"`
+	// Compression records whether v2 blocks are DEFLATE-compressed.
+	Compression bool `json:",omitempty"`
+	// Digests holds the sha256 hex digest of each entry in Files,
+	// parallel to it. A week whose file matches its digest was written
+	// completely and has not been damaged since.
+	Digests []string `json:",omitempty"`
+	// Datagrams holds the per-week datagram counts, parallel to Files.
+	Datagrams []int `json:",omitempty"`
 }
 
 // WeekFile returns the conventional capture file name for a week.
@@ -43,53 +64,162 @@ func WeekFile(isoWeek int) string {
 	return fmt.Sprintf("week-%02d.sflow", isoWeek)
 }
 
+// WriteOptions configures a campaign write.
+type WriteOptions struct {
+	// Compress enables per-block DEFLATE compression in the container.
+	Compress bool
+	// Resume skips weeks whose existing files verify against the
+	// directory's manifest digests (same config, options and format) and
+	// rewrites the rest — picking up where an interrupted campaign died.
+	// For anonymized campaigns the digests verify bytes, not key
+	// identity: resuming with a different AnonKey silently mixes keys,
+	// so keep the key stable across resumed runs.
+	Resume bool
+	// Anonymize applies prefix-preserving address anonymization with
+	// AnonKey to every sampled frame.
+	Anonymize bool
+	AnonKey   uint64
+}
+
 // WriteCampaign renders every study week of env into dir and writes the
 // manifest. It returns the per-week datagram counts. Cancelling ctx
 // aborts mid-week within one datagram flush; env.Faults, when active,
 // degrades the written streams exactly as it would a live capture.
 func WriteCampaign(ctx context.Context, env *pipeline.Env, dir string) ([]int, error) {
-	return writeCampaign(ctx, env, dir, nil)
+	return WriteCampaignOpts(ctx, env, dir, WriteOptions{})
 }
 
 // WriteCampaignAnonymized is WriteCampaign with prefix-preserving
 // address anonymization applied to every sampled frame, like the data
 // the paper's authors could share. The key never leaves the process.
 func WriteCampaignAnonymized(ctx context.Context, env *pipeline.Env, dir string, key uint64) ([]int, error) {
-	return writeCampaign(ctx, env, dir, anonymize.New(key))
+	return WriteCampaignOpts(ctx, env, dir, WriteOptions{Anonymize: true, AnonKey: key})
 }
 
-func writeCampaign(ctx context.Context, env *pipeline.Env, dir string, anon *anonymize.PrefixPreserving) ([]int, error) {
+// WriteCampaignOpts is WriteCampaign with explicit options. The manifest
+// is rewritten after every completed week, so a crash part-way leaves a
+// directory a Resume run can pick up.
+func WriteCampaignOpts(ctx context.Context, env *pipeline.Env, dir string, opts WriteOptions) ([]int, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	var anon *anonymize.PrefixPreserving
+	if opts.Anonymize {
+		anon = anonymize.New(opts.AnonKey)
+	}
 	cfg := &env.World.Cfg
-	man := Manifest{Config: *cfg, Options: env.Opts, Anonymized: anon != nil}
+	man := Manifest{
+		Config:      *cfg,
+		Options:     env.Opts,
+		Anonymized:  opts.Anonymize,
+		Format:      2,
+		Compression: opts.Compress,
+	}
+	var prev *Manifest
+	if opts.Resume {
+		if old, err := ReadManifest(dir); err == nil && resumeCompatible(old, &man) {
+			prev = old
+		}
+	}
 	var counts []int
 	for wk := cfg.FirstWeek; wk <= cfg.LastWeek(); wk++ {
 		name := WeekFile(wk)
-		n, err := writeWeek(ctx, env, wk, filepath.Join(dir, name), anon)
-		if err != nil {
-			return counts, fmt.Errorf("capture: week %d: %w", wk, err)
+		path := filepath.Join(dir, name)
+		n, digest, reused := reuseWeek(prev, wk, name, path)
+		if !reused {
+			var err error
+			n, digest, err = writeWeek(ctx, env, wk, path, anon, opts.Compress)
+			if err != nil {
+				return counts, fmt.Errorf("capture: week %d: %w", wk, err)
+			}
 		}
 		counts = append(counts, n)
 		man.Weeks = append(man.Weeks, wk)
 		man.Files = append(man.Files, name)
+		man.Digests = append(man.Digests, digest)
+		man.Datagrams = append(man.Datagrams, n)
+		if err := writeManifest(filepath.Join(dir, ManifestName), &man); err != nil {
+			return counts, err
+		}
 	}
-	return counts, writeManifest(filepath.Join(dir, ManifestName), &man)
+	return counts, nil
 }
 
-func writeWeek(ctx context.Context, env *pipeline.Env, isoWeek int, path string, anon *anonymize.PrefixPreserving) (int, error) {
-	f, err := os.Create(path)
+// resumeCompatible reports whether an existing manifest describes the
+// same campaign a new write would produce, so its digests can vouch for
+// weeks already on disk. Config and Options are compared through their
+// JSON form — the same encoding the manifest stores.
+func resumeCompatible(old, next *Manifest) bool {
+	if old.Format != next.Format ||
+		old.Compression != next.Compression ||
+		old.Anonymized != next.Anonymized {
+		return false
+	}
+	if len(old.Digests) != len(old.Files) || len(old.Datagrams) != len(old.Files) {
+		return false
+	}
+	oc, err1 := json.Marshal(old.Config)
+	nc, err2 := json.Marshal(next.Config)
+	oo, err3 := json.Marshal(old.Options)
+	no, err4 := json.Marshal(next.Options)
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+		return false
+	}
+	return string(oc) == string(nc) && string(oo) == string(no)
+}
+
+// reuseWeek reports whether the file for wk can be kept as-is: the prior
+// manifest lists it and the bytes on disk still match its digest.
+func reuseWeek(prev *Manifest, wk int, name, path string) (n int, digest string, ok bool) {
+	if prev == nil {
+		return 0, "", false
+	}
+	for i, w := range prev.Weeks {
+		if w != wk || prev.Files[i] != name {
+			continue
+		}
+		got, err := fileDigest(path)
+		if err != nil || got != prev.Digests[i] {
+			return 0, "", false
+		}
+		return prev.Datagrams[i], got, true
+	}
+	return 0, "", false
+}
+
+// fileDigest returns the sha256 hex digest of a file's contents.
+func fileDigest(path string) (string, error) {
+	f, err := os.Open(path)
 	if err != nil {
-		return 0, err
+		return "", err
 	}
 	defer f.Close()
-	sw, err := sflow.NewStreamWriter(f)
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func writeWeek(ctx context.Context, env *pipeline.Env, isoWeek int, path string, anon *anonymize.PrefixPreserving, compress bool) (int, string, error) {
+	f, err := os.Create(path)
 	if err != nil {
-		return 0, err
+		return 0, "", err
+	}
+	h := sha256.New()
+	sw, err := sflow.NewBlockWriter(io.MultiWriter(f, h), compress)
+	if err != nil {
+		f.Close()
+		return 0, "", err
+	}
+	// fail closes best-effort on the error path; the file is incomplete
+	// either way and a resume will rewrite it.
+	fail := func(e error) (int, string, error) {
+		f.Close()
+		return sw.Count(), "", e
 	}
 	base := func(d *sflow.Datagram) error {
 		if err := ctx.Err(); err != nil {
@@ -118,28 +248,55 @@ func writeWeek(ctx context.Context, env *pipeline.Env, isoWeek int, path string,
 	// its buffers.
 	col.SetBufferReuse(true)
 	if _, err := env.Gen.GenerateWeek(isoWeek, col); err != nil {
-		return sw.Count(), err
+		return fail(err)
 	}
 	if inj != nil {
 		if err := inj.Flush(inner); err != nil {
-			return sw.Count(), err
+			return fail(err)
 		}
 	}
-	if err := sw.Flush(); err != nil {
-		return sw.Count(), err
+	if err := sw.Close(); err != nil {
+		return fail(err)
 	}
-	return sw.Count(), f.Sync()
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	// Close is checked, not deferred: on a full disk the close itself can
+	// surface the write-back failure, and a digest for a half-written
+	// file must never reach the manifest.
+	if err := f.Close(); err != nil {
+		return sw.Count(), "", err
+	}
+	return sw.Count(), hex.EncodeToString(h.Sum(nil)), nil
 }
 
+// writeManifest writes the manifest atomically: encode to a temp file,
+// sync, close (both checked — a full disk must not leave a truncated
+// manifest that parses as complete), then rename into place.
 func writeManifest(path string, man *Manifest) error {
-	f, err := os.Create(path)
+	f, err := os.CreateTemp(filepath.Dir(path), ".manifest-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	tmp := f.Name()
+	discard := func(e error) error {
+		f.Close()
+		os.Remove(tmp)
+		return e
+	}
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
-	return enc.Encode(man)
+	if err := enc.Encode(man); err != nil {
+		return discard(err)
+	}
+	if err := f.Sync(); err != nil {
+		return discard(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // ReadManifest loads and validates a campaign manifest.
@@ -168,23 +325,9 @@ func (m *Manifest) Rebuild() (*pipeline.Env, error) {
 	return pipeline.NewEnv(m.Config, m.Options)
 }
 
-// AnalyzeWeekFile dissects and identifies one capture file, spreading
-// classification over a worker pool; each worker feeds its own
-// identifier shard and the deterministic shard merge inside Identify
-// keeps results identical to a sequential pass. Sequence gaps in the
-// file (a capture written through a lossy path, or truncated on disk)
-// surface as the result's EstLoss annotation, and ctx cancels the pass
-// within one datagram.
-func AnalyzeWeekFile(ctx context.Context, env *pipeline.Env, path string, isoWeek int) (*webserver.Result, dissect.Counts, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, dissect.Counts{}, err
-	}
-	defer f.Close()
-	sr, err := sflow.NewStreamReader(f)
-	if err != nil {
-		return nil, dissect.Counts{}, err
-	}
+// analyzeWorkers sizes the per-file worker pools: one core is left for
+// the reader/merge side, capped where sharding stops paying off.
+func analyzeWorkers() int {
 	workers := runtime.GOMAXPROCS(0) - 1
 	if workers > 8 {
 		workers = 8
@@ -192,14 +335,80 @@ func AnalyzeWeekFile(ctx context.Context, env *pipeline.Env, path string, isoWee
 	if workers < 1 {
 		workers = 1
 	}
+	return workers
+}
+
+// AnalyzeWeekFile dissects and identifies one capture file, spreading
+// classification over a worker pool; each worker feeds its own
+// identifier shard and the deterministic shard merge inside Identify
+// keeps results identical to a sequential pass. v2 (block) captures are
+// additionally decoded by a parallel block reader, removing the serial
+// read bottleneck; v1 captures take the sequential fallback path.
+//
+// Damage degrades instead of failing: a crash-truncated capture (either
+// format) yields everything decoded before the cut, and v2 blocks whose
+// checksum does not verify are quarantined and counted. Both surface
+// through the result's EstLoss annotation — quarantined and truncated
+// datagrams reappear to the sequence tracker as gaps — and through the
+// capture metrics in env.M. Structural corruption (bad magic, damaged
+// framing without a trusted index) still fails. ctx cancels the pass
+// within one datagram batch.
+func AnalyzeWeekFile(ctx context.Context, env *pipeline.Env, path string, isoWeek int) (*webserver.Result, dissect.Counts, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, dissect.Counts{}, err
+	}
+	defer f.Close()
+	var magic [8]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, dissect.Counts{}, fmt.Errorf("capture: reading %s header: %w", filepath.Base(path), err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, dissect.Counts{}, err
+	}
+	workers := analyzeWorkers()
+	var src dissect.DatagramSource
+	var blockStats func() sflow.BlockStats
+	switch sflow.CaptureFormat(magic) {
+	case 1:
+		sr, err := sflow.NewStreamReader(f)
+		if err != nil {
+			return nil, dissect.Counts{}, err
+		}
+		src = sr
+	case 2:
+		if workers > 1 {
+			pr, err := sflow.NewParallelBlockReader(f, workers)
+			if err != nil {
+				return nil, dissect.Counts{}, err
+			}
+			defer pr.Close()
+			src, blockStats = pr, pr.Stats
+		} else {
+			br, err := sflow.NewBlockReader(f)
+			if err != nil {
+				return nil, dissect.Counts{}, err
+			}
+			src, blockStats = br, br.Stats
+		}
+	default:
+		return nil, dissect.Counts{}, sflow.ErrBadMagic
+	}
 	ident := webserver.NewSharded(workers)
 	ident.SetMetrics(env.M.IdentifyMetrics())
 	var seq sflow.SeqTracker
-	src := &faultline.TrackSource{Src: sr, Seq: &seq}
-	counts, err := dissect.ProcessSharded(ctx, src, env.Fabric, workers, ident.ObserveShard, env.M.DissectMetrics())
-	if err != nil {
+	tsrc := &faultline.TrackSource{Src: src, Seq: &seq}
+	counts, err := dissect.ProcessSharded(ctx, tsrc, env.Fabric, workers, ident.ObserveShard, env.M.DissectMetrics())
+	truncated := errors.Is(err, sflow.ErrTruncated)
+	if err != nil && !truncated {
 		return nil, counts, err
 	}
+	var st sflow.BlockStats
+	if blockStats != nil {
+		st = blockStats()
+	}
+	st.Truncated = st.Truncated || truncated
+	env.M.ObserveCapture(st)
 	res := ident.Identify(isoWeek, env.Crawler)
 	res.EstLoss = seq.EstLoss()
 	if env.MaxLoss > 0 && res.EstLoss > env.MaxLoss {

@@ -20,6 +20,7 @@ package faultline
 import (
 	"fmt"
 	"io"
+	"os"
 	"sync/atomic"
 	"time"
 
@@ -401,4 +402,48 @@ func (t *TrackSource) Next(d *sflow.Datagram) error {
 		t.Seq.Observe(d)
 	}
 	return err
+}
+
+// FlipFileBit inverts one key-derived bit of the file at path in place,
+// simulating silent disk corruption of a capture at rest. The byte
+// offset is key modulo the file size; the bit within it is derived from
+// the key. Returns the offset damaged.
+func FlipFileBit(path string, key uint64) (int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if fi.Size() == 0 {
+		return 0, fmt.Errorf("faultline: %s is empty, nothing to corrupt", path)
+	}
+	off := int64(key % uint64(fi.Size()))
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return 0, err
+	}
+	b[0] ^= 1 << (randutil.SplitMix64(key) % 8)
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return 0, err
+	}
+	return off, f.Close()
+}
+
+// TruncateFileTail cuts the file at path to a key-derived prefix length
+// (key modulo the file size), simulating a crash mid-write. Returns the
+// resulting size.
+func TruncateFileTail(path string, key uint64) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	if fi.Size() == 0 {
+		return 0, nil
+	}
+	n := int64(key % uint64(fi.Size()))
+	return n, os.Truncate(path, n)
 }

@@ -1,0 +1,94 @@
+package pipeline
+
+import (
+	"os"
+
+	"ixplens/internal/sflow"
+)
+
+// FileSource is a rewindable datagram source backed by a capture file in
+// either container format (v1 stream or v2 block — sniffed per open via
+// sflow.OpenReader). Where ReplaySource rewinds by regenerating traffic,
+// FileSource rewinds by reopening the file, so multi-pass analyses
+// (link attribution, heterogeneity) work on captures whose generating
+// environment is unavailable — including anonymized ones.
+//
+// It implements dissect.RewindableSource. Reset is lazy: the file is
+// reopened on the following Next, and open errors surface there. The
+// handed-out datagram follows the usual aliasing contract (valid until
+// the next Next/Reset). Not safe for concurrent use.
+type FileSource struct {
+	path string
+	f    *os.File
+	r    sflow.DatagramReader
+	err  error
+}
+
+// OpenFileSource opens a capture file as a rewindable source. The first
+// open is eager so unreadable paths and unknown container magics fail
+// here rather than mid-pass.
+func OpenFileSource(path string) (*FileSource, error) {
+	s := &FileSource{path: path}
+	if err := s.open(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *FileSource) open() error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return err
+	}
+	r, err := sflow.OpenReader(f)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	s.f, s.r = f, r
+	return nil
+}
+
+// Next implements dissect.DatagramSource.
+func (s *FileSource) Next(d *sflow.Datagram) error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.r == nil {
+		if err := s.open(); err != nil {
+			s.err = err
+			return err
+		}
+	}
+	return s.r.Next(d)
+}
+
+// Stats returns the block accounting of the pass in progress (or the
+// finished one, before the next Reset). ok is false for v1 captures,
+// which carry no block structure.
+func (s *FileSource) Stats() (st sflow.BlockStats, ok bool) {
+	if br, is := s.r.(*sflow.BlockReader); is {
+		return br.Stats(), true
+	}
+	return sflow.BlockStats{}, false
+}
+
+// Reset implements dissect.RewindableSource: the next Next re-reads the
+// file from the start.
+func (s *FileSource) Reset() {
+	if s.f != nil {
+		s.f.Close()
+	}
+	s.f, s.r, s.err = nil, nil, nil
+}
+
+// Close releases the underlying file. The source stays resettable:
+// another Next reopens it.
+func (s *FileSource) Close() error {
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f, s.r, s.err = nil, nil, nil
+	return err
+}

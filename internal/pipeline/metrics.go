@@ -36,6 +36,16 @@ type Metrics struct {
 	// estimated loss fraction in basis points (1/100 of a percent).
 	SeqGaps   *obs.Counter
 	EstLossBP *obs.Gauge
+	// Capture-file (v2 block container) accounting: blocks read and
+	// verified, blocks quarantined by checksum, datagrams lost inside
+	// them, crash-truncated files encountered, and decoded-vs-on-disk
+	// payload volume.
+	CaptureBlocks        *obs.Counter
+	CaptureBlocksCorrupt *obs.Counter
+	CaptureQuarantined   *obs.Counter
+	CaptureTruncated     *obs.Counter
+	CaptureRawBytes      *obs.Counter
+	CaptureDiskBytes     *obs.Counter
 }
 
 // NewMetrics builds the full bundle against a registry; nil in, nil out.
@@ -55,6 +65,13 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		Utilization: r.Gauge("pipeline_worker_utilization_pct"),
 		SeqGaps:     r.Counter("pipeline_seq_gap_datagrams_total"),
 		EstLossBP:   r.Gauge("pipeline_est_loss_bp"),
+
+		CaptureBlocks:        r.Counter("capture_blocks_read_total"),
+		CaptureBlocksCorrupt: r.Counter("capture_blocks_corrupt_total"),
+		CaptureQuarantined:   r.Counter("capture_datagrams_quarantined_total"),
+		CaptureTruncated:     r.Counter("capture_truncated_files_total"),
+		CaptureRawBytes:      r.Counter("capture_block_raw_bytes_total"),
+		CaptureDiskBytes:     r.Counter("capture_block_disk_bytes_total"),
 	}
 }
 
@@ -66,6 +83,22 @@ func (m *Metrics) observeSeq(st sflow.SeqStats) {
 	}
 	m.SeqGaps.Add(st.GapDatagrams)
 	m.EstLossBP.Set(int64(st.EstLoss() * 10_000))
+}
+
+// ObserveCapture folds one capture file's block accounting into the
+// bundle. Nil-safe like every accessor.
+func (m *Metrics) ObserveCapture(st sflow.BlockStats) {
+	if m == nil {
+		return
+	}
+	m.CaptureBlocks.Add(st.Blocks)
+	m.CaptureBlocksCorrupt.Add(st.CorruptBlocks)
+	m.CaptureQuarantined.Add(st.QuarantinedDatagrams)
+	m.CaptureRawBytes.Add(st.RawBytes)
+	m.CaptureDiskBytes.Add(st.DiskBytes)
+	if st.Truncated {
+		m.CaptureTruncated.Inc()
+	}
 }
 
 // CollectorMetrics returns the collector sub-bundle, nil when disabled.

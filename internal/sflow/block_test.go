@@ -1,0 +1,435 @@
+package sflow
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// blockTestDatagram builds the i-th of a deterministic, varied sequence
+// of datagrams: different agents, growing headers, interleaved counter
+// samples — enough shape to exercise framing, padding and compression.
+func blockTestDatagram(i int) *Datagram {
+	hdr := make([]byte, 20+(i%97))
+	for j := range hdr {
+		hdr[j] = byte(i + j*7)
+	}
+	d := &Datagram{
+		AgentAddr:   [4]byte{10, 0, byte(i % 5), byte(i % 251)},
+		SubAgentID:  uint32(i % 3),
+		SequenceNum: uint32(i + 1),
+		Uptime:      uint32(1000 * i),
+		Flows: []FlowSample{{
+			SequenceNum:   uint32(i),
+			SourceIDIndex: uint32(i % 64),
+			SamplingRate:  16384,
+			SamplePool:    uint32(i) * 16384,
+			InputIf:       uint32(i % 48),
+			OutputIf:      uint32((i + 7) % 48),
+			HasRaw:        true,
+			Raw: RawPacketHeader{
+				Protocol:    HeaderProtoEthernet,
+				FrameLength: uint32(64 + i%1450),
+				Header:      hdr,
+			},
+			HasSwitch: true,
+			Switch:    ExtendedSwitch{SrcVLAN: uint32(i % 7), DstVLAN: uint32(i % 11)},
+		}},
+	}
+	if i%13 == 0 {
+		d.Counters = []CounterSample{{
+			SequenceNum:   uint32(i / 13),
+			SourceIDIndex: uint32(i % 64),
+			HasGeneric:    true,
+			Generic:       GenericInterfaceCounters{IfIndex: uint32(i % 64), InOctets: uint64(i) * 999},
+		}}
+	}
+	return d
+}
+
+// writeBlockCapture writes n deterministic datagrams into a v2 container,
+// sealing a block every flushEvery datagrams (0 = only at target size),
+// and returns the file bytes plus every datagram's encoding in order.
+func writeBlockCapture(t *testing.T, n int, compress bool, flushEvery int) ([]byte, [][]byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	bw, err := NewBlockWriter(&buf, compress)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < n; i++ {
+		d := blockTestDatagram(i)
+		want = append(want, d.AppendEncode(nil))
+		if err := bw.WriteDatagram(d); err != nil {
+			t.Fatal(err)
+		}
+		if flushEvery > 0 && (i+1)%flushEvery == 0 {
+			if err := bw.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if bw.Count() != n {
+		t.Fatalf("writer count = %d, want %d", bw.Count(), n)
+	}
+	return buf.Bytes(), want
+}
+
+// drainEncoded reads r to its end, returning each datagram re-encoded
+// (the decoded form aliases reader buffers, so encoding snapshots it).
+func drainEncoded(r DatagramReader) ([][]byte, error) {
+	var got [][]byte
+	var d Datagram
+	for {
+		err := r.Next(&d)
+		if err == io.EOF {
+			return got, nil
+		}
+		if err != nil {
+			return got, err
+		}
+		got = append(got, d.AppendEncode(nil))
+	}
+}
+
+func mustEqualEncodings(t *testing.T, got, want [][]byte) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d datagrams, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("datagram %d round-trip mismatch", i)
+		}
+	}
+}
+
+func TestBlockRoundTrip(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		t.Run(fmt.Sprintf("compress=%v", compress), func(t *testing.T) {
+			data, want := writeBlockCapture(t, 500, compress, 37)
+			br, err := NewBlockReader(bytes.NewReader(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := drainEncoded(br)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEqualEncodings(t, got, want)
+			st := br.Stats()
+			if st.Datagrams != 500 || st.Blocks < 2 || st.CorruptBlocks != 0 {
+				t.Fatalf("stats = %+v", st)
+			}
+			if !st.FooterVerified || st.Truncated {
+				t.Fatalf("footer not verified or truncated: %+v", st)
+			}
+			if compress && st.DiskBytes >= st.RawBytes {
+				t.Fatalf("compression did not shrink redundant payloads: %+v", st)
+			}
+		})
+	}
+}
+
+func TestBlockParallelMatchesSerial(t *testing.T) {
+	for _, compress := range []bool{false, true} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("compress=%v/workers=%d", compress, workers), func(t *testing.T) {
+				data, want := writeBlockCapture(t, 700, compress, 53)
+				pr, err := NewParallelBlockReader(bytes.NewReader(data), workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer pr.Close()
+				got, err := drainEncoded(pr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustEqualEncodings(t, got, want)
+				st := pr.Stats()
+				if st.Datagrams != 700 || st.CorruptBlocks != 0 || !st.FooterVerified {
+					t.Fatalf("stats = %+v", st)
+				}
+			})
+		}
+	}
+}
+
+// TestBlockTruncationSweep cuts a capture at every stride-th byte and
+// checks the contract at each cut: the reader must deliver a strict
+// prefix of the original datagrams and then either finish cleanly with
+// the Truncated flag, or fail with an error wrapping ErrTruncated —
+// never garbage, never a panic.
+func TestBlockTruncationSweep(t *testing.T) {
+	data, want := writeBlockCapture(t, 300, true, 41)
+	for cut := 8; cut < len(data); cut += 397 {
+		check := func(name string, r DatagramReader, stats func() BlockStats) {
+			got, err := drainEncoded(r)
+			if err != nil && !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut=%d %s: unexpected error %v", cut, name, err)
+			}
+			if len(got) > len(want) {
+				t.Fatalf("cut=%d %s: decoded %d datagrams from a %d-datagram capture", cut, name, len(got), len(want))
+			}
+			mustEqualEncodings(t, got, want[:len(got)])
+			if err == nil && !stats().Truncated {
+				t.Fatalf("cut=%d %s: clean EOF on a cut file without Truncated", cut, name)
+			}
+		}
+		br, err := NewBlockReader(bytes.NewReader(data[:cut]))
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		check("serial", br, br.Stats)
+		pr, err := NewParallelBlockReader(bytes.NewReader(data[:cut]), 2)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		check("parallel", pr, pr.Stats)
+		pr.Close()
+	}
+}
+
+// TestBlockTruncationAtBoundary removes exactly the footer: everything
+// written before the crash must decode, with only the Truncated flag
+// raised.
+func TestBlockTruncationAtBoundary(t *testing.T) {
+	data, want := writeBlockCapture(t, 200, false, 29)
+	// Find the footer start from the self-describing tail.
+	footLen := int(data[len(data)-12])<<24 | int(data[len(data)-11])<<16 |
+		int(data[len(data)-10])<<8 | int(data[len(data)-9])
+	cut := len(data) - 12 - footLen
+	br, err := NewBlockReader(bytes.NewReader(data[:cut]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := drainEncoded(br)
+	if err != nil {
+		t.Fatalf("boundary truncation must be a clean degrade, got %v", err)
+	}
+	mustEqualEncodings(t, got, want)
+	st := br.Stats()
+	if !st.Truncated || st.FooterVerified {
+		t.Fatalf("stats = %+v, want Truncated without FooterVerified", st)
+	}
+}
+
+// TestBlockBitFlipQuarantine flips a single payload bit: the checksum
+// must catch it, the block must be quarantined (not decoded as garbage),
+// and every other block must still come through.
+func TestBlockBitFlipQuarantine(t *testing.T) {
+	data, want := writeBlockCapture(t, 400, true, 67)
+	flipped := append([]byte(nil), data...)
+	flipped[8+blockHeaderLen+11] ^= 0x10 // inside the first block's payload
+
+	for _, mode := range []string{"serial", "parallel"} {
+		var r DatagramReader
+		var stats func() BlockStats
+		switch mode {
+		case "serial":
+			br, err := NewBlockReader(bytes.NewReader(flipped))
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, stats = br, br.Stats
+		case "parallel":
+			pr, err := NewParallelBlockReader(bytes.NewReader(flipped), 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer pr.Close()
+			r, stats = pr, pr.Stats
+		}
+		got, err := drainEncoded(r)
+		if err != nil {
+			t.Fatalf("%s: corrupt block must quarantine, not fail: %v", mode, err)
+		}
+		st := stats()
+		if st.CorruptBlocks != 1 {
+			t.Fatalf("%s: corrupt blocks = %d, want 1 (%+v)", mode, st.CorruptBlocks, st)
+		}
+		if st.QuarantinedDatagrams == 0 {
+			t.Fatalf("%s: no datagrams quarantined (%+v)", mode, st)
+		}
+		// The surviving datagrams are exactly the tail after the first
+		// (quarantined) block.
+		lost := len(want) - len(got)
+		if lost <= 0 {
+			t.Fatalf("%s: nothing lost despite a corrupt block", mode)
+		}
+		mustEqualEncodings(t, got, want[lost:])
+	}
+}
+
+// TestBlockHeaderFlipIndexedResync damages a block *header* length field
+// — fatal to a sequential scan, which loses framing — and checks the
+// footer-indexed parallel reader still quarantines just that block and
+// resyncs at the next indexed offset.
+func TestBlockHeaderFlipIndexedResync(t *testing.T) {
+	data, want := writeBlockCapture(t, 400, false, 67)
+	flipped := append([]byte(nil), data...)
+	flipped[8+20] ^= 0x40 // first block's diskLen field
+
+	pr, err := NewParallelBlockReader(bytes.NewReader(flipped), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	got, err := drainEncoded(pr)
+	if err != nil {
+		t.Fatalf("indexed reader must resync past a damaged header: %v", err)
+	}
+	st := pr.Stats()
+	if !st.FooterVerified || st.CorruptBlocks != 1 || st.QuarantinedDatagrams != 67 {
+		t.Fatalf("stats = %+v, want verified footer, 1 corrupt block, 67 quarantined", st)
+	}
+	mustEqualEncodings(t, got, want[len(want)-len(got):])
+}
+
+func TestOpenReaderBothFormats(t *testing.T) {
+	// v1 container through the sniffing opener.
+	var v1 bytes.Buffer
+	sw, err := NewStreamWriter(&v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for i := 0; i < 50; i++ {
+		d := blockTestDatagram(i)
+		want = append(want, d.AppendEncode(nil))
+		if err := sw.WriteDatagram(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := OpenReader(bytes.NewReader(v1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r1.(*StreamReader); !ok {
+		t.Fatalf("v1 bytes opened as %T", r1)
+	}
+	got, err := drainEncoded(r1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualEncodings(t, got, want)
+
+	// v2 container through the same opener.
+	v2, want2 := writeBlockCapture(t, 50, true, 0)
+	r2, err := OpenReader(bytes.NewReader(v2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r2.(*BlockReader); !ok {
+		t.Fatalf("v2 bytes opened as %T", r2)
+	}
+	got2, err := drainEncoded(r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualEncodings(t, got2, want2)
+
+	if _, err := OpenReader(bytes.NewReader([]byte("NOTACAPTstuff"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("garbage magic: %v", err)
+	}
+}
+
+func TestCaptureFormat(t *testing.T) {
+	if got := CaptureFormat(streamMagic); got != 1 {
+		t.Fatalf("v1 magic = %d", got)
+	}
+	if got := CaptureFormat(blockMagic); got != 2 {
+		t.Fatalf("v2 magic = %d", got)
+	}
+	if got := CaptureFormat([8]byte{1, 2, 3}); got != 0 {
+		t.Fatalf("junk magic = %d", got)
+	}
+}
+
+func TestBlockWriterEmptyCapture(t *testing.T) {
+	var buf bytes.Buffer
+	bw, err := NewBlockWriter(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	br, err := NewBlockReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Datagram
+	if err := br.Next(&d); err != io.EOF {
+		t.Fatalf("empty capture Next = %v, want EOF", err)
+	}
+	if st := br.Stats(); !st.FooterVerified || st.Truncated || st.Datagrams != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	pr, err := NewParallelBlockReader(bytes.NewReader(buf.Bytes()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pr.Close()
+	if err := pr.Next(&d); err != io.EOF {
+		t.Fatalf("empty capture parallel Next = %v, want EOF", err)
+	}
+}
+
+func TestStreamReaderTruncatedTyped(t *testing.T) {
+	var v1 bytes.Buffer
+	sw, err := NewStreamWriter(&v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := sw.WriteDatagram(blockTestDatagram(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := v1.Bytes()
+	for _, cut := range []int{len(data) - 3, len(data) / 2, 10} {
+		sr, err := NewStreamReader(bytes.NewReader(data[:cut]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = drainEncoded(sr)
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut=%d: err = %v, want ErrTruncated", cut, err)
+		}
+	}
+}
+
+func TestParallelBlockReaderClose(t *testing.T) {
+	data, _ := writeBlockCapture(t, 300, false, 31)
+	pr, err := NewParallelBlockReader(bytes.NewReader(data), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d Datagram
+	if err := pr.Next(&d); err != nil {
+		t.Fatal(err)
+	}
+	if err := pr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Next after Close terminates rather than hanging on a dead pool.
+	for i := 0; i < 10_000; i++ {
+		if err := pr.Next(&d); err != nil {
+			return
+		}
+	}
+	t.Fatal("Next kept succeeding after Close")
+}

@@ -29,8 +29,9 @@ type SeqStats struct {
 	Received uint64
 	// GapDatagrams counts datagrams inferred lost from sequence gaps.
 	GapDatagrams uint64
-	// Duplicates counts datagrams whose sequence number repeated the
-	// previous one for that agent (duplicated in flight).
+	// Duplicates counts datagrams whose sequence number was already
+	// delivered for that agent (duplicated in flight, or a late datagram
+	// arriving more than once).
 	Duplicates uint64
 	// Reordered counts datagrams that arrived after a successor already
 	// had (their provisional gap is reclaimed when they show up).
@@ -41,9 +42,14 @@ type SeqStats struct {
 }
 
 // EstLoss estimates the fraction of datagrams the stream is missing:
-// gaps / (received + gaps). Zero when nothing was observed.
+// gaps over the distinct datagrams the stream should have delivered.
+// Duplicate deliveries add nothing to the stream's coverage — counting
+// them in the denominator would deflate the estimate on duplicate-heavy
+// streams — so the estimate is gaps / (received − duplicates + gaps).
+// Zero when nothing was observed.
 func (s SeqStats) EstLoss() float64 {
-	total := s.Received + s.GapDatagrams
+	distinct := s.Received - s.Duplicates // first arrival is never a duplicate
+	total := distinct + s.GapDatagrams
 	if total == 0 {
 		return 0
 	}
@@ -55,9 +61,9 @@ func (s SeqStats) EstLoss() float64 {
 // a nil *SeqTracker ignores observations and reports zero loss. Safe for
 // concurrent use.
 type SeqTracker struct {
-	mu    sync.Mutex
-	last  map[seqKey]uint32
-	stats SeqStats
+	mu     sync.Mutex
+	agents map[seqKey]*agentSeq
+	stats  SeqStats
 }
 
 // seqKey identifies one exporting process: agents number datagrams per
@@ -67,6 +73,43 @@ type seqKey struct {
 	sub  uint32
 }
 
+// agentSeq is one exporting process's tracking state: the highest
+// in-order sequence number plus a small ring of recently reclaimed
+// (late-arrival) sequence numbers. The ring is what stops a late
+// datagram that arrives twice from reclaiming the same provisional gap
+// twice — the repeat is a duplicate, not another reorder.
+type agentSeq struct {
+	last      uint32
+	reclaimed [maxReorderWindow]uint32
+	nreclaim  uint8 // valid entries in reclaimed
+	wreclaim  uint8 // next ring write slot
+}
+
+func (a *agentSeq) wasReclaimed(seq uint32) bool {
+	for i := uint8(0); i < a.nreclaim; i++ {
+		if a.reclaimed[i] == seq {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *agentSeq) noteReclaimed(seq uint32) {
+	a.reclaimed[a.wreclaim] = seq
+	a.wreclaim = (a.wreclaim + 1) % maxReorderWindow
+	if a.nreclaim < maxReorderWindow {
+		a.nreclaim++
+	}
+}
+
+// resync points the tracking at a restarted numbering; reclaim history
+// from the old numbering no longer means anything.
+func (a *agentSeq) resync(seq uint32) {
+	a.last = seq
+	a.nreclaim = 0
+	a.wreclaim = 0
+}
+
 // Observe folds one datagram's sequence number into the tracker.
 func (t *SeqTracker) Observe(d *Datagram) {
 	if t == nil {
@@ -74,42 +117,49 @@ func (t *SeqTracker) Observe(d *Datagram) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if t.last == nil {
-		t.last = make(map[seqKey]uint32)
+	if t.agents == nil {
+		t.agents = make(map[seqKey]*agentSeq)
 	}
 	t.stats.Received++
 	k := seqKey{d.AgentAddr, d.SubAgentID}
-	last, seen := t.last[k]
+	a, seen := t.agents[k]
 	if !seen {
-		t.last[k] = d.SequenceNum
+		t.agents[k] = &agentSeq{last: d.SequenceNum}
 		return
 	}
 	switch {
-	case d.SequenceNum == last+1:
-		t.last[k] = d.SequenceNum
-	case d.SequenceNum > last+1:
-		gap := uint64(d.SequenceNum - last - 1)
+	case d.SequenceNum == a.last+1:
+		a.last = d.SequenceNum
+	case d.SequenceNum > a.last+1:
+		gap := uint64(d.SequenceNum - a.last - 1)
 		if gap > maxSeqGap {
 			t.stats.Restarts++
+			a.resync(d.SequenceNum)
 		} else {
 			t.stats.GapDatagrams += gap
+			a.last = d.SequenceNum
 		}
-		t.last[k] = d.SequenceNum
-	case d.SequenceNum == last:
+	case d.SequenceNum == a.last:
 		t.stats.Duplicates++
 	default:
 		// An older sequence number. Within the window it is a late
 		// (reordered) datagram whose absence was provisionally booked as
-		// a gap — reclaim it. Beyond the window it is a restart to a
+		// a gap — reclaim it, once: a repeat of an already-reclaimed
+		// number is a duplicate delivery, and reclaiming again would
+		// under-report loss. Beyond the window it is a restart to a
 		// lower numbering: resync so the new stream tracks forward.
-		if last-d.SequenceNum <= maxReorderWindow {
+		switch {
+		case a.last-d.SequenceNum > maxReorderWindow:
+			t.stats.Restarts++
+			a.resync(d.SequenceNum)
+		case a.wasReclaimed(d.SequenceNum):
+			t.stats.Duplicates++
+		default:
 			t.stats.Reordered++
 			if t.stats.GapDatagrams > 0 {
 				t.stats.GapDatagrams--
 			}
-		} else {
-			t.stats.Restarts++
-			t.last[k] = d.SequenceNum
+			a.noteReclaimed(d.SequenceNum)
 		}
 	}
 }

@@ -60,6 +60,48 @@ func TestSeqTrackerDuplicateAndReorder(t *testing.T) {
 	}
 }
 
+func TestSeqTrackerDoubleReclaim(t *testing.T) {
+	var tr SeqTracker
+	// 1,2 then 5: datagrams 3 and 4 provisionally lost. 3 arrives late —
+	// one reclaim — then arrives twice more. The repeats are duplicate
+	// deliveries and must not reclaim 4's slot too.
+	for _, s := range []uint32{1, 2, 5, 3, 3, 3} {
+		tr.Observe(seqDatagram(1, s))
+	}
+	st := tr.Stats()
+	if st.Reordered != 1 {
+		t.Fatalf("reordered = %d, want 1 (%+v)", st.Reordered, st)
+	}
+	if st.Duplicates != 2 {
+		t.Fatalf("duplicates = %d, want 2 (%+v)", st.Duplicates, st)
+	}
+	if st.GapDatagrams != 1 {
+		t.Fatalf("gap datagrams = %d, want 1 — datagram 4 is still missing (%+v)", st.GapDatagrams, st)
+	}
+}
+
+func TestSeqTrackerEstLossDuplicateStorm(t *testing.T) {
+	var tr SeqTracker
+	// 4 distinct datagrams (1,2,3,6) with 2 lost (4,5) — a 1/3 loss rate —
+	// plus a storm of duplicate deliveries of datagram 1 that must not
+	// dilute the estimate.
+	tr.Observe(seqDatagram(1, 1))
+	for i := 0; i < 10; i++ {
+		tr.Observe(seqDatagram(1, 1))
+	}
+	for _, s := range []uint32{2, 3, 6} {
+		tr.Observe(seqDatagram(1, s))
+	}
+	st := tr.Stats()
+	if st.Received != 14 || st.Duplicates != 10 || st.GapDatagrams != 2 {
+		t.Fatalf("stats = %+v, want 14 received / 10 dup / 2 gap", st)
+	}
+	want := 2.0 / 6.0
+	if got := st.EstLoss(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("EstLoss = %v, want %v (duplicates must not deflate it)", got, want)
+	}
+}
+
 func TestSeqTrackerRestartNotLoss(t *testing.T) {
 	var tr SeqTracker
 	tr.Observe(seqDatagram(1, 500_000))

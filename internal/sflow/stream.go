@@ -8,15 +8,23 @@ import (
 	"io"
 )
 
-// Capture stream framing. sFlow datagrams travel over UDP on the wire;
-// for on-disk captures this package uses a minimal container: an 8-byte
-// magic header followed by length-prefixed datagrams. cmd/ixpgen writes
-// these files and cmd/ixpmine reads them back.
+// Capture stream framing, container v1. sFlow datagrams travel over UDP
+// on the wire; the original on-disk container is minimal: an 8-byte
+// magic header followed by naked length-prefixed datagrams. New captures
+// use the checksummed block container v2 (see block.go); this reader is
+// kept so every v1 capture ever written stays readable.
 
 var streamMagic = [8]byte{'I', 'X', 'P', 'S', 'F', 'L', 'W', '1'}
 
 // ErrBadMagic indicates the input is not a capture stream.
 var ErrBadMagic = errors.New("sflow: bad capture stream magic")
+
+// ErrTruncated marks a capture cut off mid-structure — a frame, block or
+// header that ends before its declared length, the signature of a crash
+// or kill -9 during capture. Readers return it (test with errors.Is) so
+// analysis can distinguish a crash-truncated capture, which degrades to
+// whatever decoded cleanly, from structural corruption, which fails.
+var ErrTruncated = errors.New("sflow: capture truncated mid-structure")
 
 // maxDatagramLen bounds a single framed datagram so a corrupt length
 // field cannot trigger a huge allocation.
@@ -82,13 +90,18 @@ func NewStreamReader(r io.Reader) (*StreamReader, error) {
 }
 
 // Next decodes the next datagram into d. It returns io.EOF at a clean end
-// of stream. The datagram's header byte slices alias an internal buffer
-// that is overwritten by the following Next call.
+// of stream and an error wrapping ErrTruncated when the stream stops
+// mid-frame (a crash-truncated capture). The datagram's header byte
+// slices alias an internal buffer that is overwritten by the following
+// Next call.
 func (sr *StreamReader) Next(d *Datagram) error {
 	var lenbuf [4]byte
 	if _, err := io.ReadFull(sr.r, lenbuf[:]); err != nil {
 		if err == io.EOF {
 			return io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("sflow: frame length cut short: %w", ErrTruncated)
 		}
 		return fmt.Errorf("sflow: reading frame length: %w", err)
 	}
@@ -101,6 +114,9 @@ func (sr *StreamReader) Next(d *Datagram) error {
 	}
 	sr.buf = sr.buf[:n]
 	if _, err := io.ReadFull(sr.r, sr.buf); err != nil {
+		if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("sflow: framed datagram cut short: %w", ErrTruncated)
+		}
 		return fmt.Errorf("sflow: reading framed datagram: %w", err)
 	}
 	return Decode(sr.buf, d)
