@@ -138,7 +138,14 @@ func run(ctx context.Context, listen, out string, count int, maxLoss float64, fl
 	fmt.Printf("wrote %d datagrams (%d received, %d malformed)\n", written, received, malformed)
 	fmt.Printf("transport quality: %d seq gaps, %d dups, %d reordered, est loss %.2f%%, %d queue drops\n",
 		st.GapDatagrams, st.Duplicates, st.Reordered, 100*st.EstLoss(), recv.QueueDrops())
-	return f.Sync()
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	// The deferred Close above only backstops early error returns; the
+	// close that seals a successful collection is checked — a full disk
+	// can surface the write-back failure here, and a capture that did
+	// not make it to disk must not exit 0.
+	return f.Close()
 }
 
 // errDone signals the requested datagram count was reached.

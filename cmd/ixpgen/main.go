@@ -111,12 +111,18 @@ func main() {
 
 // exportUDP ships every week's datagrams to a live collector over
 // sFlow's native transport. Cancelling ctx aborts within one datagram.
-func exportUDP(ctx context.Context, env *pipeline.Env, addr string) error {
+func exportUDP(ctx context.Context, env *pipeline.Env, addr string) (err error) {
 	exp, err := sflow.NewExporter(addr)
 	if err != nil {
 		return err
 	}
-	defer exp.Close()
+	// A close failure means the tail of the export may never have left
+	// the socket buffer; it must not be swallowed on the success path.
+	defer func() {
+		if cerr := exp.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	send := func(d *sflow.Datagram) error {
 		if err := ctx.Err(); err != nil {
 			return err

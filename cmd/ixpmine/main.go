@@ -29,6 +29,7 @@ import (
 	"ixplens/internal/obs"
 	"ixplens/internal/packet"
 	"ixplens/internal/pipeline"
+	"ixplens/internal/snapshot"
 )
 
 func main() {
@@ -37,17 +38,18 @@ func main() {
 		focus   = flag.Int("focus", 45, "ISO week for the deep-dive analysis")
 		maxLoss = flag.Float64("max-loss", 0, "abort when a week's estimated datagram loss fraction exceeds this (0 = no limit)")
 		debug   = flag.String("debug-addr", "", "serve expvar+pprof on this address and print a metrics snapshot at exit (empty = off)")
+		snaps   = flag.Bool("snapshots", false, "persist each analyzed week as a snapshot next to its capture, so ixpserve can reload it without re-analyzing")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *in, *focus, *maxLoss, *debug); err != nil {
+	if err := run(ctx, *in, *focus, *maxLoss, *debug, *snaps); err != nil {
 		fmt.Fprintln(os.Stderr, "ixpmine:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, dir string, focus int, maxLoss float64, debugAddr string) error {
+func run(ctx context.Context, dir string, focus int, maxLoss float64, debugAddr string, writeSnaps bool) error {
 	man, err := capture.ReadManifest(dir)
 	if err != nil {
 		return err
@@ -87,6 +89,16 @@ func run(ctx context.Context, dir string, focus int, maxLoss float64, debugAddr 
 		}
 		if err := tracker.Add(env.Observation(res)); err != nil {
 			return err
+		}
+		if writeSnaps {
+			digest := ""
+			if i < len(man.Digests) {
+				digest = man.Digests[i]
+			}
+			snap := &snapshot.Snapshot{Result: res, Counts: counts, SourceDigest: digest}
+			if err := snapshot.SaveFile(filepath.Join(dir, snapshot.FileName(wk)), snap); err != nil {
+				return fmt.Errorf("week %d: write snapshot: %w", wk, err)
+			}
 		}
 		https := 0
 		for _, s := range res.Servers {
@@ -164,7 +176,9 @@ func deepDive(env *pipeline.Env, res *webserver.Result, counts dissect.Counts, p
 				fmt.Printf("fig 7 (%s): %.1f%% of traffic off the direct links; %d of %d servers only behind other members\n",
 					acme.Name, 100*ls.OffLinkShare(), ls.ServersOnlyOffLink(),
 					ls.ServersOnlyOffLink()+ls.NumDirectServers())
-				src.Close()
+				if err := src.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "ixpmine: close %s: %v\n", path, err)
+				}
 			}
 		}
 	}

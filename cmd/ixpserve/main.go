@@ -1,0 +1,110 @@
+// Command ixpserve serves an analyzed measurement campaign over HTTP:
+// it rebuilds the measurement substrates from the capture manifest and
+// answers per-week summary, top-k and longitudinal churn queries. Weeks
+// are analyzed lazily on first request — from the on-disk snapshot when
+// one exists (ixpmine -snapshots, or -write-snapshots here), from the
+// raw capture otherwise — behind a bounded in-memory cache with
+// single-flight deduplication, a per-request timeout, and load shedding
+// past the in-flight limit.
+//
+// Usage:
+//
+//	ixpserve -in capture/ [-addr :8437] [-write-snapshots]
+//
+// SIGINT/SIGTERM drain gracefully: the listener stops accepting, open
+// requests finish (bounded by -drain), and in-flight analyses are
+// cancelled and awaited.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ixplens/internal/capture"
+	"ixplens/internal/obs"
+	"ixplens/internal/serve"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "capture", "capture directory written by ixpgen")
+		addr       = flag.String("addr", ":8437", "HTTP listen address")
+		debug      = flag.String("debug-addr", "", "serve expvar+pprof on this address (empty = off)")
+		maxLoss    = flag.Float64("max-loss", 0, "fail a week's analysis when its estimated datagram loss fraction exceeds this (0 = no limit)")
+		cacheWeeks = flag.Int("cache-weeks", 32, "maximum analyzed weeks held in memory")
+		inflight   = flag.Int("max-inflight", 64, "maximum concurrently handled requests; excess load is shed with 503")
+		timeout    = flag.Duration("timeout", 2*time.Minute, "per-request deadline, including any analysis it triggers (negative = none)")
+		topk       = flag.Int("topk", 10, "default k for the top-k endpoints")
+		writeSnaps = flag.Bool("write-snapshots", false, "persist a snapshot after each full analysis, so later requests (and restarts) skip it")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful shutdown budget for open requests")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *in, *addr, *debug, *maxLoss, serve.Config{
+		CacheWeeks:  *cacheWeeks,
+		MaxInFlight: *inflight,
+		Timeout:     *timeout,
+		TopK:        *topk,
+	}, *writeSnaps, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "ixpserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, dir, addr, debugAddr string, maxLoss float64, cfg serve.Config, writeSnaps bool, drain time.Duration) error {
+	man, err := capture.ReadManifest(dir)
+	if err != nil {
+		return err
+	}
+	env, err := man.Rebuild()
+	if err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	if debugAddr != "" {
+		dbgAddr, closeDebug, err := obs.Serve(debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer closeDebug()
+		fmt.Fprintf(os.Stderr, "debug endpoint: http://%s/debug/vars\n", dbgAddr)
+	}
+	env.Instrument(reg)
+	env.MaxLoss = maxLoss
+	fmt.Fprintf(os.Stderr, "substrates rebuilt: %s\n", env)
+
+	store := serve.NewStore(dir, env, man, writeSnaps)
+	s := serve.New(store, cfg, reg)
+	defer s.Close()
+
+	srv := &http.Server{Addr: addr, Handler: s}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "serving %d weeks from %s on %s\n", len(man.Weeks), dir, addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting, let open requests finish within
+	// the budget, then cancel whatever analyses are still running (the
+	// deferred s.Close waits for them).
+	fmt.Fprintln(os.Stderr, "shutting down...")
+	sctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}

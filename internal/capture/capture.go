@@ -27,6 +27,7 @@ import (
 	"ixplens/internal/faultline"
 	"ixplens/internal/ixp"
 	"ixplens/internal/netmodel"
+	"ixplens/internal/packet"
 	"ixplens/internal/pipeline"
 	"ixplens/internal/sflow"
 	"ixplens/internal/traffic"
@@ -46,6 +47,13 @@ type Manifest struct {
 	// Anonymized records that the capture's addresses went through the
 	// prefix-preserving anonymizer (the key itself is never stored).
 	Anonymized bool
+	// AnonFP fingerprints the anonymization key without revealing it: the
+	// hex form of a fixed probe address run through the anonymizer. Two
+	// campaigns written with the same key carry the same fingerprint, so
+	// a resume can refuse to silently mix addresses anonymized under
+	// different keys. Recovering the key from one mapped address would
+	// mean inverting the keyed prefix-preserving permutation.
+	AnonFP string `json:",omitempty"`
 	// Format is the capture container version: 2 for block captures,
 	// absent (0) for the original v1 stream container.
 	Format int `json:",omitempty"`
@@ -64,6 +72,19 @@ func WeekFile(isoWeek int) string {
 	return fmt.Sprintf("week-%02d.sflow", isoWeek)
 }
 
+// ErrAnonKeyMismatch marks a resume attempt whose anonymization key
+// fingerprint differs from the manifest's. Test with errors.Is.
+var ErrAnonKeyMismatch = errors.New("capture: resume with a different anonymization key")
+
+// anonProbe is the fixed address whose anonymized form fingerprints a
+// key (TEST-NET-2, never a world address).
+var anonProbe = packet.MakeIPv4(198, 51, 100, 42)
+
+// anonFingerprint derives a key's manifest fingerprint.
+func anonFingerprint(anon *anonymize.PrefixPreserving) string {
+	return fmt.Sprintf("%08x", uint32(anon.IPv4(anonProbe)))
+}
+
 // WriteOptions configures a campaign write.
 type WriteOptions struct {
 	// Compress enables per-block DEFLATE compression in the container.
@@ -71,9 +92,11 @@ type WriteOptions struct {
 	// Resume skips weeks whose existing files verify against the
 	// directory's manifest digests (same config, options and format) and
 	// rewrites the rest — picking up where an interrupted campaign died.
-	// For anonymized campaigns the digests verify bytes, not key
-	// identity: resuming with a different AnonKey silently mixes keys,
-	// so keep the key stable across resumed runs.
+	// Resuming an anonymized campaign with a different AnonKey fails
+	// with ErrAnonKeyMismatch: the kept weeks and the rewritten ones
+	// would otherwise mix two incompatible address mappings in one
+	// directory. (Pre-fingerprint manifests lack the marker; they are
+	// rewritten from scratch rather than trusted.)
 	Resume bool
 	// Anonymize applies prefix-preserving address anonymization with
 	// AnonKey to every sampled frame.
@@ -118,10 +141,21 @@ func WriteCampaignOpts(ctx context.Context, env *pipeline.Env, dir string, opts 
 		Format:      2,
 		Compression: opts.Compress,
 	}
+	if anon != nil {
+		man.AnonFP = anonFingerprint(anon)
+	}
 	var prev *Manifest
 	if opts.Resume {
-		if old, err := ReadManifest(dir); err == nil && resumeCompatible(old, &man) {
-			prev = old
+		if old, err := ReadManifest(dir); err == nil {
+			// Mixing keys is a hard error, not a silent rewrite: the caller
+			// believes the old weeks are compatible with the new ones.
+			if old.Anonymized && opts.Anonymize && old.AnonFP != "" && old.AnonFP != man.AnonFP {
+				return nil, fmt.Errorf("%w: manifest fingerprint %s, key fingerprint %s",
+					ErrAnonKeyMismatch, old.AnonFP, man.AnonFP)
+			}
+			if resumeCompatible(old, &man) {
+				prev = old
+			}
 		}
 	}
 	var counts []int
@@ -155,7 +189,8 @@ func WriteCampaignOpts(ctx context.Context, env *pipeline.Env, dir string, opts 
 func resumeCompatible(old, next *Manifest) bool {
 	if old.Format != next.Format ||
 		old.Compression != next.Compression ||
-		old.Anonymized != next.Anonymized {
+		old.Anonymized != next.Anonymized ||
+		old.AnonFP != next.AnonFP {
 		return false
 	}
 	if len(old.Digests) != len(old.Files) || len(old.Datagrams) != len(old.Files) {
@@ -315,6 +350,20 @@ func ReadManifest(dir string) (*Manifest, error) {
 	if len(man.Weeks) != len(man.Files) {
 		return nil, fmt.Errorf("capture: manifest weeks/files mismatch: %d vs %d",
 			len(man.Weeks), len(man.Files))
+	}
+	// The v2 fields are parallel to Files when present at all. A manifest
+	// violating that shape (hand-edited, or damaged in a way that still
+	// parses) would index out of bounds in every consumer that walks the
+	// arrays together, so it is rejected here once — resume degrades to a
+	// clean rewrite, analysis tools fail with a diagnosis instead of a
+	// panic.
+	if n := len(man.Digests); n != 0 && n != len(man.Files) {
+		return nil, fmt.Errorf("capture: manifest digests/files mismatch: %d vs %d",
+			n, len(man.Files))
+	}
+	if n := len(man.Datagrams); n != 0 && n != len(man.Files) {
+		return nil, fmt.Errorf("capture: manifest datagrams/files mismatch: %d vs %d",
+			n, len(man.Files))
 	}
 	return &man, nil
 }

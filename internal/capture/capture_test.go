@@ -2,8 +2,12 @@ package capture
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"ixplens/internal/netmodel"
@@ -119,6 +123,151 @@ func TestAnalyzeWeekFileErrors(t *testing.T) {
 func TestWeekFileNaming(t *testing.T) {
 	if WeekFile(7) != "week-07.sflow" || WeekFile(45) != "week-45.sflow" {
 		t.Fatal("week file names wrong")
+	}
+}
+
+// TestReadManifestRejectsMisshapenArrays corrupts the parallel v2
+// arrays: a manifest whose Digests or Datagrams disagree with Files in
+// length must be rejected at read time (every consumer indexes them
+// together), and a resume over such a directory must degrade to a clean
+// rewrite instead of panicking.
+func TestReadManifestRejectsMisshapenArrays(t *testing.T) {
+	env := smallEnv(t)
+	dir := t.TempDir()
+	counts1, err := WriteCampaign(context.Background(), env, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(mutate func(*Manifest)) {
+		t.Helper()
+		bad := *man
+		bad.Digests = append([]string(nil), man.Digests...)
+		bad.Datagrams = append([]int(nil), man.Datagrams...)
+		mutate(&bad)
+		raw, err := json.Marshal(&bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, ManifestName), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	corrupt(func(m *Manifest) { m.Digests = m.Digests[:1] })
+	if _, err := ReadManifest(dir); err == nil {
+		t.Fatal("short digests array must fail")
+	}
+	corrupt(func(m *Manifest) { m.Datagrams = append(m.Datagrams, 999) })
+	if _, err := ReadManifest(dir); err == nil {
+		t.Fatal("long datagrams array must fail")
+	}
+
+	// Resume over the corrupted manifest: nothing to trust, so every
+	// week is rewritten cleanly and the directory ends up valid again.
+	corrupt(func(m *Manifest) { m.Digests = m.Digests[:1] })
+	env2, err := man.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts2, err := WriteCampaignOpts(context.Background(), env2, dir, WriteOptions{Resume: true})
+	if err != nil {
+		t.Fatalf("resume over corrupted manifest: %v", err)
+	}
+	if !reflect.DeepEqual(counts1, counts2) {
+		t.Fatalf("rewrite changed counts: %v vs %v", counts1, counts2)
+	}
+	if _, err := ReadManifest(dir); err != nil {
+		t.Fatalf("directory still invalid after recovery rewrite: %v", err)
+	}
+}
+
+// TestResumeRefusesAnonKeyMismatch pins the key-fingerprint guard: a
+// resume whose anonymization key differs from the one the directory was
+// written with must fail hard, because the kept weeks and the rewritten
+// weeks would mix two incompatible address mappings.
+func TestResumeRefusesAnonKeyMismatch(t *testing.T) {
+	env := smallEnv(t)
+	dir := t.TempDir()
+	if _, err := WriteCampaignAnonymized(context.Background(), env, dir, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	man, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.AnonFP == "" {
+		t.Fatal("anonymized manifest carries no key fingerprint")
+	}
+	// The fingerprint must not be the probe itself (that would mean the
+	// anonymizer leaked an identity mapping into the manifest).
+	if man.AnonFP == fmt.Sprintf("%08x", uint32(anonProbe)) {
+		t.Fatal("fingerprint equals the probe address")
+	}
+
+	env2, err := man.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same key: resume verifies and keeps every week.
+	if _, err := WriteCampaignOpts(context.Background(), env2, dir, WriteOptions{
+		Resume: true, Anonymize: true, AnonKey: 0xdeadbeef,
+	}); err != nil {
+		t.Fatalf("same-key resume: %v", err)
+	}
+	// Different key: hard refusal, directory untouched.
+	before, err := fileDigest(filepath.Join(dir, man.Files[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = WriteCampaignOpts(context.Background(), env2, dir, WriteOptions{
+		Resume: true, Anonymize: true, AnonKey: 0xfeedface,
+	})
+	if !errors.Is(err, ErrAnonKeyMismatch) {
+		t.Fatalf("different-key resume returned %v, want ErrAnonKeyMismatch", err)
+	}
+	after, err := fileDigest(filepath.Join(dir, man.Files[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before != after {
+		t.Fatal("refused resume still modified the campaign")
+	}
+
+	// A pre-fingerprint manifest (AnonFP absent) cannot vouch for its
+	// key: resume falls back to a full rewrite rather than erroring or
+	// trusting the old weeks.
+	legacy := *man
+	legacy.AnonFP = ""
+	raw, err := json.Marshal(&legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WriteCampaignOpts(context.Background(), env2, dir, WriteOptions{
+		Resume: true, Anonymize: true, AnonKey: 0xfeedface,
+	}); err != nil {
+		t.Fatalf("legacy-manifest resume: %v", err)
+	}
+	rewritten, err := fileDigest(filepath.Join(dir, man.Files[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rewritten == before {
+		t.Fatal("legacy-manifest resume kept weeks written under another key")
+	}
+	man2, err := ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2.AnonFP == "" || man2.AnonFP == man.AnonFP {
+		t.Fatal("rewritten manifest does not carry the new key's fingerprint")
 	}
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"math/bits"
 	"sync/atomic"
 	"time"
@@ -76,9 +77,16 @@ func (h *Histogram) Quantile(q float64) uint64 {
 	if n == 0 {
 		return 0
 	}
-	target := uint64(q * float64(n))
+	// The q-th quantile is the smallest rank r with r/n ≥ q, i.e.
+	// ceil(q·n). Truncating instead of rounding up under-reported by up
+	// to one observation — with 3 observations, P50 returned the 1st
+	// (floor(1.5) = 1) rather than the 2nd, the median.
+	target := uint64(math.Ceil(q * float64(n)))
 	if target == 0 {
 		target = 1
+	}
+	if target > n {
+		target = n
 	}
 	var cum uint64
 	for i := 0; i < numBuckets; i++ {

@@ -121,6 +121,55 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+// TestHistogramQuantileSmallN pins the ceiling-rank definition: the
+// q-th quantile of n observations is the one at rank ceil(q·n). The old
+// floor-based rank under-reported small samples — the median of three
+// observations came back as the smallest one.
+func TestHistogramQuantileSmallN(t *testing.T) {
+	var h Histogram
+	h.Observe(1) // bucket upper 1
+	h.Observe(2) // bucket upper 3
+	h.Observe(4) // bucket upper 7
+	if p50 := h.Quantile(0.50); p50 != 3 {
+		t.Fatalf("median of {1,2,4} reported as %d, want 3 (the middle observation's bucket)", p50)
+	}
+	if p90 := h.Quantile(0.90); p90 != 7 {
+		t.Fatalf("p90 of {1,2,4} = %d, want 7", p90)
+	}
+
+	// Two observations: P50 is the first (ceil(0.5·2) = 1), P99 the
+	// second.
+	var h2 Histogram
+	h2.Observe(1)
+	h2.Observe(1000) // bucket upper 1023
+	if p50 := h2.Quantile(0.50); p50 != 1 {
+		t.Fatalf("p50 of {1,1000} = %d, want 1", p50)
+	}
+	if p99 := h2.Quantile(0.99); p99 != 1023 {
+		t.Fatalf("p99 of {1,1000} = %d, want 1023", p99)
+	}
+
+	// One observation: every quantile is that observation.
+	var h1 Histogram
+	h1.Observe(5) // bucket upper 7
+	for _, q := range []float64{0.01, 0.5, 0.99, 1.0} {
+		if v := h1.Quantile(q); v != 7 {
+			t.Fatalf("quantile %.2f of a single observation = %d, want 7", q, v)
+		}
+	}
+
+	// Exact boundary: with 10 observations, P90 is rank 9 — still
+	// inside the small cohort, not beyond it.
+	var h10 Histogram
+	for i := 0; i < 9; i++ {
+		h10.Observe(1)
+	}
+	h10.Observe(1000)
+	if p90 := h10.Quantile(0.90); p90 != 1 {
+		t.Fatalf("p90 of nine 1s and one 1000 = %d, want 1", p90)
+	}
+}
+
 func TestHistogramEdgeValues(t *testing.T) {
 	var h Histogram
 	h.Observe(0)

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"ixplens/internal/snapshot"
+)
+
+// loadFunc materializes one week (the Store's Load).
+type loadFunc func(ctx context.Context, isoWeek int) (*snapshot.Snapshot, error)
+
+// Cache is the serving layer's bounded in-memory week cache with
+// single-flight deduplication: concurrent requests for the same
+// un-analyzed week trigger exactly one load, every waiter shares its
+// outcome, and the least recently used week is evicted once capacity
+// is reached.
+//
+// Loads run on a private goroutine whose context descends from the
+// cache's base context, not from any single request: a request that
+// gives up (client disconnect, per-request timeout) detaches without
+// killing the analysis other waiters are sharing. Only when the LAST
+// waiter detaches is the load cancelled, so an abandoned analysis
+// stops promptly and leaves no goroutine behind. Closing the cache
+// cancels every in-flight load.
+type Cache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[int]*list.Element
+	order   *list.List // front = most recently used
+	flights map[int]*flight
+	load    loadFunc
+	m       *Metrics
+
+	base   context.Context
+	cancel context.CancelFunc
+	// loads tracks in-flight load goroutines so Close can wait for
+	// them — a drained server leaves nothing running.
+	loads sync.WaitGroup
+}
+
+type cacheEntry struct {
+	week int
+	snap *snapshot.Snapshot
+}
+
+// flight is one in-progress load and its waiters.
+type flight struct {
+	cancel  context.CancelFunc
+	waiters int
+	done    chan struct{}
+	snap    *snapshot.Snapshot
+	err     error
+}
+
+// NewCache builds a cache of at most capacity weeks (minimum 1) over
+// load. m must be non-nil (use NewMetrics(nil) for no-ops).
+func NewCache(capacity int, load loadFunc, m *Metrics) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	base, cancel := context.WithCancel(context.Background())
+	return &Cache{
+		cap:     capacity,
+		entries: make(map[int]*list.Element),
+		order:   list.New(),
+		flights: make(map[int]*flight),
+		load:    load,
+		m:       m,
+		base:    base,
+		cancel:  cancel,
+	}
+}
+
+// Close cancels every in-flight load and waits for their goroutines to
+// finish. Get calls racing Close fail with context.Canceled.
+func (c *Cache) Close() {
+	c.cancel()
+	c.loads.Wait()
+}
+
+// Get returns the cached week, joining or starting a load on a miss.
+// Cancelling ctx abandons the wait (and the load itself, if this was
+// its last waiter); the load's outcome still reaches waiters that
+// stayed.
+func (c *Cache) Get(ctx context.Context, isoWeek int) (*snapshot.Snapshot, error) {
+	c.mu.Lock()
+	if el, ok := c.entries[isoWeek]; ok {
+		c.order.MoveToFront(el)
+		snap := el.Value.(*cacheEntry).snap
+		c.mu.Unlock()
+		c.m.CacheHits.Inc()
+		return snap, nil
+	}
+	c.m.CacheMisses.Inc()
+	f, ok := c.flights[isoWeek]
+	if ok {
+		c.m.FlightJoins.Inc()
+	} else {
+		fctx, cancel := context.WithCancel(c.base)
+		f = &flight{cancel: cancel, done: make(chan struct{})}
+		c.flights[isoWeek] = f
+		c.loads.Add(1)
+		go c.run(fctx, isoWeek, f)
+	}
+	f.waiters++
+	c.mu.Unlock()
+
+	select {
+	case <-f.done:
+		return f.snap, f.err
+	case <-ctx.Done():
+		c.mu.Lock()
+		f.waiters--
+		abandoned := f.waiters == 0
+		c.mu.Unlock()
+		if abandoned {
+			f.cancel()
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// run performs one load and publishes its outcome. A failed load (an
+// analysis error, or cancellation after every waiter left) is not
+// cached; the next request retries.
+func (c *Cache) run(ctx context.Context, isoWeek int, f *flight) {
+	defer c.loads.Done()
+	defer f.cancel()
+	snap, err := c.load(ctx, isoWeek)
+
+	c.mu.Lock()
+	delete(c.flights, isoWeek)
+	f.snap, f.err = snap, err
+	if err == nil {
+		c.insertLocked(isoWeek, snap)
+	}
+	close(f.done)
+	c.mu.Unlock()
+}
+
+// insertLocked adds a week, evicting from the LRU tail past capacity.
+func (c *Cache) insertLocked(isoWeek int, snap *snapshot.Snapshot) {
+	if el, ok := c.entries[isoWeek]; ok {
+		el.Value.(*cacheEntry).snap = snap
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[isoWeek] = c.order.PushFront(&cacheEntry{week: isoWeek, snap: snap})
+	for c.order.Len() > c.cap {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).week)
+		c.m.Evictions.Inc()
+	}
+}
+
+// Has reports whether a week is currently cached, without touching
+// the LRU order.
+func (c *Cache) Has(isoWeek int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[isoWeek]
+	return ok
+}
+
+// Len returns the number of cached weeks.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,55 @@
+package serve
+
+import "ixplens/internal/obs"
+
+// Metrics is the serving layer's observability bundle: the request
+// funnel (latency, in-flight level, load shedding), the week cache
+// (hits, misses, evictions, single-flight joins) and the snapshot
+// store (snapshot loads vs full analyses, snapshot write outcomes).
+// NewMetrics always returns a usable bundle — with a nil registry the
+// fields are nil metrics, whose methods are no-ops — so the serving
+// code never branches on instrumentation.
+type Metrics struct {
+	// ReqNanos is the wall-time distribution of one served request,
+	// including any analysis it triggered; InFlight is the number of
+	// requests currently inside the handler.
+	ReqNanos *obs.Histogram
+	InFlight *obs.Gauge
+	// Shed counts requests rejected with 503 because the in-flight
+	// limit was reached — the server sheds instead of queueing.
+	Shed *obs.Counter
+	// CacheHits/CacheMisses count week-cache lookups; Evictions counts
+	// weeks dropped by the bounded cache; FlightJoins counts requests
+	// that attached to an analysis another request already started.
+	CacheHits   *obs.Counter
+	CacheMisses *obs.Counter
+	Evictions   *obs.Counter
+	FlightJoins *obs.Counter
+	// SnapshotLoads counts weeks served from an on-disk snapshot;
+	// Analyses counts full capture→dissect→identify runs. Their sum is
+	// the cache-miss work the store actually performed.
+	SnapshotLoads *obs.Counter
+	Analyses      *obs.Counter
+	// SnapshotWrites/SnapshotWriteErrors count snapshot persistence
+	// outcomes when the store writes snapshots after analysis.
+	SnapshotWrites      *obs.Counter
+	SnapshotWriteErrors *obs.Counter
+}
+
+// NewMetrics resolves the serving metrics in r; a nil registry yields
+// a bundle of no-op metrics.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		ReqNanos:            r.Histogram("serve_request_ns"),
+		InFlight:            r.Gauge("serve_inflight"),
+		Shed:                r.Counter("serve_shed_total"),
+		CacheHits:           r.Counter("serve_cache_hits_total"),
+		CacheMisses:         r.Counter("serve_cache_misses_total"),
+		Evictions:           r.Counter("serve_cache_evictions_total"),
+		FlightJoins:         r.Counter("serve_flight_joins_total"),
+		SnapshotLoads:       r.Counter("serve_snapshot_loads_total"),
+		Analyses:            r.Counter("serve_analyses_total"),
+		SnapshotWrites:      r.Counter("serve_snapshot_writes_total"),
+		SnapshotWriteErrors: r.Counter("serve_snapshot_write_errors_total"),
+	}
+}

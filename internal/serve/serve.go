@@ -1,0 +1,460 @@
+// Package serve turns an analyzed measurement campaign into a queryable
+// HTTP service — the missing serving path between the 17-week study and
+// its downstream consumers (longitudinal IXP series, vantage-point
+// aggregates). It is stdlib-only, like the rest of the stack.
+//
+// A request for a week is answered from, in order: the bounded
+// in-memory cache, the on-disk snapshot store (milliseconds), or a full
+// lazy analysis of the capture file (single-flighted, so concurrent
+// requests for the same cold week trigger exactly one run). The handler
+// enforces a per-request timeout and a bounded in-flight limit that
+// sheds excess load with 503 instead of queueing unboundedly; every
+// stage is instrumented through internal/obs.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"ixplens/internal/core/churn"
+	"ixplens/internal/obs"
+	"ixplens/internal/pipeline"
+	"ixplens/internal/snapshot"
+)
+
+// Config tunes the serving layer. The zero value gets sensible
+// defaults from New.
+type Config struct {
+	// CacheWeeks bounds the in-memory week cache (default 32).
+	CacheWeeks int
+	// MaxInFlight bounds concurrently handled requests; excess load is
+	// shed with 503 (default 64).
+	MaxInFlight int
+	// Timeout bounds one request, including any analysis it triggers
+	// (default 120s; 0 keeps the default, negative disables).
+	Timeout time.Duration
+	// TopK is the default k for the top-k endpoints (default 10).
+	TopK int
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheWeeks == 0 {
+		c.CacheWeeks = 32
+	}
+	if c.MaxInFlight == 0 {
+		c.MaxInFlight = 64
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 120 * time.Second
+	}
+	if c.TopK == 0 {
+		c.TopK = 10
+	}
+	return c
+}
+
+// Server is the HTTP query layer over one campaign.
+//
+//	GET /healthz                   liveness (never shed)
+//	GET /metrics                   plain-text metrics snapshot
+//	GET /weeks                     campaign inventory
+//	GET /week/{week}               one week's summary aggregates
+//	GET /week/{week}/servers?k=10  top-k servers by traffic
+//	GET /week/{week}/ases?k=10     top-k server-hosting ASes by traffic
+//	GET /churn                     longitudinal churn series (all weeks)
+type Server struct {
+	store *Store
+	cache *Cache
+	cfg   Config
+	m     *Metrics
+	reg   *obs.Registry
+	mux   *http.ServeMux
+	sem   chan struct{}
+}
+
+// New builds a server over store. reg (optional) receives the serving
+// metrics and backs the /metrics endpoint.
+func New(store *Store, cfg Config, reg *obs.Registry) *Server {
+	cfg = cfg.withDefaults()
+	m := NewMetrics(reg)
+	store.SetMetrics(m)
+	s := &Server{
+		store: store,
+		cache: NewCache(cfg.CacheWeeks, store.Load, m),
+		cfg:   cfg,
+		m:     m,
+		reg:   reg,
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /weeks", s.handleWeeks)
+	s.mux.HandleFunc("GET /week/{week}", s.handleWeek)
+	s.mux.HandleFunc("GET /week/{week}/servers", s.handleTopServers)
+	s.mux.HandleFunc("GET /week/{week}/ases", s.handleTopASes)
+	s.mux.HandleFunc("GET /churn", s.handleChurn)
+	return s
+}
+
+// Close cancels in-flight analyses and waits for them — the drain step
+// of a graceful shutdown, after the HTTP listener stops accepting.
+func (s *Server) Close() { s.cache.Close() }
+
+// ServeHTTP dispatches with load shedding and the per-request timeout.
+// The liveness endpoint bypasses both, so an overloaded server still
+// reports alive rather than flapping its orchestrator.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/healthz" {
+		s.handleHealthz(w, r)
+		return
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.m.Shed.Inc()
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "server at capacity", http.StatusServiceUnavailable)
+		return
+	}
+	defer func() { <-s.sem }()
+	s.m.InFlight.Add(1)
+	defer s.m.InFlight.Add(-1)
+	start := time.Now()
+	defer s.m.ReqNanos.ObserveSince(start)
+	if s.cfg.Timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// fail maps a load error onto an HTTP status.
+func fail(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrUnknownWeek):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, context.DeadlineExceeded):
+		http.Error(w, "analysis timed out", http.StatusGatewayTimeout)
+	case errors.Is(err, context.Canceled):
+		http.Error(w, "request abandoned or server draining", http.StatusServiceUnavailable)
+	case errors.Is(err, pipeline.ErrLossExceeded):
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// writeJSON emits a deterministic JSON document: marshal then a single
+// trailing newline. Determinism (same value → same bytes) is part of
+// the serving contract — the golden tests compare responses byte for
+// byte against directly analyzed results.
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(buf, '\n'))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, map[string]interface{}{"status": "ok", "weeks": len(s.store.Weeks())})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.reg == nil {
+		fmt.Fprintln(w, "# instrumentation disabled (no registry attached)")
+		return
+	}
+	s.reg.WriteText(w)
+}
+
+// WeekInfo is one row of the /weeks inventory.
+type WeekInfo struct {
+	Week   int    `json:"week"`
+	File   string `json:"file"`
+	Cached bool   `json:"cached"`
+}
+
+func (s *Server) handleWeeks(w http.ResponseWriter, _ *http.Request) {
+	man := s.store.Manifest()
+	out := make([]WeekInfo, len(man.Weeks))
+	for i, wk := range man.Weeks {
+		out[i] = WeekInfo{Week: wk, File: man.Files[i], Cached: s.cache.Has(wk)}
+	}
+	writeJSON(w, out)
+}
+
+// weekParam parses the {week} path value.
+func weekParam(r *http.Request) (int, error) {
+	return strconv.Atoi(r.PathValue("week"))
+}
+
+// kParam parses ?k= with a default and a hard cap.
+func kParam(r *http.Request, def int) int {
+	k := def
+	if v := r.URL.Query().Get("k"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil && n > 0 {
+			k = n
+		}
+	}
+	if k > 1000 {
+		k = 1000
+	}
+	return k
+}
+
+// WeekSummary is the /week/{n} response: the week's aggregates exactly
+// as the analysis produced them, including the loss annotation.
+type WeekSummary struct {
+	Week               int     `json:"week"`
+	Samples            int     `json:"samples"`
+	PeeringShare       float64 `json:"peering_share"`
+	TCPShare           float64 `json:"tcp_share"`
+	PanicQuarantined   int     `json:"panic_quarantined"`
+	TotalIPs           int     `json:"total_ips"`
+	Servers            int     `json:"servers"`
+	HTTPSServers       int     `json:"https_servers"`
+	Candidates443      int     `json:"candidates_443"`
+	Responded443       int     `json:"responded_443"`
+	Valid443           int     `json:"valid_443"`
+	MultiPurpose       int     `json:"multi_purpose"`
+	DualRole           int     `json:"dual_role"`
+	ServerBytes        uint64  `json:"server_bytes"`
+	ServerTrafficShare float64 `json:"server_traffic_share"`
+	EstLoss            float64 `json:"est_loss"`
+}
+
+// Summarize renders a snapshot's summary aggregates. It is exported so
+// golden tests can compare a served response byte for byte against a
+// directly analyzed result.
+func Summarize(snap *snapshot.Snapshot) WeekSummary {
+	res, counts := snap.Result, &snap.Counts
+	https := 0
+	for _, srv := range res.Servers {
+		if srv.HTTPS {
+			https++
+		}
+	}
+	peerBytes := counts.PeeringTCPBytes + counts.PeeringUDPBytes
+	share := 0.0
+	if peerBytes > 0 {
+		share = float64(res.ServerBytes) / float64(peerBytes)
+		if share > 1 {
+			share = 1
+		}
+	}
+	return WeekSummary{
+		Week:               res.Week,
+		Samples:            counts.Total,
+		PeeringShare:       counts.PeeringShare(),
+		TCPShare:           counts.TCPShare(),
+		PanicQuarantined:   counts.PanicQuarantined,
+		TotalIPs:           res.TotalIPs,
+		Servers:            len(res.Servers),
+		HTTPSServers:       https,
+		Candidates443:      res.Candidates443,
+		Responded443:       res.Responded443,
+		Valid443:           res.Valid443,
+		MultiPurpose:       res.MultiPurpose(),
+		DualRole:           res.DualRole(),
+		ServerBytes:        res.ServerBytes,
+		ServerTrafficShare: share,
+		EstLoss:            res.EstLoss,
+	}
+}
+
+func (s *Server) handleWeek(w http.ResponseWriter, r *http.Request) {
+	wk, err := weekParam(r)
+	if err != nil {
+		http.Error(w, "bad week", http.StatusBadRequest)
+		return
+	}
+	snap, err := s.cache.Get(r.Context(), wk)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, Summarize(snap))
+}
+
+// ServerEntry is one row of the /week/{n}/servers response.
+type ServerEntry struct {
+	IP         string   `json:"ip"`
+	Bytes      uint64   `json:"bytes"`
+	HTTP       bool     `json:"http"`
+	HTTPS      bool     `json:"https"`
+	AlsoClient bool     `json:"also_client"`
+	Member     int32    `json:"member"`
+	Ports      []uint16 `json:"ports,omitempty"`
+	Hosts      []string `json:"hosts,omitempty"`
+}
+
+// TopServers renders the k highest-traffic servers of a snapshot,
+// deterministically ordered (bytes descending, IP ascending).
+func TopServers(snap *snapshot.Snapshot, k int) []ServerEntry {
+	top := snap.Result.TopServers(k)
+	out := make([]ServerEntry, len(top))
+	for i, srv := range top {
+		out[i] = ServerEntry{
+			IP:         srv.IP.String(),
+			Bytes:      srv.Bytes,
+			HTTP:       srv.HTTP,
+			HTTPS:      srv.HTTPS,
+			AlsoClient: srv.AlsoClient,
+			Member:     srv.Member,
+			Ports:      srv.Ports,
+			Hosts:      srv.Hosts,
+		}
+	}
+	return out
+}
+
+func (s *Server) handleTopServers(w http.ResponseWriter, r *http.Request) {
+	wk, err := weekParam(r)
+	if err != nil {
+		http.Error(w, "bad week", http.StatusBadRequest)
+		return
+	}
+	snap, err := s.cache.Get(r.Context(), wk)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, TopServers(snap, kParam(r, s.cfg.TopK)))
+}
+
+// ASEntry is one row of the /week/{n}/ases response.
+type ASEntry struct {
+	ASN     uint32 `json:"asn"`
+	Servers int    `json:"servers"`
+	Bytes   uint64 `json:"bytes"`
+}
+
+// TopASes aggregates a snapshot's server traffic by origin AS (resolved
+// through the environment's entity table) and returns the k largest,
+// bytes descending then ASN ascending. Unresolved IPs (ASN 0) are
+// excluded — a lookup failure is not an AS.
+func TopASes(env *pipeline.Env, snap *snapshot.Snapshot, k int) []ASEntry {
+	tab := env.EntityTable()
+	type agg struct {
+		servers int
+		bytes   uint64
+	}
+	byAS := make(map[uint32]*agg)
+	for ip, srv := range snap.Result.Servers {
+		_, attrs := tab.ResolveAttrs(ip)
+		if attrs.ASN == 0 {
+			continue
+		}
+		a := byAS[attrs.ASN]
+		if a == nil {
+			a = &agg{}
+			byAS[attrs.ASN] = a
+		}
+		a.servers++
+		a.bytes += srv.Bytes
+	}
+	out := make([]ASEntry, 0, len(byAS))
+	for asn, a := range byAS {
+		out = append(out, ASEntry{ASN: asn, Servers: a.servers, Bytes: a.bytes})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Bytes != out[j].Bytes {
+			return out[i].Bytes > out[j].Bytes
+		}
+		return out[i].ASN < out[j].ASN
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+func (s *Server) handleTopASes(w http.ResponseWriter, r *http.Request) {
+	wk, err := weekParam(r)
+	if err != nil {
+		http.Error(w, "bad week", http.StatusBadRequest)
+		return
+	}
+	snap, err := s.cache.Get(r.Context(), wk)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, TopASes(s.store.Env(), snap, kParam(r, s.cfg.TopK)))
+}
+
+// ChurnWeek is one row of the /churn longitudinal series.
+type ChurnWeek struct {
+	Week          int       `json:"week"`
+	IPs           [3]int    `json:"ips"`
+	Bytes         [3]uint64 `json:"bytes"`
+	ASes          [3]int    `json:"ases"`
+	TotalASes     int       `json:"total_ases"`
+	TotalPrefixes int       `json:"total_prefixes"`
+	UnresolvedIPs int       `json:"unresolved_ips"`
+	HTTPSIPs      int       `json:"https_ips"`
+	HTTPSBytes    uint64    `json:"https_bytes"`
+	TotalBytes    uint64    `json:"total_bytes"`
+	EstLoss       float64   `json:"est_loss"`
+}
+
+// ChurnSeries computes the longitudinal churn series from per-week
+// snapshots, in chronological order (pool order: stable, recurrent,
+// new).
+func ChurnSeries(env *pipeline.Env, snaps []*snapshot.Snapshot) ([]ChurnWeek, error) {
+	tracker := churn.NewTrackerWith(env.EntityTable())
+	for _, snap := range snaps {
+		if err := tracker.Add(env.Observation(snap.Result)); err != nil {
+			return nil, err
+		}
+	}
+	weeks := tracker.Compute()
+	out := make([]ChurnWeek, len(weeks))
+	for i := range weeks {
+		wc := &weeks[i]
+		out[i] = ChurnWeek{
+			Week:          wc.Week,
+			IPs:           wc.IPs,
+			Bytes:         wc.Bytes,
+			ASes:          wc.ASes,
+			TotalASes:     wc.TotalASes,
+			TotalPrefixes: wc.TotalPrefixes,
+			UnresolvedIPs: wc.UnresolvedIPs,
+			HTTPSIPs:      wc.HTTPSIPs,
+			HTTPSBytes:    wc.HTTPSBytes,
+			TotalBytes:    wc.TotalBytes,
+			EstLoss:       wc.EstLoss,
+		}
+	}
+	return out, nil
+}
+
+func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
+	weeks := s.store.Weeks()
+	snaps := make([]*snapshot.Snapshot, 0, len(weeks))
+	for _, wk := range weeks {
+		snap, err := s.cache.Get(r.Context(), wk)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		snaps = append(snaps, snap)
+	}
+	series, err := ChurnSeries(s.store.Env(), snaps)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, series)
+}

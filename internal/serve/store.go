@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"ixplens/internal/capture"
+	"ixplens/internal/pipeline"
+	"ixplens/internal/snapshot"
+)
+
+// ErrUnknownWeek marks a request for a week the campaign does not
+// contain. Test with errors.Is.
+var ErrUnknownWeek = errors.New("serve: week not in campaign")
+
+// Store materializes analyzed weeks from a campaign directory. A week
+// loads from its on-disk snapshot when one exists and still matches
+// the manifest's capture digest (milliseconds), and falls back to the
+// full capture→dissect→identify pipeline otherwise (minutes at paper
+// scale). With WriteSnapshots set, every analysis persists its result,
+// so the first request for a week pays for all later ones.
+//
+// Load is safe for concurrent use with distinct weeks; the serving
+// cache's single-flight layer guarantees one Load per week at a time.
+type Store struct {
+	dir            string
+	env            *pipeline.Env
+	man            *capture.Manifest
+	writeSnapshots bool
+	m              *Metrics
+}
+
+// OpenStore rebuilds the campaign's measurement substrates from its
+// manifest and returns a store over dir. writeSnapshots persists a
+// snapshot after every full analysis.
+func OpenStore(dir string, writeSnapshots bool) (*Store, error) {
+	man, err := capture.ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	env, err := man.Rebuild()
+	if err != nil {
+		return nil, err
+	}
+	return NewStore(dir, env, man, writeSnapshots), nil
+}
+
+// NewStore wraps an already rebuilt environment. Callers that need to
+// instrument or configure env (Instrument, MaxLoss) use this form.
+func NewStore(dir string, env *pipeline.Env, man *capture.Manifest, writeSnapshots bool) *Store {
+	return &Store{dir: dir, env: env, man: man, writeSnapshots: writeSnapshots, m: NewMetrics(nil)}
+}
+
+// SetMetrics attaches the serving metrics bundle (never nil after
+// NewStore; call before the store is shared).
+func (st *Store) SetMetrics(m *Metrics) {
+	if m != nil {
+		st.m = m
+	}
+}
+
+// Env exposes the campaign's rebuilt environment (entity table, DNS,
+// fabric) for endpoints that resolve results further.
+func (st *Store) Env() *pipeline.Env { return st.env }
+
+// Manifest exposes the campaign manifest.
+func (st *Store) Manifest() *capture.Manifest { return st.man }
+
+// Weeks lists the campaign's ISO weeks in manifest (chronological)
+// order.
+func (st *Store) Weeks() []int { return st.man.Weeks }
+
+// weekIndex finds isoWeek's position in the manifest.
+func (st *Store) weekIndex(isoWeek int) (int, bool) {
+	for i, w := range st.man.Weeks {
+		if w == isoWeek {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// HasWeek reports whether the campaign contains isoWeek.
+func (st *Store) HasWeek(isoWeek int) bool {
+	_, ok := st.weekIndex(isoWeek)
+	return ok
+}
+
+// Load returns the analyzed week, from snapshot when possible. The
+// returned snapshot is shared and must be treated as immutable.
+func (st *Store) Load(ctx context.Context, isoWeek int) (*snapshot.Snapshot, error) {
+	i, ok := st.weekIndex(isoWeek)
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownWeek, isoWeek)
+	}
+	digest := ""
+	if i < len(st.man.Digests) {
+		digest = st.man.Digests[i]
+	}
+	// A missing, damaged or stale snapshot degrades to re-analysis —
+	// the snapshot layer is an accelerator, never a correctness
+	// dependency.
+	spath := filepath.Join(st.dir, snapshot.FileName(isoWeek))
+	if snap, err := snapshot.LoadFile(spath); err == nil &&
+		snap.Result.Week == isoWeek && freshSnapshot(snap, digest) {
+		st.m.SnapshotLoads.Inc()
+		return snap, nil
+	}
+	res, counts, err := capture.AnalyzeWeekFile(ctx, st.env, filepath.Join(st.dir, st.man.Files[i]), isoWeek)
+	if err != nil {
+		return nil, err
+	}
+	st.m.Analyses.Inc()
+	snap := &snapshot.Snapshot{Result: res, Counts: counts, SourceDigest: digest}
+	if st.writeSnapshots {
+		if err := snapshot.SaveFile(spath, snap); err != nil {
+			st.m.SnapshotWriteErrors.Inc()
+		} else {
+			st.m.SnapshotWrites.Inc()
+		}
+	}
+	return snap, nil
+}
+
+// freshSnapshot reports whether a loaded snapshot still corresponds to
+// the manifest's capture file. When either side lacks a digest (a v1
+// campaign without per-week digests, or a snapshot written outside a
+// campaign) the check cannot bind them and the snapshot is trusted.
+func freshSnapshot(snap *snapshot.Snapshot, manifestDigest string) bool {
+	return snap.SourceDigest == "" || manifestDigest == "" || snap.SourceDigest == manifestDigest
+}

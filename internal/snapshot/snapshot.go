@@ -1,0 +1,398 @@
+// Package snapshot persists one fully analyzed week — the
+// identification result, the dissection cascade counts and the week's
+// loss annotation — in a versioned, checksummed binary container, so a
+// serving layer can reload an analyzed week in milliseconds instead of
+// re-running the capture→dissect→identify pipeline.
+//
+// Layout ("IXPSNAP1"):
+//
+//	file    := "IXPSNAP1" rawLen:u32 crc:u32 payload[rawLen]
+//	payload := digest counts result
+//	counts  := 8 cascade tallies + 3 byte totals, all u64
+//	result  := week:u32 estLoss:f64bits funnel:u64×4 serverBytes:u64
+//	           nServers:u32 server*
+//	server  := ip:u32 flags:u8 bytes:u64 member:u32 ports hosts cert
+//
+// All integers are big-endian. The crc is CRC32C over the payload, so
+// a flipped bit on disk surfaces as ErrChecksum instead of decoding to
+// a silently wrong result. Servers are encoded sorted by IP, strings
+// and sets in their (already deterministic) stored order, so encoding
+// the same result twice yields byte-identical files — the golden
+// equivalence tests depend on that.
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"ixplens/internal/core/dissect"
+	"ixplens/internal/core/webserver"
+	"ixplens/internal/packet"
+)
+
+var magic = [8]byte{'I', 'X', 'P', 'S', 'N', 'A', 'P', '1'}
+
+// headerLen is magic(8) + rawLen(4) + crc(4).
+const headerLen = 16
+
+// maxPayload bounds a declared payload so a corrupt length field cannot
+// trigger a huge allocation before the checksum is even read.
+const maxPayload = 1 << 28
+
+// Sentinel errors, testable with errors.Is.
+var (
+	// ErrBadMagic marks a file that is not a snapshot container.
+	ErrBadMagic = errors.New("snapshot: bad magic")
+	// ErrChecksum marks a snapshot whose payload does not verify.
+	ErrChecksum = errors.New("snapshot: checksum mismatch")
+	// ErrFormat marks a payload that verified but does not decode —
+	// a truncated write or a newer field layout.
+	ErrFormat = errors.New("snapshot: malformed payload")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Snapshot bundles everything the serving layer needs for one analyzed
+// week.
+type Snapshot struct {
+	// Result is the week's identification outcome, including EstLoss.
+	Result *webserver.Result
+	// Counts is the week's dissection cascade accounting.
+	Counts dissect.Counts
+	// SourceDigest optionally records the sha256 hex digest of the
+	// capture file the analysis consumed (from the campaign manifest),
+	// so a reader can detect a snapshot gone stale after the capture
+	// was rewritten. Empty means unknown.
+	SourceDigest string
+}
+
+// FileName returns the conventional snapshot file name for a week.
+func FileName(isoWeek int) string {
+	return fmt.Sprintf("week-%02d.snap", isoWeek)
+}
+
+// Server flag bits.
+const (
+	flagHTTP = 1 << iota
+	flagHTTPS
+	flagAlsoClient
+)
+
+// AppendEncode appends the full container (header + payload) to dst and
+// returns the extended slice.
+func AppendEncode(dst []byte, snap *Snapshot) ([]byte, error) {
+	if snap == nil || snap.Result == nil {
+		return dst, errors.New("snapshot: nil result")
+	}
+	payload, err := appendPayload(nil, snap)
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, magic[:]...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...), nil
+}
+
+func appendPayload(b []byte, snap *Snapshot) ([]byte, error) {
+	b = appendString(b, snap.SourceDigest)
+
+	c := &snap.Counts
+	for _, v := range []int{c.Total, c.Undecodable, c.NonIPv4, c.Local,
+		c.NonTCPUDP, c.PeeringTCP, c.PeeringUDP, c.PanicQuarantined} {
+		b = binary.BigEndian.AppendUint64(b, uint64(v))
+	}
+	b = binary.BigEndian.AppendUint64(b, c.TotalBytes)
+	b = binary.BigEndian.AppendUint64(b, c.PeeringTCPBytes)
+	b = binary.BigEndian.AppendUint64(b, c.PeeringUDPBytes)
+
+	r := snap.Result
+	b = binary.BigEndian.AppendUint32(b, uint32(r.Week))
+	b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.EstLoss))
+	for _, v := range []int{r.Candidates443, r.Responded443, r.Valid443, r.TotalIPs} {
+		b = binary.BigEndian.AppendUint64(b, uint64(v))
+	}
+	b = binary.BigEndian.AppendUint64(b, r.ServerBytes)
+
+	ips := make([]packet.IPv4Addr, 0, len(r.Servers))
+	for ip := range r.Servers {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
+	b = binary.BigEndian.AppendUint32(b, uint32(len(ips)))
+	for _, ip := range ips {
+		s := r.Servers[ip]
+		b = binary.BigEndian.AppendUint32(b, uint32(ip))
+		var flags byte
+		if s.HTTP {
+			flags |= flagHTTP
+		}
+		if s.HTTPS {
+			flags |= flagHTTPS
+		}
+		if s.AlsoClient {
+			flags |= flagAlsoClient
+		}
+		b = append(b, flags)
+		b = binary.BigEndian.AppendUint64(b, s.Bytes)
+		b = binary.BigEndian.AppendUint32(b, uint32(s.Member))
+		if len(s.Ports) > 255 {
+			return b, fmt.Errorf("snapshot: server %v has %d ports", ip, len(s.Ports))
+		}
+		b = append(b, byte(len(s.Ports)))
+		for _, p := range s.Ports {
+			b = binary.BigEndian.AppendUint16(b, p)
+		}
+		b = binary.BigEndian.AppendUint16(b, uint16(len(s.Hosts)))
+		for _, h := range s.Hosts {
+			b = appendString(b, h)
+		}
+		b = appendString(b, s.Cert.Subject)
+		b = binary.BigEndian.AppendUint16(b, uint16(len(s.Cert.AltNames)))
+		for _, a := range s.Cert.AltNames {
+			b = appendString(b, a)
+		}
+	}
+	return b, nil
+}
+
+func appendString(b []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// Decode parses a full container from buf.
+func Decode(buf []byte) (*Snapshot, error) {
+	if len(buf) < headerLen || [8]byte(buf[:8]) != magic {
+		return nil, ErrBadMagic
+	}
+	rawLen := binary.BigEndian.Uint32(buf[8:12])
+	crc := binary.BigEndian.Uint32(buf[12:16])
+	if rawLen > maxPayload || int(rawLen) != len(buf)-headerLen {
+		return nil, fmt.Errorf("%w: payload length %d does not frame %d bytes",
+			ErrFormat, rawLen, len(buf)-headerLen)
+	}
+	payload := buf[headerLen:]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return nil, ErrChecksum
+	}
+	return decodePayload(payload)
+}
+
+// cursor is a bounds-checked big-endian reader over the payload; the
+// first short read poisons it and every later take returns zero.
+type cursor struct {
+	b   []byte
+	bad bool
+}
+
+func (c *cursor) take(n int) []byte {
+	if c.bad || len(c.b) < n {
+		c.bad = true
+		return nil
+	}
+	out := c.b[:n]
+	c.b = c.b[n:]
+	return out
+}
+
+func (c *cursor) u8() byte {
+	b := c.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (c *cursor) u16() uint16 {
+	b := c.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (c *cursor) u32() uint32 {
+	b := c.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (c *cursor) u64() uint64 {
+	b := c.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (c *cursor) str() string {
+	n := int(c.u16())
+	b := c.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+func decodePayload(payload []byte) (*Snapshot, error) {
+	cur := &cursor{b: payload}
+	snap := &Snapshot{SourceDigest: cur.str()}
+
+	c := &snap.Counts
+	for _, dst := range []*int{&c.Total, &c.Undecodable, &c.NonIPv4, &c.Local,
+		&c.NonTCPUDP, &c.PeeringTCP, &c.PeeringUDP, &c.PanicQuarantined} {
+		*dst = int(cur.u64())
+	}
+	c.TotalBytes = cur.u64()
+	c.PeeringTCPBytes = cur.u64()
+	c.PeeringUDPBytes = cur.u64()
+
+	r := &webserver.Result{Week: int(cur.u32())}
+	r.EstLoss = math.Float64frombits(cur.u64())
+	for _, dst := range []*int{&r.Candidates443, &r.Responded443, &r.Valid443, &r.TotalIPs} {
+		*dst = int(cur.u64())
+	}
+	r.ServerBytes = cur.u64()
+
+	nServers := int(cur.u32())
+	if cur.bad || nServers > len(cur.b) {
+		// Each server occupies well over one payload byte, so a count
+		// exceeding the remaining payload is structurally impossible.
+		return nil, fmt.Errorf("%w: truncated result header", ErrFormat)
+	}
+	r.Servers = make(map[packet.IPv4Addr]*webserver.Server, nServers)
+	for i := 0; i < nServers; i++ {
+		s := &webserver.Server{IP: packet.IPv4Addr(cur.u32())}
+		flags := cur.u8()
+		s.HTTP = flags&flagHTTP != 0
+		s.HTTPS = flags&flagHTTPS != 0
+		s.AlsoClient = flags&flagAlsoClient != 0
+		s.Bytes = cur.u64()
+		s.Member = int32(cur.u32())
+		if nPorts := int(cur.u8()); nPorts > 0 {
+			s.Ports = make([]uint16, nPorts)
+			for j := range s.Ports {
+				s.Ports[j] = cur.u16()
+			}
+		}
+		if nHosts := int(cur.u16()); nHosts > 0 {
+			if nHosts > len(cur.b) {
+				return nil, fmt.Errorf("%w: truncated server record", ErrFormat)
+			}
+			s.Hosts = make([]string, nHosts)
+			for j := range s.Hosts {
+				s.Hosts[j] = cur.str()
+			}
+		}
+		s.Cert.Subject = cur.str()
+		if nAlt := int(cur.u16()); nAlt > 0 {
+			if nAlt > len(cur.b) {
+				return nil, fmt.Errorf("%w: truncated cert record", ErrFormat)
+			}
+			s.Cert.AltNames = make([]string, nAlt)
+			for j := range s.Cert.AltNames {
+				s.Cert.AltNames[j] = cur.str()
+			}
+		}
+		if cur.bad {
+			return nil, fmt.Errorf("%w: truncated server record", ErrFormat)
+		}
+		r.Servers[s.IP] = s
+	}
+	if cur.bad {
+		return nil, fmt.Errorf("%w: truncated payload", ErrFormat)
+	}
+	if len(cur.b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFormat, len(cur.b))
+	}
+	snap.Result = r
+	return snap, nil
+}
+
+// Write encodes snap and writes the container to w.
+func Write(w io.Writer, snap *Snapshot) error {
+	buf, err := AppendEncode(nil, snap)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// Read decodes one container from r, consuming it fully.
+func Read(r io.Reader) (*Snapshot, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, ErrBadMagic
+		}
+		return nil, err
+	}
+	if [8]byte(hdr[:8]) != magic {
+		return nil, ErrBadMagic
+	}
+	rawLen := binary.BigEndian.Uint32(hdr[8:12])
+	if rawLen > maxPayload {
+		return nil, fmt.Errorf("%w: declared payload of %d bytes", ErrFormat, rawLen)
+	}
+	buf := make([]byte, headerLen+int(rawLen))
+	copy(buf, hdr[:])
+	if _, err := io.ReadFull(r, buf[headerLen:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+	}
+	return Decode(buf)
+}
+
+// SaveFile writes snap to path atomically: encode to a temp file in the
+// same directory, sync, close (both checked — a full disk must not
+// leave a truncated snapshot that parses as damage), then rename into
+// place.
+func SaveFile(path string, snap *Snapshot) error {
+	buf, err := AppendEncode(nil, snap)
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	discard := func(e error) error {
+		f.Close()
+		os.Remove(tmp)
+		return e
+	}
+	if _, err := f.Write(buf); err != nil {
+		return discard(err)
+	}
+	if err := f.Sync(); err != nil {
+		return discard(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads and decodes the snapshot at path.
+func LoadFile(path string) (*Snapshot, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(buf)
+}

@@ -1,0 +1,212 @@
+package snapshot
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ixplens/internal/certsim"
+	"ixplens/internal/core/dissect"
+	"ixplens/internal/core/webserver"
+	"ixplens/internal/netmodel"
+	"ixplens/internal/packet"
+	"ixplens/internal/pipeline"
+	"ixplens/internal/traffic"
+)
+
+// synthetic builds a snapshot that exercises every field shape: flags
+// in all combinations, empty and populated sets, certificate alt
+// names, a non-zero loss annotation.
+func synthetic() *Snapshot {
+	res := &webserver.Result{
+		Week:          45,
+		Servers:       map[packet.IPv4Addr]*webserver.Server{},
+		Candidates443: 7,
+		Responded443:  6,
+		Valid443:      5,
+		TotalIPs:      1234,
+		ServerBytes:   1 << 40,
+		EstLoss:       0.0321,
+	}
+	res.Servers[packet.MakeIPv4(10, 0, 0, 1)] = &webserver.Server{
+		IP: packet.MakeIPv4(10, 0, 0, 1), HTTP: true, Bytes: 99,
+		Ports: []uint16{80, 443, 8080}, Hosts: []string{"a.example", "b.example"},
+		AlsoClient: true, Member: 17,
+	}
+	res.Servers[packet.MakeIPv4(10, 0, 0, 2)] = &webserver.Server{
+		IP: packet.MakeIPv4(10, 0, 0, 2), HTTPS: true, Bytes: 1 << 50, Member: -1,
+		Ports: []uint16{443},
+		Cert:  certsim.Info{Subject: "shop.example", AltNames: []string{"cdn.example", "img.example"}},
+	}
+	res.Servers[packet.MakeIPv4(10, 0, 0, 3)] = &webserver.Server{
+		IP: packet.MakeIPv4(10, 0, 0, 3), HTTP: true, HTTPS: true, Member: 0,
+		Cert: certsim.Info{Subject: "only-subject.example"},
+	}
+	return &Snapshot{
+		Result: res,
+		Counts: dissect.Counts{
+			Total: 100000, Undecodable: 3, NonIPv4: 40, Local: 55, NonTCPUDP: 66,
+			PeeringTCP: 90000, PeeringUDP: 9000, PanicQuarantined: 2,
+			TotalBytes: 1 << 55, PeeringTCPBytes: 1 << 54, PeeringUDPBytes: 1 << 40,
+		},
+		SourceDigest: "c0ffee",
+	}
+}
+
+func TestRoundTripSynthetic(t *testing.T) {
+	snap := synthetic()
+	buf, err := AppendEncode(nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, got) {
+		t.Fatalf("round trip diverged:\nwant %+v\ngot  %+v", snap, got)
+	}
+	// Re-encoding the decoded snapshot must be byte-identical: the
+	// codec is deterministic, so snapshots can be compared by digest.
+	buf2, err := AppendEncode(nil, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, buf2) {
+		t.Fatal("re-encoded snapshot differs from original encoding")
+	}
+}
+
+func TestRoundTripViaReaderWriter(t *testing.T) {
+	snap := synthetic()
+	var b bytes.Buffer
+	if err := Write(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, got) {
+		t.Fatal("reader/writer round trip diverged")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	snap := synthetic()
+	path := filepath.Join(t.TempDir(), FileName(45))
+	if err := SaveFile(path, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, got) {
+		t.Fatal("file round trip diverged")
+	}
+	// SaveFile is atomic: no temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries, want only the snapshot", len(entries))
+	}
+}
+
+func TestDecodeRejectsDamage(t *testing.T) {
+	buf, err := AppendEncode(nil, synthetic())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Every single-bit flip in the payload must surface as ErrChecksum,
+	// never decode to a silently different result.
+	for off := headerLen; off < len(buf); off += 97 {
+		bad := bytes.Clone(buf)
+		bad[off] ^= 0x40
+		if _, err := Decode(bad); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("flip at %d: got %v, want ErrChecksum", off, err)
+		}
+	}
+
+	// Wrong magic.
+	bad := bytes.Clone(buf)
+	bad[0] = 'X'
+	if _, err := Decode(bad); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: got %v", err)
+	}
+
+	// Truncation at any point fails cleanly (magic, format or checksum
+	// error depending on the cut — never a panic or a wrong result).
+	for cut := 0; cut < len(buf); cut += 13 {
+		if _, err := Decode(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded successfully", cut)
+		}
+	}
+
+	// A corrupt declared length must not drive a huge allocation.
+	bad = bytes.Clone(buf)
+	bad[8], bad[9], bad[10], bad[11] = 0xff, 0xff, 0xff, 0xff
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("absurd payload length decoded successfully")
+	}
+}
+
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	buf, err := AppendEncode(nil, synthetic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(append(bytes.Clone(buf), 0)); err == nil {
+		t.Fatal("trailing byte decoded successfully")
+	}
+}
+
+// TestGoldenAllWeeks is the codec's equivalence proof: for every study
+// week, a snapshot round trip of the freshly analyzed result — the
+// identification aggregates, the cascade counts and the EstLoss
+// annotation — reproduces it exactly, and the encoding itself is
+// deterministic.
+func TestGoldenAllWeeks(t *testing.T) {
+	env, err := pipeline.NewEnv(netmodel.Tiny(),
+		traffic.Options{SamplesPerWeek: 2000, SamplingRate: 16384, SnapLen: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &env.World.Cfg
+	if cfg.Weeks != 17 {
+		t.Fatalf("study has %d weeks, want 17", cfg.Weeks)
+	}
+	ctx := context.Background()
+	for wk := cfg.FirstWeek; wk <= cfg.LastWeek(); wk++ {
+		res, counts, _, err := env.IdentifyWeek(ctx, wk)
+		if err != nil {
+			t.Fatalf("week %d: %v", wk, err)
+		}
+		snap := &Snapshot{Result: res, Counts: counts, SourceDigest: "d"}
+		buf, err := AppendEncode(nil, snap)
+		if err != nil {
+			t.Fatalf("week %d: %v", wk, err)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("week %d: %v", wk, err)
+		}
+		if !reflect.DeepEqual(snap, got) {
+			t.Fatalf("week %d: snapshot round trip diverged from fresh analysis", wk)
+		}
+		buf2, err := AppendEncode(nil, got)
+		if err != nil {
+			t.Fatalf("week %d: %v", wk, err)
+		}
+		if !bytes.Equal(buf, buf2) {
+			t.Fatalf("week %d: snapshot encoding is not deterministic", wk)
+		}
+	}
+}
