@@ -1,13 +1,24 @@
-// Command ixpmine analyses a capture directory written by ixpgen: it
-// rebuilds the measurement substrates from the manifest (the world
-// regenerates deterministically from its seed), dissects every weekly
-// sFlow capture, identifies the Web servers, and prints the weekly
-// summary plus a deep-dive for one focus week (filtering cascade,
-// clustering, meta-data coverage).
+// Command ixpmine analyses a capture directory written by ixpgen under
+// the supervised campaign runner: it rebuilds the measurement
+// substrates from the manifest (the world regenerates deterministically
+// from its seed), then drives every study week through the
+// capture→analyze→snapshot state machine with checkpointed resume —
+// progress lands in an append-only journal next to the captures, so a
+// killed run picks up from the last completed stage and a finished
+// campaign re-runs as a verified no-op. Weeks written by ixpgen are
+// adopted through their manifest digests, never rewritten; a damaged or
+// missing week regenerates deterministically. Transient failures retry
+// with exponential backoff under an optional per-stage watchdog;
+// permanent ones (or an exhausted retry budget) quarantine the week,
+// which downstream analysis carries as an explicit gap instead of
+// failing the campaign.
+//
+// It prints the weekly summary plus a deep-dive for one focus week
+// (filtering cascade, clustering, meta-data coverage).
 //
 // Usage:
 //
-//	ixpmine -in capture/ [-focus 45]
+//	ixpmine -in capture/ [-focus 45] [-retries 3] [-watchdog 5m] [-quarantine-limit 4]
 package main
 
 import (
@@ -18,6 +29,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"syscall"
+	"time"
 
 	"ixplens/internal/capture"
 	"ixplens/internal/core/churn"
@@ -30,26 +42,37 @@ import (
 	"ixplens/internal/packet"
 	"ixplens/internal/pipeline"
 	"ixplens/internal/snapshot"
+	"ixplens/internal/supervise"
 )
 
 func main() {
 	var (
 		in      = flag.String("in", "capture", "capture directory written by ixpgen")
 		focus   = flag.Int("focus", 45, "ISO week for the deep-dive analysis")
-		maxLoss = flag.Float64("max-loss", 0, "abort when a week's estimated datagram loss fraction exceeds this (0 = no limit)")
+		maxLoss = flag.Float64("max-loss", 0, "fail a week when its estimated datagram loss fraction exceeds this (0 = no limit); failed weeks retry, then quarantine")
 		debug   = flag.String("debug-addr", "", "serve expvar+pprof on this address and print a metrics snapshot at exit (empty = off)")
-		snaps   = flag.Bool("snapshots", false, "persist each analyzed week as a snapshot next to its capture, so ixpserve can reload it without re-analyzing")
+		retries = flag.Int("retries", 3, "per-week attempt budget; the week quarantines after this many failed attempts")
+		wdog    = flag.Duration("watchdog", 0, "per-stage deadline; a stage exceeding it is cancelled and retried as a transient failure (0 = none)")
+		qlimit  = flag.Int("quarantine-limit", 0, "abort the campaign when more than this many weeks are quarantined (0 = any number degrades, never aborts)")
+		retryQ  = flag.Bool("retry-quarantined", false, "re-open weeks a previous run quarantined instead of skipping them")
+		_       = flag.Bool("snapshots", true, "deprecated no-op: snapshots are always persisted — they are the supervisor's resume checkpoints")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *in, *focus, *maxLoss, *debug, *snaps); err != nil {
+	scfg := supervise.Config{
+		Retries:          *retries,
+		Watchdog:         *wdog,
+		QuarantineLimit:  *qlimit,
+		RetryQuarantined: *retryQ,
+	}
+	if err := run(ctx, *in, *focus, *maxLoss, *debug, scfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ixpmine:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, dir string, focus int, maxLoss float64, debugAddr string, writeSnaps bool) error {
+func run(ctx context.Context, dir string, focus int, maxLoss float64, debugAddr string, scfg supervise.Config) error {
 	man, err := capture.ReadManifest(dir)
 	if err != nil {
 		return err
@@ -80,25 +103,31 @@ func run(ctx context.Context, dir string, focus int, maxLoss float64, debugAddr 
 	}
 	fmt.Println()
 
+	// The supervisor inherits the campaign's container identity so the
+	// journal binds to the files ixpgen wrote.
+	scfg.Capture.Compress = man.Compression
+	sup, err := supervise.New(env, dir, scfg, reg)
+	if err != nil {
+		return err
+	}
+	defer sup.Close()
+
 	tracker := churn.NewTrackerWith(env.EntityTable())
+	var hookErr error
 	fmt.Println("week  samples  peering%  servers  https  loss%  server-traffic-share")
-	for i, wk := range man.Weeks {
-		res, counts, err := capture.AnalyzeWeekFile(ctx, env, filepath.Join(dir, man.Files[i]), wk)
-		if err != nil {
-			return fmt.Errorf("week %d: %w", wk, err)
+	sup.Hooks.OnWeek = func(ws supervise.WeekStatus, snap *snapshot.Snapshot) {
+		if hookErr != nil {
+			return
 		}
+		if ws.Status == "quarantined" {
+			hookErr = tracker.AddGap(ws.Week)
+			fmt.Printf("%4d  QUARANTINED after %d attempt(s): %v\n", ws.Week, ws.Attempts, ws.Err)
+			return
+		}
+		res, counts := snap.Result, snap.Counts
 		if err := tracker.Add(env.Observation(res)); err != nil {
-			return err
-		}
-		if writeSnaps {
-			digest := ""
-			if i < len(man.Digests) {
-				digest = man.Digests[i]
-			}
-			snap := &snapshot.Snapshot{Result: res, Counts: counts, SourceDigest: digest}
-			if err := snapshot.SaveFile(filepath.Join(dir, snapshot.FileName(wk)), snap); err != nil {
-				return fmt.Errorf("week %d: write snapshot: %w", wk, err)
-			}
+			hookErr = err
+			return
 		}
 		https := 0
 		for _, s := range res.Servers {
@@ -118,18 +147,39 @@ func run(ctx context.Context, dir string, focus int, maxLoss float64, debugAddr 
 			}
 		}
 		fmt.Printf("%4d  %7d  %7.2f%%  %7d  %5d  %5.2f  %.1f%%\n",
-			wk, counts.Total, 100*counts.PeeringShare(), len(res.Servers), https, 100*res.EstLoss, 100*share)
+			ws.Week, counts.Total, 100*counts.PeeringShare(), len(res.Servers), https, 100*res.EstLoss, 100*share)
 
-		if wk == focus {
-			deepDive(env, res, counts, filepath.Join(dir, man.Files[i]), man.Anonymized)
+		if ws.Week == focus {
+			deepDive(env, res, counts, filepath.Join(dir, ws.CaptureFile), man.Anonymized)
 		}
 	}
 
+	start := time.Now()
+	rep, err := sup.Run(ctx)
+	if err != nil {
+		return err
+	}
+	if hookErr != nil {
+		return hookErr
+	}
+	fmt.Printf("\nsupervised run: %d done (%d resumed), %d quarantined in %v\n",
+		rep.Completed, rep.Resumed, rep.Quarantined, time.Since(start).Round(time.Millisecond))
+	if q := rep.QuarantinedWeeks(); len(q) > 0 {
+		fmt.Printf("quarantined weeks: %v — the longitudinal series below carries them as gaps\n", q)
+	}
+
 	weeks := tracker.Compute()
-	last := weeks[len(weeks)-1]
-	fmt.Printf("\nlongitudinal (week %d): stable %.1f%%, recurrent %.1f%%, new %.1f%%; stable pool carries %.1f%% of traffic\n",
-		last.Week, 100*last.Share(churn.PoolStable), 100*last.Share(churn.PoolRecurrent),
-		100*last.Share(churn.PoolNew), 100*last.ByteShare(churn.PoolStable))
+	for i := len(weeks) - 1; i >= 0; i-- {
+		last := &weeks[i]
+		if last.Gap {
+			continue
+		}
+		fmt.Printf("\nlongitudinal (week %d, %d observed): stable %.1f%%, recurrent %.1f%%, new %.1f%%; stable pool carries %.1f%% of traffic\n",
+			last.Week, last.ObservedWeeks, 100*last.Share(churn.PoolStable), 100*last.Share(churn.PoolRecurrent),
+			100*last.Share(churn.PoolNew), 100*last.ByteShare(churn.PoolStable))
+		return nil
+	}
+	fmt.Println("\nno weeks observed — every week quarantined")
 	return nil
 }
 

@@ -30,6 +30,7 @@ import (
 	"ixplens/internal/capture"
 	"ixplens/internal/obs"
 	"ixplens/internal/serve"
+	"ixplens/internal/supervise"
 )
 
 func main() {
@@ -82,6 +83,15 @@ func run(ctx context.Context, dir, addr, debugAddr string, maxLoss float64, cfg 
 	fmt.Fprintf(os.Stderr, "substrates rebuilt: %s\n", env)
 
 	store := serve.NewStore(dir, env, man, writeSnaps)
+	// A supervise journal in the campaign directory marks weeks the
+	// runner quarantined: serve them as explicit holes (422, /healthz
+	// degraded, /churn gap rows) rather than re-analyzing bad data.
+	if jst, err := supervise.ReadState(dir); err == nil {
+		if q := jst.QuarantinedWeeks(); len(q) > 0 {
+			store.SetQuarantined(q)
+			fmt.Fprintf(os.Stderr, "degraded campaign: weeks %v quarantined by the supervisor\n", q)
+		}
+	}
 	s := serve.New(store, cfg, reg)
 	defer s.Close()
 

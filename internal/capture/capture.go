@@ -129,21 +129,8 @@ func WriteCampaignOpts(ctx context.Context, env *pipeline.Env, dir string, opts 
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
-	var anon *anonymize.PrefixPreserving
-	if opts.Anonymize {
-		anon = anonymize.New(opts.AnonKey)
-	}
 	cfg := &env.World.Cfg
-	man := Manifest{
-		Config:      *cfg,
-		Options:     env.Opts,
-		Anonymized:  opts.Anonymize,
-		Format:      2,
-		Compression: opts.Compress,
-	}
-	if anon != nil {
-		man.AnonFP = anonFingerprint(anon)
-	}
+	man := NewManifest(env, opts)
 	var prev *Manifest
 	if opts.Resume {
 		if old, err := ReadManifest(dir); err == nil {
@@ -153,7 +140,7 @@ func WriteCampaignOpts(ctx context.Context, env *pipeline.Env, dir string, opts 
 				return nil, fmt.Errorf("%w: manifest fingerprint %s, key fingerprint %s",
 					ErrAnonKeyMismatch, old.AnonFP, man.AnonFP)
 			}
-			if resumeCompatible(old, &man) {
+			if old.Compatible(man) {
 				prev = old
 			}
 		}
@@ -165,21 +152,118 @@ func WriteCampaignOpts(ctx context.Context, env *pipeline.Env, dir string, opts 
 		n, digest, reused := reuseWeek(prev, wk, name, path)
 		if !reused {
 			var err error
-			n, digest, err = writeWeek(ctx, env, wk, path, anon, opts.Compress)
+			n, digest, err = WriteWeekFile(ctx, env, wk, path, opts)
 			if err != nil {
 				return counts, fmt.Errorf("capture: week %d: %w", wk, err)
 			}
 		}
 		counts = append(counts, n)
-		man.Weeks = append(man.Weeks, wk)
-		man.Files = append(man.Files, name)
-		man.Digests = append(man.Digests, digest)
-		man.Datagrams = append(man.Datagrams, n)
-		if err := writeManifest(filepath.Join(dir, ManifestName), &man); err != nil {
+		man.SetWeek(wk, name, digest, n)
+		if err := SaveManifest(dir, man); err != nil {
 			return counts, err
 		}
 	}
 	return counts, nil
+}
+
+// NewManifest builds the manifest skeleton a campaign write (or the
+// supervisor's per-week capture stage) fills in with SetWeek.
+func NewManifest(env *pipeline.Env, opts WriteOptions) *Manifest {
+	man := &Manifest{
+		Config:      env.World.Cfg,
+		Options:     env.Opts,
+		Anonymized:  opts.Anonymize,
+		Format:      2,
+		Compression: opts.Compress,
+	}
+	if opts.Anonymize {
+		man.AnonFP = anonFingerprint(anonymize.New(opts.AnonKey))
+	}
+	return man
+}
+
+// WeekIndex returns wk's position in the manifest, or -1.
+func (m *Manifest) WeekIndex(wk int) int {
+	for i, w := range m.Weeks {
+		if w == wk {
+			return i
+		}
+	}
+	return -1
+}
+
+// SetWeek upserts one week's entry, keeping the parallel arrays aligned
+// and the weeks in ascending (chronological) order. It reports whether
+// the manifest actually changed, so callers can skip redundant rewrites.
+func (m *Manifest) SetWeek(wk int, file, digest string, datagrams int) bool {
+	if i := m.WeekIndex(wk); i >= 0 {
+		// Normalize a v1/legacy manifest's missing parallel arrays before
+		// indexing into them.
+		for len(m.Digests) < len(m.Files) {
+			m.Digests = append(m.Digests, "")
+		}
+		for len(m.Datagrams) < len(m.Files) {
+			m.Datagrams = append(m.Datagrams, 0)
+		}
+		if m.Files[i] == file && m.Digests[i] == digest && m.Datagrams[i] == datagrams {
+			return false
+		}
+		m.Files[i], m.Digests[i], m.Datagrams[i] = file, digest, datagrams
+		return true
+	}
+	at := len(m.Weeks)
+	for i, w := range m.Weeks {
+		if wk < w {
+			at = i
+			break
+		}
+	}
+	insert := func() {
+		m.Weeks = append(m.Weeks, 0)
+		copy(m.Weeks[at+1:], m.Weeks[at:])
+		m.Weeks[at] = wk
+	}
+	insert()
+	m.Files = append(m.Files, "")
+	copy(m.Files[at+1:], m.Files[at:])
+	m.Files[at] = file
+	m.Digests = append(m.Digests, "")
+	copy(m.Digests[at+1:], m.Digests[at:])
+	m.Digests[at] = digest
+	m.Datagrams = append(m.Datagrams, 0)
+	copy(m.Datagrams[at+1:], m.Datagrams[at:])
+	m.Datagrams[at] = datagrams
+	return true
+}
+
+// VerifyWeek reports whether wk's capture file in dir still matches the
+// manifest's recorded digest (and returns the recorded datagram count).
+func (m *Manifest) VerifyWeek(dir string, wk int) (n int, digest string, ok bool) {
+	i := m.WeekIndex(wk)
+	if i < 0 || i >= len(m.Digests) || m.Digests[i] == "" {
+		return 0, "", false
+	}
+	got, err := FileDigest(filepath.Join(dir, m.Files[i]))
+	if err != nil || got != m.Digests[i] {
+		return 0, "", false
+	}
+	n = 0
+	if i < len(m.Datagrams) {
+		n = m.Datagrams[i]
+	}
+	return n, got, true
+}
+
+// SaveManifest writes dir's manifest atomically (temp file, fsync,
+// rename).
+func SaveManifest(dir string, man *Manifest) error {
+	return writeManifest(filepath.Join(dir, ManifestName), man)
+}
+
+// Compatible reports whether m describes the same campaign next would
+// produce, so m's digests can vouch for weeks already on disk.
+func (m *Manifest) Compatible(next *Manifest) bool {
+	return resumeCompatible(m, next)
 }
 
 // resumeCompatible reports whether an existing manifest describes the
@@ -223,6 +307,28 @@ func reuseWeek(prev *Manifest, wk int, name, path string) (n int, digest string,
 		return prev.Datagrams[i], got, true
 	}
 	return 0, "", false
+}
+
+// FileDigest returns the sha256 hex digest of a file's contents — the
+// same digest the manifest records per week.
+func FileDigest(path string) (string, error) {
+	return fileDigest(path)
+}
+
+// WriteWeekFile renders one study week of env into path and returns the
+// datagram count and content digest. It is the single-week unit
+// WriteCampaignOpts (and the supervisor's capture stage) are built on;
+// opts.Resume is ignored here — skipping verified weeks is the caller's
+// decision.
+func WriteWeekFile(ctx context.Context, env *pipeline.Env, isoWeek int, path string, opts WriteOptions) (int, string, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var anon *anonymize.PrefixPreserving
+	if opts.Anonymize {
+		anon = anonymize.New(opts.AnonKey)
+	}
+	return writeWeek(ctx, env, isoWeek, path, anon, opts.Compress)
 }
 
 // fileDigest returns the sha256 hex digest of a file's contents.

@@ -37,6 +37,12 @@ type WeekObservation struct {
 	// into the longitudinal record, so churn figures derived from a
 	// degraded week are marked as such.
 	EstLoss float64
+	// Gap marks a week with no usable observation (quarantined or
+	// otherwise failed). Gap weeks hold a place in the series — the
+	// campaign's calendar is unbroken — but contribute nothing to the
+	// pools: histories are neither advanced nor penalized, so an IP seen
+	// in every *observed* week stays stable across the gap.
+	Gap bool
 }
 
 // Pool indexes the three churn partitions.
@@ -93,6 +99,18 @@ type WeekChurn struct {
 	// EstLoss is the source week's estimated datagram loss fraction, a
 	// data-quality annotation propagated from the capture layer.
 	EstLoss float64
+	// Gap marks a placeholder row for a week with no observation: every
+	// count above is zero and the pools were not advanced.
+	Gap bool
+	// ObservedWeeks counts the non-gap weeks up to and including this
+	// one — the denominator behind the stable pool ("seen in every
+	// observed week").
+	ObservedWeeks int
+	// Streak counts consecutive observed weeks ending at this one; a gap
+	// resets it to zero. This is the series consumers use when a claim
+	// depends on uninterrupted coverage (the paper's 17-consecutive-week
+	// framing).
+	Streak int
 }
 
 // RegionChurn is a per-region slice of a week's churn.
@@ -126,6 +144,13 @@ func (t *Tracker) Add(obs WeekObservation) error {
 	}
 	t.weeks = append(t.weeks, obs)
 	return nil
+}
+
+// AddGap records a week with no usable observation (quarantined,
+// analysis failed) as an explicit hole in the series. The same ordering
+// rule as Add applies.
+func (t *Tracker) AddGap(week int) error {
+	return t.Add(WeekObservation{Week: week, Gap: true})
 }
 
 // NumWeeks returns the number of weeks added.
@@ -190,8 +215,34 @@ func (t *Tracker) Compute() []WeekChurn {
 	asHist := make(map[uint32]*history)
 
 	out := make([]WeekChurn, 0, len(t.weeks))
-	for n, obs := range t.weeks {
-		wc := WeekChurn{Week: obs.Week, EstLoss: obs.EstLoss, ByRegion: make(map[string]*RegionChurn)}
+	// obsN indexes *observed* (non-gap) weeks: the pool histories advance
+	// only when a week contributed data, so "stable" means seen in every
+	// observed week — a gap neither breaks an IP's stability nor
+	// fabricates a sighting. streak counts consecutive observed weeks and
+	// does reset on a gap.
+	obsN, streak := 0, 0
+	for _, obs := range t.weeks {
+		if obs.Gap {
+			streak = 0
+			out = append(out, WeekChurn{
+				Week:          obs.Week,
+				EstLoss:       obs.EstLoss,
+				ByRegion:      make(map[string]*RegionChurn),
+				Gap:           true,
+				ObservedWeeks: obsN,
+			})
+			continue
+		}
+		n := obsN
+		obsN++
+		streak++
+		wc := WeekChurn{
+			Week:          obs.Week,
+			EstLoss:       obs.EstLoss,
+			ByRegion:      make(map[string]*RegionChurn),
+			ObservedWeeks: obsN,
+			Streak:        streak,
+		}
 		asPools := make(map[uint32]Pool)
 		prefixes := make(map[routing.Prefix]bool)
 		for ip, so := range obs.Servers {

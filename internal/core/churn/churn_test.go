@@ -302,6 +302,81 @@ func check(t *testing.T, err error) {
 	}
 }
 
+// TestGapSemantics pins the quarantined-week contract: a gap week holds
+// its calendar slot as an annotated placeholder, does not advance the
+// pool histories (an IP present in every *observed* week stays stable
+// across the gap), and resets the consecutive-coverage streak.
+func TestGapSemantics(t *testing.T) {
+	ip := func(n byte) packet.IPv4Addr { return packet.MakeIPv4(9, 2, 0, n) }
+	tr := NewTracker()
+	mk := func(week int, ips ...packet.IPv4Addr) WeekObservation {
+		obs := WeekObservation{Week: week, Servers: map[packet.IPv4Addr]ServerObs{}}
+		for _, i := range ips {
+			obs.Servers[i] = ServerObs{Bytes: 100, ASN: 1, Region: "DE"}
+		}
+		return obs
+	}
+	// a present every observed week; b only before the gap.
+	check(t, tr.Add(mk(1, ip(1), ip(2))))
+	check(t, tr.Add(mk(2, ip(1), ip(2))))
+	check(t, tr.AddGap(3))
+	check(t, tr.Add(mk(4, ip(1))))
+	weeks := tr.Compute()
+	if len(weeks) != 4 {
+		t.Fatalf("computed %d weeks, want 4", len(weeks))
+	}
+	gap := weeks[2]
+	if !gap.Gap || gap.Week != 3 {
+		t.Fatalf("week 3 not marked as gap: %+v", gap)
+	}
+	if gap.Total() != 0 || gap.TotalBytes != 0 || gap.TotalASes != 0 {
+		t.Fatalf("gap week carries data: %+v", gap)
+	}
+	if gap.ObservedWeeks != 2 || gap.Streak != 0 {
+		t.Fatalf("gap week coverage: observed=%d streak=%d", gap.ObservedWeeks, gap.Streak)
+	}
+	last := weeks[3]
+	if last.Gap {
+		t.Fatal("week 4 wrongly marked gap")
+	}
+	// ip(1) was seen in all 3 observed weeks: stable despite the gap.
+	if last.IPs[PoolStable] != 1 || last.IPs[PoolRecurrent] != 0 || last.IPs[PoolNew] != 0 {
+		t.Fatalf("week 4 pools: %+v", last.IPs)
+	}
+	if last.ObservedWeeks != 3 {
+		t.Fatalf("week 4 observed weeks = %d, want 3", last.ObservedWeeks)
+	}
+	if last.Streak != 1 {
+		t.Fatalf("week 4 streak = %d, want 1 (gap resets)", last.Streak)
+	}
+	if weeks[1].Streak != 2 {
+		t.Fatalf("week 2 streak = %d, want 2", weeks[1].Streak)
+	}
+	// Range/member series keep the calendar shape with zeroed gap slots.
+	counts := tr.CountInRanges([]routing.Prefix{{Addr: packet.MakeIPv4(9, 2, 0, 0), Len: 24}})
+	if len(counts) != 4 || counts[2] != 0 || counts[3] != 1 {
+		t.Fatalf("range series across gap: %v", counts)
+	}
+}
+
+// TestAllGapsCompute guards the degenerate campaign where every week
+// quarantined: Compute must yield an all-gap series, not panic.
+func TestAllGapsCompute(t *testing.T) {
+	tr := NewTracker()
+	for wk := 1; wk <= 3; wk++ {
+		check(t, tr.AddGap(wk))
+	}
+	weeks := tr.Compute()
+	if len(weeks) != 3 {
+		t.Fatalf("computed %d weeks", len(weeks))
+	}
+	for _, wc := range weeks {
+		if !wc.Gap || wc.ObservedWeeks != 0 || wc.Streak != 0 {
+			t.Fatalf("all-gap week wrong: %+v", wc)
+		}
+	}
+}
+
 // TestUnresolvedASNsExcluded pins the ASN-0 fix: server IPs whose RIB
 // lookup failed must participate in IP-level churn but stay out of the
 // AS pools (where a phantom "AS 0" would otherwise appear stable every

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 
@@ -88,8 +89,9 @@ type Runner struct {
 	src45  *dissect.SliceSource
 	agg45  *visibility.Aggregator
 
-	tracker *churn.Tracker
-	weekly  []*webserver.Result
+	tracker  *churn.Tracker
+	weekly   []*webserver.Result
+	weekErrs pipeline.WeekErrors
 }
 
 // SetContext installs the context every subsequent experiment's
@@ -162,18 +164,29 @@ func (r *Runner) focusWeek() int {
 	return w
 }
 
-// Tracked runs (once) the 17-week light pipeline.
+// Tracked runs (once) the 17-week light pipeline. Per-week failures
+// degrade instead of aborting: the gap-annotated tracker and partial
+// results are cached and returned, and the typed error set is kept for
+// WeekErrors so reports can disclose the missing coverage.
 func (r *Runner) Tracked() (*churn.Tracker, []*webserver.Result, error) {
 	if r.tracker != nil {
 		return r.tracker, r.weekly, nil
 	}
 	tracker, weekly, err := r.Env.TrackWeeks(r.ctx())
 	if err != nil {
-		return nil, nil, err
+		var werrs pipeline.WeekErrors
+		if !errors.As(err, &werrs) {
+			return nil, nil, err
+		}
+		r.weekErrs = werrs
 	}
 	r.tracker, r.weekly = tracker, weekly
 	return tracker, weekly, nil
 }
+
+// WeekErrors reports the per-week failures of the Tracked run (nil when
+// every week completed, or before Tracked ran).
+func (r *Runner) WeekErrors() pipeline.WeekErrors { return r.weekErrs }
 
 // serverFilter returns the predicate selecting identified server IPs.
 func serverFilter(res *webserver.Result) func(packet.IPv4Addr) bool {

@@ -160,10 +160,21 @@ func (r *Runner) WeeklyStability() (Report, error) {
 		pct(ratio(first.TotalPrefixes, truthPrefixes)), pct(ratio(last.TotalPrefixes, truthPrefixes)))
 	rep.addf("members week 35 → 51", "443 → 457", "%d → %d",
 		w.NumMembersInWeek(cfg.FirstWeek), w.NumMembersInWeek(cfg.LastWeek()))
-	growth := float64(len(weekly[len(weekly)-1].Servers)) // placeholder to use weekly
-	_ = growth
-	rep.addf("traffic volume growth", "11.9 → 14.5 PB/day", "%.2fx over the window",
-		float64(last.TotalBytes)/float64(first.TotalBytes))
+	// A degraded run leaves failed weeks nil in the per-week results;
+	// report the last week that actually completed.
+	for i := len(weekly) - 1; i >= 0; i-- {
+		if weekly[i] != nil {
+			rep.addf("servers identified (last observed week)", "—", "%d", len(weekly[i].Servers))
+			break
+		}
+	}
+	if first.TotalBytes > 0 {
+		rep.addf("traffic volume growth", "11.9 → 14.5 PB/day", "%.2fx over the window",
+			float64(last.TotalBytes)/float64(first.TotalBytes))
+	}
+	if n := len(r.WeekErrors()); n > 0 {
+		rep.addf("weeks missing (degraded run)", "0", "%d %v", n, r.WeekErrors().Weeks())
+	}
 	return rep, nil
 }
 

@@ -174,6 +174,57 @@ func TestMaxLossAborts(t *testing.T) {
 	}
 }
 
+// TestTrackWeeksPartial pins the degraded-campaign contract: when weeks
+// fail (here: every week, via a drop rate far above the loss ceiling),
+// TrackWeeks returns the gap-annotated tracker and the partial results
+// slice alongside a typed WeekErrors set instead of aborting with a
+// single opaque error.
+func TestTrackWeeksPartial(t *testing.T) {
+	env := newEnv(t)
+	env.Faults = &faultline.Config{Seed: 7, Drop: 0.10}
+	env.MaxLoss = 0.02
+	cfg := &env.World.Cfg
+
+	tracker, results, err := env.TrackWeeks(context.Background())
+	if err == nil {
+		t.Fatal("10% drop against a 2% ceiling must surface errors")
+	}
+	var werrs WeekErrors
+	if !errors.As(err, &werrs) {
+		t.Fatalf("err %T does not unwrap to WeekErrors: %v", err, err)
+	}
+	if len(werrs) != cfg.Weeks {
+		t.Fatalf("%d week errors, want %d", len(werrs), cfg.Weeks)
+	}
+	if !errors.Is(err, ErrLossExceeded) {
+		t.Fatalf("WeekErrors does not unwrap to ErrLossExceeded: %v", err)
+	}
+	var we *WeekError
+	if !errors.As(err, &we) || we.Week != cfg.FirstWeek {
+		t.Fatalf("first WeekError = %+v, want week %d", we, cfg.FirstWeek)
+	}
+	if tracker == nil || results == nil {
+		t.Fatal("partial failure must still return tracker and results")
+	}
+	if len(results) != cfg.Weeks {
+		t.Fatalf("results length %d, want %d", len(results), cfg.Weeks)
+	}
+	for idx, res := range results {
+		if res != nil {
+			t.Fatalf("week index %d unexpectedly succeeded", idx)
+		}
+	}
+	weeks := tracker.Compute()
+	if len(weeks) != cfg.Weeks {
+		t.Fatalf("tracker computed %d weeks, want %d", len(weeks), cfg.Weeks)
+	}
+	for _, wc := range weeks {
+		if !wc.Gap {
+			t.Fatalf("week %d not marked as gap", wc.Week)
+		}
+	}
+}
+
 // TestTrackWeeksCancelled covers the ISSUE's cancellation criteria: a
 // pre-cancelled context returns promptly with the context error, a
 // mid-run cancel unwinds within one batch, and neither leaks goroutines.

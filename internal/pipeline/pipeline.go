@@ -42,6 +42,58 @@ import (
 // loss crossed Env.MaxLoss. Test with errors.Is.
 var ErrLossExceeded = errors.New("pipeline: estimated datagram loss exceeds configured maximum")
 
+// WeekError attributes one failed week's error to its ISO week, so a
+// multi-week caller can tell which slot of the campaign degraded.
+type WeekError struct {
+	Week int
+	Err  error
+}
+
+// Error implements error.
+func (e *WeekError) Error() string {
+	return fmt.Sprintf("week %d: %v", e.Week, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is / errors.As.
+func (e *WeekError) Unwrap() error { return e.Err }
+
+// WeekErrors is the typed per-week error set TrackWeeks returns when
+// some (but not necessarily all) weeks failed. It unwraps to every
+// member, so errors.Is(err, ErrLossExceeded) answers "did any week
+// exceed its loss budget" and errors.As(err, *(*WeekError)) yields the
+// first failed week.
+type WeekErrors []*WeekError
+
+// Error implements error.
+func (e WeekErrors) Error() string {
+	switch len(e) {
+	case 0:
+		return "pipeline: no week errors"
+	case 1:
+		return fmt.Sprintf("pipeline: 1 week failed: %v", e[0])
+	default:
+		return fmt.Sprintf("pipeline: %d weeks failed (first: %v)", len(e), e[0])
+	}
+}
+
+// Unwrap exposes the member errors to the errors package's tree walk.
+func (e WeekErrors) Unwrap() []error {
+	out := make([]error, len(e))
+	for i, we := range e {
+		out[i] = we
+	}
+	return out
+}
+
+// Weeks lists the failed ISO weeks in chronological order.
+func (e WeekErrors) Weeks() []int {
+	out := make([]int, len(e))
+	for i, we := range e {
+		out[i] = we.Week
+	}
+	return out
+}
+
 // Env bundles a generated world with its measurement substrates.
 type Env struct {
 	World   *netmodel.World
@@ -508,6 +560,14 @@ func (e *Env) Observation(res *webserver.Result) churn.WeekObservation {
 // chronological order. Cancelling ctx stops dispatching new weeks and
 // unwinds in-flight ones within one datagram flush; the call then
 // returns the context's error with no goroutines left behind.
+//
+// A week that fails (loss budget, fault injection) no longer aborts the
+// campaign: it is recorded as a gap in the tracker, its slot in the
+// results stays nil, and the call returns the tracker and results
+// alongside a WeekErrors value naming every failed week. Callers that
+// cannot tolerate partial coverage keep their old behaviour by treating
+// any non-nil error as fatal; callers that can, errors.As into
+// WeekErrors and continue with the gap-annotated series.
 func (e *Env) TrackWeeks(ctx context.Context) (*churn.Tracker, []*webserver.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -599,15 +659,28 @@ func (e *Env) TrackWeeks(ctx context.Context) (*churn.Tracker, []*webserver.Resu
 	}
 
 	// The tracker shares the Env's entity table: per-IP histories become
-	// slice-indexed by dense ID instead of address-keyed maps.
+	// slice-indexed by dense ID instead of address-keyed maps. A failed
+	// week becomes an explicit gap — the campaign degrades to partial
+	// results plus a typed per-week error set instead of aborting, so
+	// callers (the supervisor, ixpreport) decide how much loss they
+	// tolerate.
 	tracker := churn.NewTrackerWith(e.Entities)
+	var werrs WeekErrors
 	for idx := 0; idx < cfg.Weeks; idx++ {
+		isoWeek := cfg.FirstWeek + idx
 		if errs[idx] != nil {
-			return nil, nil, errs[idx]
+			werrs = append(werrs, &WeekError{Week: isoWeek, Err: errs[idx]})
+			if err := tracker.AddGap(isoWeek); err != nil {
+				return nil, nil, err
+			}
+			continue
 		}
 		if err := tracker.Add(e.Observation(results[idx])); err != nil {
 			return nil, nil, err
 		}
+	}
+	if len(werrs) > 0 {
+		return tracker, results, werrs
 	}
 	return tracker, results, nil
 }

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"ixplens/internal/obs"
+	"ixplens/internal/supervise"
+)
+
+// TestDegradedServing: with a quarantined week the server reports
+// degraded health naming the hole, refuses the week with 422, flags it
+// in the inventory, and serves /churn with an explicit gap row instead
+// of failing the whole series.
+func TestDegradedServing(t *testing.T) {
+	dir := campaign(t, 4, 2000)
+	store, err := OpenStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weeks := store.Weeks()
+	bad := weeks[1]
+	store.SetQuarantined([]int{bad})
+
+	s := New(store, Config{}, obs.NewRegistry())
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	code, body := get("/healthz")
+	if code != 200 {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	var health struct {
+		Status      string `json:"status"`
+		Weeks       int    `json:"weeks"`
+		Quarantined []int  `json:"quarantined"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" || health.Weeks != 4 {
+		t.Fatalf("health: %+v", health)
+	}
+	if len(health.Quarantined) != 1 || health.Quarantined[0] != bad {
+		t.Fatalf("quarantined list: %v", health.Quarantined)
+	}
+
+	if code, body := get(fmt.Sprintf("/week/%d", bad)); code != http.StatusUnprocessableEntity {
+		t.Fatalf("quarantined week answered %d %s, want 422", code, body)
+	}
+	if code, _ := get(fmt.Sprintf("/week/%d", weeks[0])); code != 200 {
+		t.Fatalf("healthy week answered %d", code)
+	}
+	if _, err := store.Load(context.Background(), bad); !errors.Is(err, ErrQuarantinedWeek) {
+		t.Fatalf("Load(quarantined) = %v, want ErrQuarantinedWeek", err)
+	}
+
+	code, body = get("/weeks")
+	if code != 200 {
+		t.Fatalf("weeks: %d", code)
+	}
+	var infos []WeekInfo
+	if err := json.Unmarshal(body, &infos); err != nil {
+		t.Fatal(err)
+	}
+	for i, info := range infos {
+		if want := i == 1; info.Quarantined != want {
+			t.Fatalf("week %d quarantined=%v, want %v", info.Week, info.Quarantined, want)
+		}
+	}
+
+	code, body = get("/churn")
+	if code != 200 {
+		t.Fatalf("churn on degraded campaign: %d %s", code, body)
+	}
+	var series []ChurnWeek
+	if err := json.Unmarshal(body, &series); err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 4 {
+		t.Fatalf("series length %d, want 4 (gaps hold their place)", len(series))
+	}
+	gapRow := series[1]
+	if !gapRow.Gap || gapRow.Week != bad {
+		t.Fatalf("gap row: %+v", gapRow)
+	}
+	if gapRow.TotalBytes != 0 || gapRow.IPs != [3]int{} || gapRow.Streak != 0 {
+		t.Fatalf("gap row not zeroed: %+v", gapRow)
+	}
+	// Observed-week accounting: 1 before the gap, unchanged across it,
+	// then advancing again; the streak restarts after the gap.
+	wantObs := []int{1, 1, 2, 3}
+	wantStreak := []int{1, 0, 1, 2}
+	for i, row := range series {
+		if row.Gap != (i == 1) {
+			t.Fatalf("row %d gap=%v", i, row.Gap)
+		}
+		if row.ObservedWeeks != wantObs[i] || row.Streak != wantStreak[i] {
+			t.Fatalf("row %d observed=%d streak=%d, want %d/%d",
+				i, row.ObservedWeeks, row.Streak, wantObs[i], wantStreak[i])
+		}
+	}
+	// A server IP present in every observed week must be stable in the
+	// last row despite the gap: the gap neither advances nor penalizes.
+	last := series[3]
+	if last.IPs[0] == 0 {
+		t.Fatal("no stable IPs across the gap — gap penalized histories")
+	}
+}
+
+// TestOpenStoreReadsSuperviseJournal: a supervise journal left in the
+// campaign directory quarantines weeks in the store without any wiring.
+func TestOpenStoreReadsSuperviseJournal(t *testing.T) {
+	dir := campaign(t, 3, 2000)
+	plain, err := OpenStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := plain.Quarantined(); len(q) != 0 {
+		t.Fatalf("unsupervised campaign quarantined %v", q)
+	}
+	bad := plain.Weeks()[2]
+
+	j, err := supervise.OpenJournal(dir, "test-config")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(&supervise.Record{Event: supervise.EventQuarantine, Week: bad, Err: "boom"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	store, err := OpenStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := store.Quarantined(); len(q) != 1 || q[0] != bad {
+		t.Fatalf("quarantined = %v, want [%d]", q, bad)
+	}
+	if !store.IsQuarantined(bad) || store.IsQuarantined(plain.Weeks()[0]) {
+		t.Fatal("IsQuarantined wrong")
+	}
+}
+
+// TestRetryAfterFromAnalysisHistogram: the shed response's Retry-After
+// follows the p90 of observed analysis durations — 1s floor before any
+// analysis, the rounded-up p90 after, capped at 60s.
+func TestRetryAfterFromAnalysisHistogram(t *testing.T) {
+	dir := campaign(t, 2, 1500)
+	store, err := OpenStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s := New(store, Config{MaxInFlight: 1}, reg)
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	shedHeader := func() string {
+		t.Helper()
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		resp, err := http.Get(ts.URL + "/weeks")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("saturated server answered %d", resp.StatusCode)
+		}
+		return resp.Header.Get("Retry-After")
+	}
+
+	if got := shedHeader(); got != "1" {
+		t.Fatalf("Retry-After before any analysis = %q, want 1", got)
+	}
+
+	// One real cold load must feed the histogram.
+	if _, err := store.Load(context.Background(), store.Weeks()[0]); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.m.AnalyzeNanos.Count(); n != 1 {
+		t.Fatalf("analysis not observed: count %d", n)
+	}
+
+	// A 3s analysis lands in the (2^31, 2^32] ns bucket, whose upper
+	// bound rounds up to 5s.
+	s.m.AnalyzeNanos.Observe(3_000_000_000)
+	if got := s.retryAfterSeconds(); got < 1 || got > 60 {
+		t.Fatalf("retryAfterSeconds out of range: %d", got)
+	}
+	reg2 := obs.NewRegistry()
+	h := reg2.Histogram("serve_analyze_ns")
+	s2 := &Server{m: &Metrics{AnalyzeNanos: h}}
+	if got := s2.retryAfterSeconds(); got != 1 {
+		t.Fatalf("empty histogram: %d, want 1", got)
+	}
+	h.Observe(3_000_000_000)
+	if got := s2.retryAfterSeconds(); got != 5 {
+		t.Fatalf("3s analysis: Retry-After %d, want 5 (bucket upper bound rounded up)", got)
+	}
+	// A pathological 200s outlier dominates p90 but is capped.
+	h.Observe(200_000_000_000)
+	if got := s2.retryAfterSeconds(); got != 60 {
+		t.Fatalf("outlier: Retry-After %d, want 60 (capped)", got)
+	}
+
+	if got := shedHeader(); got == "" {
+		t.Fatal("shed response lost its Retry-After header")
+	}
+}

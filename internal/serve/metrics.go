@@ -30,6 +30,11 @@ type Metrics struct {
 	// the cache-miss work the store actually performed.
 	SnapshotLoads *obs.Counter
 	Analyses      *obs.Counter
+	// AnalyzeNanos is the wall-time distribution of the full analyses
+	// only (snapshot loads excluded). Its p90 drives the Retry-After
+	// hint on shed responses: when the server is saturated, the honest
+	// back-off is "about one analysis from now".
+	AnalyzeNanos *obs.Histogram
 	// SnapshotWrites/SnapshotWriteErrors count snapshot persistence
 	// outcomes when the store writes snapshots after analysis.
 	SnapshotWrites      *obs.Counter
@@ -49,6 +54,7 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		FlightJoins:         r.Counter("serve_flight_joins_total"),
 		SnapshotLoads:       r.Counter("serve_snapshot_loads_total"),
 		Analyses:            r.Counter("serve_analyses_total"),
+		AnalyzeNanos:        r.Histogram("serve_analyze_ns"),
 		SnapshotWrites:      r.Counter("serve_snapshot_writes_total"),
 		SnapshotWriteErrors: r.Counter("serve_snapshot_write_errors_total"),
 	}

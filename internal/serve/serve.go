@@ -118,7 +118,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case s.sem <- struct{}{}:
 	default:
 		s.m.Shed.Inc()
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		http.Error(w, "server at capacity", http.StatusServiceUnavailable)
 		return
 	}
@@ -135,6 +135,28 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
+// retryAfterSeconds derives the shed response's Retry-After hint from
+// the observed analysis-duration distribution: slots free up when
+// in-flight work finishes, and the slow work is full analyses, so the
+// honest hint is the p90 analysis time rounded up to whole seconds.
+// Before any analysis has been observed — or when every request is
+// served from snapshots — it stays at the 1s floor; a 60s cap keeps a
+// pathological outlier from telling clients to go away for minutes.
+func (s *Server) retryAfterSeconds() int {
+	h := s.m.AnalyzeNanos
+	if h.Count() == 0 {
+		return 1
+	}
+	secs := (h.Quantile(0.90) + uint64(time.Second) - 1) / uint64(time.Second)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return int(secs)
+}
+
 // fail maps a load error onto an HTTP status.
 func fail(w http.ResponseWriter, err error) {
 	switch {
@@ -145,6 +167,11 @@ func fail(w http.ResponseWriter, err error) {
 	case errors.Is(err, context.Canceled):
 		http.Error(w, "request abandoned or server draining", http.StatusServiceUnavailable)
 	case errors.Is(err, pipeline.ErrLossExceeded):
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+	case errors.Is(err, ErrQuarantinedWeek):
+		// The week exists in the campaign calendar but its data never
+		// passed the pipeline: not a 404 (the week is known), not a 500
+		// (the server is fine) — the entity is simply unprocessable.
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 	default:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -165,8 +192,18 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Write(append(buf, '\n'))
 }
 
+// handleHealthz reports liveness plus campaign data health: "ok" when
+// every week is servable, "degraded" — with the quarantined-week list —
+// when the supervised runner had to give up on some. Orchestrators keep
+// a degraded server in rotation (it still serves 200) but the hole is
+// visible to anyone who asks.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, map[string]interface{}{"status": "ok", "weeks": len(s.store.Weeks())})
+	doc := map[string]interface{}{"status": "ok", "weeks": len(s.store.Weeks())}
+	if q := s.store.Quarantined(); len(q) > 0 {
+		doc["status"] = "degraded"
+		doc["quarantined"] = q
+	}
+	writeJSON(w, doc)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -180,16 +217,22 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 // WeekInfo is one row of the /weeks inventory.
 type WeekInfo struct {
-	Week   int    `json:"week"`
-	File   string `json:"file"`
-	Cached bool   `json:"cached"`
+	Week        int    `json:"week"`
+	File        string `json:"file"`
+	Cached      bool   `json:"cached"`
+	Quarantined bool   `json:"quarantined,omitempty"`
 }
 
 func (s *Server) handleWeeks(w http.ResponseWriter, _ *http.Request) {
 	man := s.store.Manifest()
 	out := make([]WeekInfo, len(man.Weeks))
 	for i, wk := range man.Weeks {
-		out[i] = WeekInfo{Week: wk, File: man.Files[i], Cached: s.cache.Has(wk)}
+		out[i] = WeekInfo{
+			Week:        wk,
+			File:        man.Files[i],
+			Cached:      s.cache.Has(wk),
+			Quarantined: s.store.IsQuarantined(wk),
+		}
 	}
 	writeJSON(w, out)
 }
@@ -394,7 +437,11 @@ func (s *Server) handleTopASes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, TopASes(s.store.Env(), snap, kParam(r, s.cfg.TopK)))
 }
 
-// ChurnWeek is one row of the /churn longitudinal series.
+// ChurnWeek is one row of the /churn longitudinal series. A gap row
+// (Gap true) holds the calendar place of a quarantined week: its counts
+// are zero, the pools were not advanced past it, and Streak restarts
+// after it — consumers that require uninterrupted coverage filter on
+// streak, consumers that tolerate gaps use observed_weeks.
 type ChurnWeek struct {
 	Week          int       `json:"week"`
 	IPs           [3]int    `json:"ips"`
@@ -407,22 +454,36 @@ type ChurnWeek struct {
 	HTTPSBytes    uint64    `json:"https_bytes"`
 	TotalBytes    uint64    `json:"total_bytes"`
 	EstLoss       float64   `json:"est_loss"`
+	Gap           bool      `json:"gap,omitempty"`
+	ObservedWeeks int       `json:"observed_weeks"`
+	Streak        int       `json:"streak"`
 }
 
 // ChurnSeries computes the longitudinal churn series from per-week
 // snapshots, in chronological order (pool order: stable, recurrent,
-// new).
-func ChurnSeries(env *pipeline.Env, snaps []*snapshot.Snapshot) ([]ChurnWeek, error) {
+// new). weeks and snaps are parallel; a nil snapshot marks a gap week
+// (quarantined or otherwise unobserved) that holds its place in the
+// calendar without advancing the pools.
+func ChurnSeries(env *pipeline.Env, weeks []int, snaps []*snapshot.Snapshot) ([]ChurnWeek, error) {
+	if len(weeks) != len(snaps) {
+		return nil, fmt.Errorf("serve: churn series: %d weeks, %d snapshots", len(weeks), len(snaps))
+	}
 	tracker := churn.NewTrackerWith(env.EntityTable())
-	for _, snap := range snaps {
+	for i, snap := range snaps {
+		if snap == nil {
+			if err := tracker.AddGap(weeks[i]); err != nil {
+				return nil, err
+			}
+			continue
+		}
 		if err := tracker.Add(env.Observation(snap.Result)); err != nil {
 			return nil, err
 		}
 	}
-	weeks := tracker.Compute()
-	out := make([]ChurnWeek, len(weeks))
-	for i := range weeks {
-		wc := &weeks[i]
+	computed := tracker.Compute()
+	out := make([]ChurnWeek, len(computed))
+	for i := range computed {
+		wc := &computed[i]
 		out[i] = ChurnWeek{
 			Week:          wc.Week,
 			IPs:           wc.IPs,
@@ -435,15 +496,25 @@ func ChurnSeries(env *pipeline.Env, snaps []*snapshot.Snapshot) ([]ChurnWeek, er
 			HTTPSBytes:    wc.HTTPSBytes,
 			TotalBytes:    wc.TotalBytes,
 			EstLoss:       wc.EstLoss,
+			Gap:           wc.Gap,
+			ObservedWeeks: wc.ObservedWeeks,
+			Streak:        wc.Streak,
 		}
 	}
 	return out, nil
 }
 
+// handleChurn serves the longitudinal series. Quarantined weeks become
+// explicit gap rows rather than failing the whole series — a degraded
+// campaign still answers longitudinal questions over the weeks it has.
 func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
 	weeks := s.store.Weeks()
 	snaps := make([]*snapshot.Snapshot, 0, len(weeks))
 	for _, wk := range weeks {
+		if s.store.IsQuarantined(wk) {
+			snaps = append(snaps, nil)
+			continue
+		}
 		snap, err := s.cache.Get(r.Context(), wk)
 		if err != nil {
 			fail(w, err)
@@ -451,7 +522,7 @@ func (s *Server) handleChurn(w http.ResponseWriter, r *http.Request) {
 		}
 		snaps = append(snaps, snap)
 	}
-	series, err := ChurnSeries(s.store.Env(), snaps)
+	series, err := ChurnSeries(s.store.Env(), weeks, snaps)
 	if err != nil {
 		fail(w, err)
 		return

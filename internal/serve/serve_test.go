@@ -577,7 +577,7 @@ func TestGoldenServedAllWeeks(t *testing.T) {
 	for i, wk := range man.Weeks {
 		snaps[i] = direct[wk]
 	}
-	series, err := ChurnSeries(env, snaps)
+	series, err := ChurnSeries(env, man.Weeks, snaps)
 	if err != nil {
 		t.Fatal(err)
 	}

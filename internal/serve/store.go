@@ -5,15 +5,22 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"time"
 
 	"ixplens/internal/capture"
 	"ixplens/internal/pipeline"
 	"ixplens/internal/snapshot"
+	"ixplens/internal/supervise"
 )
 
 // ErrUnknownWeek marks a request for a week the campaign does not
 // contain. Test with errors.Is.
 var ErrUnknownWeek = errors.New("serve: week not in campaign")
+
+// ErrQuarantinedWeek marks a request for a week the supervised campaign
+// runner quarantined: its data never passed the pipeline, so serving it
+// would present a hole as a measurement. Test with errors.Is.
+var ErrQuarantinedWeek = errors.New("serve: week quarantined by campaign supervisor")
 
 // Store materializes analyzed weeks from a campaign directory. A week
 // loads from its on-disk snapshot when one exists and still matches
@@ -29,6 +36,7 @@ type Store struct {
 	env            *pipeline.Env
 	man            *capture.Manifest
 	writeSnapshots bool
+	quarantined    map[int]bool
 	m              *Metrics
 }
 
@@ -44,7 +52,15 @@ func OpenStore(dir string, writeSnapshots bool) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewStore(dir, env, man, writeSnapshots), nil
+	st := NewStore(dir, env, man, writeSnapshots)
+	// A supervise journal in the campaign directory tells us which weeks
+	// the runner quarantined. A missing journal means an unsupervised
+	// campaign (nothing quarantined); a damaged one is ignored — the
+	// journal is the supervisor's ledger, not a serving dependency.
+	if jst, err := supervise.ReadState(dir); err == nil {
+		st.SetQuarantined(jst.QuarantinedWeeks())
+	}
+	return st, nil
 }
 
 // NewStore wraps an already rebuilt environment. Callers that need to
@@ -60,6 +76,32 @@ func (st *Store) SetMetrics(m *Metrics) {
 		st.m = m
 	}
 }
+
+// SetQuarantined records the weeks the campaign supervisor quarantined.
+// Load refuses them with ErrQuarantinedWeek and the serving layer
+// reports them through /healthz and as gaps in /churn. Call before the
+// store is shared.
+func (st *Store) SetQuarantined(weeks []int) {
+	st.quarantined = make(map[int]bool, len(weeks))
+	for _, wk := range weeks {
+		st.quarantined[wk] = true
+	}
+}
+
+// Quarantined lists the quarantined weeks in chronological (manifest)
+// order.
+func (st *Store) Quarantined() []int {
+	var out []int
+	for _, wk := range st.man.Weeks {
+		if st.quarantined[wk] {
+			out = append(out, wk)
+		}
+	}
+	return out
+}
+
+// IsQuarantined reports whether isoWeek is quarantined.
+func (st *Store) IsQuarantined(isoWeek int) bool { return st.quarantined[isoWeek] }
 
 // Env exposes the campaign's rebuilt environment (entity table, DNS,
 // fabric) for endpoints that resolve results further.
@@ -95,6 +137,9 @@ func (st *Store) Load(ctx context.Context, isoWeek int) (*snapshot.Snapshot, err
 	if !ok {
 		return nil, fmt.Errorf("%w: %d", ErrUnknownWeek, isoWeek)
 	}
+	if st.quarantined[isoWeek] {
+		return nil, fmt.Errorf("%w: %d", ErrQuarantinedWeek, isoWeek)
+	}
 	digest := ""
 	if i < len(st.man.Digests) {
 		digest = st.man.Digests[i]
@@ -108,11 +153,13 @@ func (st *Store) Load(ctx context.Context, isoWeek int) (*snapshot.Snapshot, err
 		st.m.SnapshotLoads.Inc()
 		return snap, nil
 	}
+	start := time.Now()
 	res, counts, err := capture.AnalyzeWeekFile(ctx, st.env, filepath.Join(st.dir, st.man.Files[i]), isoWeek)
 	if err != nil {
 		return nil, err
 	}
 	st.m.Analyses.Inc()
+	st.m.AnalyzeNanos.ObserveSince(start)
 	snap := &snapshot.Snapshot{Result: res, Counts: counts, SourceDigest: digest}
 	if st.writeSnapshots {
 		if err := snapshot.SaveFile(spath, snap); err != nil {

@@ -1,0 +1,355 @@
+// Package supervise runs a capture→analyze→snapshot measurement
+// campaign as a crash-safe supervised state machine. Each week moves
+// pending → running → done | quarantined; progress is checkpointed to
+// an append-only JSONL journal bound by content digests to the capture
+// manifest and the snapshot files, so a kill -9 at any point resumes
+// from the last completed stage and re-running a finished campaign is a
+// verified no-op. Failures are classified transient (retried with
+// exponential backoff and deterministic jitter, under an optional
+// per-stage watchdog deadline) or permanent (the week is quarantined
+// immediately); a per-week circuit breaker quarantines a week after its
+// retry budget instead of failing the campaign, and downstream
+// consumers (churn gaps, the serving layer's degraded health) carry the
+// hole explicitly.
+package supervise
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ixplens/internal/capture"
+)
+
+// JournalName is the checkpoint journal file inside a campaign
+// directory.
+const JournalName = "supervise.journal"
+
+// Stage names, in pipeline order.
+const (
+	StageCapture  = "capture"
+	StageAnalyze  = "analyze"
+	StageSnapshot = "snapshot"
+)
+
+// Journal events.
+const (
+	// EventCampaign opens a journal: it pins the campaign's config
+	// digest so a journal can never vouch for weeks generated under a
+	// different world.
+	EventCampaign = "campaign"
+	// EventStart marks the beginning of one attempt at a week.
+	EventStart = "start"
+	// EventDone marks a completed stage (Stage set) or, with Stage
+	// empty, a fully completed week; Digest binds the record to the
+	// bytes on disk.
+	EventDone = "done"
+	// EventFail records one classified stage failure.
+	EventFail = "fail"
+	// EventQuarantine trips the week's circuit breaker.
+	EventQuarantine = "quarantine"
+)
+
+// Record is one journal line. Fields are omitted when empty so the
+// journal stays greppable and small.
+type Record struct {
+	Event     string `json:"event"`
+	Week      int    `json:"week,omitempty"`
+	Stage     string `json:"stage,omitempty"`
+	Attempt   int    `json:"attempt,omitempty"`
+	Digest    string `json:"digest,omitempty"`
+	Datagrams int    `json:"datagrams,omitempty"`
+	Class     string `json:"class,omitempty"`
+	Err       string `json:"err,omitempty"`
+	// Config is the campaign config digest (EventCampaign only).
+	Config string `json:"config,omitempty"`
+}
+
+// StageState is the replayed durable state of one stage of one week.
+type StageState struct {
+	Done      bool
+	Digest    string
+	Datagrams int
+}
+
+// WeekState is the replayed state of one week.
+type WeekState struct {
+	Capture  StageState
+	Analyze  StageState
+	Snapshot StageState
+	// Attempts counts attempts started so far (across runs).
+	Attempts int
+	// Quarantined means the week's breaker is open: no further attempts
+	// unless the supervisor is told to retry quarantined weeks.
+	Quarantined bool
+	// LastErr / LastClass describe the most recent failure.
+	LastErr   string
+	LastClass string
+	// Done means the whole week completed; DoneDigest is its snapshot
+	// file digest at completion time.
+	Done       bool
+	DoneDigest string
+}
+
+// State is the full replayed journal state.
+type State struct {
+	ConfigDigest string
+	Weeks        map[int]*WeekState
+}
+
+// week returns (creating) the state of one week.
+func (s *State) week(wk int) *WeekState {
+	ws := s.Weeks[wk]
+	if ws == nil {
+		ws = &WeekState{}
+		s.Weeks[wk] = ws
+	}
+	return ws
+}
+
+// QuarantinedWeeks lists the quarantined weeks in ascending order.
+func (s *State) QuarantinedWeeks() []int {
+	if s == nil {
+		return nil
+	}
+	var out []int
+	for wk, ws := range s.Weeks {
+		if ws.Quarantined {
+			out = append(out, wk)
+		}
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// apply folds one record into the state.
+func (s *State) apply(rec *Record) {
+	switch rec.Event {
+	case EventCampaign:
+		s.ConfigDigest = rec.Config
+	case EventStart:
+		ws := s.week(rec.Week)
+		if rec.Attempt > ws.Attempts {
+			ws.Attempts = rec.Attempt
+		}
+		// A logged start means a retry was authorized: the breaker
+		// half-opens and the journal will record how it went.
+		ws.Quarantined = false
+	case EventDone:
+		ws := s.week(rec.Week)
+		st := StageState{Done: true, Digest: rec.Digest, Datagrams: rec.Datagrams}
+		switch rec.Stage {
+		case StageCapture:
+			// A re-captured week invalidates anything derived from the
+			// previous bytes.
+			if ws.Capture.Digest != rec.Digest {
+				ws.Analyze = StageState{}
+				ws.Snapshot = StageState{}
+				ws.Done, ws.DoneDigest = false, ""
+			}
+			ws.Capture = st
+		case StageAnalyze:
+			ws.Analyze = st
+		case StageSnapshot:
+			ws.Snapshot = st
+		case "":
+			ws.Done, ws.DoneDigest = true, rec.Digest
+		}
+	case EventFail:
+		ws := s.week(rec.Week)
+		if rec.Attempt > ws.Attempts {
+			ws.Attempts = rec.Attempt
+		}
+		ws.LastErr, ws.LastClass = rec.Err, rec.Class
+	case EventQuarantine:
+		ws := s.week(rec.Week)
+		ws.Quarantined = true
+		if rec.Err != "" {
+			ws.LastErr = rec.Err
+		}
+	}
+}
+
+// Journal is the append-only JSONL checkpoint log. Appends are a single
+// write followed by an fsync, so every acknowledged record survives a
+// crash; a torn final line (crash mid-append) is dropped on replay.
+type Journal struct {
+	f     *os.File
+	path  string
+	state *State
+}
+
+// journalPath returns dir's journal file path.
+func journalPath(dir string) string { return filepath.Join(dir, JournalName) }
+
+// replay parses a journal's bytes into records. A malformed final line
+// is tolerated (torn append); malformed earlier lines mean the file is
+// damaged and cannot be trusted at all.
+func replay(raw []byte) ([]*Record, error) {
+	var recs []*Record
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var pendingErr error
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The malformed line was not the last one: damage, not a
+			// torn tail.
+			return nil, pendingErr
+		}
+		rec := &Record{}
+		if err := json.Unmarshal(line, rec); err != nil {
+			pendingErr = fmt.Errorf("supervise: journal line: %w", err)
+			continue
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return recs, nil
+}
+
+// ReadState replays dir's journal without opening it for writing — the
+// serving layer uses this to learn the quarantined-week list. A missing
+// journal yields an empty state, not an error.
+func ReadState(dir string) (*State, error) {
+	st := &State{Weeks: make(map[int]*WeekState)}
+	raw, err := os.ReadFile(journalPath(dir))
+	if errors.Is(err, os.ErrNotExist) {
+		return st, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	recs, err := replay(raw)
+	if err != nil {
+		return nil, err
+	}
+	for _, rec := range recs {
+		st.apply(rec)
+	}
+	return st, nil
+}
+
+// OpenJournal replays dir's journal and opens it for appending. A
+// journal whose config digest does not match configDigest — or whose
+// middle is damaged — is rotated aside (".bad") and a fresh one is
+// started: its checkpoints describe a different campaign and must not
+// vouch for the files on disk.
+func OpenJournal(dir, configDigest string) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := journalPath(dir)
+	st := &State{Weeks: make(map[int]*WeekState)}
+	raw, err := os.ReadFile(path)
+	fresh := errors.Is(err, os.ErrNotExist)
+	if err != nil && !fresh {
+		return nil, err
+	}
+	if !fresh {
+		recs, rerr := replay(raw)
+		if rerr == nil {
+			for _, rec := range recs {
+				st.apply(rec)
+			}
+		}
+		if rerr != nil || (st.ConfigDigest != "" && st.ConfigDigest != configDigest) {
+			if err := os.Rename(path, path+".bad"); err != nil {
+				return nil, err
+			}
+			st = &State{Weeks: make(map[int]*WeekState)}
+			fresh = true
+		} else if n := len(raw); n > 0 && raw[n-1] != '\n' {
+			// Torn tail from a crash mid-append: the record was never
+			// acknowledged, so cutting it is safe — and necessary,
+			// because the next append must not glue onto the partial
+			// line and corrupt itself.
+			cut := 0
+			if i := bytes.LastIndexByte(raw, '\n'); i >= 0 {
+				cut = i + 1
+			}
+			if err := os.Truncate(path, int64(cut)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := &Journal{f: f, path: path, state: st}
+	if st.ConfigDigest == "" {
+		if err := j.Append(&Record{Event: EventCampaign, Config: configDigest}); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return j, nil
+}
+
+// State returns the journal's replayed (and live-updated) state.
+func (j *Journal) State() *State { return j.state }
+
+// Append writes one record (a single line), fsyncs it, and folds it
+// into the in-memory state. The write is O_APPEND, so concurrent
+// appenders cannot interleave bytes; a crash between write and sync
+// loses at most this one record, and a crash mid-write leaves a torn
+// tail the next replay drops.
+func (j *Journal) Append(rec *Record) error {
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	if _, err := j.f.Write(line); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		return err
+	}
+	j.state.apply(rec)
+	return nil
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error { return j.f.Close() }
+
+// ConfigDigest derives the campaign identity a journal is bound to: the
+// manifest-compatibility key (config, traffic options, container
+// format, compression, anonymization fingerprint) hashed to hex. Two
+// campaigns with equal digests produce byte-identical capture files.
+func ConfigDigest(man *capture.Manifest) (string, error) {
+	key := struct {
+		Config      any
+		Options     any
+		Format      int
+		Compression bool
+		Anonymized  bool
+		AnonFP      string
+	}{man.Config, man.Options, man.Format, man.Compression, man.Anonymized, man.AnonFP}
+	raw, err := json.Marshal(key)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(raw)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,244 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"io/fs"
+	"os"
+	"testing"
+
+	"ixplens/internal/capture"
+	"ixplens/internal/pipeline"
+	"ixplens/internal/sflow"
+	"ixplens/internal/snapshot"
+)
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, "cfg-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []*Record{
+		{Event: EventStart, Week: 35, Attempt: 1},
+		{Event: EventDone, Week: 35, Stage: StageCapture, Digest: "d-cap", Datagrams: 42},
+		{Event: EventDone, Week: 35, Stage: StageAnalyze, Digest: "d-cap"},
+		{Event: EventDone, Week: 35, Stage: StageSnapshot, Digest: "d-snap"},
+		{Event: EventDone, Week: 35, Digest: "d-snap"},
+		{Event: EventStart, Week: 36, Attempt: 1},
+		{Event: EventFail, Week: 36, Stage: StageAnalyze, Attempt: 1, Class: "transient", Err: "boom"},
+		{Event: EventQuarantine, Week: 36, Err: "boom"},
+	}
+	for _, rec := range recs {
+		if err := j.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir, "cfg-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	st := j2.State()
+	if st.ConfigDigest != "cfg-a" {
+		t.Fatalf("config digest %q", st.ConfigDigest)
+	}
+	w35 := st.Weeks[35]
+	if w35 == nil || !w35.Done || w35.DoneDigest != "d-snap" {
+		t.Fatalf("week 35 state: %+v", w35)
+	}
+	if !w35.Capture.Done || w35.Capture.Digest != "d-cap" || w35.Capture.Datagrams != 42 {
+		t.Fatalf("week 35 capture: %+v", w35.Capture)
+	}
+	if !w35.Snapshot.Done || w35.Snapshot.Digest != "d-snap" {
+		t.Fatalf("week 35 snapshot: %+v", w35.Snapshot)
+	}
+	w36 := st.Weeks[36]
+	if w36 == nil || !w36.Quarantined || w36.Attempts != 1 || w36.LastErr != "boom" {
+		t.Fatalf("week 36 state: %+v", w36)
+	}
+	if got := st.QuarantinedWeeks(); len(got) != 1 || got[0] != 36 {
+		t.Fatalf("quarantined = %v", got)
+	}
+}
+
+// TestJournalRecaptureInvalidates: a capture-done record with a new
+// digest must drop the stale analyze/snapshot/done checkpoints derived
+// from the old bytes.
+func TestJournalRecaptureInvalidates(t *testing.T) {
+	st := &State{Weeks: make(map[int]*WeekState)}
+	for _, rec := range []*Record{
+		{Event: EventDone, Week: 35, Stage: StageCapture, Digest: "old"},
+		{Event: EventDone, Week: 35, Stage: StageSnapshot, Digest: "snap-old"},
+		{Event: EventDone, Week: 35, Digest: "snap-old"},
+		{Event: EventDone, Week: 35, Stage: StageCapture, Digest: "new"},
+	} {
+		st.apply(rec)
+	}
+	ws := st.Weeks[35]
+	if ws.Done || ws.Snapshot.Done {
+		t.Fatalf("recapture did not invalidate: %+v", ws)
+	}
+	if ws.Capture.Digest != "new" {
+		t.Fatalf("capture digest %q", ws.Capture.Digest)
+	}
+}
+
+// TestJournalTornTail: a crash mid-append leaves a partial final line;
+// replay drops it and keeps everything before.
+func TestJournalTornTail(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, "cfg-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(&Record{Event: EventDone, Week: 35, Stage: StageCapture, Digest: "d"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	f, err := os.OpenFile(journalPath(dir), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"event":"done","week":36,"sta`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := OpenJournal(dir, "cfg-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	st := j2.State()
+	if w := st.Weeks[35]; w == nil || !w.Capture.Done {
+		t.Fatalf("intact prefix lost: %+v", w)
+	}
+	if st.Weeks[36] != nil {
+		t.Fatal("torn tail replayed as a record")
+	}
+	// The torn bytes are cut on open, so an append after the crash must
+	// survive yet another replay intact.
+	if err := j2.Append(&Record{Event: EventDone, Week: 37, Stage: StageCapture, Digest: "d37"}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	j3, err := OpenJournal(dir, "cfg-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if w := j3.State().Weeks[37]; w == nil || w.Capture.Digest != "d37" {
+		t.Fatalf("append after torn tail lost: %+v", w)
+	}
+	if w := j3.State().Weeks[35]; w == nil || !w.Capture.Done {
+		t.Fatal("original record lost after torn-tail recovery")
+	}
+}
+
+// TestJournalCorruptMiddle: damage before the final line cannot be a
+// torn append; the journal is rotated aside and a fresh one started.
+func TestJournalCorruptMiddle(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, "cfg-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(&Record{Event: EventDone, Week: 35, Stage: StageCapture, Digest: "d"})
+	j.Close()
+	raw, err := os.ReadFile(journalPath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = append([]byte("GARBAGE NOT JSON\n"), raw...)
+	if err := os.WriteFile(journalPath(dir), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(dir, "cfg-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(j2.State().Weeks) != 0 {
+		t.Fatalf("damaged journal trusted: %+v", j2.State().Weeks)
+	}
+	if _, err := os.Stat(journalPath(dir) + ".bad"); err != nil {
+		t.Fatalf("damaged journal not rotated: %v", err)
+	}
+}
+
+// TestJournalConfigMismatch: a journal written for a different campaign
+// config must not vouch for this one's files.
+func TestJournalConfigMismatch(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, "cfg-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(&Record{Event: EventDone, Week: 35, Stage: StageCapture, Digest: "d"})
+	j.Close()
+
+	j2, err := OpenJournal(dir, "cfg-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(j2.State().Weeks) != 0 {
+		t.Fatal("journal for a different config was trusted")
+	}
+	if j2.State().ConfigDigest != "cfg-b" {
+		t.Fatalf("fresh journal digest %q", j2.State().ConfigDigest)
+	}
+}
+
+func TestReadStateMissing(t *testing.T) {
+	st, err := ReadState(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Weeks) != 0 || st.ConfigDigest != "" {
+		t.Fatalf("missing journal state: %+v", st)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{context.DeadlineExceeded, ClassTransient},
+		{pipeline.ErrLossExceeded, ClassTransient},
+		{&fs.PathError{Op: "open", Path: "x", Err: errors.New("io")}, ClassTransient},
+		{errors.New("unknown"), ClassTransient},
+		{ErrDigestMismatch, ClassPermanent},
+		{ErrAnonKeyRequired, ClassPermanent},
+		{capture.ErrAnonKeyMismatch, ClassPermanent},
+		{sflow.ErrBadMagic, ClassPermanent},
+		{snapshot.ErrBadMagic, ClassPermanent},
+		{snapshot.ErrFormat, ClassPermanent},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+		// The classifier must see through wrapping.
+		if got := Classify(errWrap(c.err)); got != c.want {
+			t.Errorf("Classify(wrapped %v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+	if ClassTransient.String() != "transient" || ClassPermanent.String() != "permanent" {
+		t.Fatal("class names wrong")
+	}
+}
+
+func errWrap(err error) error { return &wrapErr{err} }
+
+type wrapErr struct{ err error }
+
+func (w *wrapErr) Error() string { return "wrapped: " + w.err.Error() }
+func (w *wrapErr) Unwrap() error { return w.err }

@@ -1,0 +1,619 @@
+package supervise
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ixplens/internal/capture"
+	"ixplens/internal/obs"
+	"ixplens/internal/pipeline"
+	"ixplens/internal/randutil"
+	"ixplens/internal/sflow"
+	"ixplens/internal/snapshot"
+)
+
+// Sentinel errors, testable with errors.Is.
+var (
+	// ErrDigestMismatch marks a deterministic regeneration that produced
+	// different bytes than the journal's checkpoint records — the world
+	// or toolchain changed out from under the campaign. Retrying cannot
+	// help; the week is quarantined as permanent.
+	ErrDigestMismatch = errors.New("supervise: regenerated capture digest differs from checkpointed digest")
+	// ErrAnonKeyRequired marks an anonymized campaign whose damaged
+	// week cannot be rewritten because the supervisor was not given the
+	// anonymization key. Writing the week un-anonymized would silently
+	// mix address spaces, so this is permanent.
+	ErrAnonKeyRequired = errors.New("supervise: anonymized capture needs its key to rewrite a damaged week")
+	// ErrQuarantineLimit aborts a campaign whose quarantined-week count
+	// crossed Config.QuarantineLimit.
+	ErrQuarantineLimit = errors.New("supervise: too many quarantined weeks")
+)
+
+// Class is the failure taxonomy driving the retry decision.
+type Class int
+
+// Classes.
+const (
+	// ClassTransient failures (deadline, loss budget under injected
+	// faults, I/O) are retried with backoff until the week's budget is
+	// exhausted.
+	ClassTransient Class = iota
+	// ClassPermanent failures (digest mismatch, anonymization key
+	// mismatch, structurally bad containers) quarantine the week
+	// immediately: re-running the same deterministic computation cannot
+	// change the outcome.
+	ClassPermanent
+)
+
+// String names the class for journal records.
+func (c Class) String() string {
+	if c == ClassPermanent {
+		return "permanent"
+	}
+	return "transient"
+}
+
+// Classify maps an error to its retry class. Unknown errors default to
+// transient — the breaker bounds how much retrying that can cost, while
+// a wrong "permanent" would quarantine a recoverable week forever.
+func Classify(err error) Class {
+	switch {
+	case errors.Is(err, ErrDigestMismatch),
+		errors.Is(err, ErrAnonKeyRequired),
+		errors.Is(err, capture.ErrAnonKeyMismatch),
+		errors.Is(err, sflow.ErrBadMagic),
+		errors.Is(err, snapshot.ErrBadMagic),
+		errors.Is(err, snapshot.ErrFormat):
+		return ClassPermanent
+	case errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, pipeline.ErrLossExceeded):
+		return ClassTransient
+	default:
+		var perr *fs.PathError
+		if errors.As(err, &perr) {
+			return ClassTransient
+		}
+		return ClassTransient
+	}
+}
+
+// Config tunes the supervisor.
+type Config struct {
+	// Retries is the per-week attempt budget (per run); the week
+	// quarantines after this many failed attempts. Minimum 1.
+	Retries int
+	// Backoff is the delay before the second attempt; it doubles per
+	// attempt, capped at MaxBackoff, with deterministic jitter.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Watchdog, when positive, is the per-stage deadline: a stage that
+	// has not returned within it is cancelled and counted against the
+	// week's retry budget as a transient failure.
+	Watchdog time.Duration
+	// QuarantineLimit, when positive, aborts the campaign once more
+	// than this many weeks are quarantined. Zero means any number of
+	// quarantined weeks still yields a (degraded) campaign.
+	QuarantineLimit int
+	// RetryQuarantined re-opens weeks a previous run quarantined
+	// instead of skipping them.
+	RetryQuarantined bool
+	// Capture configures the capture stage (compression,
+	// anonymization). Resume is implied by the journal and ignored.
+	Capture capture.WriteOptions
+}
+
+// withDefaults fills the zero values.
+func (c Config) withDefaults() Config {
+	if c.Retries < 1 {
+		c.Retries = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	return c
+}
+
+// Hooks are test and UI seams. All are optional.
+type Hooks struct {
+	// BeforeStage runs before each stage execution; returning an error
+	// fails the stage with that error (fault injection for tests).
+	BeforeStage func(week int, stage string, attempt int) error
+	// AfterCheckpoint runs after each durable journal append for a
+	// completed stage; returning an error aborts the campaign there
+	// (crash injection for resume tests).
+	AfterCheckpoint func(week int, stage string) error
+	// OnWeek observes each week's terminal status in chronological
+	// order; snap is nil for quarantined weeks.
+	OnWeek func(ws WeekStatus, snap *snapshot.Snapshot)
+}
+
+// WeekStatus is one week's outcome in a Report.
+type WeekStatus struct {
+	Week     int
+	Status   string // "done" | "quarantined"
+	Attempts int
+	// Resumed means the week was already complete and verified — no
+	// stage ran.
+	Resumed bool
+	// Stage and Err describe the last failure (quarantined weeks).
+	Stage string
+	Err   error
+	// CaptureFile/CaptureDigest/SnapshotDigest locate and pin the
+	// week's artifacts.
+	CaptureFile    string
+	CaptureDigest  string
+	SnapshotDigest string
+}
+
+// Report is a campaign run's outcome.
+type Report struct {
+	Weeks       []WeekStatus
+	Completed   int
+	Resumed     int
+	Quarantined int
+}
+
+// QuarantinedWeeks lists the quarantined ISO weeks.
+func (r *Report) QuarantinedWeeks() []int {
+	var out []int
+	for _, ws := range r.Weeks {
+		if ws.Status == "quarantined" {
+			out = append(out, ws.Week)
+		}
+	}
+	return out
+}
+
+// Supervisor drives one campaign directory. It is not safe for
+// concurrent use; one campaign directory must have at most one
+// supervisor at a time.
+type Supervisor struct {
+	env   *pipeline.Env
+	dir   string
+	cfg   Config
+	m     *Metrics
+	Hooks Hooks
+
+	journal *Journal
+	man     *capture.Manifest
+	// manChanged tracks whether man must be rewritten.
+	manChanged bool
+}
+
+// New opens (or creates) the campaign directory's journal and manifest
+// and returns a supervisor ready to Run. reg may be nil.
+func New(env *pipeline.Env, dir string, cfg Config, reg *obs.Registry) (*Supervisor, error) {
+	cfg = cfg.withDefaults()
+	cfg.Capture.Resume = false
+	man := capture.NewManifest(env, cfg.Capture)
+	manChanged := true
+	if old, err := capture.ReadManifest(dir); err == nil {
+		if old.Anonymized && !cfg.Capture.Anonymize {
+			// No key supplied for an anonymized campaign: inherit its
+			// anonymization identity instead of planning a plaintext
+			// rewrite over anonymized files. Existing weeks verify and
+			// serve normally; a week that would need a rewrite fails the
+			// capture stage with ErrAnonKeyRequired.
+			man.Anonymized, man.AnonFP = true, old.AnonFP
+		}
+		if old.Anonymized && cfg.Capture.Anonymize && old.AnonFP != "" && old.AnonFP != man.AnonFP {
+			return nil, fmt.Errorf("%w: manifest fingerprint %s, key fingerprint %s",
+				capture.ErrAnonKeyMismatch, old.AnonFP, man.AnonFP)
+		}
+		if old.Compatible(man) {
+			man, manChanged = old, false
+		}
+	}
+	cfgDigest, err := ConfigDigest(man)
+	if err != nil {
+		return nil, err
+	}
+	j, err := OpenJournal(dir, cfgDigest)
+	if err != nil {
+		return nil, err
+	}
+	return &Supervisor{
+		env:        env,
+		dir:        dir,
+		cfg:        cfg,
+		m:          NewMetrics(reg),
+		journal:    j,
+		man:        man,
+		manChanged: manChanged,
+	}, nil
+}
+
+// Close releases the journal.
+func (s *Supervisor) Close() error { return s.journal.Close() }
+
+// State exposes the journal's replayed state (read-only use).
+func (s *Supervisor) State() *State { return s.journal.State() }
+
+// Run supervises every study week in order and returns the campaign
+// report. Quarantined weeks do not fail the run — the report carries
+// them — but a cancelled ctx or more than QuarantineLimit quarantines
+// abort with an error. Re-running a completed campaign verifies digests
+// and performs no stage work.
+func (s *Supervisor) Run(ctx context.Context) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := &s.env.World.Cfg
+	rep := &Report{}
+	s.m.breaker().Set(BreakerClosed)
+	s.syncQuarantineGauge()
+	for wk := cfg.FirstWeek; wk <= cfg.LastWeek(); wk++ {
+		if err := ctx.Err(); err != nil {
+			return rep, err
+		}
+		ws, snap, err := s.runWeek(ctx, wk)
+		if err != nil {
+			return rep, err
+		}
+		rep.Weeks = append(rep.Weeks, ws)
+		switch ws.Status {
+		case "done":
+			rep.Completed++
+			s.m.weeksDone().Inc()
+			if ws.Resumed {
+				rep.Resumed++
+				s.m.weeksResumed().Inc()
+			}
+		case "quarantined":
+			rep.Quarantined++
+		}
+		s.syncQuarantineGauge()
+		if s.cfg.QuarantineLimit > 0 && rep.Quarantined > s.cfg.QuarantineLimit {
+			return rep, fmt.Errorf("%w: %d quarantined, limit %d",
+				ErrQuarantineLimit, rep.Quarantined, s.cfg.QuarantineLimit)
+		}
+		if s.Hooks.OnWeek != nil {
+			s.Hooks.OnWeek(ws, snap)
+		}
+	}
+	return rep, nil
+}
+
+// syncQuarantineGauge reflects the journal's quarantine set into the
+// gauge and the breaker state.
+func (s *Supervisor) syncQuarantineGauge() {
+	n := len(s.journal.State().QuarantinedWeeks())
+	s.m.quarantined().Set(int64(n))
+	if n > 0 {
+		s.m.breaker().Set(BreakerOpen)
+	} else {
+		s.m.breaker().Set(BreakerClosed)
+	}
+}
+
+// paths
+
+func (s *Supervisor) capturePath(wk int) string {
+	return filepath.Join(s.dir, capture.WeekFile(wk))
+}
+
+func (s *Supervisor) snapshotPath(wk int) string {
+	return filepath.Join(s.dir, snapshot.FileName(wk))
+}
+
+// runWeek drives one week through the state machine. The returned error
+// aborts the whole campaign (context cancellation, journal I/O);
+// per-week failures surface through the WeekStatus instead.
+func (s *Supervisor) runWeek(ctx context.Context, wk int) (WeekStatus, *snapshot.Snapshot, error) {
+	st := s.journal.State().week(wk)
+	ws := WeekStatus{Week: wk, CaptureFile: capture.WeekFile(wk)}
+
+	// Open breaker: the week stays a hole unless explicitly re-opened.
+	if st.Quarantined && !s.cfg.RetryQuarantined {
+		ws.Status = "quarantined"
+		ws.Attempts = st.Attempts
+		if st.LastErr != "" {
+			ws.Err = errors.New(st.LastErr)
+		}
+		return ws, nil, nil
+	}
+
+	// Completed week: verify the checkpointed digests still describe
+	// the bytes on disk; if they do, the rerun is a no-op.
+	if st.Done {
+		if snap, ok := s.verifyDone(wk, st); ok {
+			ws.Status, ws.Resumed = "done", true
+			ws.Attempts = st.Attempts
+			ws.CaptureDigest = st.Capture.Digest
+			ws.SnapshotDigest = st.DoneDigest
+			return ws, snap, nil
+		}
+		// Something on disk no longer matches: fall through and re-run
+		// the stages that fail verification (self-heal).
+	}
+
+	half := st.Quarantined && s.cfg.RetryQuarantined
+	firstAttempt := st.Attempts + 1
+	lastAttempt := st.Attempts + s.cfg.Retries
+	for attempt := firstAttempt; attempt <= lastAttempt; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return ws, nil, err
+		}
+		if half {
+			s.m.breaker().Set(BreakerHalfOpen)
+		}
+		if attempt > firstAttempt {
+			s.m.retries().Inc()
+			if err := s.backoff(ctx, wk, attempt); err != nil {
+				return ws, nil, err
+			}
+		}
+		if err := s.journal.Append(&Record{Event: EventStart, Week: wk, Attempt: attempt}); err != nil {
+			return ws, nil, err
+		}
+		snap, stage, err := s.tryWeek(ctx, wk, attempt)
+		if err == nil {
+			ws.Status = "done"
+			ws.Attempts = attempt
+			ws.CaptureDigest = st.Capture.Digest
+			ws.SnapshotDigest = st.DoneDigest
+			return ws, snap, nil
+		}
+		// Parent cancellation and checkpoint failures abort the
+		// campaign without burning the week's budget as if the work
+		// itself had failed.
+		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
+			return ws, nil, err
+		}
+		var abort *abortError
+		if errors.As(err, &abort) {
+			return ws, nil, abort.err
+		}
+		class := Classify(err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.m.watchdogFires().Inc()
+		}
+		if jerr := s.journal.Append(&Record{
+			Event: EventFail, Week: wk, Stage: stage, Attempt: attempt,
+			Class: class.String(), Err: err.Error(),
+		}); jerr != nil {
+			return ws, nil, jerr
+		}
+		ws.Stage, ws.Err, ws.Attempts = stage, err, attempt
+		if class == ClassPermanent {
+			break
+		}
+	}
+
+	// Budget exhausted or permanent failure: trip the breaker.
+	msg := ""
+	if ws.Err != nil {
+		msg = ws.Err.Error()
+	}
+	if err := s.journal.Append(&Record{Event: EventQuarantine, Week: wk, Err: msg}); err != nil {
+		return ws, nil, err
+	}
+	ws.Status = "quarantined"
+	return ws, nil, nil
+}
+
+// backoff sleeps the exponential, jittered delay before a retry. The
+// jitter is deterministic in (world seed, week, attempt), so a re-run
+// of the same campaign waits the same schedule.
+func (s *Supervisor) backoff(ctx context.Context, wk, attempt int) error {
+	d := s.cfg.Backoff << uint(attempt-2)
+	if d > s.cfg.MaxBackoff || d <= 0 {
+		d = s.cfg.MaxBackoff
+	}
+	// Jitter in [0.5, 1.0)×d keeps retries from synchronizing without
+	// ever collapsing the delay to zero.
+	u := randutil.HashUnit(uint64(s.env.World.Cfg.Seed), uint64(wk), uint64(attempt))
+	d = d/2 + time.Duration(u*float64(d/2))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// stageCtx applies the watchdog deadline.
+func (s *Supervisor) stageCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if s.cfg.Watchdog > 0 {
+		return context.WithTimeout(ctx, s.cfg.Watchdog)
+	}
+	return context.WithCancel(ctx)
+}
+
+// runStage executes one stage under the watchdog, timing it and
+// honouring the test hooks.
+func (s *Supervisor) runStage(ctx context.Context, wk int, stage string, attempt int, fn func(context.Context) error) error {
+	if s.Hooks.BeforeStage != nil {
+		if err := s.Hooks.BeforeStage(wk, stage, attempt); err != nil {
+			return err
+		}
+	}
+	sctx, cancel := s.stageCtx(ctx)
+	defer cancel()
+	start := time.Now()
+	err := fn(sctx)
+	s.m.stageNanos().ObserveSince(start)
+	var abort *abortError
+	if err != nil && sctx.Err() != nil && ctx.Err() == nil && !errors.As(err, &abort) {
+		// Attribute the failure to the watchdog, not whatever wrapped
+		// form the stage surfaced it in.
+		err = fmt.Errorf("supervise: %s stage watchdog (%v): %w", stage, s.cfg.Watchdog, context.DeadlineExceeded)
+	}
+	return err
+}
+
+// abortError marks an error that must abort the whole campaign rather
+// than count against one week's retry budget: a broken journal (no
+// checkpoint can be trusted past it) or the crash-injection hook.
+type abortError struct{ err error }
+
+func (a *abortError) Error() string { return "supervise: campaign abort: " + a.err.Error() }
+func (a *abortError) Unwrap() error { return a.err }
+
+// checkpoint appends a durable stage-done record and runs the crash
+// hook. Failures here are campaign aborts, not week failures.
+func (s *Supervisor) checkpoint(rec *Record) error {
+	if err := s.journal.Append(rec); err != nil {
+		return &abortError{err}
+	}
+	if s.Hooks.AfterCheckpoint != nil {
+		if err := s.Hooks.AfterCheckpoint(rec.Week, rec.Stage); err != nil {
+			return &abortError{err}
+		}
+	}
+	return nil
+}
+
+// tryWeek runs one attempt, resuming from the first incomplete stage.
+// It returns the stage that failed alongside the error.
+func (s *Supervisor) tryWeek(ctx context.Context, wk, attempt int) (*snapshot.Snapshot, string, error) {
+	st := s.journal.State().week(wk)
+
+	// Adoption: a week written by an unsupervised campaign (ixpgen) has
+	// no journal checkpoint, but the manifest's digest can vouch for the
+	// file just as well. Checkpointing it here makes the supervisor a
+	// drop-in over existing campaign directories — no rewrite, and
+	// anonymized captures stay usable without their key.
+	if !st.Capture.Done {
+		if n, digest, ok := s.man.VerifyWeek(s.dir, wk); ok {
+			if err := s.checkpoint(&Record{Event: EventDone, Week: wk, Stage: StageCapture, Digest: digest, Datagrams: n}); err != nil {
+				return nil, StageCapture, err
+			}
+		}
+	}
+
+	// Stage 1: capture. Skipped when the checkpointed digest still
+	// matches the file on disk; a missing or damaged file is rewritten
+	// (deterministic regeneration) and must reproduce the checkpointed
+	// bytes exactly.
+	if !s.captureVerified(wk, st) {
+		err := s.runStage(ctx, wk, StageCapture, attempt, func(sctx context.Context) error {
+			if s.man.Anonymized && !s.cfg.Capture.Anonymize {
+				return ErrAnonKeyRequired
+			}
+			n, digest, werr := capture.WriteWeekFile(sctx, s.env, wk, s.capturePath(wk), s.cfg.Capture)
+			if werr != nil {
+				return werr
+			}
+			if st.Capture.Done && st.Capture.Digest != "" && st.Capture.Digest != digest {
+				return fmt.Errorf("%w: week %d: %s vs %s", ErrDigestMismatch, wk, digest, st.Capture.Digest)
+			}
+			if s.man.SetWeek(wk, capture.WeekFile(wk), digest, n) {
+				s.manChanged = true
+			}
+			if s.manChanged {
+				if merr := capture.SaveManifest(s.dir, s.man); merr != nil {
+					return merr
+				}
+				s.manChanged = false
+			}
+			return s.checkpoint(&Record{Event: EventDone, Week: wk, Stage: StageCapture, Digest: digest, Datagrams: n})
+		})
+		if err != nil {
+			return nil, StageCapture, err
+		}
+	}
+
+	// Stage 2: analyze. Its product (the identification result) lives
+	// in memory only, so it re-runs on resume unless the week's
+	// snapshot already pins the outcome durably.
+	var snap *snapshot.Snapshot
+	if existing, ok := s.snapshotVerified(wk, st); ok {
+		snap = existing
+	} else {
+		err := s.runStage(ctx, wk, StageAnalyze, attempt, func(sctx context.Context) error {
+			res, counts, aerr := capture.AnalyzeWeekFile(sctx, s.env, s.capturePath(wk), wk)
+			if aerr != nil {
+				return aerr
+			}
+			snap = &snapshot.Snapshot{Result: res, Counts: counts, SourceDigest: st.Capture.Digest}
+			return s.checkpoint(&Record{Event: EventDone, Week: wk, Stage: StageAnalyze, Digest: st.Capture.Digest})
+		})
+		if err != nil {
+			return nil, StageAnalyze, err
+		}
+
+		// Stage 3: snapshot. The encoding is deterministic (sorted
+		// servers, fixed layout), so the digest is reproducible across
+		// runs — the property the crash-resume equivalence test pins.
+		err = s.runStage(ctx, wk, StageSnapshot, attempt, func(sctx context.Context) error {
+			if serr := snapshot.SaveFile(s.snapshotPath(wk), snap); serr != nil {
+				return serr
+			}
+			digest, derr := capture.FileDigest(s.snapshotPath(wk))
+			if derr != nil {
+				return derr
+			}
+			return s.checkpoint(&Record{Event: EventDone, Week: wk, Stage: StageSnapshot, Digest: digest})
+		})
+		if err != nil {
+			return nil, StageSnapshot, err
+		}
+	}
+
+	// Week done: one terminal record binding the snapshot digest.
+	if err := s.checkpoint(&Record{Event: EventDone, Week: wk, Digest: st.Snapshot.Digest}); err != nil {
+		return nil, "", err
+	}
+	return snap, "", nil
+}
+
+// captureVerified reports whether wk's checkpointed capture still
+// matches the bytes on disk.
+func (s *Supervisor) captureVerified(wk int, st *WeekState) bool {
+	if !st.Capture.Done || st.Capture.Digest == "" {
+		return false
+	}
+	got, err := capture.FileDigest(s.capturePath(wk))
+	return err == nil && got == st.Capture.Digest
+}
+
+// snapshotVerified loads wk's snapshot if the checkpoint says it is
+// done, the file digest matches, and it still derives from the current
+// capture digest.
+func (s *Supervisor) snapshotVerified(wk int, st *WeekState) (*snapshot.Snapshot, bool) {
+	if !st.Snapshot.Done || st.Snapshot.Digest == "" {
+		return nil, false
+	}
+	got, err := capture.FileDigest(s.snapshotPath(wk))
+	if err != nil || got != st.Snapshot.Digest {
+		return nil, false
+	}
+	snap, err := snapshot.LoadFile(s.snapshotPath(wk))
+	if err != nil || snap.SourceDigest != st.Capture.Digest {
+		return nil, false
+	}
+	return snap, true
+}
+
+// verifyDone re-checks a done week's capture and snapshot digests.
+func (s *Supervisor) verifyDone(wk int, st *WeekState) (*snapshot.Snapshot, bool) {
+	if !s.captureVerified(wk, st) {
+		return nil, false
+	}
+	snap, ok := s.snapshotVerified(wk, st)
+	if !ok || st.DoneDigest != st.Snapshot.Digest {
+		return nil, false
+	}
+	return snap, true
+}
+
+// RemoveJournal deletes dir's journal (tests and explicit campaign
+// resets).
+func RemoveJournal(dir string) error {
+	err := os.Remove(journalPath(dir))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	return err
+}
