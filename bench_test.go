@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"testing"
 
+	"ixplens/internal/analysis"
 	"ixplens/internal/core/blindspot"
 	"ixplens/internal/core/cluster"
 	"ixplens/internal/core/dissect"
@@ -259,6 +260,80 @@ func BenchmarkEntityResolve(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(len(ips)), "ips/op")
+	})
+}
+
+// --- fused analyzer registry vs sequential per-analysis passes ---
+//
+// The analyzer-registry refactor's acceptance benchmark: "sequential"
+// replays the pre-registry shape — one full streamed pass (traffic
+// generation, sFlow export, decode, classify) per analysis product:
+// server identification, visibility aggregation, link-flow roll-up —
+// while "fused" drives the same three products from the single
+// AnalyzeWeek pass. Both sub-benchmarks cover all 17 study weeks per
+// iteration, so the comparison measures exactly what the registry
+// saves: the number of times each week's stream is produced and
+// decoded. The golden-equivalence test (internal/pipeline/
+// fused_test.go) pins the two paths to bit-identical products.
+
+func BenchmarkAnalyzeWeeksFused(b *testing.B) {
+	cfg := netmodel.Tiny()
+	opts := traffic.Options{SamplesPerWeek: 10_000, SamplingRate: 16384, SnapLen: 128}
+	env, err := pipeline.NewEnv(cfg, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	first, last := env.World.Cfg.FirstWeek, env.World.Cfg.LastWeek()
+
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for wk := first; wk <= last; wk++ {
+				res, _, _, err := env.IdentifyWeekSerial(ctx, wk)
+				if err != nil {
+					b.Fatal(err)
+				}
+				agg := visibility.NewAggregatorWith(env.EntityTable())
+				if _, err := dissect.Process(env.Replay(wk), dissect.NewClassifier(env.Fabric), agg.Observe); err != nil {
+					b.Fatal(err)
+				}
+				flows := make(map[analysis.FlowKey]*analysis.Flow)
+				if _, err := dissect.Process(env.Replay(wk), dissect.NewClassifier(env.Fabric), func(rec *dissect.Record) {
+					if !rec.Class.IsPeering() {
+						return
+					}
+					k := analysis.FlowKey{Src: rec.SrcIP, Dst: rec.DstIP, In: rec.InMember, Out: rec.OutMember}
+					f := flows[k]
+					if f == nil {
+						f = &analysis.Flow{FlowKey: k}
+						flows[k] = f
+					}
+					f.Bytes += rec.Bytes
+					f.Samples++
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Servers) == 0 || agg.NumObservedIPs() == 0 || len(flows) == 0 {
+					b.Fatal("empty sequential products")
+				}
+			}
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for wk := first; wk <= last; wk++ {
+				week, _, err := env.AnalyzeWeek(ctx, wk, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(week.Servers.Servers) == 0 ||
+					week.Visibility.ObservedIPs() == 0 || len(week.Links.Flows) == 0 {
+					b.Fatal("empty fused products")
+				}
+			}
+		}
 	})
 }
 

@@ -14,11 +14,16 @@
 // failing the campaign.
 //
 // It prints the weekly summary plus a deep-dive for one focus week
-// (filtering cascade, clustering, meta-data coverage).
+// (filtering cascade, clustering, meta-data coverage, Fig. 7 link
+// attribution). Every analyzer in the registry — identification,
+// visibility, link flows — runs in the ONE decode pass over each
+// capture; the deep-dive replays the persisted flow product instead of
+// re-reading the capture file. -analyzers narrows the registry
+// ("webserver,links"); "all" (the default) runs everything.
 //
 // Usage:
 //
-//	ixpmine -in capture/ [-focus 45] [-retries 3] [-watchdog 5m] [-quarantine-limit 4]
+//	ixpmine -in capture/ [-focus 45] [-analyzers all] [-retries 3] [-watchdog 5m] [-quarantine-limit 4]
 package main
 
 import (
@@ -27,17 +32,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
-	"path/filepath"
 	"syscall"
 	"time"
 
+	"ixplens/internal/analysis"
 	"ixplens/internal/capture"
 	"ixplens/internal/core/churn"
 	"ixplens/internal/core/cluster"
-	"ixplens/internal/core/dissect"
-	"ixplens/internal/core/hetero"
 	"ixplens/internal/core/metadata"
-	"ixplens/internal/core/webserver"
 	"ixplens/internal/obs"
 	"ixplens/internal/packet"
 	"ixplens/internal/pipeline"
@@ -55,6 +57,7 @@ func main() {
 		wdog    = flag.Duration("watchdog", 0, "per-stage deadline; a stage exceeding it is cancelled and retried as a transient failure (0 = none)")
 		qlimit  = flag.Int("quarantine-limit", 0, "abort the campaign when more than this many weeks are quarantined (0 = any number degrades, never aborts)")
 		retryQ  = flag.Bool("retry-quarantined", false, "re-open weeks a previous run quarantined instead of skipping them")
+		anlz    = flag.String("analyzers", "all", "comma-separated analyzer names to run in the fused pass (webserver is always included); \"all\" runs every registered analyzer")
 		_       = flag.Bool("snapshots", true, "deprecated no-op: snapshots are always persisted — they are the supervisor's resume checkpoints")
 	)
 	flag.Parse()
@@ -66,19 +69,22 @@ func main() {
 		QuarantineLimit:  *qlimit,
 		RetryQuarantined: *retryQ,
 	}
-	if err := run(ctx, *in, *focus, *maxLoss, *debug, scfg); err != nil {
+	if err := run(ctx, *in, *focus, *maxLoss, *debug, *anlz, scfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ixpmine:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, dir string, focus int, maxLoss float64, debugAddr string, scfg supervise.Config) error {
+func run(ctx context.Context, dir string, focus int, maxLoss float64, debugAddr, analyzers string, scfg supervise.Config) error {
 	man, err := capture.ReadManifest(dir)
 	if err != nil {
 		return err
 	}
 	env, err := man.Rebuild()
 	if err != nil {
+		return err
+	}
+	if env.Analyzers, err = analysis.Select(analyzers); err != nil {
 		return err
 	}
 	var reg *obs.Registry
@@ -150,7 +156,7 @@ func run(ctx context.Context, dir string, focus int, maxLoss float64, debugAddr 
 			ws.Week, counts.Total, 100*counts.PeeringShare(), len(res.Servers), https, 100*res.EstLoss, 100*share)
 
 		if ws.Week == focus {
-			deepDive(env, res, counts, filepath.Join(dir, ws.CaptureFile), man.Anonymized)
+			deepDive(env, snap, man.Anonymized)
 		}
 	}
 
@@ -184,8 +190,11 @@ func run(ctx context.Context, dir string, focus int, maxLoss float64, debugAddr 
 }
 
 // deepDive prints the focus week's cascade, meta-data, clustering and
-// the Fig. 7 link attribution for the big deploy-CDN.
-func deepDive(env *pipeline.Env, res *webserver.Result, counts dissect.Counts, path string, anonymized bool) {
+// the Fig. 7 link attribution for the big deploy-CDN — all from the
+// week's snapshot, with no second pass over the capture file: the link
+// attribution replays the snapshot's persisted flow product.
+func deepDive(env *pipeline.Env, snap *snapshot.Snapshot, anonymized bool) {
+	res, counts := snap.Result, snap.Counts
 	fmt.Printf("\n--- deep dive, week %d ---\n", res.Week)
 	fmt.Printf("cascade: %d total | %d non-IPv4 | %d local | %d non-TCP/UDP | %d peering (%.2f%% TCP bytes)\n",
 		counts.Total, counts.NonIPv4, counts.Local, counts.NonTCPUDP, counts.Peering(), 100*counts.TCPShare())
@@ -207,29 +216,27 @@ func deepDive(env *pipeline.Env, res *webserver.Result, counts dissect.Counts, p
 		100*cl.ClusteredShare(cluster.Step2),
 		100*cl.ClusteredShare(cluster.Step3))
 
-	// Fig. 7: link attribution for the Akamai-analog cluster (needs a
-	// second pass over the capture; skipped on anonymized data, whose
-	// addresses no longer match the cluster evidence meaningfully).
+	// Fig. 7: link attribution for the Akamai-analog cluster, replayed
+	// from the snapshot's flow product — no second pass over the
+	// capture file (skipped on anonymized data, whose addresses no
+	// longer match the cluster evidence meaningfully; or when the links
+	// analyzer was deselected).
 	if !anonymized {
 		w := env.World
 		acme := w.Orgs[w.Special.AcmeCDN]
-		if c := cl.Clusters[acme.Domain]; c != nil {
+		c := cl.Clusters[acme.Domain]
+		switch {
+		case snap.Links == nil:
+			fmt.Println("fig 7: links analyzer not in the registry — rerun without -analyzers narrowing")
+		case c != nil:
 			set := make(map[packet.IPv4Addr]bool, len(c.IPs))
 			for _, ip := range c.IPs {
 				set[ip] = true
 			}
-			// FileSource sniffs the container format, so the second pass
-			// works on v1 and v2 (block) captures alike.
-			if src, err := pipeline.OpenFileSource(path); err == nil {
-				ls := hetero.NewLinkStatsWith(acme.HomeAS, env.EntityTable())
-				_ = hetero.Attribute(src, env.Fabric, ls, func(ip packet.IPv4Addr) bool { return set[ip] })
-				fmt.Printf("fig 7 (%s): %.1f%% of traffic off the direct links; %d of %d servers only behind other members\n",
-					acme.Name, 100*ls.OffLinkShare(), ls.ServersOnlyOffLink(),
-					ls.ServersOnlyOffLink()+ls.NumDirectServers())
-				if err := src.Close(); err != nil {
-					fmt.Fprintf(os.Stderr, "ixpmine: close %s: %v\n", path, err)
-				}
-			}
+			ls := snap.Links.LinkStats(acme.HomeAS, env.EntityTable(), func(ip packet.IPv4Addr) bool { return set[ip] })
+			fmt.Printf("fig 7 (%s): %.1f%% of traffic off the direct links; %d of %d servers only behind other members\n",
+				acme.Name, 100*ls.OffLinkShare(), ls.ServersOnlyOffLink(),
+				ls.ServersOnlyOffLink()+ls.NumDirectServers())
 		}
 	}
 	fmt.Println("--- end deep dive ---")

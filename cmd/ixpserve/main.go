@@ -1,11 +1,15 @@
 // Command ixpserve serves an analyzed measurement campaign over HTTP:
 // it rebuilds the measurement substrates from the capture manifest and
-// answers per-week summary, top-k and longitudinal churn queries. Weeks
-// are analyzed lazily on first request — from the on-disk snapshot when
-// one exists (ixpmine -snapshots, or -write-snapshots here), from the
-// raw capture otherwise — behind a bounded in-memory cache with
-// single-flight deduplication, a per-request timeout, and load shedding
-// past the in-flight limit.
+// answers per-week summary, top-k server/AS, visibility
+// (/week/{n}/visibility), peering-link flow (/week/{n}/links) and
+// longitudinal churn queries. Weeks are analyzed lazily on first
+// request — from the on-disk snapshot when one exists and carries every
+// product the analyzer registry requires (ixpmine -snapshots, or
+// -write-snapshots here), from the raw capture otherwise — behind a
+// bounded in-memory cache with single-flight deduplication, a
+// per-request timeout, and load shedding past the in-flight limit. A
+// week mined under a narrowed registry answers 404 for the missing
+// products instead of recomputing them.
 //
 // Usage:
 //

@@ -25,7 +25,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	week, src, err := env.AnalyzeWeek(context.Background(), 45, nil)
+	week, _, err := env.AnalyzeWeek(context.Background(), 45, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,12 +64,10 @@ func main() {
 	for _, ip := range c.IPs {
 		set[ip] = true
 	}
-	// The second pass rides the ReplaySource AnalyzeWeek returned: the
-	// week is regenerated deterministically instead of kept in memory.
-	ls := hetero.NewLinkStats(w.Orgs[acme].HomeAS)
-	if err := hetero.Attribute(src, env.Fabric, ls, func(ip packet.IPv4Addr) bool { return set[ip] }); err != nil {
-		log.Fatal(err)
-	}
+	// The attribution replays the fused pass's persisted flow product —
+	// the capture is never read a second time.
+	ls := week.Links.LinkStats(w.Orgs[acme].HomeAS, env.EntityTable(),
+		func(ip packet.IPv4Addr) bool { return set[ip] })
 	fmt.Printf("\nFig. 7(b) — acme-cdn link attribution:\n")
 	fmt.Printf("  %.1f%% of its traffic does NOT use the direct peering link (paper: 11.1%%)\n",
 		100*ls.OffLinkShare())

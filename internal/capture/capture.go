@@ -30,6 +30,7 @@ import (
 	"ixplens/internal/packet"
 	"ixplens/internal/pipeline"
 	"ixplens/internal/sflow"
+	"ixplens/internal/snapshot"
 	"ixplens/internal/traffic"
 )
 
@@ -493,12 +494,15 @@ func analyzeWorkers() int {
 	return workers
 }
 
-// AnalyzeWeekFile dissects and identifies one capture file, spreading
-// classification over a worker pool; each worker feeds its own
-// identifier shard and the deterministic shard merge inside Identify
-// keeps results identical to a sequential pass. v2 (block) captures are
-// additionally decoded by a parallel block reader, removing the serial
-// read bottleneck; v1 captures take the sequential fallback path.
+// AnalyzeWeekSnapshot dissects one capture file through every analyzer
+// in env's registry — identification, visibility, link flows — in a
+// SINGLE pass, spreading classification over a worker pool; each worker
+// feeds its own per-analyzer shard and the deterministic shard merges
+// inside Finish keep results identical to a sequential pass. v2 (block)
+// captures are additionally decoded by a parallel block reader,
+// removing the serial read bottleneck; v1 captures take the sequential
+// fallback path. The returned snapshot carries every analyzer's
+// product; the caller binds SourceDigest.
 //
 // Damage degrades instead of failing: a crash-truncated capture (either
 // format) yields everything decoded before the cut, and v2 blocks whose
@@ -508,18 +512,18 @@ func analyzeWorkers() int {
 // capture metrics in env.M. Structural corruption (bad magic, damaged
 // framing without a trusted index) still fails. ctx cancels the pass
 // within one datagram batch.
-func AnalyzeWeekFile(ctx context.Context, env *pipeline.Env, path string, isoWeek int) (*webserver.Result, dissect.Counts, error) {
+func AnalyzeWeekSnapshot(ctx context.Context, env *pipeline.Env, path string, isoWeek int) (*snapshot.Snapshot, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, dissect.Counts{}, err
+		return nil, err
 	}
 	defer f.Close()
 	var magic [8]byte
 	if _, err := io.ReadFull(f, magic[:]); err != nil {
-		return nil, dissect.Counts{}, fmt.Errorf("capture: reading %s header: %w", filepath.Base(path), err)
+		return nil, fmt.Errorf("capture: reading %s header: %w", filepath.Base(path), err)
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
-		return nil, dissect.Counts{}, err
+		return nil, err
 	}
 	workers := analyzeWorkers()
 	var src dissect.DatagramSource
@@ -528,35 +532,34 @@ func AnalyzeWeekFile(ctx context.Context, env *pipeline.Env, path string, isoWee
 	case 1:
 		sr, err := sflow.NewStreamReader(f)
 		if err != nil {
-			return nil, dissect.Counts{}, err
+			return nil, err
 		}
 		src = sr
 	case 2:
 		if workers > 1 {
 			pr, err := sflow.NewParallelBlockReader(f, workers)
 			if err != nil {
-				return nil, dissect.Counts{}, err
+				return nil, err
 			}
 			defer pr.Close()
 			src, blockStats = pr, pr.Stats
 		} else {
 			br, err := sflow.NewBlockReader(f)
 			if err != nil {
-				return nil, dissect.Counts{}, err
+				return nil, err
 			}
 			src, blockStats = br, br.Stats
 		}
 	default:
-		return nil, dissect.Counts{}, sflow.ErrBadMagic
+		return nil, sflow.ErrBadMagic
 	}
-	ident := webserver.NewSharded(workers)
-	ident.SetMetrics(env.M.IdentifyMetrics())
+	run := env.Registry().NewRun(env.AnalysisContext(), workers)
 	var seq sflow.SeqTracker
 	tsrc := &faultline.TrackSource{Src: src, Seq: &seq}
-	counts, err := dissect.ProcessSharded(ctx, tsrc, env.Fabric, workers, ident.ObserveShard, env.M.DissectMetrics())
+	counts, err := dissect.ProcessSharded(ctx, tsrc, env.Fabric, workers, run.Observe, env.M.DissectMetrics())
 	truncated := errors.Is(err, sflow.ErrTruncated)
 	if err != nil && !truncated {
-		return nil, counts, err
+		return nil, err
 	}
 	var st sflow.BlockStats
 	if blockStats != nil {
@@ -564,11 +567,29 @@ func AnalyzeWeekFile(ctx context.Context, env *pipeline.Env, path string, isoWee
 	}
 	st.Truncated = st.Truncated || truncated
 	env.M.ObserveCapture(st)
-	res := ident.Identify(isoWeek, env.Crawler)
-	res.EstLoss = seq.EstLoss()
-	if env.MaxLoss > 0 && res.EstLoss > env.MaxLoss {
-		return nil, counts, fmt.Errorf("capture: week %d estimated loss %.4f > max %.4f: %w",
-			isoWeek, res.EstLoss, env.MaxLoss, pipeline.ErrLossExceeded)
+	prods, err := run.Finish(isoWeek)
+	if err != nil {
+		return nil, err
 	}
-	return res, counts, nil
+	snap, err := snapshot.FromProducts(prods, counts)
+	if err != nil {
+		return nil, err
+	}
+	snap.Result.EstLoss = seq.EstLoss()
+	if env.MaxLoss > 0 && snap.Result.EstLoss > env.MaxLoss {
+		return nil, fmt.Errorf("capture: week %d estimated loss %.4f > max %.4f: %w",
+			isoWeek, snap.Result.EstLoss, env.MaxLoss, pipeline.ErrLossExceeded)
+	}
+	return snap, nil
+}
+
+// AnalyzeWeekFile is the identification-only view of
+// AnalyzeWeekSnapshot, kept for callers that need just the webserver
+// result and cascade counts.
+func AnalyzeWeekFile(ctx context.Context, env *pipeline.Env, path string, isoWeek int) (*webserver.Result, dissect.Counts, error) {
+	snap, err := AnalyzeWeekSnapshot(ctx, env, path, isoWeek)
+	if err != nil {
+		return nil, dissect.Counts{}, err
+	}
+	return snap.Result, snap.Counts, nil
 }

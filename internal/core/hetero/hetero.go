@@ -166,13 +166,25 @@ func (ls *LinkStats) Observe(rec *dissect.Record, isServer func(packet.IPv4Addr)
 	if !rec.Class.IsPeering() {
 		return
 	}
+	ls.ObserveFlow(rec.SrcIP, rec.DstIP, rec.InMember, rec.OutMember, rec.Bytes, isServer)
+}
+
+// ObserveFlow attributes one (possibly pre-aggregated) peering flow:
+// src/dst endpoints, the ingress and egress member, and the summed
+// bytes. Because every record of one flow identity takes the same
+// branch here, attributing an aggregated flow once is bit-identical to
+// attributing each of its records — the property that lets the fused
+// analysis pass persist a generic flow product and replay it for any
+// organization's server set. The server-side check prefers src, like
+// the per-record path always has.
+func (ls *LinkStats) ObserveFlow(src, dst packet.IPv4Addr, in, out int32, bytes uint64, isServer func(packet.IPv4Addr) bool) {
 	var serverIP packet.IPv4Addr
 	var serverSide, clientSide int32
 	switch {
-	case isServer(rec.SrcIP):
-		serverIP, serverSide, clientSide = rec.SrcIP, rec.InMember, rec.OutMember
-	case isServer(rec.DstIP):
-		serverIP, serverSide, clientSide = rec.DstIP, rec.OutMember, rec.InMember
+	case isServer(src):
+		serverIP, serverSide, clientSide = src, in, out
+	case isServer(dst):
+		serverIP, serverSide, clientSide = dst, out, in
 	default:
 		return
 	}
@@ -181,11 +193,11 @@ func (ls *LinkStats) Observe(rec *dissect.Record, isServer func(packet.IPv4Addr)
 		ml = &MemberLink{}
 		ls.PerMember[clientSide] = ml
 	}
-	ml.Total += rec.Bytes
-	ls.TotalBytes += rec.Bytes
+	ml.Total += bytes
+	ls.TotalBytes += bytes
 	if serverSide == ls.HomeMember {
-		ml.Direct += rec.Bytes
-		ls.DirectBytes += rec.Bytes
+		ml.Direct += bytes
+		ls.DirectBytes += bytes
 		ls.directServers[ls.serverKey(serverIP)] = true
 	} else {
 		ls.offLinkServers[ls.serverKey(serverIP)] = true

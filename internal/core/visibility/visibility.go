@@ -56,8 +56,47 @@ func (a *Aggregator) Observe(rec *dissect.Record) {
 	}
 }
 
+// Add credits ip with bytes directly — the hook that replays a
+// persisted per-IP product (analysis.VisibilityProduct) into a fresh
+// aggregator. Every derived view is iteration-order-independent, so an
+// aggregator rebuilt from IP-sorted entries answers identically to the
+// one that observed the live record stream.
+func (a *Aggregator) Add(ip packet.IPv4Addr, bytes uint64) { a.credit(ip, bytes) }
+
+// Merge folds another aggregator built over the SAME entity table into
+// this one — the deterministic shard merge of the fused analysis pass.
+// Shard-local entity IDs are comparable because the table is shared.
+func (a *Aggregator) Merge(o *Aggregator) {
+	if o == nil {
+		return
+	}
+	for _, id := range o.order {
+		a.creditID(id, o.bytes[id])
+	}
+}
+
+// IPTraffic is one observed endpoint with its accumulated bytes.
+type IPTraffic struct {
+	IP    packet.IPv4Addr
+	Bytes uint64
+}
+
+// PerIP extracts the raw accumulation, sorted by IP — the persistable,
+// partition-independent form of everything this aggregator knows.
+func (a *Aggregator) PerIP() []IPTraffic {
+	out := make([]IPTraffic, 0, len(a.order))
+	for _, id := range a.order {
+		out = append(out, IPTraffic{IP: a.table.IP(id), Bytes: a.bytes[id]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].IP < out[j].IP })
+	return out
+}
+
 func (a *Aggregator) credit(ip packet.IPv4Addr, bytes uint64) {
-	id := a.table.Resolve(ip)
+	a.creditID(a.table.Resolve(ip), bytes)
+}
+
+func (a *Aggregator) creditID(id entity.ID, bytes uint64) {
 	if int(id) >= len(a.bytes) {
 		grown := make([]uint64, int(id)+1+len(a.bytes)/2)
 		copy(grown, a.bytes)

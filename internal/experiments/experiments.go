@@ -132,20 +132,19 @@ func (r *Runner) Week45() (*pipeline.Week, *visibility.Aggregator, *dissect.Slic
 	if err != nil {
 		return nil, nil, nil, err
 	}
-	// One pass feeding both the identifier (via AnalyzeWeek) and the
-	// visibility aggregator, which shares the environment's entity table
-	// so IPs interned here resolve for free in every later stage.
-	agg := visibility.NewAggregatorWith(r.Env.EntityTable())
-	cls := dissect.NewClassifier(r.Env.Fabric)
-	if _, err := dissect.Process(src, cls, agg.Observe); err != nil {
-		return nil, nil, nil, err
-	}
-	src.Reset()
+	// ONE fused pass: AnalyzeWeek feeds every registered analyzer —
+	// identifier, visibility, link flows — from the same decode, and the
+	// aggregator Tables 1-3 need rebuilds from the persisted visibility
+	// product over the environment's shared entity table.
 	wk, _, err := r.Env.AnalyzeWeek(r.ctx(), r.focusWeek(), src)
 	if err != nil {
 		return nil, nil, nil, err
 	}
+	if wk.Visibility == nil {
+		return nil, nil, nil, errors.New("experiments: visibility analyzer not in the registry")
+	}
 	wk.Truth = truth
+	agg := wk.Visibility.Aggregator(r.Env.EntityTable())
 	r.week45, r.agg45, r.src45 = wk, agg, src
 	r.src45.Reset()
 	return wk, agg, src, nil

@@ -1,10 +1,11 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
+	"ixplens/internal/analysis"
 	"ixplens/internal/core/dissect"
-	"ixplens/internal/core/webserver"
 	"ixplens/internal/packet"
 )
 
@@ -34,37 +35,43 @@ func (r *Runner) ServerToServerTrend() (Report, error) {
 }
 
 // m2mShare measures, for one week, the fraction of server-involving
-// peering samples whose both endpoints are identified servers. The
-// first pass streams the week; the second rides a ReplaySource, so no
-// datagram buffer is ever held.
+// peering samples whose both endpoints are identified servers. A
+// narrowed analyzer registry (identification + link flows) runs in ONE
+// streamed pass; the split then reads off the aggregated flow product —
+// every peering sample is represented there with its endpoints — so no
+// replay pass is ever needed.
 func (r *Runner) m2mShare(isoWeek int) (float64, error) {
-	ident := webserver.NewIdentifier()
-	if _, _, _, err := r.Env.StreamWeek(r.ctx(), isoWeek, ident.Observe); err != nil {
+	reg, err := analysis.Select(analysis.NameWebserver + "," + analysis.NameLinks)
+	if err != nil {
 		return 0, err
 	}
-	res := ident.Identify(isoWeek, r.Env.Crawler)
+	run := reg.NewRun(r.Env.AnalysisContext(), 1)
+	var seq uint64
+	if _, _, _, err := r.Env.StreamWeek(r.ctx(), isoWeek, func(rec *dissect.Record) {
+		run.Observe(0, rec, seq)
+		seq++
+	}); err != nil {
+		return 0, err
+	}
+	prods, err := run.Finish(isoWeek)
+	if err != nil {
+		return 0, err
+	}
+	res, links := prods.Webserver(), prods.Links()
 	isServer := func(ip packet.IPv4Addr) bool {
 		_, ok := res.Servers[ip]
 		return ok
 	}
-	src := r.Env.Replay(isoWeek)
-	cls2 := dissect.NewClassifier(r.Env.Fabric)
-	var serverSamples, m2m int
-	var err error
-	_, err = dissect.Process(src, cls2, func(rec *dissect.Record) {
-		if !rec.Class.IsPeering() {
-			return
-		}
-		srcIs, dstIs := isServer(rec.SrcIP), isServer(rec.DstIP)
+	var serverSamples, m2m uint64
+	for i := range links.Flows {
+		f := &links.Flows[i]
+		srcIs, dstIs := isServer(f.Src), isServer(f.Dst)
 		if srcIs || dstIs {
-			serverSamples++
+			serverSamples += f.Samples
 		}
 		if srcIs && dstIs {
-			m2m++
+			m2m += f.Samples
 		}
-	})
-	if err != nil {
-		return 0, err
 	}
 	if serverSamples == 0 {
 		return 0, nil
@@ -150,26 +157,25 @@ func (r *Runner) SamplingCalibration() (Report, error) {
 // fabric's ground-truth peering matrix.
 func (r *Runner) PeeringFabricVisibility() (Report, error) {
 	rep := Report{ID: "E24", Title: "[13] (extension) — visible peering fabric"}
-	_, _, src, err := r.Week45()
+	wk, _, _, err := r.Week45()
 	if err != nil {
 		return rep, err
 	}
-	cls := dissect.NewClassifier(r.Env.Fabric)
+	if wk.Links == nil {
+		return rep, errors.New("experiments: links analyzer not in the registry")
+	}
+	// The persisted flow product already keys every peering sample by its
+	// (ingress, egress) member pair — the visible fabric reads off it
+	// without another pass over the capture.
 	type pair struct{ a, b int32 }
 	seen := make(map[pair]bool)
-	_, err = dissect.Process(src, cls, func(rec *dissect.Record) {
-		if !rec.Class.IsPeering() {
-			return
-		}
-		a, b := rec.InMember, rec.OutMember
+	for i := range wk.Links.Flows {
+		f := &wk.Links.Flows[i]
+		a, b := f.In, f.Out
 		if a > b {
 			a, b = b, a
 		}
 		seen[pair{a, b}] = true
-	})
-	src.Reset()
-	if err != nil {
-		return rep, err
 	}
 
 	// Ground truth: member pairs that peer directly on the fabric.

@@ -1,10 +1,10 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 
 	"ixplens/internal/core/cluster"
-	"ixplens/internal/core/dissect"
 	"ixplens/internal/core/hetero"
 	"ixplens/internal/packet"
 )
@@ -116,11 +116,16 @@ func (r *Runner) Fig6cASHosting() (Report, error) {
 	return rep, nil
 }
 
-// linkStudy runs the Fig. 7 second pass for one special org.
+// linkStudy runs the Fig. 7 attribution for one special org by
+// replaying week 45's persisted flow product — no second pass over the
+// capture.
 func (r *Runner) linkStudy(org int32) (*hetero.LinkStats, error) {
-	wk, _, src, err := r.Week45()
+	wk, _, _, err := r.Week45()
 	if err != nil {
 		return nil, err
+	}
+	if wk.Links == nil {
+		return nil, errors.New("experiments: links analyzer not in the registry")
 	}
 	w := r.Env.World
 	c := wk.Clusters.Clusters[w.Orgs[org].Domain]
@@ -131,13 +136,8 @@ func (r *Runner) linkStudy(org int32) (*hetero.LinkStats, error) {
 	for _, ip := range c.IPs {
 		set[ip] = true
 	}
-	ls := hetero.NewLinkStatsWith(w.Orgs[org].HomeAS, r.Env.EntityTable())
-	cls := dissect.NewClassifier(r.Env.Fabric)
-	_, err = dissect.Process(src, cls, func(rec *dissect.Record) {
-		ls.Observe(rec, func(ip packet.IPv4Addr) bool { return set[ip] })
-	})
-	src.Reset()
-	return ls, err
+	return wk.Links.LinkStats(w.Orgs[org].HomeAS, r.Env.EntityTable(),
+		func(ip packet.IPv4Addr) bool { return set[ip] }), nil
 }
 
 // Fig7bAcmeLinks reproduces Figure 7(b): per-member direct-link share of

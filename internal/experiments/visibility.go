@@ -180,7 +180,22 @@ func first(s []visibility.Share) string {
 	return s[0].Key
 }
 
-func firstByBytes(s []visibility.Share) string { return first(s) }
+// firstByBytes picks the heaviest entry by traffic volume, regardless
+// of the slice's sort order (ties break to the lexicographically
+// smaller key, matching the by-bytes rankings' deterministic order).
+func firstByBytes(s []visibility.Share) string {
+	if len(s) == 0 {
+		return "-"
+	}
+	best := 0
+	for i := 1; i < len(s); i++ {
+		if s[i].Bytes > s[best].Bytes ||
+			(s[i].Bytes == s[best].Bytes && s[i].Key < s[best].Key) {
+			best = i
+		}
+	}
+	return s[best].Key
+}
 
 func keysOf(s []visibility.Share) string {
 	out := ""

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+
+	"ixplens/internal/core/visibility"
+)
+
+// TestFirstByBytes pins the by-traffic selection: the heaviest entry by
+// Bytes wins regardless of slice order (the by-IP rankings Table 2 also
+// feeds through here are NOT bytes-sorted), and ties break to the
+// lexicographically smaller key.
+func TestFirstByBytes(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []visibility.Share
+		want string
+	}{
+		{"empty", nil, "-"},
+		{"single", []visibility.Share{{Key: "DE", Count: 1, Bytes: 10}}, "DE"},
+		{"bytes-sorted input", []visibility.Share{
+			{Key: "DE", Bytes: 300}, {Key: "US", Bytes: 200}, {Key: "CN", Bytes: 100},
+		}, "DE"},
+		{"count-sorted input, bytes winner not first", []visibility.Share{
+			{Key: "US", Count: 90, Bytes: 50}, {Key: "DE", Count: 10, Bytes: 900},
+		}, "DE"},
+		{"tie breaks to smaller key", []visibility.Share{
+			{Key: "US", Bytes: 500}, {Key: "DE", Bytes: 500}, {Key: "FR", Bytes: 400},
+		}, "DE"},
+	}
+	for _, tc := range cases {
+		if got := firstByBytes(tc.in); got != tc.want {
+			t.Errorf("%s: firstByBytes = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+	// On an already bytes-descending ranking (what TopCountries returns
+	// as its second slice) the selection agrees with first(): the
+	// satellite fix changed the implementation, not Table 2's answer.
+	ranked := []visibility.Share{
+		{Key: "DE", Bytes: 300}, {Key: "US", Bytes: 200}, {Key: "CN", Bytes: 100},
+	}
+	if firstByBytes(ranked) != first(ranked) {
+		t.Fatal("firstByBytes disagrees with first() on a bytes-sorted ranking")
+	}
+}

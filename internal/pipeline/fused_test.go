@@ -1,0 +1,201 @@
+package pipeline
+
+import (
+	"bytes"
+	"context"
+	"sort"
+	"testing"
+
+	"ixplens/internal/analysis"
+	"ixplens/internal/core/dissect"
+	"ixplens/internal/core/visibility"
+	"ixplens/internal/netmodel"
+	"ixplens/internal/sflow"
+	"ixplens/internal/traffic"
+)
+
+// countingSource counts the datagrams pulled through it, so a test can
+// prove how many decode passes a pipeline stage really made.
+type countingSource struct {
+	src    dissect.RewindableSource
+	nexts  int
+	resets int
+}
+
+func (c *countingSource) Next(d *sflow.Datagram) error {
+	c.nexts++
+	return c.src.Next(d)
+}
+
+func (c *countingSource) Reset() {
+	c.resets++
+	c.src.Reset()
+}
+
+// TestAnalyzeWeekSinglePass pins the fused pass's core promise: the
+// capture is decoded exactly ONCE regardless of how many analyzers are
+// registered — adding an analysis perspective must never add a rescan.
+func TestAnalyzeWeekSinglePass(t *testing.T) {
+	env := goldenEnv(t)
+	ctx := context.Background()
+	src, _, err := env.CaptureWeek(ctx, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pulls := func(list string) (int, int, *Week) {
+		t.Helper()
+		reg, err := analysis.Select(list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		env.Analyzers = reg
+		src.Reset()
+		cs := &countingSource{src: src}
+		wk, _, err := env.AnalyzeWeek(ctx, 45, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cs.nexts, cs.resets, wk
+	}
+
+	oneNexts, oneResets, oneWk := pulls("webserver")
+	allNexts, allResets, allWk := pulls("all")
+	env.Analyzers = nil
+
+	if want := len(src.Datagrams) + 1; oneNexts != want { // every datagram once, plus EOF
+		t.Fatalf("single-analyzer run pulled %d datagrams, want %d", oneNexts, want)
+	}
+	if allNexts != oneNexts {
+		t.Fatalf("three analyzers pulled %d datagrams, one analyzer pulled %d — the pass is not fused",
+			allNexts, oneNexts)
+	}
+	if oneResets != 1 || allResets != 1 {
+		t.Fatalf("unexpected rewinds: %d and %d, want 1 each", oneResets, allResets)
+	}
+
+	// The fan-out must not perturb any single analyzer's aggregates.
+	a, err := (&analysis.WebserverProduct{Res: oneWk.Servers}).AppendEncode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := (&analysis.WebserverProduct{Res: allWk.Servers}).AppendEncode(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("webserver product changed when more analyzers joined the pass")
+	}
+	if oneWk.Visibility != nil || oneWk.Links != nil {
+		t.Fatal("narrowed registry still produced deselected products")
+	}
+	if allWk.Visibility == nil || allWk.Links == nil {
+		t.Fatal("full registry missing analyzer products")
+	}
+}
+
+// TestGoldenAnalyzerEquivalence is the refactor's acceptance proof: for
+// every study week, the fused sharded pass must produce products
+// byte-identical to the pre-refactor multi-pass reference — the serial
+// ordered-merge identifier, a dedicated visibility pass, and an
+// independent per-record flow aggregation reimplemented here.
+func TestGoldenAnalyzerEquivalence(t *testing.T) {
+	env, err := NewEnv(netmodel.Tiny(),
+		traffic.Options{SamplesPerWeek: 2000, SamplingRate: 16384, SnapLen: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := &env.World.Cfg
+	ctx := context.Background()
+
+	for wk := cfg.FirstWeek; wk <= cfg.LastWeek(); wk++ {
+		fused, _, err := env.AnalyzeWeek(ctx, wk, nil)
+		if err != nil {
+			t.Fatalf("week %d fused: %v", wk, err)
+		}
+
+		// Reference pass 1: serial ordered-merge identification.
+		serial, counts, _, err := env.IdentifyWeekSerial(ctx, wk)
+		if err != nil {
+			t.Fatalf("week %d serial: %v", wk, err)
+		}
+		if counts != fused.Counts {
+			t.Fatalf("week %d counts diverged:\nserial %+v\nfused  %+v", wk, counts, fused.Counts)
+		}
+		wantWS, err := (&analysis.WebserverProduct{Res: serial}).AppendEncode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotWS, err := (&analysis.WebserverProduct{Res: fused.Servers}).AppendEncode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantWS, gotWS) {
+			t.Fatalf("week %d: fused webserver product differs from serial reference", wk)
+		}
+
+		// Reference passes 2 and 3 ride one replay: the bespoke
+		// visibility aggregation and an independent flow roll-up, the way
+		// the pre-registry code rescanned the week per analysis.
+		agg := visibility.NewAggregatorWith(env.EntityTable())
+		flows := make(map[analysis.FlowKey]*analysis.Flow)
+		cls := dissect.NewClassifier(env.Fabric)
+		if _, err := dissect.Process(env.Replay(wk), cls, func(rec *dissect.Record) {
+			agg.Observe(rec)
+			if !rec.Class.IsPeering() {
+				return
+			}
+			k := analysis.FlowKey{Src: rec.SrcIP, Dst: rec.DstIP, In: rec.InMember, Out: rec.OutMember}
+			f := flows[k]
+			if f == nil {
+				f = &analysis.Flow{FlowKey: k}
+				flows[k] = f
+			}
+			f.Bytes += rec.Bytes
+			f.Samples++
+		}); err != nil {
+			t.Fatalf("week %d reference pass: %v", wk, err)
+		}
+
+		wantVis, err := (&analysis.VisibilityProduct{PerIP: agg.PerIP()}).AppendEncode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotVis, err := fused.Visibility.AppendEncode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantVis, gotVis) {
+			t.Fatalf("week %d: fused visibility product differs from dedicated-pass reference", wk)
+		}
+
+		ref := &analysis.LinksProduct{Flows: make([]analysis.Flow, 0, len(flows))}
+		for _, f := range flows {
+			ref.Flows = append(ref.Flows, *f)
+		}
+		sort.Slice(ref.Flows, func(i, j int) bool {
+			a, b := &ref.Flows[i].FlowKey, &ref.Flows[j].FlowKey
+			if a.Src != b.Src {
+				return a.Src < b.Src
+			}
+			if a.Dst != b.Dst {
+				return a.Dst < b.Dst
+			}
+			if a.In != b.In {
+				return a.In < b.In
+			}
+			return a.Out < b.Out
+		})
+		wantLinks, err := ref.AppendEncode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotLinks, err := fused.Links.AppendEncode(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(wantLinks, gotLinks) {
+			t.Fatalf("week %d: fused links product differs from independent roll-up", wk)
+		}
+	}
+}

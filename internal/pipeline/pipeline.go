@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ixplens/internal/alexa"
+	"ixplens/internal/analysis"
 	"ixplens/internal/certsim"
 	"ixplens/internal/core/churn"
 	"ixplens/internal/core/cluster"
@@ -119,6 +120,10 @@ type Env struct {
 	// loss fraction the analysis tolerates; a week above it fails with
 	// an error wrapping ErrLossExceeded.
 	MaxLoss float64
+	// Analyzers selects which analyzers AnalyzeWeek (and the capture /
+	// supervise / serve layers above it) feed from the single fused
+	// decode pass. Nil runs the full default registry.
+	Analyzers *analysis.Registry
 }
 
 // NewEnv generates a world and wires all substrates.
@@ -151,6 +156,25 @@ func (e *Env) EntityTable() *entity.Table {
 		e.Entities = entity.NewTable(e.World.RIB(), e.World.GeoDB())
 	}
 	return e.Entities
+}
+
+// Registry returns the Env's analyzer registry, defaulting to every
+// builtin analyzer.
+func (e *Env) Registry() *analysis.Registry {
+	if e.Analyzers != nil {
+		return e.Analyzers
+	}
+	return analysis.Default()
+}
+
+// AnalysisContext bundles the Env substrates the analyzers consume.
+// Like EntityTable, first use is not synchronized.
+func (e *Env) AnalysisContext() *analysis.Context {
+	return &analysis.Context{
+		Entities: e.EntityTable(),
+		Crawler:  e.Crawler,
+		Ident:    e.M.IdentifyMetrics(),
+	}
 }
 
 // members returns the classifier's port resolver, wrapped with the
@@ -399,6 +423,13 @@ type Week struct {
 	Metas    []metadata.ServerMeta
 	Coverage metadata.Coverage
 	Clusters *cluster.Result
+	// Products holds every registered analyzer's finished product from
+	// the week's single fused pass.
+	Products *analysis.Products
+	// Visibility and Links are the typed views of Products — nil when
+	// the Env's registry omitted the analyzer.
+	Visibility *analysis.VisibilityProduct
+	Links      *analysis.LinksProduct
 	// EstLoss is the week's estimated datagram loss fraction — the
 	// capture's data-quality annotation, also carried on Servers.
 	EstLoss float64
@@ -418,46 +449,54 @@ func (c *ctxSource) Next(d *sflow.Datagram) error {
 	return c.src.Next(d)
 }
 
-// AnalyzeWeek runs the complete per-week pipeline. When src is nil the
-// week is streamed — classified as it is generated, with bounded
-// memory — and the returned source is a ReplaySource that regenerates
-// the identical stream for callers that need further passes (link
-// attribution does). Passing a non-nil rewindable source (a buffered
-// SliceSource, or a Replay from an earlier call) dissects that instead,
-// tracking sequence gaps so a lossy capture is annotated just like a
-// lossy live stream. Note that replay sources regenerate pristine
-// traffic: configured faults apply to live capture/stream passes, not
-// to replays.
+// AnalyzeWeek runs the complete per-week pipeline: ONE pass over the
+// week's samples feeds every analyzer in the Env's registry
+// (identification, visibility, link flows, ...) simultaneously, instead
+// of one rewind per analysis. When src is nil the week is streamed —
+// classified as it is generated, with bounded memory — and the returned
+// source is a ReplaySource that regenerates the identical stream for
+// callers that need further passes. Passing a non-nil rewindable source
+// (a buffered SliceSource, or a Replay from an earlier call) dissects
+// that instead, tracking sequence gaps so a lossy capture is annotated
+// just like a lossy live stream. Note that replay sources regenerate
+// pristine traffic: configured faults apply to live capture/stream
+// passes, not to replays.
 func (e *Env) AnalyzeWeek(ctx context.Context, isoWeek int, src dissect.RewindableSource) (*Week, dissect.RewindableSource, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	reg := e.Registry()
+	actx := e.AnalysisContext()
 	var truth traffic.WeekStats
 	var counts dissect.Counts
 	var est float64
-	var ident *webserver.Identifier
+	var run *analysis.Run
 	if src == nil {
-		// Streamed weeks fan records into per-worker identifier shards;
-		// the deterministic merge inside Identify reproduces the ordered
-		// path's aggregates exactly (the golden-equivalence test pins it).
+		// Streamed weeks fan records into per-worker analyzer shards;
+		// each analyzer's deterministic merge inside Finish reproduces
+		// the ordered path's aggregates exactly (the golden-equivalence
+		// test pins it).
 		workers := streamWorkers()
-		ident = webserver.NewSharded(workers)
-		ident.SetMetrics(e.M.IdentifyMetrics())
+		run = reg.NewRun(actx, workers)
 		var err error
-		counts, truth, est, err = e.streamWeekSharded(ctx, e.Gen, isoWeek, workers, ident.ObserveShard)
+		counts, truth, est, err = e.streamWeekSharded(ctx, e.Gen, isoWeek, workers, run.Observe)
 		if err != nil {
 			return nil, nil, err
 		}
 		src = e.Replay(isoWeek)
 	} else {
-		ident = webserver.NewIdentifier()
-		ident.SetMetrics(e.M.IdentifyMetrics())
+		run = reg.NewRun(actx, 1)
 		cls := dissect.NewClassifier(e.members())
 		cls.SetMetrics(e.M.DissectMetrics())
 		var seq sflow.SeqTracker
+		var sampleSeq uint64
 		var err error
 		counts, err = dissect.Process(
-			&ctxSource{ctx, &faultline.TrackSource{Src: src, Seq: &seq}}, cls, ident.Observe)
+			&ctxSource{ctx, &faultline.TrackSource{Src: src, Seq: &seq}}, cls,
+			func(rec *dissect.Record) {
+				run.Observe(0, rec, sampleSeq)
+				sampleSeq++
+			})
 		if err != nil {
 			return nil, nil, err
 		}
@@ -466,7 +505,14 @@ func (e *Env) AnalyzeWeek(ctx context.Context, isoWeek int, src dissect.Rewindab
 		}
 		src.Reset()
 	}
-	res := ident.Identify(isoWeek, e.Crawler)
+	prods, err := run.Finish(isoWeek)
+	if err != nil {
+		return nil, nil, err
+	}
+	res := prods.Webserver()
+	if res == nil {
+		return nil, nil, errors.New("pipeline: analyzer registry lacks the webserver analyzer")
+	}
 	res.EstLoss = est
 	metas, cov := metadata.Collect(res, e.DNS)
 
@@ -478,14 +524,17 @@ func (e *Env) AnalyzeWeek(ctx context.Context, isoWeek int, src dissect.Rewindab
 	clusters := cluster.Run(metas, opts)
 
 	return &Week{
-		ISOWeek:  isoWeek,
-		Truth:    truth,
-		Counts:   counts,
-		Servers:  res,
-		Metas:    metas,
-		Coverage: cov,
-		Clusters: clusters,
-		EstLoss:  est,
+		ISOWeek:    isoWeek,
+		Truth:      truth,
+		Counts:     counts,
+		Servers:    res,
+		Metas:      metas,
+		Coverage:   cov,
+		Clusters:   clusters,
+		Products:   prods,
+		Visibility: prods.Visibility(),
+		Links:      prods.Links(),
+		EstLoss:    est,
 	}, src, nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"ixplens/internal/core/churn"
+	"ixplens/internal/core/visibility"
 	"ixplens/internal/obs"
 	"ixplens/internal/pipeline"
 	"ixplens/internal/snapshot"
@@ -61,13 +62,15 @@ func (c Config) withDefaults() Config {
 
 // Server is the HTTP query layer over one campaign.
 //
-//	GET /healthz                   liveness (never shed)
-//	GET /metrics                   plain-text metrics snapshot
-//	GET /weeks                     campaign inventory
-//	GET /week/{week}               one week's summary aggregates
-//	GET /week/{week}/servers?k=10  top-k servers by traffic
-//	GET /week/{week}/ases?k=10     top-k server-hosting ASes by traffic
-//	GET /churn                     longitudinal churn series (all weeks)
+//	GET /healthz                      liveness (never shed)
+//	GET /metrics                      plain-text metrics snapshot
+//	GET /weeks                        campaign inventory
+//	GET /week/{week}                  one week's summary aggregates
+//	GET /week/{week}/servers?k=10     top-k servers by traffic
+//	GET /week/{week}/ases?k=10        top-k server-hosting ASes by traffic
+//	GET /week/{week}/visibility?k=10  §3 visibility: observed IPs, top countries
+//	GET /week/{week}/links?k=10       top-k member-pair peering links by traffic
+//	GET /churn                        longitudinal churn series (all weeks)
 type Server struct {
 	store *Store
 	cache *Cache
@@ -98,6 +101,8 @@ func New(store *Store, cfg Config, reg *obs.Registry) *Server {
 	s.mux.HandleFunc("GET /week/{week}", s.handleWeek)
 	s.mux.HandleFunc("GET /week/{week}/servers", s.handleTopServers)
 	s.mux.HandleFunc("GET /week/{week}/ases", s.handleTopASes)
+	s.mux.HandleFunc("GET /week/{week}/visibility", s.handleVisibility)
+	s.mux.HandleFunc("GET /week/{week}/links", s.handleLinks)
 	s.mux.HandleFunc("GET /churn", s.handleChurn)
 	return s
 }
@@ -157,10 +162,17 @@ func (s *Server) retryAfterSeconds() int {
 	return int(secs)
 }
 
+// ErrNoProduct marks a request for an analyzer product the serving
+// environment's registry does not produce (e.g. /week/{n}/links on a
+// server running a webserver-only registry). Test with errors.Is.
+var ErrNoProduct = errors.New("serve: analyzer product not available")
+
 // fail maps a load error onto an HTTP status.
 func fail(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, ErrUnknownWeek):
+		http.Error(w, err.Error(), http.StatusNotFound)
+	case errors.Is(err, ErrNoProduct):
 		http.Error(w, err.Error(), http.StatusNotFound)
 	case errors.Is(err, context.DeadlineExceeded):
 		http.Error(w, "analysis timed out", http.StatusGatewayTimeout)
@@ -435,6 +447,120 @@ func (s *Server) handleTopASes(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, TopASes(s.store.Env(), snap, kParam(r, s.cfg.TopK)))
+}
+
+// CountryShare is one row of a visibility country ranking.
+type CountryShare struct {
+	Country string `json:"country"`
+	IPs     int    `json:"ips"`
+	Bytes   uint64 `json:"bytes"`
+}
+
+// VisibilitySummary is the /week/{n}/visibility response: the §3
+// vantage-point aggregates served straight from the snapshot's
+// visibility product — no re-analysis of the capture.
+type VisibilitySummary struct {
+	Week        int    `json:"week"`
+	ObservedIPs int    `json:"observed_ips"`
+	ASes        int    `json:"ases"`
+	Prefixes    int    `json:"prefixes"`
+	Countries   int    `json:"countries"`
+	TotalBytes  uint64 `json:"total_bytes"`
+	// ByIPs and ByBytes are the top-k countries under each ranking.
+	ByIPs   []CountryShare `json:"by_ips"`
+	ByBytes []CountryShare `json:"by_bytes"`
+}
+
+// VisibilityView renders a snapshot's visibility product, resolving
+// countries through the environment's entity table. It is exported so
+// golden tests can compare a served response byte for byte against a
+// directly analyzed aggregator.
+func VisibilityView(env *pipeline.Env, snap *snapshot.Snapshot, k int) (VisibilitySummary, error) {
+	if snap.Visibility == nil {
+		return VisibilitySummary{}, fmt.Errorf("%w: visibility (week %d)", ErrNoProduct, snap.Result.Week)
+	}
+	agg := snap.Visibility.Aggregator(env.EntityTable())
+	sum := agg.Summarize(nil)
+	byIPs, byBytes := agg.TopCountries(k, nil)
+	conv := func(shares []visibility.Share) []CountryShare {
+		out := make([]CountryShare, len(shares))
+		for i, sh := range shares {
+			out[i] = CountryShare{Country: sh.Key, IPs: sh.Count, Bytes: sh.Bytes}
+		}
+		return out
+	}
+	return VisibilitySummary{
+		Week:        snap.Result.Week,
+		ObservedIPs: sum.IPs,
+		ASes:        sum.ASes,
+		Prefixes:    sum.Prefixes,
+		Countries:   sum.Countries,
+		TotalBytes:  sum.Bytes,
+		ByIPs:       conv(byIPs),
+		ByBytes:     conv(byBytes),
+	}, nil
+}
+
+func (s *Server) handleVisibility(w http.ResponseWriter, r *http.Request) {
+	wk, err := weekParam(r)
+	if err != nil {
+		http.Error(w, "bad week", http.StatusBadRequest)
+		return
+	}
+	snap, err := s.cache.Get(r.Context(), wk)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	view, err := VisibilityView(s.store.Env(), snap, kParam(r, s.cfg.TopK))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, view)
+}
+
+// LinkEntry is one row of the /week/{n}/links response: one
+// (ingress member, egress member) pair of the peering fabric with its
+// aggregated traffic.
+type LinkEntry struct {
+	In      int32  `json:"in"`
+	Out     int32  `json:"out"`
+	Bytes   uint64 `json:"bytes"`
+	Samples uint64 `json:"samples"`
+}
+
+// TopLinks renders the k heaviest member-pair links of a snapshot's
+// flow product, bytes descending then (in, out) ascending.
+func TopLinks(snap *snapshot.Snapshot, k int) ([]LinkEntry, error) {
+	if snap.Links == nil {
+		return nil, fmt.Errorf("%w: links (week %d)", ErrNoProduct, snap.Result.Week)
+	}
+	top := snap.Links.TopMemberLinks(k)
+	out := make([]LinkEntry, len(top))
+	for i, ml := range top {
+		out[i] = LinkEntry{In: ml.In, Out: ml.Out, Bytes: ml.Bytes, Samples: ml.Samples}
+	}
+	return out, nil
+}
+
+func (s *Server) handleLinks(w http.ResponseWriter, r *http.Request) {
+	wk, err := weekParam(r)
+	if err != nil {
+		http.Error(w, "bad week", http.StatusBadRequest)
+		return
+	}
+	snap, err := s.cache.Get(r.Context(), wk)
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	links, err := TopLinks(snap, kParam(r, s.cfg.TopK))
+	if err != nil {
+		fail(w, err)
+		return
+	}
+	writeJSON(w, links)
 }
 
 // ChurnWeek is one row of the /churn longitudinal series. A gap row

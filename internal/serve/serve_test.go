@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"ixplens/internal/analysis"
 	"ixplens/internal/capture"
 	"ixplens/internal/core/webserver"
 	"ixplens/internal/netmodel"
@@ -319,6 +320,36 @@ func TestServerEndpoints(t *testing.T) {
 		t.Fatal("no top ASes")
 	}
 
+	if code, body = get(fmt.Sprintf("/week/%d/visibility?k=5", first)); code != 200 {
+		t.Fatalf("visibility: %d %s", code, body)
+	}
+	var vis VisibilitySummary
+	if err := json.Unmarshal(body, &vis); err != nil {
+		t.Fatal(err)
+	}
+	if vis.Week != first || vis.ObservedIPs == 0 || vis.TotalBytes == 0 {
+		t.Fatalf("visibility summary empty: %+v", vis)
+	}
+	if len(vis.ByIPs) == 0 || len(vis.ByIPs) > 5 || len(vis.ByBytes) > 5 {
+		t.Fatalf("visibility rankings wrong: %d by IPs, %d by bytes", len(vis.ByIPs), len(vis.ByBytes))
+	}
+
+	if code, body = get(fmt.Sprintf("/week/%d/links?k=5", first)); code != 200 {
+		t.Fatalf("links: %d %s", code, body)
+	}
+	var links []LinkEntry
+	if err := json.Unmarshal(body, &links); err != nil {
+		t.Fatal(err)
+	}
+	if len(links) == 0 || len(links) > 5 {
+		t.Fatalf("top links wrong: %d entries", len(links))
+	}
+	for i := 1; i < len(links); i++ {
+		if links[i].Bytes > links[i-1].Bytes {
+			t.Fatalf("links not bytes-descending at %d", i)
+		}
+	}
+
 	if code, body = get("/churn"); code != 200 {
 		t.Fatalf("churn: %d %s", code, body)
 	}
@@ -508,11 +539,11 @@ func TestGoldenServedAllWeeks(t *testing.T) {
 	direct := make(map[int]*snapshot.Snapshot, len(man.Weeks))
 	wantBody := make(map[int][]byte, len(man.Weeks))
 	for i, wk := range man.Weeks {
-		res, counts, err := capture.AnalyzeWeekFile(context.Background(), env, filepath.Join(dir, man.Files[i]), wk)
+		snap, err := capture.AnalyzeWeekSnapshot(context.Background(), env, filepath.Join(dir, man.Files[i]), wk)
 		if err != nil {
 			t.Fatalf("week %d: %v", wk, err)
 		}
-		snap := &snapshot.Snapshot{Result: res, Counts: counts, SourceDigest: man.Digests[i]}
+		snap.SourceDigest = man.Digests[i]
 		direct[wk] = snap
 		buf, err := json.Marshal(Summarize(snap))
 		if err != nil {
@@ -654,5 +685,120 @@ func TestStoreWriteSnapshots(t *testing.T) {
 	}
 	if m3.Analyses.Value() != 1 {
 		t.Fatalf("stale snapshot was served (analyses=%d)", m3.Analyses.Value())
+	}
+}
+
+// TestProductEndpointsServedFromSnapshot pins the multi-section serving
+// criterion: /visibility and /links answer from a persisted snapshot's
+// products without a single re-analysis, byte-identical to views built
+// from the direct analysis.
+func TestProductEndpointsServedFromSnapshot(t *testing.T) {
+	dir := campaign(t, 3, 2000)
+	man, err := capture.ReadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := man.Rebuild()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := man.Weeks[0]
+	snap, err := capture.AnalyzeWeekSnapshot(context.Background(), env, filepath.Join(dir, man.Files[0]), first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.SourceDigest = man.Digests[0]
+	if err := snapshot.SaveFile(filepath.Join(dir, snapshot.FileName(first)), snap); err != nil {
+		t.Fatal(err)
+	}
+
+	store, err := OpenStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s := New(store, Config{}, reg)
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	wantVis, err := VisibilityView(store.Env(), snap, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantVisBody, _ := json.Marshal(wantVis)
+	wantLinks, err := TopLinks(snap, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLinksBody, _ := json.Marshal(wantLinks)
+
+	for path, want := range map[string][]byte{
+		fmt.Sprintf("/week/%d/visibility?k=7", first): append(wantVisBody, '\n'),
+		fmt.Sprintf("/week/%d/links?k=7", first):      append(wantLinksBody, '\n'),
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s: status %d: %s", path, resp.StatusCode, body)
+		}
+		if !bytes.Equal(body, want) {
+			t.Fatalf("%s: served bytes diverged from direct view:\nwant %s\ngot  %s", path, want, body)
+		}
+	}
+	if n := reg.Counters()["serve_analyses_total"]; n != 0 {
+		t.Fatalf("product endpoints triggered %d analyses despite a complete snapshot", n)
+	}
+	if n := reg.Counters()["serve_snapshot_loads_total"]; n == 0 {
+		t.Fatal("snapshot never loaded")
+	}
+}
+
+// TestProductEndpointsWithoutAnalyzer404 narrows the serving registry to
+// the webserver analyzer alone: the product endpoints must answer 404
+// (ErrNoProduct), not crash or re-analyze into existence.
+func TestProductEndpointsWithoutAnalyzer404(t *testing.T) {
+	dir := campaign(t, 3, 2000)
+	store, err := OpenStore(dir, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrowed, err := analysis.Select("webserver")
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Env().Analyzers = narrowed
+	s := New(store, Config{}, obs.NewRegistry())
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	first := store.Weeks()[0]
+	for _, path := range []string{
+		fmt.Sprintf("/week/%d/visibility", first),
+		fmt.Sprintf("/week/%d/links", first),
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 404 {
+			t.Fatalf("%s: status %d, want 404: %s", path, resp.StatusCode, body)
+		}
+	}
+	// The summary endpoint still works: the webserver product exists.
+	resp, err := http.Get(fmt.Sprintf("%s/week/%d", ts.URL, first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("summary under narrowed registry: %d", resp.StatusCode)
 	}
 }

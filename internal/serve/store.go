@@ -144,23 +144,26 @@ func (st *Store) Load(ctx context.Context, isoWeek int) (*snapshot.Snapshot, err
 	if i < len(st.man.Digests) {
 		digest = st.man.Digests[i]
 	}
-	// A missing, damaged or stale snapshot degrades to re-analysis —
-	// the snapshot layer is an accelerator, never a correctness
-	// dependency.
+	// A missing, damaged, stale or product-incomplete snapshot degrades
+	// to re-analysis — the snapshot layer is an accelerator, never a
+	// correctness dependency. The product check upgrades legacy
+	// single-product (v1) snapshots: an endpoint needing visibility or
+	// links never 404s just because the snapshot predates them.
 	spath := filepath.Join(st.dir, snapshot.FileName(isoWeek))
 	if snap, err := snapshot.LoadFile(spath); err == nil &&
-		snap.Result.Week == isoWeek && freshSnapshot(snap, digest) {
+		snap.Result.Week == isoWeek && freshSnapshot(snap, digest) &&
+		st.completeSnapshot(snap) {
 		st.m.SnapshotLoads.Inc()
 		return snap, nil
 	}
 	start := time.Now()
-	res, counts, err := capture.AnalyzeWeekFile(ctx, st.env, filepath.Join(st.dir, st.man.Files[i]), isoWeek)
+	snap, err := capture.AnalyzeWeekSnapshot(ctx, st.env, filepath.Join(st.dir, st.man.Files[i]), isoWeek)
 	if err != nil {
 		return nil, err
 	}
 	st.m.Analyses.Inc()
 	st.m.AnalyzeNanos.ObserveSince(start)
-	snap := &snapshot.Snapshot{Result: res, Counts: counts, SourceDigest: digest}
+	snap.SourceDigest = digest
 	if st.writeSnapshots {
 		if err := snapshot.SaveFile(spath, snap); err != nil {
 			st.m.SnapshotWriteErrors.Inc()
@@ -169,6 +172,17 @@ func (st *Store) Load(ctx context.Context, isoWeek int) (*snapshot.Snapshot, err
 		}
 	}
 	return snap, nil
+}
+
+// completeSnapshot reports whether snap carries every product the
+// store's analyzer registry serves.
+func (st *Store) completeSnapshot(snap *snapshot.Snapshot) bool {
+	for _, name := range st.env.Registry().Names() {
+		if !snap.HasProduct(name) {
+			return false
+		}
+	}
+	return true
 }
 
 // freshSnapshot reports whether a loaded snapshot still corresponds to

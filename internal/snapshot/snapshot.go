@@ -1,24 +1,38 @@
-// Package snapshot persists one fully analyzed week — the
-// identification result, the dissection cascade counts and the week's
-// loss annotation — in a versioned, checksummed binary container, so a
+// Package snapshot persists one fully analyzed week — every registered
+// analyzer's product, the dissection cascade counts and the week's
+// source binding — in a versioned, checksummed binary container, so a
 // serving layer can reload an analyzed week in milliseconds instead of
-// re-running the capture→dissect→identify pipeline.
+// re-running the capture→dissect→analyze pipeline.
 //
-// Layout ("IXPSNAP1"):
+// The current container is the multi-section "IXPSNAP2":
+//
+//	file    := "IXPSNAP2" nSections:u32 tableLen:u32 tableCrc:u32 entry* payload*
+//	entry   := nameLen:u8 name version:u16 payLen:u32 crc:u32
+//	payload := one section's bytes, in table order
+//
+// Sections are sorted by name, each payload carries its own CRC32C, and
+// tableCrc covers the entry region itself (verified before any entry is
+// parsed), so a flipped bit anywhere past the fixed header surfaces as
+// ErrChecksum — naming the damaged section when it hit a payload —
+// instead of decoding to a silently wrong product. The known
+// sections are "meta" (the capture digest binding), "counts" (the
+// cascade tallies) and one per builtin analyzer ("webserver",
+// "visibility", "links"); unknown section names round-trip untouched
+// through Extra, while a known section with an unrecognized version
+// fails with the typed ErrSectionVersion. Everything is encoded
+// deterministically (sorted sections, sorted servers/IPs/flows), so
+// encoding the same snapshot twice yields byte-identical files — the
+// supervisor's crash-resume digests and the golden equivalence tests
+// depend on that.
+//
+// The legacy single-section "IXPSNAP1" layout
 //
 //	file    := "IXPSNAP1" rawLen:u32 crc:u32 payload[rawLen]
 //	payload := digest counts result
-//	counts  := 8 cascade tallies + 3 byte totals, all u64
-//	result  := week:u32 estLoss:f64bits funnel:u64×4 serverBytes:u64
-//	           nServers:u32 server*
-//	server  := ip:u32 flags:u8 bytes:u64 member:u32 ports hosts cert
 //
-// All integers are big-endian. The crc is CRC32C over the payload, so
-// a flipped bit on disk surfaces as ErrChecksum instead of decoding to
-// a silently wrong result. Servers are encoded sorted by IP, strings
-// and sets in their (already deterministic) stored order, so encoding
-// the same result twice yields byte-identical files — the golden
-// equivalence tests depend on that.
+// is still both readable (Decode sniffs the magic) and writable
+// (AppendEncodeV1/SaveFileV1), byte-identical to what PR 7 shipped, for
+// campaigns that must stay consumable by older builds.
 package snapshot
 
 import (
@@ -27,24 +41,33 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"math"
 	"os"
 	"path/filepath"
 	"sort"
 
+	"ixplens/internal/analysis"
 	"ixplens/internal/core/dissect"
 	"ixplens/internal/core/webserver"
-	"ixplens/internal/packet"
 )
 
-var magic = [8]byte{'I', 'X', 'P', 'S', 'N', 'A', 'P', '1'}
+var (
+	magicV1 = [8]byte{'I', 'X', 'P', 'S', 'N', 'A', 'P', '1'}
+	magicV2 = [8]byte{'I', 'X', 'P', 'S', 'N', 'A', 'P', '2'}
+)
 
-// headerLen is magic(8) + rawLen(4) + crc(4).
-const headerLen = 16
+// headerLenV1 is magic(8) + rawLen(4) + crc(4).
+const headerLenV1 = 16
 
-// maxPayload bounds a declared payload so a corrupt length field cannot
-// trigger a huge allocation before the checksum is even read.
+// headerLenV2 is magic(8) + nSections(4) + tableLen(4) + tableCrc(4).
+const headerLenV2 = 20
+
+// maxPayload bounds a declared payload (whole-file for v1, per-section
+// for v2) so a corrupt length field cannot trigger a huge allocation
+// before the checksum is even read.
 const maxPayload = 1 << 28
+
+// maxSections bounds a v2 section count; the table is tiny in practice.
+const maxSections = 1 << 10
 
 // Sentinel errors, testable with errors.Is.
 var (
@@ -55,9 +78,30 @@ var (
 	// ErrFormat marks a payload that verified but does not decode —
 	// a truncated write or a newer field layout.
 	ErrFormat = errors.New("snapshot: malformed payload")
+	// ErrSectionVersion marks a known section carrying a version this
+	// build cannot decode — written by a newer build, or corrupted in a
+	// way the checksum cannot catch (it covers the payload, not the
+	// table entry).
+	ErrSectionVersion = errors.New("snapshot: unsupported section version")
 )
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Known non-analyzer section names.
+const (
+	secMeta   = "meta"
+	secCounts = "counts"
+)
+
+// Section is one named, versioned unit of a v2 container that this
+// build has no typed decoding for. Decode preserves unknown sections
+// here and AppendEncode writes them back, so a snapshot written by a
+// build with more analyzers survives a rewrite by this one.
+type Section struct {
+	Name    string
+	Version uint16
+	Payload []byte
+}
 
 // Snapshot bundles everything the serving layer needs for one analyzed
 // week.
@@ -71,6 +115,14 @@ type Snapshot struct {
 	// so a reader can detect a snapshot gone stale after the capture
 	// was rewritten. Empty means unknown.
 	SourceDigest string
+	// Visibility is the §3 per-IP traffic product; nil when the
+	// visibility analyzer did not run (or the snapshot predates it).
+	Visibility *analysis.VisibilityProduct
+	// Links is the §5 peering-flow product; nil when absent.
+	Links *analysis.LinksProduct
+	// Extra carries sections of analyzers this build does not know,
+	// preserved byte-for-byte.
+	Extra []Section
 }
 
 // FileName returns the conventional snapshot file name for a week.
@@ -78,33 +130,58 @@ func FileName(isoWeek int) string {
 	return fmt.Sprintf("week-%02d.snap", isoWeek)
 }
 
-// Server flag bits.
-const (
-	flagHTTP = 1 << iota
-	flagHTTPS
-	flagAlsoClient
-)
-
-// AppendEncode appends the full container (header + payload) to dst and
-// returns the extended slice.
-func AppendEncode(dst []byte, snap *Snapshot) ([]byte, error) {
-	if snap == nil || snap.Result == nil {
-		return dst, errors.New("snapshot: nil result")
+// FromProducts assembles a snapshot from one fused analysis run: typed
+// fields for the builtin products, encoded Extra sections for any
+// analyzer this package has no field for — every registered product is
+// persisted either way. SourceDigest is left for the caller to bind.
+func FromProducts(p *analysis.Products, counts dissect.Counts) (*Snapshot, error) {
+	snap := &Snapshot{Counts: counts}
+	for _, np := range p.All() {
+		switch prod := np.P.(type) {
+		case *analysis.WebserverProduct:
+			snap.Result = prod.Res
+		case *analysis.VisibilityProduct:
+			snap.Visibility = prod
+		case *analysis.LinksProduct:
+			snap.Links = prod
+		default:
+			payload, err := np.P.AppendEncode(nil)
+			if err != nil {
+				return nil, fmt.Errorf("snapshot: encoding product %q: %w", np.Name, err)
+			}
+			snap.Extra = append(snap.Extra, Section{Name: np.Name, Version: np.Version, Payload: payload})
+		}
 	}
-	payload, err := appendPayload(nil, snap)
-	if err != nil {
-		return dst, err
+	if snap.Result == nil {
+		return nil, errors.New("snapshot: product set lacks the webserver result")
 	}
-	dst = append(dst, magic[:]...)
-	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
-	dst = binary.BigEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
-	return append(dst, payload...), nil
+	return snap, nil
 }
 
-func appendPayload(b []byte, snap *Snapshot) ([]byte, error) {
-	b = appendString(b, snap.SourceDigest)
+// HasProduct reports whether the snapshot carries the named analyzer's
+// product — the staleness signal the serving and supervising layers use
+// to re-analyze legacy (v1, or narrower-registry) snapshots.
+func (s *Snapshot) HasProduct(name string) bool {
+	switch name {
+	case analysis.NameWebserver:
+		return s.Result != nil
+	case analysis.NameVisibility:
+		return s.Visibility != nil
+	case analysis.NameLinks:
+		return s.Links != nil
+	}
+	for i := range s.Extra {
+		if s.Extra[i].Name == name {
+			return true
+		}
+	}
+	return false
+}
 
-	c := &snap.Counts
+// appendCounts appends the cascade tallies (8 cascade ints + 3 byte
+// totals, all u64 big-endian) — the layout both container versions
+// share.
+func appendCounts(b []byte, c *dissect.Counts) []byte {
 	for _, v := range []int{c.Total, c.Undecodable, c.NonIPv4, c.Local,
 		c.NonTCPUDP, c.PeeringTCP, c.PeeringUDP, c.PanicQuarantined} {
 		b = binary.BigEndian.AppendUint64(b, uint64(v))
@@ -112,217 +189,274 @@ func appendPayload(b []byte, snap *Snapshot) ([]byte, error) {
 	b = binary.BigEndian.AppendUint64(b, c.TotalBytes)
 	b = binary.BigEndian.AppendUint64(b, c.PeeringTCPBytes)
 	b = binary.BigEndian.AppendUint64(b, c.PeeringUDPBytes)
-
-	r := snap.Result
-	b = binary.BigEndian.AppendUint32(b, uint32(r.Week))
-	b = binary.BigEndian.AppendUint64(b, math.Float64bits(r.EstLoss))
-	for _, v := range []int{r.Candidates443, r.Responded443, r.Valid443, r.TotalIPs} {
-		b = binary.BigEndian.AppendUint64(b, uint64(v))
-	}
-	b = binary.BigEndian.AppendUint64(b, r.ServerBytes)
-
-	ips := make([]packet.IPv4Addr, 0, len(r.Servers))
-	for ip := range r.Servers {
-		ips = append(ips, ip)
-	}
-	sort.Slice(ips, func(i, j int) bool { return ips[i] < ips[j] })
-	b = binary.BigEndian.AppendUint32(b, uint32(len(ips)))
-	for _, ip := range ips {
-		s := r.Servers[ip]
-		b = binary.BigEndian.AppendUint32(b, uint32(ip))
-		var flags byte
-		if s.HTTP {
-			flags |= flagHTTP
-		}
-		if s.HTTPS {
-			flags |= flagHTTPS
-		}
-		if s.AlsoClient {
-			flags |= flagAlsoClient
-		}
-		b = append(b, flags)
-		b = binary.BigEndian.AppendUint64(b, s.Bytes)
-		b = binary.BigEndian.AppendUint32(b, uint32(s.Member))
-		if len(s.Ports) > 255 {
-			return b, fmt.Errorf("snapshot: server %v has %d ports", ip, len(s.Ports))
-		}
-		b = append(b, byte(len(s.Ports)))
-		for _, p := range s.Ports {
-			b = binary.BigEndian.AppendUint16(b, p)
-		}
-		b = binary.BigEndian.AppendUint16(b, uint16(len(s.Hosts)))
-		for _, h := range s.Hosts {
-			b = appendString(b, h)
-		}
-		b = appendString(b, s.Cert.Subject)
-		b = binary.BigEndian.AppendUint16(b, uint16(len(s.Cert.AltNames)))
-		for _, a := range s.Cert.AltNames {
-			b = appendString(b, a)
-		}
-	}
-	return b, nil
+	return b
 }
 
-func appendString(b []byte, s string) []byte {
-	if len(s) > math.MaxUint16 {
-		s = s[:math.MaxUint16]
+func readCounts(cur *analysis.Cursor, c *dissect.Counts) {
+	for _, dst := range []*int{&c.Total, &c.Undecodable, &c.NonIPv4, &c.Local,
+		&c.NonTCPUDP, &c.PeeringTCP, &c.PeeringUDP, &c.PanicQuarantined} {
+		*dst = int(cur.U64())
 	}
-	b = binary.BigEndian.AppendUint16(b, uint16(len(s)))
-	return append(b, s...)
+	c.TotalBytes = cur.U64()
+	c.PeeringTCPBytes = cur.U64()
+	c.PeeringUDPBytes = cur.U64()
 }
 
-// Decode parses a full container from buf.
+// AppendEncode appends the current (IXPSNAP2) container to dst and
+// returns the extended slice.
+func AppendEncode(dst []byte, snap *Snapshot) ([]byte, error) {
+	if snap == nil || snap.Result == nil {
+		return dst, errors.New("snapshot: nil result")
+	}
+	secs := make([]Section, 0, 5+len(snap.Extra))
+	secs = append(secs,
+		Section{Name: secMeta, Version: 1, Payload: analysis.AppendString(nil, snap.SourceDigest)},
+		Section{Name: secCounts, Version: 1, Payload: appendCounts(nil, &snap.Counts)},
+	)
+	wsPayload, err := analysis.AppendResult(nil, snap.Result)
+	if err != nil {
+		return dst, err
+	}
+	secs = append(secs, Section{Name: analysis.NameWebserver, Version: 1, Payload: wsPayload})
+	if snap.Visibility != nil {
+		payload, err := snap.Visibility.AppendEncode(nil)
+		if err != nil {
+			return dst, err
+		}
+		secs = append(secs, Section{Name: analysis.NameVisibility, Version: 1, Payload: payload})
+	}
+	if snap.Links != nil {
+		payload, err := snap.Links.AppendEncode(nil)
+		if err != nil {
+			return dst, err
+		}
+		secs = append(secs, Section{Name: analysis.NameLinks, Version: 1, Payload: payload})
+	}
+	secs = append(secs, snap.Extra...)
+
+	sort.Slice(secs, func(i, j int) bool { return secs[i].Name < secs[j].Name })
+	for i := range secs {
+		if i > 0 && secs[i].Name == secs[i-1].Name {
+			return dst, fmt.Errorf("snapshot: duplicate section %q", secs[i].Name)
+		}
+		if len(secs[i].Name) == 0 || len(secs[i].Name) > 255 {
+			return dst, fmt.Errorf("snapshot: section name %q out of range", secs[i].Name)
+		}
+		if len(secs[i].Payload) > maxPayload {
+			return dst, fmt.Errorf("snapshot: section %q payload of %d bytes", secs[i].Name, len(secs[i].Payload))
+		}
+	}
+
+	var table []byte
+	for i := range secs {
+		table = append(table, byte(len(secs[i].Name)))
+		table = append(table, secs[i].Name...)
+		table = binary.BigEndian.AppendUint16(table, secs[i].Version)
+		table = binary.BigEndian.AppendUint32(table, uint32(len(secs[i].Payload)))
+		table = binary.BigEndian.AppendUint32(table, crc32.Checksum(secs[i].Payload, castagnoli))
+	}
+	dst = append(dst, magicV2[:]...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(secs)))
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(table)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.Checksum(table, castagnoli))
+	dst = append(dst, table...)
+	for i := range secs {
+		dst = append(dst, secs[i].Payload...)
+	}
+	return dst, nil
+}
+
+// AppendEncodeV1 appends the legacy IXPSNAP1 container — byte-identical
+// to what pre-registry builds wrote. It carries only the identification
+// result, counts and digest; visibility/links/Extra products are NOT
+// representable in v1 and are silently dropped, which is the point:
+// older consumers read exactly the file they always did.
+func AppendEncodeV1(dst []byte, snap *Snapshot) ([]byte, error) {
+	if snap == nil || snap.Result == nil {
+		return dst, errors.New("snapshot: nil result")
+	}
+	payload := analysis.AppendString(nil, snap.SourceDigest)
+	payload = appendCounts(payload, &snap.Counts)
+	payload, err := analysis.AppendResult(payload, snap.Result)
+	if err != nil {
+		return dst, err
+	}
+	dst = append(dst, magicV1[:]...)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(payload)))
+	dst = binary.BigEndian.AppendUint32(dst, crc32.Checksum(payload, castagnoli))
+	return append(dst, payload...), nil
+}
+
+// Decode parses a full container from buf, sniffing the version.
 func Decode(buf []byte) (*Snapshot, error) {
-	if len(buf) < headerLen || [8]byte(buf[:8]) != magic {
+	if len(buf) >= 8 && [8]byte(buf[:8]) == magicV2 {
+		return decodeV2(buf)
+	}
+	if len(buf) < headerLenV1 || [8]byte(buf[:8]) != magicV1 {
 		return nil, ErrBadMagic
 	}
 	rawLen := binary.BigEndian.Uint32(buf[8:12])
 	crc := binary.BigEndian.Uint32(buf[12:16])
-	if rawLen > maxPayload || int(rawLen) != len(buf)-headerLen {
+	if rawLen > maxPayload || int(rawLen) != len(buf)-headerLenV1 {
 		return nil, fmt.Errorf("%w: payload length %d does not frame %d bytes",
-			ErrFormat, rawLen, len(buf)-headerLen)
+			ErrFormat, rawLen, len(buf)-headerLenV1)
 	}
-	payload := buf[headerLen:]
+	payload := buf[headerLenV1:]
 	if crc32.Checksum(payload, castagnoli) != crc {
 		return nil, ErrChecksum
 	}
-	return decodePayload(payload)
+	return decodePayloadV1(payload)
 }
 
-// cursor is a bounds-checked big-endian reader over the payload; the
-// first short read poisons it and every later take returns zero.
-type cursor struct {
-	b   []byte
-	bad bool
-}
-
-func (c *cursor) take(n int) []byte {
-	if c.bad || len(c.b) < n {
-		c.bad = true
-		return nil
+func decodePayloadV1(payload []byte) (*Snapshot, error) {
+	cur := analysis.NewCursor(payload)
+	snap := &Snapshot{SourceDigest: cur.Str()}
+	readCounts(cur, &snap.Counts)
+	res, err := analysis.ReadResult(cur)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
 	}
-	out := c.b[:n]
-	c.b = c.b[n:]
-	return out
-}
-
-func (c *cursor) u8() byte {
-	b := c.take(1)
-	if b == nil {
-		return 0
-	}
-	return b[0]
-}
-
-func (c *cursor) u16() uint16 {
-	b := c.take(2)
-	if b == nil {
-		return 0
-	}
-	return binary.BigEndian.Uint16(b)
-}
-
-func (c *cursor) u32() uint32 {
-	b := c.take(4)
-	if b == nil {
-		return 0
-	}
-	return binary.BigEndian.Uint32(b)
-}
-
-func (c *cursor) u64() uint64 {
-	b := c.take(8)
-	if b == nil {
-		return 0
-	}
-	return binary.BigEndian.Uint64(b)
-}
-
-func (c *cursor) str() string {
-	n := int(c.u16())
-	b := c.take(n)
-	if b == nil {
-		return ""
-	}
-	return string(b)
-}
-
-func decodePayload(payload []byte) (*Snapshot, error) {
-	cur := &cursor{b: payload}
-	snap := &Snapshot{SourceDigest: cur.str()}
-
-	c := &snap.Counts
-	for _, dst := range []*int{&c.Total, &c.Undecodable, &c.NonIPv4, &c.Local,
-		&c.NonTCPUDP, &c.PeeringTCP, &c.PeeringUDP, &c.PanicQuarantined} {
-		*dst = int(cur.u64())
-	}
-	c.TotalBytes = cur.u64()
-	c.PeeringTCPBytes = cur.u64()
-	c.PeeringUDPBytes = cur.u64()
-
-	r := &webserver.Result{Week: int(cur.u32())}
-	r.EstLoss = math.Float64frombits(cur.u64())
-	for _, dst := range []*int{&r.Candidates443, &r.Responded443, &r.Valid443, &r.TotalIPs} {
-		*dst = int(cur.u64())
-	}
-	r.ServerBytes = cur.u64()
-
-	nServers := int(cur.u32())
-	if cur.bad || nServers > len(cur.b) {
-		// Each server occupies well over one payload byte, so a count
-		// exceeding the remaining payload is structurally impossible.
-		return nil, fmt.Errorf("%w: truncated result header", ErrFormat)
-	}
-	r.Servers = make(map[packet.IPv4Addr]*webserver.Server, nServers)
-	for i := 0; i < nServers; i++ {
-		s := &webserver.Server{IP: packet.IPv4Addr(cur.u32())}
-		flags := cur.u8()
-		s.HTTP = flags&flagHTTP != 0
-		s.HTTPS = flags&flagHTTPS != 0
-		s.AlsoClient = flags&flagAlsoClient != 0
-		s.Bytes = cur.u64()
-		s.Member = int32(cur.u32())
-		if nPorts := int(cur.u8()); nPorts > 0 {
-			s.Ports = make([]uint16, nPorts)
-			for j := range s.Ports {
-				s.Ports[j] = cur.u16()
-			}
-		}
-		if nHosts := int(cur.u16()); nHosts > 0 {
-			if nHosts > len(cur.b) {
-				return nil, fmt.Errorf("%w: truncated server record", ErrFormat)
-			}
-			s.Hosts = make([]string, nHosts)
-			for j := range s.Hosts {
-				s.Hosts[j] = cur.str()
-			}
-		}
-		s.Cert.Subject = cur.str()
-		if nAlt := int(cur.u16()); nAlt > 0 {
-			if nAlt > len(cur.b) {
-				return nil, fmt.Errorf("%w: truncated cert record", ErrFormat)
-			}
-			s.Cert.AltNames = make([]string, nAlt)
-			for j := range s.Cert.AltNames {
-				s.Cert.AltNames[j] = cur.str()
-			}
-		}
-		if cur.bad {
-			return nil, fmt.Errorf("%w: truncated server record", ErrFormat)
-		}
-		r.Servers[s.IP] = s
-	}
-	if cur.bad {
+	if cur.Bad() {
 		return nil, fmt.Errorf("%w: truncated payload", ErrFormat)
 	}
-	if len(cur.b) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFormat, len(cur.b))
+	if cur.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrFormat, cur.Len())
 	}
-	snap.Result = r
+	snap.Result = res
 	return snap, nil
 }
 
-// Write encodes snap and writes the container to w.
+func decodeV2(buf []byte) (*Snapshot, error) {
+	cur := analysis.NewCursor(buf[8:])
+	n := int(cur.U32())
+	tableLen := int(cur.U32())
+	tableCrc := cur.U32()
+	if cur.Bad() || n > maxSections {
+		return nil, fmt.Errorf("%w: section count %d", ErrFormat, n)
+	}
+	if tableLen > cur.Len() {
+		return nil, fmt.Errorf("%w: truncated section table", ErrFormat)
+	}
+	table := cur.Take(tableLen)
+	if crc32.Checksum(table, castagnoli) != tableCrc {
+		return nil, fmt.Errorf("%w: section table", ErrChecksum)
+	}
+	type entry struct {
+		name    string
+		version uint16
+		length  uint32
+		crc     uint32
+	}
+	entries := make([]entry, n)
+	total := 0
+	tcur := analysis.NewCursor(table)
+	for i := range entries {
+		nameLen := int(tcur.U8())
+		entries[i].name = string(tcur.Take(nameLen))
+		entries[i].version = tcur.U16()
+		entries[i].length = tcur.U32()
+		entries[i].crc = tcur.U32()
+		if tcur.Bad() {
+			return nil, fmt.Errorf("%w: truncated section table", ErrFormat)
+		}
+		if entries[i].name == "" {
+			return nil, fmt.Errorf("%w: empty section name", ErrFormat)
+		}
+		if entries[i].length > maxPayload {
+			return nil, fmt.Errorf("%w: section %q payload of %d bytes",
+				ErrFormat, entries[i].name, entries[i].length)
+		}
+		total += int(entries[i].length)
+	}
+	if tcur.Len() != 0 {
+		return nil, fmt.Errorf("%w: %d bytes of section table beyond %d entries",
+			ErrFormat, tcur.Len(), n)
+	}
+	if total != cur.Len() {
+		return nil, fmt.Errorf("%w: section table frames %d bytes, %d present",
+			ErrFormat, total, cur.Len())
+	}
+
+	snap := &Snapshot{}
+	seen := make(map[string]bool, n)
+	var sawMeta, sawCounts bool
+	for i := range entries {
+		e := &entries[i]
+		payload := cur.Take(int(e.length))
+		if seen[e.name] {
+			return nil, fmt.Errorf("%w: duplicate section %q", ErrFormat, e.name)
+		}
+		seen[e.name] = true
+		if crc32.Checksum(payload, castagnoli) != e.crc {
+			return nil, fmt.Errorf("%w: section %q", ErrChecksum, e.name)
+		}
+		switch e.name {
+		case secMeta:
+			if e.version != 1 {
+				return nil, sectionVersionErr(e.name, e.version)
+			}
+			sc := analysis.NewCursor(payload)
+			snap.SourceDigest = sc.Str()
+			if sc.Bad() || sc.Len() != 0 {
+				return nil, fmt.Errorf("%w: malformed meta section", ErrFormat)
+			}
+			sawMeta = true
+		case secCounts:
+			if e.version != 1 {
+				return nil, sectionVersionErr(e.name, e.version)
+			}
+			sc := analysis.NewCursor(payload)
+			readCounts(sc, &snap.Counts)
+			if sc.Bad() || sc.Len() != 0 {
+				return nil, fmt.Errorf("%w: malformed counts section", ErrFormat)
+			}
+			sawCounts = true
+		case analysis.NameWebserver:
+			res, err := analysis.DecodeResult(e.version, payload)
+			if err != nil {
+				return nil, mapAnalysisErr(e.name, e.version, err)
+			}
+			snap.Result = res
+		case analysis.NameVisibility:
+			vp, err := analysis.DecodeVisibility(e.version, payload)
+			if err != nil {
+				return nil, mapAnalysisErr(e.name, e.version, err)
+			}
+			snap.Visibility = vp
+		case analysis.NameLinks:
+			lp, err := analysis.DecodeLinks(e.version, payload)
+			if err != nil {
+				return nil, mapAnalysisErr(e.name, e.version, err)
+			}
+			snap.Links = lp
+		default:
+			// An analyzer this build does not know: preserve the section
+			// so a rewrite does not lose it.
+			cp := make([]byte, len(payload))
+			copy(cp, payload)
+			snap.Extra = append(snap.Extra, Section{Name: e.name, Version: e.version, Payload: cp})
+		}
+	}
+	if !sawMeta || !sawCounts || snap.Result == nil {
+		return nil, fmt.Errorf("%w: missing required section (meta/counts/webserver)", ErrFormat)
+	}
+	return snap, nil
+}
+
+func sectionVersionErr(name string, version uint16) error {
+	return fmt.Errorf("%w: section %q v%d", ErrSectionVersion, name, version)
+}
+
+// mapAnalysisErr translates a product codec failure into this package's
+// typed errors.
+func mapAnalysisErr(name string, version uint16, err error) error {
+	if errors.Is(err, analysis.ErrVersion) {
+		return sectionVersionErr(name, version)
+	}
+	return fmt.Errorf("%w: section %q: %v", ErrFormat, name, err)
+}
+
+// Write encodes snap (current container version) and writes it to w.
 func Write(w io.Writer, snap *Snapshot) error {
 	buf, err := AppendEncode(nil, snap)
 	if err != nil {
@@ -334,26 +468,41 @@ func Write(w io.Writer, snap *Snapshot) error {
 
 // Read decodes one container from r, consuming it fully.
 func Read(r io.Reader) (*Snapshot, error) {
-	var hdr [headerLen]byte
+	var hdr [8]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
 			return nil, ErrBadMagic
 		}
 		return nil, err
 	}
-	if [8]byte(hdr[:8]) != magic {
+	switch hdr {
+	case magicV2:
+		// The v2 table is variable-length, so the stream form buffers
+		// the rest; snapshot files are small (one analyzed week).
+		rest, err := io.ReadAll(io.LimitReader(r, maxPayload))
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		return decodeV2(append(hdr[:], rest...))
+	case magicV1:
+		var lenCrc [8]byte
+		if _, err := io.ReadFull(r, lenCrc[:]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		rawLen := binary.BigEndian.Uint32(lenCrc[:4])
+		if rawLen > maxPayload {
+			return nil, fmt.Errorf("%w: declared payload of %d bytes", ErrFormat, rawLen)
+		}
+		buf := make([]byte, headerLenV1+int(rawLen))
+		copy(buf, hdr[:])
+		copy(buf[8:], lenCrc[:])
+		if _, err := io.ReadFull(r, buf[headerLenV1:]); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrFormat, err)
+		}
+		return Decode(buf)
+	default:
 		return nil, ErrBadMagic
 	}
-	rawLen := binary.BigEndian.Uint32(hdr[8:12])
-	if rawLen > maxPayload {
-		return nil, fmt.Errorf("%w: declared payload of %d bytes", ErrFormat, rawLen)
-	}
-	buf := make([]byte, headerLen+int(rawLen))
-	copy(buf, hdr[:])
-	if _, err := io.ReadFull(r, buf[headerLen:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrFormat, err)
-	}
-	return Decode(buf)
 }
 
 // SaveFile writes snap to path atomically: encode to a temp file in the
@@ -365,6 +514,20 @@ func SaveFile(path string, snap *Snapshot) error {
 	if err != nil {
 		return err
 	}
+	return saveBytes(path, buf)
+}
+
+// SaveFileV1 writes the legacy single-section container, for campaigns
+// that must stay readable by pre-registry builds.
+func SaveFileV1(path string, snap *Snapshot) error {
+	buf, err := AppendEncodeV1(nil, snap)
+	if err != nil {
+		return err
+	}
+	return saveBytes(path, buf)
+}
+
+func saveBytes(path string, buf []byte) error {
 	f, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
 	if err != nil {
 		return err

@@ -3,14 +3,18 @@ package snapshot
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
 
+	"ixplens/internal/analysis"
 	"ixplens/internal/certsim"
 	"ixplens/internal/core/dissect"
+	"ixplens/internal/core/visibility"
 	"ixplens/internal/core/webserver"
 	"ixplens/internal/netmodel"
 	"ixplens/internal/packet"
@@ -18,10 +22,11 @@ import (
 	"ixplens/internal/traffic"
 )
 
-// synthetic builds a snapshot that exercises every field shape: flags
-// in all combinations, empty and populated sets, certificate alt
-// names, a non-zero loss annotation.
-func synthetic() *Snapshot {
+// syntheticV1 builds a snapshot with only the fields the legacy
+// IXPSNAP1 container can carry, exercising every field shape: flags in
+// all combinations, empty and populated sets, certificate alt names, a
+// non-zero loss annotation.
+func syntheticV1() *Snapshot {
 	res := &webserver.Result{
 		Week:          45,
 		Servers:       map[packet.IPv4Addr]*webserver.Server{},
@@ -57,6 +62,24 @@ func synthetic() *Snapshot {
 	}
 }
 
+// synthetic extends syntheticV1 with every multi-section shape: both
+// optional analyzer products (including a zero-byte visibility entry)
+// and an unknown Extra section from a hypothetical future analyzer.
+func synthetic() *Snapshot {
+	snap := syntheticV1()
+	snap.Visibility = &analysis.VisibilityProduct{PerIP: []visibility.IPTraffic{
+		{IP: packet.MakeIPv4(10, 0, 0, 1), Bytes: 99},
+		{IP: packet.MakeIPv4(10, 0, 0, 2), Bytes: 0},
+		{IP: packet.MakeIPv4(172, 16, 0, 9), Bytes: 1 << 33},
+	}}
+	snap.Links = &analysis.LinksProduct{Flows: []analysis.Flow{
+		{FlowKey: analysis.FlowKey{Src: packet.MakeIPv4(10, 0, 0, 1), Dst: packet.MakeIPv4(172, 16, 0, 9), In: 3, Out: 7}, Bytes: 4096, Samples: 2},
+		{FlowKey: analysis.FlowKey{Src: packet.MakeIPv4(10, 0, 0, 2), Dst: packet.MakeIPv4(10, 0, 0, 1), In: 7, Out: -1}, Bytes: 1 << 20, Samples: 9},
+	}}
+	snap.Extra = []Section{{Name: "zz-future", Version: 3, Payload: []byte{1, 2, 3, 4}}}
+	return snap
+}
+
 func TestRoundTripSynthetic(t *testing.T) {
 	snap := synthetic()
 	buf, err := AppendEncode(nil, snap)
@@ -81,18 +104,70 @@ func TestRoundTripSynthetic(t *testing.T) {
 	}
 }
 
-func TestRoundTripViaReaderWriter(t *testing.T) {
-	snap := synthetic()
-	var b bytes.Buffer
-	if err := Write(&b, snap); err != nil {
+func TestRoundTripV1(t *testing.T) {
+	snap := syntheticV1()
+	buf, err := AppendEncodeV1(nil, snap)
+	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := Read(&b)
+	if string(buf[:8]) != "IXPSNAP1" {
+		t.Fatalf("v1 writer emitted magic %q", buf[:8])
+	}
+	got, err := Decode(buf)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !reflect.DeepEqual(snap, got) {
-		t.Fatal("reader/writer round trip diverged")
+		t.Fatalf("v1 round trip diverged:\nwant %+v\ngot  %+v", snap, got)
+	}
+}
+
+// TestGoldenV1Fixture pins backward compatibility against a committed
+// file written by the pre-registry (single-section) snapshot writer:
+// it must still decode, and AppendEncodeV1 must reproduce it
+// byte-for-byte — the proof that the legacy writer survived the codec
+// refactor unchanged.
+func TestGoldenV1Fixture(t *testing.T) {
+	fixture, err := os.ReadFile(filepath.Join("testdata", "week-45.v1.snap"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := Decode(fixture)
+	if err != nil {
+		t.Fatalf("legacy fixture no longer decodes: %v", err)
+	}
+	if !reflect.DeepEqual(snap, syntheticV1()) {
+		t.Fatalf("legacy fixture decoded to unexpected snapshot:\n%+v", snap)
+	}
+	reenc, err := AppendEncodeV1(nil, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fixture, reenc) {
+		t.Fatal("AppendEncodeV1 no longer byte-identical to the legacy writer")
+	}
+}
+
+func TestRoundTripViaReaderWriter(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		encode func([]byte, *Snapshot) ([]byte, error)
+		snap   *Snapshot
+	}{
+		{"v2", AppendEncode, synthetic()},
+		{"v1", AppendEncodeV1, syntheticV1()},
+	} {
+		buf, err := tc.encode(nil, tc.snap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(tc.snap, got) {
+			t.Fatalf("%s: reader round trip diverged", tc.name)
+		}
 	}
 }
 
@@ -120,59 +195,198 @@ func TestFileRoundTrip(t *testing.T) {
 }
 
 func TestDecodeRejectsDamage(t *testing.T) {
-	buf, err := AppendEncode(nil, synthetic())
-	if err != nil {
-		t.Fatal(err)
-	}
+	for _, tc := range []struct {
+		name      string
+		encode    func([]byte, *Snapshot) ([]byte, error)
+		snap      *Snapshot
+		headerLen int
+	}{
+		{"v2", AppendEncode, synthetic(), headerLenV2},
+		{"v1", AppendEncodeV1, syntheticV1(), headerLenV1},
+	} {
+		buf, err := tc.encode(nil, tc.snap)
+		if err != nil {
+			t.Fatal(err)
+		}
 
-	// Every single-bit flip in the payload must surface as ErrChecksum,
-	// never decode to a silently different result.
-	for off := headerLen; off < len(buf); off += 97 {
+		// Every single-bit flip past the fixed header must surface as
+		// ErrChecksum (the table and every payload are each covered by
+		// a CRC), never decode to a silently different result.
+		for off := tc.headerLen; off < len(buf); off += 7 {
+			bad := bytes.Clone(buf)
+			bad[off] ^= 0x40
+			if _, err := Decode(bad); !errors.Is(err, ErrChecksum) {
+				t.Fatalf("%s: flip at %d: got %v, want ErrChecksum", tc.name, off, err)
+			}
+		}
+		// Flips inside the header fields must still fail — the exact
+		// error depends on which field was hit.
+		for off := 8; off < tc.headerLen; off++ {
+			bad := bytes.Clone(buf)
+			bad[off] ^= 0x40
+			if _, err := Decode(bad); err == nil {
+				t.Fatalf("%s: header flip at %d decoded successfully", tc.name, off)
+			}
+		}
+
+		// Wrong magic.
 		bad := bytes.Clone(buf)
-		bad[off] ^= 0x40
-		if _, err := Decode(bad); !errors.Is(err, ErrChecksum) {
-			t.Fatalf("flip at %d: got %v, want ErrChecksum", off, err)
+		bad[0] = 'X'
+		if _, err := Decode(bad); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("%s: bad magic: got %v", tc.name, err)
 		}
-	}
 
-	// Wrong magic.
-	bad := bytes.Clone(buf)
-	bad[0] = 'X'
-	if _, err := Decode(bad); !errors.Is(err, ErrBadMagic) {
-		t.Fatalf("bad magic: got %v", err)
-	}
-
-	// Truncation at any point fails cleanly (magic, format or checksum
-	// error depending on the cut — never a panic or a wrong result).
-	for cut := 0; cut < len(buf); cut += 13 {
-		if _, err := Decode(buf[:cut]); err == nil {
-			t.Fatalf("truncation at %d decoded successfully", cut)
+		// Truncation at any point fails cleanly (magic, format or
+		// checksum error depending on the cut — never a panic or a
+		// wrong result).
+		for cut := 0; cut < len(buf); cut += 13 {
+			if _, err := Decode(buf[:cut]); err == nil {
+				t.Fatalf("%s: truncation at %d decoded successfully", tc.name, cut)
+			}
 		}
-	}
 
-	// A corrupt declared length must not drive a huge allocation.
-	bad = bytes.Clone(buf)
-	bad[8], bad[9], bad[10], bad[11] = 0xff, 0xff, 0xff, 0xff
-	if _, err := Decode(bad); err == nil {
-		t.Fatal("absurd payload length decoded successfully")
+		// A corrupt declared length must not drive a huge allocation.
+		bad = bytes.Clone(buf)
+		bad[8], bad[9], bad[10], bad[11] = 0xff, 0xff, 0xff, 0xff
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("%s: absurd length decoded successfully", tc.name)
+		}
+
+		// Trailing garbage is rejected.
+		if _, err := Decode(append(bytes.Clone(buf), 0)); err == nil {
+			t.Fatalf("%s: trailing byte decoded successfully", tc.name)
+		}
 	}
 }
 
-func TestDecodeRejectsTrailingBytes(t *testing.T) {
+func TestDecodeUnknownMagic(t *testing.T) {
+	for _, buf := range [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("IXPSNAP9--------"),
+		[]byte("NOTASNAPFILE----"),
+	} {
+		if _, err := Decode(buf); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("Decode(%q): got %v, want ErrBadMagic", buf, err)
+		}
+		if _, err := Read(bytes.NewReader(buf)); !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("Read(%q): got %v, want ErrBadMagic", buf, err)
+		}
+	}
+}
+
+// reencodeWithSectionVersion rewrites one section's declared version in
+// an encoded v2 container, fixing up the table CRC so the tamper is
+// structurally valid and only the version check can reject it.
+func reencodeWithSectionVersion(t *testing.T, buf []byte, name string, version uint16) []byte {
+	t.Helper()
+	bad := bytes.Clone(buf)
+	n := int(binary.BigEndian.Uint32(bad[8:12]))
+	tableLen := int(binary.BigEndian.Uint32(bad[12:16]))
+	off := headerLenV2
+	found := false
+	for i := 0; i < n; i++ {
+		nameLen := int(bad[off])
+		if string(bad[off+1:off+1+nameLen]) == name {
+			binary.BigEndian.PutUint16(bad[off+1+nameLen:], version)
+			found = true
+		}
+		off += 1 + nameLen + 2 + 4 + 4
+	}
+	if !found {
+		t.Fatalf("section %q not present", name)
+	}
+	table := bad[headerLenV2 : headerLenV2+tableLen]
+	binary.BigEndian.PutUint32(bad[16:20], crc32.Checksum(table, crc32.MakeTable(crc32.Castagnoli)))
+	return bad
+}
+
+// TestSectionVersionRejected pins the forward-compat contract: a known
+// section at a version this build cannot decode fails with the typed
+// ErrSectionVersion (no panic, no silent skip), for builtin analyzer
+// sections and the meta/counts sections alike.
+func TestSectionVersionRejected(t *testing.T) {
 	buf, err := AppendEncode(nil, synthetic())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Decode(append(bytes.Clone(buf), 0)); err == nil {
-		t.Fatal("trailing byte decoded successfully")
+	for _, name := range []string{"meta", "counts", "webserver", "visibility", "links"} {
+		bad := reencodeWithSectionVersion(t, buf, name, 0x7fff)
+		if _, err := Decode(bad); !errors.Is(err, ErrSectionVersion) {
+			t.Fatalf("section %q at v32767: got %v, want ErrSectionVersion", name, err)
+		}
+	}
+	// An UNKNOWN section's version is none of our business: it must be
+	// preserved in Extra untouched, whatever it claims.
+	bad := reencodeWithSectionVersion(t, buf, "zz-future", 0x7fff)
+	snap, err := Decode(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Extra) != 1 || snap.Extra[0].Version != 0x7fff {
+		t.Fatalf("unknown section not preserved: %+v", snap.Extra)
+	}
+}
+
+func TestTruncatedSectionTableRejected(t *testing.T) {
+	buf, err := AppendEncode(nil, synthetic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableLen := int(binary.BigEndian.Uint32(buf[12:16]))
+	// Cut the container off mid-table: every prefix that still carries
+	// the fixed header but not the whole table must be ErrFormat.
+	for cut := headerLenV2; cut < headerLenV2+tableLen; cut += 3 {
+		if _, err := Decode(buf[:cut]); !errors.Is(err, ErrFormat) {
+			t.Fatalf("table truncated at %d: got %v, want ErrFormat", cut, err)
+		}
+	}
+}
+
+func TestMissingRequiredSection(t *testing.T) {
+	// A v2 container missing webserver/meta/counts must be rejected:
+	// hand-build one holding only an unknown section.
+	payload := []byte{9, 9}
+	var table []byte
+	table = append(table, byte(len("odd")))
+	table = append(table, "odd"...)
+	table = binary.BigEndian.AppendUint16(table, 1)
+	table = binary.BigEndian.AppendUint32(table, uint32(len(payload)))
+	table = binary.BigEndian.AppendUint32(table, crc32.Checksum(payload, crc32.MakeTable(crc32.Castagnoli)))
+	buf := []byte("IXPSNAP2")
+	buf = binary.BigEndian.AppendUint32(buf, 1)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(table)))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(table, crc32.MakeTable(crc32.Castagnoli)))
+	buf = append(buf, table...)
+	buf = append(buf, payload...)
+	if _, err := Decode(buf); !errors.Is(err, ErrFormat) {
+		t.Fatalf("container without required sections: got %v, want ErrFormat", err)
+	}
+}
+
+func TestHasProduct(t *testing.T) {
+	snap := synthetic()
+	for _, name := range []string{"webserver", "visibility", "links", "zz-future"} {
+		if !snap.HasProduct(name) {
+			t.Fatalf("HasProduct(%q) = false on full snapshot", name)
+		}
+	}
+	v1 := syntheticV1()
+	if !v1.HasProduct("webserver") {
+		t.Fatal("v1 snapshot lost its webserver product")
+	}
+	for _, name := range []string{"visibility", "links", "nope"} {
+		if v1.HasProduct(name) {
+			t.Fatalf("HasProduct(%q) = true on v1 snapshot", name)
+		}
 	}
 }
 
 // TestGoldenAllWeeks is the codec's equivalence proof: for every study
-// week, a snapshot round trip of the freshly analyzed result — the
-// identification aggregates, the cascade counts and the EstLoss
-// annotation — reproduces it exactly, and the encoding itself is
-// deterministic.
+// week, a snapshot round trip of the freshly analyzed fused products —
+// the identification aggregates, the visibility and flow products, the
+// cascade counts and the EstLoss annotation — reproduces them exactly,
+// and the encoding itself is deterministic.
 func TestGoldenAllWeeks(t *testing.T) {
 	env, err := pipeline.NewEnv(netmodel.Tiny(),
 		traffic.Options{SamplesPerWeek: 2000, SamplingRate: 16384, SnapLen: 128})
@@ -185,11 +399,15 @@ func TestGoldenAllWeeks(t *testing.T) {
 	}
 	ctx := context.Background()
 	for wk := cfg.FirstWeek; wk <= cfg.LastWeek(); wk++ {
-		res, counts, _, err := env.IdentifyWeek(ctx, wk)
+		week, _, err := env.AnalyzeWeek(ctx, wk, nil)
 		if err != nil {
 			t.Fatalf("week %d: %v", wk, err)
 		}
-		snap := &Snapshot{Result: res, Counts: counts, SourceDigest: "d"}
+		snap, err := FromProducts(week.Products, week.Counts)
+		if err != nil {
+			t.Fatalf("week %d: %v", wk, err)
+		}
+		snap.SourceDigest = "d"
 		buf, err := AppendEncode(nil, snap)
 		if err != nil {
 			t.Fatalf("week %d: %v", wk, err)

@@ -532,11 +532,12 @@ func (s *Supervisor) tryWeek(ctx context.Context, wk, attempt int) (*snapshot.Sn
 		snap = existing
 	} else {
 		err := s.runStage(ctx, wk, StageAnalyze, attempt, func(sctx context.Context) error {
-			res, counts, aerr := capture.AnalyzeWeekFile(sctx, s.env, s.capturePath(wk), wk)
+			fresh, aerr := capture.AnalyzeWeekSnapshot(sctx, s.env, s.capturePath(wk), wk)
 			if aerr != nil {
 				return aerr
 			}
-			snap = &snapshot.Snapshot{Result: res, Counts: counts, SourceDigest: st.Capture.Digest}
+			fresh.SourceDigest = st.Capture.Digest
+			snap = fresh
 			return s.checkpoint(&Record{Event: EventDone, Week: wk, Stage: StageAnalyze, Digest: st.Capture.Digest})
 		})
 		if err != nil {
@@ -579,8 +580,12 @@ func (s *Supervisor) captureVerified(wk int, st *WeekState) bool {
 }
 
 // snapshotVerified loads wk's snapshot if the checkpoint says it is
-// done, the file digest matches, and it still derives from the current
-// capture digest.
+// done, the file digest matches, it still derives from the current
+// capture digest, AND it carries every product the current analyzer
+// registry expects. A legacy (single-product v1) snapshot, or one
+// written under a narrower registry, fails the last check and is
+// re-analyzed — the self-heal path that upgrades old campaign
+// directories to full multi-product snapshots.
 func (s *Supervisor) snapshotVerified(wk int, st *WeekState) (*snapshot.Snapshot, bool) {
 	if !st.Snapshot.Done || st.Snapshot.Digest == "" {
 		return nil, false
@@ -592,6 +597,11 @@ func (s *Supervisor) snapshotVerified(wk int, st *WeekState) (*snapshot.Snapshot
 	snap, err := snapshot.LoadFile(s.snapshotPath(wk))
 	if err != nil || snap.SourceDigest != st.Capture.Digest {
 		return nil, false
+	}
+	for _, name := range s.env.Registry().Names() {
+		if !snap.HasProduct(name) {
+			return nil, false
+		}
 	}
 	return snap, true
 }
