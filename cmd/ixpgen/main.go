@@ -17,7 +17,10 @@
 // so an aborted campaign continues instead of starting over. The
 // -fault-* flags write a deterministically degraded campaign (dropped,
 // duplicated, reordered and corrupted datagrams), for exercising the
-// analysis pipeline's loss accounting and robustness. SIGINT/SIGTERM
+// analysis pipeline's loss accounting and robustness. The -fault-fs-*
+// flags instead degrade the storage layer itself (short writes, fsync
+// lies, torn renames, a write-byte quota that simulates ENOSPC) — the
+// campaign's disk paths must survive them or fail loudly. SIGINT/SIGTERM
 // abort generation cleanly mid-week.
 package main
 
@@ -37,6 +40,7 @@ import (
 	"ixplens/internal/pipeline"
 	"ixplens/internal/sflow"
 	"ixplens/internal/traffic"
+	"ixplens/internal/vfs"
 )
 
 func main() {
@@ -55,6 +59,14 @@ func main() {
 		faultReorder = flag.Float64("fault-reorder", 0, "fraction of datagrams to delay by one position")
 		faultCorrupt = flag.Float64("fault-corrupt", 0, "fraction of datagrams to corrupt (half truncated, half bit-flipped)")
 		faultSeed    = flag.Uint64("fault-seed", 1, "fault injection seed")
+
+		fsSeed        = flag.Uint64("fault-fs-seed", 1, "storage fault injection seed")
+		fsQuota       = flag.Int64("fault-fs-quota", 0, "write-byte budget before injected ENOSPC (0 = unlimited)")
+		fsShortWrite  = flag.Float64("fault-fs-short-write", 0, "probability a write is cut short")
+		fsReadErr     = flag.Float64("fault-fs-read-err", 0, "probability a read fails with an injected I/O error")
+		fsSyncFail    = flag.Float64("fault-fs-sync-fail", 0, "probability fsync fails")
+		fsSyncCorrupt = flag.Float64("fault-fs-sync-corrupt", 0, "probability fsync reports success but flips one stored bit")
+		fsTornRename  = flag.Float64("fault-fs-torn-rename", 0, "probability an atomic rename tears (crash before the rename)")
 	)
 	flag.Parse()
 
@@ -83,6 +95,23 @@ func main() {
 		}
 		fmt.Printf("fault injection: drop=%.3f dup=%.3f reorder=%.3f corrupt=%.3f seed=%d\n",
 			*faultDrop, *faultDup, *faultReorder, *faultCorrupt, *faultSeed)
+	}
+	fscfg := faultline.FSConfig{
+		Seed:        *fsSeed,
+		Quota:       *fsQuota,
+		ShortWrite:  *fsShortWrite,
+		ReadErr:     *fsReadErr,
+		SyncFail:    *fsSyncFail,
+		SyncCorrupt: *fsSyncCorrupt,
+		TornRename:  *fsTornRename,
+	}
+	if fscfg.Active() {
+		if err := fscfg.Validate(); err != nil {
+			fatal(err)
+		}
+		env.FS = faultline.NewFS(vfs.OS{}, fscfg)
+		fmt.Printf("storage fault injection: quota=%d short-write=%.3f read-err=%.3f sync-fail=%.3f sync-corrupt=%.3f torn-rename=%.3f seed=%d\n",
+			*fsQuota, *fsShortWrite, *fsReadErr, *fsSyncFail, *fsSyncCorrupt, *fsTornRename, *fsSeed)
 	}
 	fmt.Printf("world: %s\n", env)
 

@@ -21,6 +21,12 @@
 // re-reading the capture file. -analyzers narrows the registry
 // ("webserver,links"); "all" (the default) runs everything.
 //
+// A genuinely full disk parks the affected week in a capped-backoff
+// wait (bounded by -storage-full-budget) instead of quarantining it.
+// The -fault-fs-* flags route every campaign byte through a seeded
+// fault-injecting filesystem — short writes, read errors, fsync lies,
+// torn renames, an ENOSPC quota — for rehearsing exactly those paths.
+//
 // Usage:
 //
 //	ixpmine -in capture/ [-focus 45] [-analyzers all] [-retries 3] [-watchdog 5m] [-quarantine-limit 4]
@@ -40,11 +46,13 @@ import (
 	"ixplens/internal/core/churn"
 	"ixplens/internal/core/cluster"
 	"ixplens/internal/core/metadata"
+	"ixplens/internal/faultline"
 	"ixplens/internal/obs"
 	"ixplens/internal/packet"
 	"ixplens/internal/pipeline"
 	"ixplens/internal/snapshot"
 	"ixplens/internal/supervise"
+	"ixplens/internal/vfs"
 )
 
 func main() {
@@ -58,24 +66,47 @@ func main() {
 		qlimit  = flag.Int("quarantine-limit", 0, "abort the campaign when more than this many weeks are quarantined (0 = any number degrades, never aborts)")
 		retryQ  = flag.Bool("retry-quarantined", false, "re-open weeks a previous run quarantined instead of skipping them")
 		anlz    = flag.String("analyzers", "all", "comma-separated analyzer names to run in the fused pass (webserver is always included); \"all\" runs every registered analyzer")
+		fullB   = flag.Int("storage-full-budget", 0, "how many storage-full waits one week may accumulate before ENOSPC fails the attempt normally (0 = wait indefinitely)")
 		_       = flag.Bool("snapshots", true, "deprecated no-op: snapshots are always persisted — they are the supervisor's resume checkpoints")
+
+		fsSeed        = flag.Uint64("fault-fs-seed", 1, "storage fault injection seed")
+		fsQuota       = flag.Int64("fault-fs-quota", 0, "write-byte budget before injected ENOSPC (0 = unlimited)")
+		fsShortWrite  = flag.Float64("fault-fs-short-write", 0, "probability a write is cut short")
+		fsReadErr     = flag.Float64("fault-fs-read-err", 0, "probability a read fails with an injected I/O error")
+		fsSyncFail    = flag.Float64("fault-fs-sync-fail", 0, "probability fsync fails")
+		fsSyncCorrupt = flag.Float64("fault-fs-sync-corrupt", 0, "probability fsync reports success but flips one stored bit")
+		fsTornRename  = flag.Float64("fault-fs-torn-rename", 0, "probability an atomic rename tears (crash before the rename)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	scfg := supervise.Config{
-		Retries:          *retries,
-		Watchdog:         *wdog,
-		QuarantineLimit:  *qlimit,
-		RetryQuarantined: *retryQ,
+		Retries:           *retries,
+		Watchdog:          *wdog,
+		QuarantineLimit:   *qlimit,
+		RetryQuarantined:  *retryQ,
+		StorageFullBudget: *fullB,
 	}
-	if err := run(ctx, *in, *focus, *maxLoss, *debug, *anlz, scfg); err != nil {
+	fscfg := faultline.FSConfig{
+		Seed:        *fsSeed,
+		Quota:       *fsQuota,
+		ShortWrite:  *fsShortWrite,
+		ReadErr:     *fsReadErr,
+		SyncFail:    *fsSyncFail,
+		SyncCorrupt: *fsSyncCorrupt,
+		TornRename:  *fsTornRename,
+	}
+	if err := fscfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "ixpmine:", err)
+		os.Exit(1)
+	}
+	if err := run(ctx, *in, *focus, *maxLoss, *debug, *anlz, scfg, fscfg); err != nil {
 		fmt.Fprintln(os.Stderr, "ixpmine:", err)
 		os.Exit(1)
 	}
 }
 
-func run(ctx context.Context, dir string, focus int, maxLoss float64, debugAddr, analyzers string, scfg supervise.Config) error {
+func run(ctx context.Context, dir string, focus int, maxLoss float64, debugAddr, analyzers string, scfg supervise.Config, fscfg faultline.FSConfig) error {
 	man, err := capture.ReadManifest(dir)
 	if err != nil {
 		return err
@@ -83,6 +114,11 @@ func run(ctx context.Context, dir string, focus int, maxLoss float64, debugAddr,
 	env, err := man.Rebuild()
 	if err != nil {
 		return err
+	}
+	if fscfg.Active() {
+		env.FS = faultline.NewFS(vfs.OS{}, fscfg)
+		fmt.Fprintf(os.Stderr, "storage fault injection: quota=%d short-write=%.3f read-err=%.3f sync-fail=%.3f sync-corrupt=%.3f torn-rename=%.3f seed=%d\n",
+			fscfg.Quota, fscfg.ShortWrite, fscfg.ReadErr, fscfg.SyncFail, fscfg.SyncCorrupt, fscfg.TornRename, fscfg.Seed)
 	}
 	if env.Analyzers, err = analysis.Select(analyzers); err != nil {
 		return err

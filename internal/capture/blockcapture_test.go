@@ -15,6 +15,7 @@ import (
 	"ixplens/internal/pipeline"
 	"ixplens/internal/sflow"
 	"ixplens/internal/traffic"
+	"ixplens/internal/vfs"
 )
 
 // writeV1Week renders one week into the legacy v1 stream container —
@@ -85,7 +86,7 @@ func TestGoldenV1V2Equivalence(t *testing.T) {
 		if man.Datagrams[i] != v2counts[i] {
 			t.Fatalf("week %d: manifest says %d datagrams, writer reported %d", wk, man.Datagrams[i], v2counts[i])
 		}
-		got, err := fileDigest(filepath.Join(v2dir, man.Files[i]))
+		got, err := fileDigest(vfs.Default, filepath.Join(v2dir, man.Files[i]))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -317,7 +318,7 @@ func TestCampaignResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := fileDigest(filepath.Join(dir, damaged))
+	got, err := fileDigest(vfs.Default, filepath.Join(dir, damaged))
 	if err != nil {
 		t.Fatal(err)
 	}

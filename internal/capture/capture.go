@@ -10,6 +10,7 @@
 package capture
 
 import (
+	"bytes"
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
@@ -17,7 +18,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
 	"runtime"
 
@@ -32,6 +32,7 @@ import (
 	"ixplens/internal/sflow"
 	"ixplens/internal/snapshot"
 	"ixplens/internal/traffic"
+	"ixplens/internal/vfs"
 )
 
 // ManifestName is the manifest file inside a campaign directory.
@@ -127,14 +128,18 @@ func WriteCampaignOpts(ctx context.Context, env *pipeline.Env, dir string, opts 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := env.VFS()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	// A crash between a temp write and its rename strands `.manifest-*`
+	// litter; collect it before this run creates more.
+	SweepTemps(fsys, dir)
 	cfg := &env.World.Cfg
 	man := NewManifest(env, opts)
 	var prev *Manifest
 	if opts.Resume {
-		if old, err := ReadManifest(dir); err == nil {
+		if old, err := ReadManifestFS(fsys, dir); err == nil {
 			// Mixing keys is a hard error, not a silent rewrite: the caller
 			// believes the old weeks are compatible with the new ones.
 			if old.Anonymized && opts.Anonymize && old.AnonFP != "" && old.AnonFP != man.AnonFP {
@@ -150,7 +155,7 @@ func WriteCampaignOpts(ctx context.Context, env *pipeline.Env, dir string, opts 
 	for wk := cfg.FirstWeek; wk <= cfg.LastWeek(); wk++ {
 		name := WeekFile(wk)
 		path := filepath.Join(dir, name)
-		n, digest, reused := reuseWeek(prev, wk, name, path)
+		n, digest, reused := reuseWeek(fsys, prev, wk, name, path)
 		if !reused {
 			var err error
 			n, digest, err = WriteWeekFile(ctx, env, wk, path, opts)
@@ -160,7 +165,7 @@ func WriteCampaignOpts(ctx context.Context, env *pipeline.Env, dir string, opts 
 		}
 		counts = append(counts, n)
 		man.SetWeek(wk, name, digest, n)
-		if err := SaveManifest(dir, man); err != nil {
+		if err := SaveManifestFS(fsys, dir, man); err != nil {
 			return counts, err
 		}
 	}
@@ -240,11 +245,16 @@ func (m *Manifest) SetWeek(wk int, file, digest string, datagrams int) bool {
 // VerifyWeek reports whether wk's capture file in dir still matches the
 // manifest's recorded digest (and returns the recorded datagram count).
 func (m *Manifest) VerifyWeek(dir string, wk int) (n int, digest string, ok bool) {
+	return m.VerifyWeekFS(vfs.Default, dir, wk)
+}
+
+// VerifyWeekFS is VerifyWeek through an explicit filesystem seam.
+func (m *Manifest) VerifyWeekFS(fsys vfs.FS, dir string, wk int) (n int, digest string, ok bool) {
 	i := m.WeekIndex(wk)
 	if i < 0 || i >= len(m.Digests) || m.Digests[i] == "" {
 		return 0, "", false
 	}
-	got, err := FileDigest(filepath.Join(dir, m.Files[i]))
+	got, err := fileDigest(fsys, filepath.Join(dir, m.Files[i]))
 	if err != nil || got != m.Digests[i] {
 		return 0, "", false
 	}
@@ -256,9 +266,49 @@ func (m *Manifest) VerifyWeek(dir string, wk int) (n int, digest string, ok bool
 }
 
 // SaveManifest writes dir's manifest atomically (temp file, fsync,
-// rename).
+// rename, parent-directory fsync).
 func SaveManifest(dir string, man *Manifest) error {
-	return writeManifest(filepath.Join(dir, ManifestName), man)
+	return SaveManifestFS(vfs.Default, dir, man)
+}
+
+// SaveManifestFS is SaveManifest through an explicit filesystem seam.
+func SaveManifestFS(fsys vfs.FS, dir string, man *Manifest) error {
+	return writeManifest(fsys, filepath.Join(dir, ManifestName), man)
+}
+
+// SweepTemps removes stale atomic-writer litter (`.manifest-*` and
+// `.snap-*` temp files) a crashed run left in dir. Litter is harmless
+// to correctness — renames are all-or-nothing — but it accumulates
+// forever on a box that crashes often, and on a quota-tight disk the
+// dead bytes are the difference between recovering and ENOSPC. Best
+// effort: the count of removed files is returned, errors are not.
+func SweepTemps(fsys vfs.FS, dir string) int {
+	ents, err := fsys.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !isTempLitter(name) {
+			continue
+		}
+		if fsys.Remove(filepath.Join(dir, name)) == nil {
+			removed++
+		}
+	}
+	return removed
+}
+
+// isTempLitter recognizes the temp-file patterns the repo's atomic
+// writers use (manifest, snapshot, journal rotation scratch).
+func isTempLitter(name string) bool {
+	for _, prefix := range []string{".manifest-", ".snap-", ".journal-"} {
+		if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+			return true
+		}
+	}
+	return false
 }
 
 // Compatible reports whether m describes the same campaign next would
@@ -293,7 +343,7 @@ func resumeCompatible(old, next *Manifest) bool {
 
 // reuseWeek reports whether the file for wk can be kept as-is: the prior
 // manifest lists it and the bytes on disk still match its digest.
-func reuseWeek(prev *Manifest, wk int, name, path string) (n int, digest string, ok bool) {
+func reuseWeek(fsys vfs.FS, prev *Manifest, wk int, name, path string) (n int, digest string, ok bool) {
 	if prev == nil {
 		return 0, "", false
 	}
@@ -301,7 +351,7 @@ func reuseWeek(prev *Manifest, wk int, name, path string) (n int, digest string,
 		if w != wk || prev.Files[i] != name {
 			continue
 		}
-		got, err := fileDigest(path)
+		got, err := fileDigest(fsys, path)
 		if err != nil || got != prev.Digests[i] {
 			return 0, "", false
 		}
@@ -313,7 +363,12 @@ func reuseWeek(prev *Manifest, wk int, name, path string) (n int, digest string,
 // FileDigest returns the sha256 hex digest of a file's contents — the
 // same digest the manifest records per week.
 func FileDigest(path string) (string, error) {
-	return fileDigest(path)
+	return fileDigest(vfs.Default, path)
+}
+
+// FileDigestFS is FileDigest through an explicit filesystem seam.
+func FileDigestFS(fsys vfs.FS, path string) (string, error) {
+	return fileDigest(fsys, path)
 }
 
 // WriteWeekFile renders one study week of env into path and returns the
@@ -333,8 +388,8 @@ func WriteWeekFile(ctx context.Context, env *pipeline.Env, isoWeek int, path str
 }
 
 // fileDigest returns the sha256 hex digest of a file's contents.
-func fileDigest(path string) (string, error) {
-	f, err := os.Open(path)
+func fileDigest(fsys vfs.FS, path string) (string, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return "", err
 	}
@@ -347,7 +402,8 @@ func fileDigest(path string) (string, error) {
 }
 
 func writeWeek(ctx context.Context, env *pipeline.Env, isoWeek int, path string, anon *anonymize.PrefixPreserving, compress bool) (int, string, error) {
-	f, err := os.Create(path)
+	fsys := env.VFS()
+	f, err := fsys.Create(path)
 	if err != nil {
 		return 0, "", err
 	}
@@ -409,41 +465,41 @@ func writeWeek(ctx context.Context, env *pipeline.Env, isoWeek int, path string,
 	if err := f.Close(); err != nil {
 		return sw.Count(), "", err
 	}
+	// The capture is created in place (not temp-then-rename: week files
+	// are large and their digest gates acceptance anyway), so durability
+	// of the directory entry still needs the parent fsync.
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return sw.Count(), "", err
+	}
+	// The digest is of the bytes handed to the writer, not the bytes the
+	// disk kept — a lying fsync can diverge the two. Callers that accept
+	// this digest durably (the supervisor) re-verify it by read-back.
 	return sw.Count(), hex.EncodeToString(h.Sum(nil)), nil
 }
 
-// writeManifest writes the manifest atomically: encode to a temp file,
-// sync, close (both checked — a full disk must not leave a truncated
-// manifest that parses as complete), then rename into place.
-func writeManifest(path string, man *Manifest) error {
-	f, err := os.CreateTemp(filepath.Dir(path), ".manifest-*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	discard := func(e error) error {
-		f.Close()
-		os.Remove(tmp)
-		return e
-	}
-	enc := json.NewEncoder(f)
+// writeManifest writes the manifest atomically through the seam's
+// crash-consistent writer: temp file, write, fsync, close (all checked
+// — a full disk must not leave a truncated manifest that parses as
+// complete), rename into place, then fsync the parent directory so the
+// rename itself survives power loss. Failed writes remove their temp.
+func writeManifest(fsys vfs.FS, path string, man *Manifest) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(man); err != nil {
-		return discard(err)
-	}
-	if err := f.Sync(); err != nil {
-		return discard(err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	return vfs.WriteFileAtomic(fsys, path, buf.Bytes(), ".manifest-*")
 }
 
 // ReadManifest loads and validates a campaign manifest.
 func ReadManifest(dir string) (*Manifest, error) {
-	raw, err := os.ReadFile(filepath.Join(dir, ManifestName))
+	return ReadManifestFS(vfs.Default, dir)
+}
+
+// ReadManifestFS is ReadManifest through an explicit filesystem seam.
+func ReadManifestFS(fsys vfs.FS, dir string) (*Manifest, error) {
+	raw, err := vfs.ReadFile(fsys, filepath.Join(dir, ManifestName))
 	if err != nil {
 		return nil, err
 	}
@@ -513,7 +569,7 @@ func analyzeWorkers() int {
 // framing without a trusted index) still fails. ctx cancels the pass
 // within one datagram batch.
 func AnalyzeWeekSnapshot(ctx context.Context, env *pipeline.Env, path string, isoWeek int) (*snapshot.Snapshot, error) {
-	f, err := os.Open(path)
+	f, err := env.VFS().Open(path)
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@ import (
 	"ixplens/internal/netmodel"
 	"ixplens/internal/pipeline"
 	"ixplens/internal/traffic"
+	"ixplens/internal/vfs"
 )
 
 func smallEnv(t testing.TB) *pipeline.Env {
@@ -220,7 +221,7 @@ func TestResumeRefusesAnonKeyMismatch(t *testing.T) {
 		t.Fatalf("same-key resume: %v", err)
 	}
 	// Different key: hard refusal, directory untouched.
-	before, err := fileDigest(filepath.Join(dir, man.Files[0]))
+	before, err := fileDigest(vfs.Default, filepath.Join(dir, man.Files[0]))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestResumeRefusesAnonKeyMismatch(t *testing.T) {
 	if !errors.Is(err, ErrAnonKeyMismatch) {
 		t.Fatalf("different-key resume returned %v, want ErrAnonKeyMismatch", err)
 	}
-	after, err := fileDigest(filepath.Join(dir, man.Files[0]))
+	after, err := fileDigest(vfs.Default, filepath.Join(dir, man.Files[0]))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -255,7 +256,7 @@ func TestResumeRefusesAnonKeyMismatch(t *testing.T) {
 	}); err != nil {
 		t.Fatalf("legacy-manifest resume: %v", err)
 	}
-	rewritten, err := fileDigest(filepath.Join(dir, man.Files[0]))
+	rewritten, err := fileDigest(vfs.Default, filepath.Join(dir, man.Files[0]))
 	if err != nil {
 		t.Fatal(err)
 	}

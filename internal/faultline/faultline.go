@@ -27,6 +27,7 @@ import (
 	"ixplens/internal/core/dissect"
 	"ixplens/internal/randutil"
 	"ixplens/internal/sflow"
+	"ixplens/internal/vfs"
 )
 
 // Config describes the fault mix. The four rate fields are per-datagram
@@ -409,11 +410,23 @@ func (t *TrackSource) Next(d *sflow.Datagram) error {
 // offset is key modulo the file size; the bit within it is derived from
 // the key. Returns the offset damaged.
 func FlipFileBit(path string, key uint64) (int64, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	return FlipFileBitFS(vfs.Default, path, key)
+}
+
+// FlipFileBitFS is FlipFileBit through an explicit vfs seam, so the
+// corruption itself composes with an injecting FS. The damaged byte is
+// synced to stable storage and close errors are surfaced — a corruptor
+// that silently fails to corrupt would make chaos tests vacuous.
+func FlipFileBitFS(fsys vfs.FS, path string, key uint64) (off int64, err error) {
+	f, err := fsys.OpenFile(path, os.O_RDWR, 0)
 	if err != nil {
 		return 0, err
 	}
-	defer f.Close()
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	fi, err := f.Stat()
 	if err != nil {
 		return 0, err
@@ -421,7 +434,7 @@ func FlipFileBit(path string, key uint64) (int64, error) {
 	if fi.Size() == 0 {
 		return 0, fmt.Errorf("faultline: %s is empty, nothing to corrupt", path)
 	}
-	off := int64(key % uint64(fi.Size()))
+	off = int64(key % uint64(fi.Size()))
 	var b [1]byte
 	if _, err := f.ReadAt(b[:], off); err != nil {
 		return 0, err
@@ -430,14 +443,22 @@ func FlipFileBit(path string, key uint64) (int64, error) {
 	if _, err := f.WriteAt(b[:], off); err != nil {
 		return 0, err
 	}
-	return off, f.Close()
+	if err := f.Sync(); err != nil {
+		return 0, err
+	}
+	return off, nil
 }
 
 // TruncateFileTail cuts the file at path to a key-derived prefix length
 // (key modulo the file size), simulating a crash mid-write. Returns the
 // resulting size.
 func TruncateFileTail(path string, key uint64) (int64, error) {
-	fi, err := os.Stat(path)
+	return TruncateFileTailFS(vfs.Default, path, key)
+}
+
+// TruncateFileTailFS is TruncateFileTail through an explicit vfs seam.
+func TruncateFileTailFS(fsys vfs.FS, path string, key uint64) (int64, error) {
+	fi, err := fsys.Stat(path)
 	if err != nil {
 		return 0, err
 	}
@@ -445,5 +466,5 @@ func TruncateFileTail(path string, key uint64) (int64, error) {
 		return 0, nil
 	}
 	n := int64(key % uint64(fi.Size()))
-	return n, os.Truncate(path, n)
+	return n, fsys.Truncate(path, n)
 }

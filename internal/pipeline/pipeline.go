@@ -37,6 +37,7 @@ import (
 	"ixplens/internal/packet"
 	"ixplens/internal/sflow"
 	"ixplens/internal/traffic"
+	"ixplens/internal/vfs"
 )
 
 // ErrLossExceeded marks a week aborted because its estimated datagram
@@ -124,6 +125,11 @@ type Env struct {
 	// supervise / serve layers above it) feed from the single fused
 	// decode pass. Nil runs the full default registry.
 	Analyzers *analysis.Registry
+	// FS is the filesystem seam every persistence path above this Env
+	// goes through — capture files, manifests, snapshots, the supervisor
+	// journal. Nil means the real disk (vfs.Default); a faultline.FS here
+	// subjects the whole disk tier to seeded storage chaos.
+	FS vfs.FS
 }
 
 // NewEnv generates a world and wires all substrates.
@@ -165,6 +171,14 @@ func (e *Env) Registry() *analysis.Registry {
 		return e.Analyzers
 	}
 	return analysis.Default()
+}
+
+// VFS returns the Env's filesystem seam, defaulting to the real disk.
+func (e *Env) VFS() vfs.FS {
+	if e.FS != nil {
+		return e.FS
+	}
+	return vfs.Default
 }
 
 // AnalysisContext bundles the Env substrates the analyzers consume.

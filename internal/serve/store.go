@@ -149,8 +149,9 @@ func (st *Store) Load(ctx context.Context, isoWeek int) (*snapshot.Snapshot, err
 	// correctness dependency. The product check upgrades legacy
 	// single-product (v1) snapshots: an endpoint needing visibility or
 	// links never 404s just because the snapshot predates them.
+	fsys := st.env.VFS()
 	spath := filepath.Join(st.dir, snapshot.FileName(isoWeek))
-	if snap, err := snapshot.LoadFile(spath); err == nil &&
+	if snap, err := snapshot.LoadFileFS(fsys, spath); err == nil &&
 		snap.Result.Week == isoWeek && freshSnapshot(snap, digest) &&
 		st.completeSnapshot(snap) {
 		st.m.SnapshotLoads.Inc()
@@ -165,7 +166,7 @@ func (st *Store) Load(ctx context.Context, isoWeek int) (*snapshot.Snapshot, err
 	st.m.AnalyzeNanos.ObserveSince(start)
 	snap.SourceDigest = digest
 	if st.writeSnapshots {
-		if err := snapshot.SaveFile(spath, snap); err != nil {
+		if _, err := snapshot.SaveFileFS(fsys, spath, snap); err != nil {
 			st.m.SnapshotWriteErrors.Inc()
 		} else {
 			st.m.SnapshotWrites.Inc()

@@ -383,6 +383,18 @@ const (
 	frameEnd
 )
 
+// truncOr classifies a short-read error: an EOF-class error means the
+// file genuinely ends mid-structure (truncation), while any other error
+// (EIO, a failing device) is a real I/O fault that must propagate as
+// itself — relabeling it as truncation would silently degrade a
+// readable file into a lossy decode instead of surfacing the failure.
+func truncOr(err error, what string) error {
+	if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("sflow: %s cut short: %w", what, ErrTruncated)
+	}
+	return fmt.Errorf("sflow: %s: %w", what, err)
+}
+
 // readFrame reads the next container frame from br into buf (reused):
 // a full block (header plus payload), a footer (parsed and verified in
 // place; footerOK reports the verification), or a clean end of input
@@ -406,7 +418,7 @@ func readFrame(br *bufio.Reader, buf []byte) (kind int, data []byte, footerOK bo
 		buf = buf[:blockHeaderLen]
 		copy(buf, marker[:])
 		if _, err := io.ReadFull(br, buf[4:]); err != nil {
-			return 0, buf, false, fmt.Errorf("sflow: block header cut short: %w", ErrTruncated)
+			return 0, buf, false, truncOr(err, "block header")
 		}
 		diskLen := binary.BigEndian.Uint32(buf[20:])
 		if diskLen > maxBlockDisk {
@@ -419,7 +431,7 @@ func readFrame(br *bufio.Reader, buf []byte) (kind int, data []byte, footerOK bo
 		}
 		buf = buf[:blockHeaderLen+int(diskLen)]
 		if _, err := io.ReadFull(br, buf[blockHeaderLen:]); err != nil {
-			return 0, buf, false, fmt.Errorf("sflow: block payload cut short: %w", ErrTruncated)
+			return 0, buf, false, truncOr(err, "block payload")
 		}
 		return frameBlock, buf, false, nil
 	case footerMarker:
@@ -440,7 +452,7 @@ func readFrame(br *bufio.Reader, buf []byte) (kind int, data []byte, footerOK bo
 func readFooterStream(br *bufio.Reader) (ok bool, err error) {
 	var nbuf [4]byte
 	if _, err := io.ReadFull(br, nbuf[:]); err != nil {
-		return false, fmt.Errorf("sflow: footer cut short: %w", ErrTruncated)
+		return false, truncOr(err, "footer")
 	}
 	n := binary.BigEndian.Uint32(nbuf[:])
 	if n > maxFooterEntries {
@@ -457,21 +469,21 @@ func readFooterStream(br *bufio.Reader) (ok bool, err error) {
 			c = left
 		}
 		if _, err := io.ReadFull(br, chunk[:c]); err != nil {
-			return false, fmt.Errorf("sflow: footer cut short: %w", ErrTruncated)
+			return false, truncOr(err, "footer")
 		}
 		crc = crc32.Update(crc, castagnoli, chunk[:c])
 		left -= c
 	}
 	var icrcb [4]byte
 	if _, err := io.ReadFull(br, icrcb[:]); err != nil {
-		return false, fmt.Errorf("sflow: footer cut short: %w", ErrTruncated)
+		return false, truncOr(err, "footer")
 	}
 	if crc != binary.BigEndian.Uint32(icrcb[:]) {
 		return false, nil
 	}
 	var tail [footerTailLen]byte
 	if _, err := io.ReadFull(br, tail[:]); err != nil {
-		return false, fmt.Errorf("sflow: footer tail cut short: %w", ErrTruncated)
+		return false, truncOr(err, "footer tail")
 	}
 	footLen := binary.BigEndian.Uint32(tail[:4])
 	if footLen != uint32(8+footerEntryLen*int64(n)+4) || !bytes.Equal(tail[4:], tailMagic[:]) {
@@ -812,10 +824,14 @@ func (p *ParallelBlockReader) produce(r io.ReadSeeker, index []blockIndexEntry, 
 			}
 			slot.data = slot.data[:extent]
 			if _, err := io.ReadFull(br, slot.data); err != nil {
-				// The footer said these bytes exist; the file shrank
-				// underneath us.
-				p.st.truncated.Store(true)
-				p.finErr = fmt.Errorf("sflow: indexed block cut short: %w", ErrTruncated)
+				// The footer said these bytes exist: an EOF-class error
+				// means the file shrank underneath us; anything else is
+				// a device fault and propagates as itself.
+				err = truncOr(err, "indexed block")
+				if errors.Is(err, ErrTruncated) {
+					p.st.truncated.Store(true)
+				}
+				p.finErr = err
 				return
 			}
 			slot.trusted = true

@@ -36,18 +36,19 @@
 package snapshot
 
 import (
+	"crypto/sha256"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
-	"path/filepath"
 	"sort"
 
 	"ixplens/internal/analysis"
 	"ixplens/internal/core/dissect"
 	"ixplens/internal/core/webserver"
+	"ixplens/internal/vfs"
 )
 
 var (
@@ -506,15 +507,25 @@ func Read(r io.Reader) (*Snapshot, error) {
 }
 
 // SaveFile writes snap to path atomically: encode to a temp file in the
-// same directory, sync, close (both checked — a full disk must not
-// leave a truncated snapshot that parses as damage), then rename into
-// place.
+// same directory, write, fsync, close (all checked — a full disk must
+// not leave a truncated snapshot that parses as damage), rename into
+// place, then fsync the parent directory so the rename itself survives
+// power loss. Failed writes remove their temp file.
 func SaveFile(path string, snap *Snapshot) error {
+	_, err := SaveFileFS(vfs.Default, path, snap)
+	return err
+}
+
+// SaveFileFS is SaveFile through an explicit filesystem seam. It
+// returns the sha256 hex digest of the encoded bytes it INTENDED to
+// persist; callers that must rule out silent write-back corruption (a
+// lying fsync) compare it against a fresh read-back digest of path.
+func SaveFileFS(fsys vfs.FS, path string, snap *Snapshot) (string, error) {
 	buf, err := AppendEncode(nil, snap)
 	if err != nil {
-		return err
+		return "", err
 	}
-	return saveBytes(path, buf)
+	return saveBytes(fsys, path, buf)
 }
 
 // SaveFileV1 writes the legacy single-section container, for campaigns
@@ -524,36 +535,26 @@ func SaveFileV1(path string, snap *Snapshot) error {
 	if err != nil {
 		return err
 	}
-	return saveBytes(path, buf)
+	_, err = saveBytes(vfs.Default, path, buf)
+	return err
 }
 
-func saveBytes(path string, buf []byte) error {
-	f, err := os.CreateTemp(filepath.Dir(path), ".snap-*")
-	if err != nil {
-		return err
+func saveBytes(fsys vfs.FS, path string, buf []byte) (string, error) {
+	if err := vfs.WriteFileAtomic(fsys, path, buf, ".snap-*"); err != nil {
+		return "", err
 	}
-	tmp := f.Name()
-	discard := func(e error) error {
-		f.Close()
-		os.Remove(tmp)
-		return e
-	}
-	if _, err := f.Write(buf); err != nil {
-		return discard(err)
-	}
-	if err := f.Sync(); err != nil {
-		return discard(err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	sum := sha256.Sum256(buf)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // LoadFile reads and decodes the snapshot at path.
 func LoadFile(path string) (*Snapshot, error) {
-	buf, err := os.ReadFile(path)
+	return LoadFileFS(vfs.Default, path)
+}
+
+// LoadFileFS is LoadFile through an explicit filesystem seam.
+func LoadFileFS(fsys vfs.FS, path string) (*Snapshot, error) {
+	buf, err := vfs.ReadFile(fsys, path)
 	if err != nil {
 		return nil, err
 	}

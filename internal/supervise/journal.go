@@ -10,7 +10,9 @@
 // immediately); a per-week circuit breaker quarantines a week after its
 // retry budget instead of failing the campaign, and downstream
 // consumers (churn gaps, the serving layer's degraded health) carry the
-// hole explicitly.
+// hole explicitly. A full disk is its own degraded mode: storage-full
+// errors back off without consuming the retry budget, so a campaign
+// stalls until space is freed instead of quarantining healthy weeks.
 package supervise
 
 import (
@@ -21,10 +23,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/crc32"
+	"io/fs"
 	"os"
 	"path/filepath"
 
 	"ixplens/internal/capture"
+	"ixplens/internal/vfs"
 )
 
 // JournalName is the checkpoint journal file inside a campaign
@@ -69,6 +74,30 @@ type Record struct {
 	Err       string `json:"err,omitempty"`
 	// Config is the campaign config digest (EventCampaign only).
 	Config string `json:"config,omitempty"`
+	// CRC is the crc32c (hex) of the record marshaled with CRC empty.
+	// It catches silent corruption that still parses as JSON — a flipped
+	// character inside a digest string would otherwise masquerade as a
+	// mismatch and quarantine a healthy week permanently. Records
+	// written before the field existed (no CRC) replay unchecked.
+	CRC string `json:"crc,omitempty"`
+}
+
+// castagnoli is the CRC32C table, matching the capture containers.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// checksum derives rec's CRC field value: the record is marshaled with
+// CRC empty and summed. Marshal of this struct cannot fail.
+func (rec *Record) checksum() string {
+	c := *rec
+	c.CRC = ""
+	raw, _ := json.Marshal(&c)
+	return fmt.Sprintf("%08x", crc32.Checksum(raw, castagnoli))
+}
+
+// verifies reports whether rec's stored CRC matches its content (or is
+// absent — pre-CRC journals stay replayable).
+func (rec *Record) verifies() bool {
+	return rec.CRC == "" || rec.CRC == rec.checksum()
 }
 
 // StageState is the replayed durable state of one stage of one week.
@@ -186,60 +215,76 @@ func (s *State) apply(rec *Record) {
 
 // Journal is the append-only JSONL checkpoint log. Appends are a single
 // write followed by an fsync, so every acknowledged record survives a
-// crash; a torn final line (crash mid-append) is dropped on replay.
+// crash; a torn final line (crash mid-append) is dropped on replay, a
+// torn or corrupted record anywhere else is skipped by scan-forward
+// resync (newline framing makes every later record recoverable), and a
+// failed append is rolled back by truncating to the last acknowledged
+// record so the file never carries a half-written line into the next
+// write.
 type Journal struct {
-	f     *os.File
+	fsys  vfs.FS
+	f     vfs.File
 	path  string
 	state *State
+	// size is the durable length after the last acknowledged append;
+	// torn records that a failed append may have left partial bytes
+	// beyond size that the next append must truncate away first.
+	size int64
+	torn bool
+	// dropped counts records discarded by resync during open.
+	dropped int
 }
 
 // journalPath returns dir's journal file path.
 func journalPath(dir string) string { return filepath.Join(dir, JournalName) }
 
-// replay parses a journal's bytes into records. A malformed final line
-// is tolerated (torn append); malformed earlier lines mean the file is
-// damaged and cannot be trusted at all.
-func replay(raw []byte) ([]*Record, error) {
-	var recs []*Record
+// replay parses a journal's bytes into records by scan-forward resync:
+// a line that fails to parse or fails its CRC is dropped (counted in
+// dropped) and scanning continues at the next newline, so one torn or
+// bit-flipped record costs exactly that record, not the rest of the
+// journal. Dropping is safe because the journal is a redo log over
+// digest-verified files: a lost "done" is re-verified from disk, a lost
+// "fail" costs one extra retry. Only a scanner-level error (a line
+// beyond the size cap) makes the bytes untrustworthy as a whole.
+func replay(raw []byte) (recs []*Record, dropped int, err error) {
 	sc := bufio.NewScanner(bytes.NewReader(raw))
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	var pendingErr error
 	for sc.Scan() {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
 		}
-		if pendingErr != nil {
-			// The malformed line was not the last one: damage, not a
-			// torn tail.
-			return nil, pendingErr
-		}
 		rec := &Record{}
-		if err := json.Unmarshal(line, rec); err != nil {
-			pendingErr = fmt.Errorf("supervise: journal line: %w", err)
+		if json.Unmarshal(line, rec) != nil || !rec.verifies() {
+			dropped++
 			continue
 		}
 		recs = append(recs, rec)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, dropped, err
 	}
-	return recs, nil
+	return recs, dropped, nil
 }
 
 // ReadState replays dir's journal without opening it for writing — the
 // serving layer uses this to learn the quarantined-week list. A missing
 // journal yields an empty state, not an error.
 func ReadState(dir string) (*State, error) {
+	return ReadStateFS(vfs.Default, dir)
+}
+
+// ReadStateFS is ReadState through an explicit filesystem seam.
+func ReadStateFS(fsys vfs.FS, dir string) (*State, error) {
 	st := &State{Weeks: make(map[int]*WeekState)}
-	raw, err := os.ReadFile(journalPath(dir))
-	if errors.Is(err, os.ErrNotExist) {
+	raw, err := vfs.ReadFile(fsys, journalPath(dir))
+	if errors.Is(err, fs.ErrNotExist) {
 		return st, nil
 	}
 	if err != nil {
 		return nil, err
 	}
-	recs, err := replay(raw)
+	recs, _, err := replay(raw)
 	if err != nil {
 		return nil, err
 	}
@@ -249,35 +294,46 @@ func ReadState(dir string) (*State, error) {
 	return st, nil
 }
 
-// OpenJournal replays dir's journal and opens it for appending. A
-// journal whose config digest does not match configDigest — or whose
-// middle is damaged — is rotated aside (".bad") and a fresh one is
+// OpenJournal replays dir's journal and opens it for appending. Torn or
+// corrupted records are dropped by scan-forward resync; a journal whose
+// config digest does not match configDigest — or whose bytes defeat the
+// scanner entirely — is rotated aside (".bad") and a fresh one is
 // started: its checkpoints describe a different campaign and must not
 // vouch for the files on disk.
 func OpenJournal(dir, configDigest string) (*Journal, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenJournalFS(vfs.Default, dir, configDigest)
+}
+
+// OpenJournalFS is OpenJournal through an explicit filesystem seam.
+func OpenJournalFS(fsys vfs.FS, dir, configDigest string) (*Journal, error) {
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	path := journalPath(dir)
 	st := &State{Weeks: make(map[int]*WeekState)}
-	raw, err := os.ReadFile(path)
-	fresh := errors.Is(err, os.ErrNotExist)
+	raw, err := vfs.ReadFile(fsys, path)
+	fresh := errors.Is(err, fs.ErrNotExist)
 	if err != nil && !fresh {
 		return nil, err
 	}
+	dropped := 0
 	if !fresh {
-		recs, rerr := replay(raw)
+		recs, drop, rerr := replay(raw)
+		dropped = drop
 		if rerr == nil {
 			for _, rec := range recs {
 				st.apply(rec)
 			}
 		}
 		if rerr != nil || (st.ConfigDigest != "" && st.ConfigDigest != configDigest) {
-			if err := os.Rename(path, path+".bad"); err != nil {
+			if err := fsys.Rename(path, path+".bad"); err != nil {
+				return nil, err
+			}
+			if err := fsys.SyncDir(dir); err != nil {
 				return nil, err
 			}
 			st = &State{Weeks: make(map[int]*WeekState)}
-			fresh = true
+			dropped = 0
 		} else if n := len(raw); n > 0 && raw[n-1] != '\n' {
 			// Torn tail from a crash mid-append: the record was never
 			// acknowledged, so cutting it is safe — and necessary,
@@ -287,18 +343,29 @@ func OpenJournal(dir, configDigest string) (*Journal, error) {
 			if i := bytes.LastIndexByte(raw, '\n'); i >= 0 {
 				cut = i + 1
 			}
-			if err := os.Truncate(path, int64(cut)); err != nil {
+			if err := fsys.Truncate(path, int64(cut)); err != nil {
 				return nil, err
 			}
 		}
 	}
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	f, err := fsys.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	j := &Journal{f: f, path: path, state: st}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	j := &Journal{fsys: fsys, f: f, path: path, state: st, size: fi.Size(), dropped: dropped}
 	if st.ConfigDigest == "" {
 		if err := j.Append(&Record{Event: EventCampaign, Config: configDigest}); err != nil {
+			f.Close()
+			return nil, err
+		}
+		// The campaign record also covers journal creation: fsync the
+		// directory so the file itself survives power loss.
+		if err := fsys.SyncDir(dir); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -309,23 +376,48 @@ func OpenJournal(dir, configDigest string) (*Journal, error) {
 // State returns the journal's replayed (and live-updated) state.
 func (j *Journal) State() *State { return j.state }
 
-// Append writes one record (a single line), fsyncs it, and folds it
-// into the in-memory state. The write is O_APPEND, so concurrent
-// appenders cannot interleave bytes; a crash between write and sync
-// loses at most this one record, and a crash mid-write leaves a torn
-// tail the next replay drops.
+// Dropped reports how many corrupted or torn records replay discarded
+// when the journal was opened.
+func (j *Journal) Dropped() int { return j.dropped }
+
+// Append writes one record (a single CRC-tagged line), fsyncs it, and
+// folds it into the in-memory state. The write is O_APPEND, so
+// concurrent appenders cannot interleave bytes. A failed write or sync
+// is rolled back by truncating to the last acknowledged size; if even
+// the rollback fails (full disk), the truncate is retried before the
+// next append, and replay's resync drops the partial line if the
+// process dies first. Either way the state machine only ever trusts
+// acknowledged records.
 func (j *Journal) Append(rec *Record) error {
+	rec.CRC = rec.checksum()
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return err
 	}
 	line = append(line, '\n')
-	if _, err := j.f.Write(line); err != nil {
-		return err
+	if j.torn {
+		if err := j.f.Truncate(j.size); err != nil {
+			return fmt.Errorf("supervise: journal rollback: %w", err)
+		}
+		j.torn = false
 	}
-	if err := j.f.Sync(); err != nil {
-		return err
+	n, werr := j.f.Write(line)
+	if werr == nil && n < len(line) {
+		werr = fmt.Errorf("supervise: journal short write %d of %d bytes", n, len(line))
 	}
+	if werr == nil {
+		werr = j.f.Sync()
+	}
+	if werr != nil {
+		// Unacknowledged bytes must not prefix the next record. Truncate
+		// back; a rollback that itself fails leaves torn set so the next
+		// append retries it.
+		if terr := j.f.Truncate(j.size); terr != nil {
+			j.torn = true
+		}
+		return werr
+	}
+	j.size += int64(len(line))
 	j.state.apply(rec)
 	return nil
 }

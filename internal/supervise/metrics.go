@@ -34,6 +34,10 @@ type Metrics struct {
 	// WatchdogFires counts stage attempts cut short by the per-stage
 	// watchdog deadline.
 	WatchdogFires *obs.Counter
+	// StorageFull counts storage-full waits: attempts deferred by the
+	// ENOSPC degraded mode (capped backoff outside the retry budget)
+	// instead of failing toward quarantine.
+	StorageFull *obs.Counter
 }
 
 // NewMetrics builds the bundle against a registry; nil in, nil out.
@@ -49,6 +53,7 @@ func NewMetrics(r *obs.Registry) *Metrics {
 		WeeksDone:     r.Counter("supervise_weeks_done_total"),
 		WeeksResumed:  r.Counter("supervise_weeks_resumed_total"),
 		WatchdogFires: r.Counter("supervise_watchdog_fires_total"),
+		StorageFull:   r.Counter("supervise_storage_full_total"),
 	}
 }
 
@@ -101,4 +106,11 @@ func (m *Metrics) watchdogFires() *obs.Counter {
 		return nil
 	}
 	return m.WatchdogFires
+}
+
+func (m *Metrics) storageFull() *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.StorageFull
 }

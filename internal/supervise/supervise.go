@@ -15,6 +15,7 @@ import (
 	"ixplens/internal/randutil"
 	"ixplens/internal/sflow"
 	"ixplens/internal/snapshot"
+	"ixplens/internal/vfs"
 )
 
 // Sentinel errors, testable with errors.Is.
@@ -32,6 +33,11 @@ var (
 	// ErrQuarantineLimit aborts a campaign whose quarantined-week count
 	// crossed Config.QuarantineLimit.
 	ErrQuarantineLimit = errors.New("supervise: too many quarantined weeks")
+	// ErrCorruptWrite marks a write whose read-back digest differs from
+	// the bytes handed to the disk — a lying fsync (acknowledged, then
+	// lost or mangled). Transient: rewriting draws fresh luck, and the
+	// deterministic regeneration makes retries free of drift.
+	ErrCorruptWrite = errors.New("supervise: read-back digest differs from written bytes")
 )
 
 // Class is the failure taxonomy driving the retry decision.
@@ -102,6 +108,13 @@ type Config struct {
 	// RetryQuarantined re-opens weeks a previous run quarantined
 	// instead of skipping them.
 	RetryQuarantined bool
+	// StorageFullBudget, when positive, bounds how many times one week
+	// waits out a full disk before the condition starts counting against
+	// the regular retry budget. Zero waits indefinitely (the disk-full
+	// degraded mode: the campaign stalls with capped backoff until space
+	// is freed or the context is cancelled, rather than quarantining
+	// healthy weeks).
+	StorageFullBudget int
 	// Capture configures the capture stage (compression,
 	// anonymization). Resume is implied by the journal and ignored.
 	Capture capture.WriteOptions
@@ -193,9 +206,17 @@ type Supervisor struct {
 func New(env *pipeline.Env, dir string, cfg Config, reg *obs.Registry) (*Supervisor, error) {
 	cfg = cfg.withDefaults()
 	cfg.Capture.Resume = false
+	fsys := env.VFS()
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// A crash between a temp write and its rename strands atomic-writer
+	// litter (`.manifest-*`, `.snap-*`); collect it before this run
+	// creates more — on a tight disk the dead bytes matter.
+	capture.SweepTemps(fsys, dir)
 	man := capture.NewManifest(env, cfg.Capture)
 	manChanged := true
-	if old, err := capture.ReadManifest(dir); err == nil {
+	if old, err := capture.ReadManifestFS(fsys, dir); err == nil {
 		if old.Anonymized && !cfg.Capture.Anonymize {
 			// No key supplied for an anonymized campaign: inherit its
 			// anonymization identity instead of planning a plaintext
@@ -216,7 +237,7 @@ func New(env *pipeline.Env, dir string, cfg Config, reg *obs.Registry) (*Supervi
 	if err != nil {
 		return nil, err
 	}
-	j, err := OpenJournal(dir, cfgDigest)
+	j, err := OpenJournalFS(fsys, dir, cfgDigest)
 	if err != nil {
 		return nil, err
 	}
@@ -279,6 +300,16 @@ func (s *Supervisor) Run(ctx context.Context) (*Report, error) {
 			s.Hooks.OnWeek(ws, snap)
 		}
 	}
+	// A manifest that was unreadable (or missing) at open but whose
+	// weeks all verified from journal checkpoints never passes through
+	// the capture stage, so rewrite it here: the campaign must not end
+	// with a corrupt manifest on disk vouched for by nothing.
+	if s.manChanged {
+		if err := capture.SaveManifestFS(s.fs(), s.dir, s.man); err != nil {
+			return rep, err
+		}
+		s.manChanged = false
+	}
 	return rep, nil
 }
 
@@ -293,6 +324,9 @@ func (s *Supervisor) syncQuarantineGauge() {
 		s.m.breaker().Set(BreakerClosed)
 	}
 }
+
+// fs returns the campaign's filesystem seam.
+func (s *Supervisor) fs() vfs.FS { return s.env.VFS() }
 
 // paths
 
@@ -325,6 +359,7 @@ func (s *Supervisor) runWeek(ctx context.Context, wk int) (WeekStatus, *snapshot
 	// the bytes on disk; if they do, the rerun is a no-op.
 	if st.Done {
 		if snap, ok := s.verifyDone(wk, st); ok {
+			s.syncManifestWeek(wk, st)
 			ws.Status, ws.Resumed = "done", true
 			ws.Attempts = st.Attempts
 			ws.CaptureDigest = st.Capture.Digest
@@ -338,7 +373,8 @@ func (s *Supervisor) runWeek(ctx context.Context, wk int) (WeekStatus, *snapshot
 	half := st.Quarantined && s.cfg.RetryQuarantined
 	firstAttempt := st.Attempts + 1
 	lastAttempt := st.Attempts + s.cfg.Retries
-	for attempt := firstAttempt; attempt <= lastAttempt; attempt++ {
+	fullWaits := 0
+	for attempt := firstAttempt; attempt <= lastAttempt; {
 		if err := ctx.Err(); err != nil {
 			return ws, nil, err
 		}
@@ -352,21 +388,51 @@ func (s *Supervisor) runWeek(ctx context.Context, wk int) (WeekStatus, *snapshot
 			}
 		}
 		if err := s.journal.Append(&Record{Event: EventStart, Week: wk, Attempt: attempt}); err != nil {
+			// A full disk rejects even the start record. Wait it out in
+			// place: the attempt has not begun, nothing is journaled, and
+			// freeing space lets the same append retry cleanly.
+			if vfs.IsStorageFull(err) && s.withinFullBudget(fullWaits) {
+				fullWaits++
+				if werr := s.storageFullWait(ctx, wk, fullWaits); werr != nil {
+					return ws, nil, werr
+				}
+				continue
+			}
 			return ws, nil, err
 		}
-		snap, stage, err := s.tryWeek(ctx, wk, attempt)
+		snap, stage, ran, err := s.tryWeek(ctx, wk, attempt)
 		if err == nil {
 			ws.Status = "done"
+			// A completion that executed no stage means every artifact
+			// verified in place — the week was already done on disk and
+			// only the journal's terminal record was missing (e.g. a
+			// checkpoint lost to a torn write). That is a resume, not work.
+			ws.Resumed = !ran
 			ws.Attempts = attempt
 			ws.CaptureDigest = st.Capture.Digest
 			ws.SnapshotDigest = st.DoneDigest
 			return ws, snap, nil
 		}
-		// Parent cancellation and checkpoint failures abort the
-		// campaign without burning the week's budget as if the work
-		// itself had failed.
+		// Parent cancellation aborts the campaign without burning the
+		// week's budget as if the work itself had failed.
 		if ctx.Err() != nil && errors.Is(err, ctx.Err()) {
 			return ws, nil, err
+		}
+		// Degraded mode: a full disk is an operational condition, not a
+		// defect in the week. Back off (capped) and retry the SAME
+		// attempt without journaling a failure — the journal append would
+		// need the very space that is missing — and without spending the
+		// retry budget toward quarantine. This holds even when the
+		// ENOSPC surfaced through a checkpoint append (normally a
+		// campaign abort): the journal itself is intact, just unwritable
+		// until space is freed.
+		if vfs.IsStorageFull(err) && s.withinFullBudget(fullWaits) {
+			fullWaits++
+			ws.Stage, ws.Err = stage, err
+			if werr := s.storageFullWait(ctx, wk, fullWaits); werr != nil {
+				return ws, nil, werr
+			}
+			continue
 		}
 		var abort *abortError
 		if errors.As(err, &abort) {
@@ -386,6 +452,7 @@ func (s *Supervisor) runWeek(ctx context.Context, wk int) (WeekStatus, *snapshot
 		if class == ClassPermanent {
 			break
 		}
+		attempt++
 	}
 
 	// Budget exhausted or permanent failure: trip the breaker.
@@ -411,6 +478,37 @@ func (s *Supervisor) backoff(ctx context.Context, wk, attempt int) error {
 	// Jitter in [0.5, 1.0)×d keeps retries from synchronizing without
 	// ever collapsing the delay to zero.
 	u := randutil.HashUnit(uint64(s.env.World.Cfg.Seed), uint64(wk), uint64(attempt))
+	d = d/2 + time.Duration(u*float64(d/2))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// withinFullBudget reports whether another storage-full wait is still
+// allowed (unlimited when StorageFullBudget is zero).
+func (s *Supervisor) withinFullBudget(waits int) bool {
+	return s.cfg.StorageFullBudget <= 0 || waits < s.cfg.StorageFullBudget
+}
+
+// storageFullWait counts and sleeps one ENOSPC degraded-mode pause:
+// exponential in the number of waits so far, capped at MaxBackoff, with
+// the same deterministic jitter as retry backoff.
+func (s *Supervisor) storageFullWait(ctx context.Context, wk, waits int) error {
+	s.m.storageFull().Inc()
+	shift := waits - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := s.cfg.Backoff << uint(shift)
+	if d > s.cfg.MaxBackoff || d <= 0 {
+		d = s.cfg.MaxBackoff
+	}
+	u := randutil.HashUnit(uint64(s.env.World.Cfg.Seed), uint64(wk), uint64(waits), 0xf0)
 	d = d/2 + time.Duration(u*float64(d/2))
 	t := time.NewTimer(d)
 	defer t.Stop()
@@ -476,7 +574,10 @@ func (s *Supervisor) checkpoint(rec *Record) error {
 
 // tryWeek runs one attempt, resuming from the first incomplete stage.
 // It returns the stage that failed alongside the error.
-func (s *Supervisor) tryWeek(ctx context.Context, wk, attempt int) (*snapshot.Snapshot, string, error) {
+// tryWeek runs one attempt of a week's stage sequence. ran reports
+// whether any stage body actually executed, as opposed to every stage
+// verifying its artifact already on disk.
+func (s *Supervisor) tryWeek(ctx context.Context, wk, attempt int) (snap *snapshot.Snapshot, stage string, ran bool, err error) {
 	st := s.journal.State().week(wk)
 
 	// Adoption: a week written by an unsupervised campaign (ixpgen) has
@@ -485,9 +586,9 @@ func (s *Supervisor) tryWeek(ctx context.Context, wk, attempt int) (*snapshot.Sn
 	// drop-in over existing campaign directories — no rewrite, and
 	// anonymized captures stay usable without their key.
 	if !st.Capture.Done {
-		if n, digest, ok := s.man.VerifyWeek(s.dir, wk); ok {
+		if n, digest, ok := s.man.VerifyWeekFS(s.fs(), s.dir, wk); ok {
 			if err := s.checkpoint(&Record{Event: EventDone, Week: wk, Stage: StageCapture, Digest: digest, Datagrams: n}); err != nil {
-				return nil, StageCapture, err
+				return nil, StageCapture, ran, err
 			}
 		}
 	}
@@ -496,7 +597,13 @@ func (s *Supervisor) tryWeek(ctx context.Context, wk, attempt int) (*snapshot.Sn
 	// matches the file on disk; a missing or damaged file is rewritten
 	// (deterministic regeneration) and must reproduce the checkpointed
 	// bytes exactly.
-	if !s.captureVerified(wk, st) {
+	if s.captureVerified(wk, st) {
+		// The file is good even if the manifest is not (a fresh manifest
+		// after a corrupt one starts empty): mirror the verified
+		// checkpoint into it so the end-of-run rewrite is complete.
+		s.syncManifestWeek(wk, st)
+	} else {
+		ran = true
 		err := s.runStage(ctx, wk, StageCapture, attempt, func(sctx context.Context) error {
 			if s.man.Anonymized && !s.cfg.Capture.Anonymize {
 				return ErrAnonKeyRequired
@@ -508,11 +615,24 @@ func (s *Supervisor) tryWeek(ctx context.Context, wk, attempt int) (*snapshot.Sn
 			if st.Capture.Done && st.Capture.Digest != "" && st.Capture.Digest != digest {
 				return fmt.Errorf("%w: week %d: %s vs %s", ErrDigestMismatch, wk, digest, st.Capture.Digest)
 			}
+			// The digest above hashes the bytes handed to the disk, not
+			// the bytes the disk kept. Read back before anything durable
+			// vouches for the file: a lying fsync that mangled the capture
+			// must fail the attempt here, not surface later as a
+			// different-but-accepted analysis.
+			got, derr := capture.FileDigestFS(s.fs(), s.capturePath(wk))
+			if derr != nil {
+				return derr
+			}
+			if got != digest {
+				return fmt.Errorf("%w: week %d capture: wrote %s, disk holds %s",
+					ErrCorruptWrite, wk, digest, got)
+			}
 			if s.man.SetWeek(wk, capture.WeekFile(wk), digest, n) {
 				s.manChanged = true
 			}
 			if s.manChanged {
-				if merr := capture.SaveManifest(s.dir, s.man); merr != nil {
+				if merr := capture.SaveManifestFS(s.fs(), s.dir, s.man); merr != nil {
 					return merr
 				}
 				s.manChanged = false
@@ -520,17 +640,17 @@ func (s *Supervisor) tryWeek(ctx context.Context, wk, attempt int) (*snapshot.Sn
 			return s.checkpoint(&Record{Event: EventDone, Week: wk, Stage: StageCapture, Digest: digest, Datagrams: n})
 		})
 		if err != nil {
-			return nil, StageCapture, err
+			return nil, StageCapture, ran, err
 		}
 	}
 
 	// Stage 2: analyze. Its product (the identification result) lives
 	// in memory only, so it re-runs on resume unless the week's
 	// snapshot already pins the outcome durably.
-	var snap *snapshot.Snapshot
 	if existing, ok := s.snapshotVerified(wk, st); ok {
 		snap = existing
 	} else {
+		ran = true
 		err := s.runStage(ctx, wk, StageAnalyze, attempt, func(sctx context.Context) error {
 			fresh, aerr := capture.AnalyzeWeekSnapshot(sctx, s.env, s.capturePath(wk), wk)
 			if aerr != nil {
@@ -541,32 +661,54 @@ func (s *Supervisor) tryWeek(ctx context.Context, wk, attempt int) (*snapshot.Sn
 			return s.checkpoint(&Record{Event: EventDone, Week: wk, Stage: StageAnalyze, Digest: st.Capture.Digest})
 		})
 		if err != nil {
-			return nil, StageAnalyze, err
+			return nil, StageAnalyze, ran, err
 		}
 
 		// Stage 3: snapshot. The encoding is deterministic (sorted
 		// servers, fixed layout), so the digest is reproducible across
 		// runs — the property the crash-resume equivalence test pins.
 		err = s.runStage(ctx, wk, StageSnapshot, attempt, func(sctx context.Context) error {
-			if serr := snapshot.SaveFile(s.snapshotPath(wk), snap); serr != nil {
+			intended, serr := snapshot.SaveFileFS(s.fs(), s.snapshotPath(wk), snap)
+			if serr != nil {
 				return serr
 			}
-			digest, derr := capture.FileDigest(s.snapshotPath(wk))
+			// Read-back: the checkpoint digest must describe the bytes on
+			// disk AND those bytes must be the encoding we produced. A
+			// lying fsync that corrupted the snapshot after the atomic
+			// write fails here as transient, never as an accepted
+			// artifact.
+			digest, derr := capture.FileDigestFS(s.fs(), s.snapshotPath(wk))
 			if derr != nil {
 				return derr
+			}
+			if digest != intended {
+				return fmt.Errorf("%w: week %d snapshot: wrote %s, disk holds %s",
+					ErrCorruptWrite, wk, intended, digest)
 			}
 			return s.checkpoint(&Record{Event: EventDone, Week: wk, Stage: StageSnapshot, Digest: digest})
 		})
 		if err != nil {
-			return nil, StageSnapshot, err
+			return nil, StageSnapshot, ran, err
 		}
 	}
 
 	// Week done: one terminal record binding the snapshot digest.
 	if err := s.checkpoint(&Record{Event: EventDone, Week: wk, Digest: st.Snapshot.Digest}); err != nil {
-		return nil, "", err
+		return nil, "", ran, err
 	}
-	return snap, "", nil
+	return snap, "", ran, nil
+}
+
+// syncManifestWeek mirrors a digest-verified journal checkpoint into
+// the in-memory manifest, so a manifest rebuilt after corruption is
+// repopulated from the journal instead of saved empty.
+func (s *Supervisor) syncManifestWeek(wk int, st *WeekState) {
+	if st.Capture.Digest == "" {
+		return
+	}
+	if s.man.SetWeek(wk, capture.WeekFile(wk), st.Capture.Digest, st.Capture.Datagrams) {
+		s.manChanged = true
+	}
 }
 
 // captureVerified reports whether wk's checkpointed capture still
@@ -575,7 +717,7 @@ func (s *Supervisor) captureVerified(wk int, st *WeekState) bool {
 	if !st.Capture.Done || st.Capture.Digest == "" {
 		return false
 	}
-	got, err := capture.FileDigest(s.capturePath(wk))
+	got, err := capture.FileDigestFS(s.fs(), s.capturePath(wk))
 	return err == nil && got == st.Capture.Digest
 }
 
@@ -590,11 +732,11 @@ func (s *Supervisor) snapshotVerified(wk int, st *WeekState) (*snapshot.Snapshot
 	if !st.Snapshot.Done || st.Snapshot.Digest == "" {
 		return nil, false
 	}
-	got, err := capture.FileDigest(s.snapshotPath(wk))
+	got, err := capture.FileDigestFS(s.fs(), s.snapshotPath(wk))
 	if err != nil || got != st.Snapshot.Digest {
 		return nil, false
 	}
-	snap, err := snapshot.LoadFile(s.snapshotPath(wk))
+	snap, err := snapshot.LoadFileFS(s.fs(), s.snapshotPath(wk))
 	if err != nil || snap.SourceDigest != st.Capture.Digest {
 		return nil, false
 	}

@@ -1,0 +1,110 @@
+package vfs
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// TestOSRoundTrip drives the passthrough through the operations the
+// persistence paths use.
+func TestOSRoundTrip(t *testing.T) {
+	var fsys FS = OS{}
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "a", "b")
+	if err := fsys.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(sub, "x.txt")
+	f, err := fsys.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(sub); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := ReadFile(fsys, path)
+	if err != nil || string(raw) != "hello" {
+		t.Fatalf("read back %q, %v", raw, err)
+	}
+	if fi, err := fsys.Stat(path); err != nil || fi.Size() != 5 {
+		t.Fatalf("stat: %v %v", fi, err)
+	}
+	if err := fsys.Truncate(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	moved := filepath.Join(sub, "y.txt")
+	if err := fsys.Rename(path, moved); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := fsys.ReadDir(sub)
+	if err != nil || len(ents) != 1 || ents[0].Name() != "y.txt" {
+		t.Fatalf("readdir: %v %v", ents, err)
+	}
+	if err := fsys.Remove(moved); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Open(moved); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("open after remove: %v", err)
+	}
+}
+
+// TestWriteFileAtomic: the happy path replaces the file whole and
+// leaves no temp litter behind.
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.bin")
+	if err := WriteFileAtomic(Default, path, []byte("v1"), ".data-*"); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(Default, path, []byte("v2"), ".data-*"); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil || string(raw) != "v2" {
+		t.Fatalf("read back %q, %v", raw, err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".data-") {
+			t.Fatalf("temp litter left behind: %s", e.Name())
+		}
+	}
+}
+
+// TestIsStorageFull recognizes both the injected sentinel and a real
+// ENOSPC, wrapped or bare.
+func TestIsStorageFull(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{ErrStorageFull, true},
+		{&fs.PathError{Op: "write", Path: "x", Err: syscall.ENOSPC}, true},
+		{syscall.ENOSPC, true},
+		{errors.New("unrelated"), false},
+		{syscall.EIO, false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := IsStorageFull(c.err); got != c.want {
+			t.Errorf("IsStorageFull(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
